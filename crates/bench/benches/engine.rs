@@ -1,0 +1,120 @@
+//! P1: performance of the simulation substrate itself (criterion benches).
+//!
+//! These benches do not reproduce a table of the paper; they document the
+//! cost of the building blocks the reproduction rests on — event-queue
+//! throughput, channel sampling, medium broadcast fan-out and one full
+//! urban round — so that regressions in the substrate are caught.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sim_core::{EventQueue, Model, Scheduler, SimDuration, SimTime, Simulation, StreamRng};
+use vanet_geo::Point;
+use vanet_mac::{Destination, Frame, Medium, MediumConfig, NodeId, RadioClass};
+use vanet_radio::{ChannelModel, DataRate, RadioChannel, RadioConfig};
+use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
+
+/// A model that reschedules itself a fixed number of times.
+struct Countdown {
+    remaining: u64,
+}
+
+impl Model for Countdown {
+    type Event = ();
+    fn handle(&mut self, _now: SimTime, _event: (), scheduler: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            scheduler.schedule_in(SimDuration::from_micros(10), ());
+        }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut queue| {
+                for i in 0..10_000u64 {
+                    queue.push(SimTime::from_nanos(i * 37 % 5_000), i);
+                }
+                while queue.pop().is_some() {}
+                queue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation_loop(c: &mut Criterion) {
+    c.bench_function("simulation_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Countdown { remaining: 100_000 });
+            sim.schedule_at(SimTime::ZERO, ());
+            sim.run();
+            sim.processed_events()
+        })
+    });
+}
+
+fn bench_channel_sampling(c: &mut Criterion) {
+    let channel = RadioChannel::new(RadioConfig::urban_2_4ghz());
+    c.bench_function("channel_sample_10k", |b| {
+        let mut rng = StreamRng::derive(1, "bench-channel");
+        b.iter(|| {
+            let mut received = 0u32;
+            for i in 0..10_000u32 {
+                let d = 10.0 + f64::from(i % 200);
+                let verdict = channel.sample_reception(
+                    Point::ORIGIN,
+                    Point::new(d, 0.0),
+                    8_000,
+                    DataRate::Mbps1,
+                    &mut rng,
+                );
+                received += u32::from(verdict.received);
+            }
+            received
+        })
+    });
+}
+
+fn bench_medium_broadcast(c: &mut Criterion) {
+    c.bench_function("medium_broadcast_20_receivers", |b| {
+        let mut medium = Medium::new(MediumConfig::urban_testbed());
+        medium.register_node(NodeId::new(0), RadioClass::AccessPoint);
+        medium.update_position(NodeId::new(0), Point::new(0.0, 18.0));
+        for i in 1..=20u32 {
+            medium.register_node(NodeId::new(i), RadioClass::Vehicle);
+            medium.update_position(NodeId::new(i), Point::new(f64::from(i) * 15.0, 0.0));
+        }
+        let mut rng = StreamRng::derive(2, "bench-medium");
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_millis(10);
+            let frame = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, 0u32);
+            medium.transmit(t, frame, DataRate::Mbps1, &mut rng).deliveries.len()
+        })
+    });
+}
+
+fn bench_urban_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("urban");
+    group.sample_size(10);
+    group.bench_function("one_full_round", |b| {
+        let experiment = UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(1));
+        let mut round = 0;
+        b.iter(|| {
+            round += 1;
+            experiment.run_round(round)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_simulation_loop,
+    bench_channel_sampling,
+    bench_medium_broadcast,
+    bench_urban_round
+);
+criterion_main!(benches);

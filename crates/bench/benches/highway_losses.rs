@@ -1,0 +1,56 @@
+//! Context experiment (E8): drive-thru losses at highway speeds.
+//!
+//! The paper motivates C-ARQ with the measurements of its reference [1]:
+//! "vehicles passing in front of an AP moving at different speeds have losses
+//! on the order of 50-60% depending on the nominal sending rate and vehicle
+//! speed". This bench sweeps speed × sending rate for a single car and prints
+//! the per-pass loss percentage, then shows how a three-car cooperating
+//! platoon changes the picture.
+
+use bench::{print_footer, print_header};
+use std::time::Instant;
+use vanet_scenarios::highway::{HighwayConfig, HighwayExperiment};
+
+fn passes() -> u32 {
+    std::env::var("CARQ_BENCH_PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+}
+
+fn main() {
+    print_header("highway_losses", "drive-thru loss levels cited from reference [1] (§1, §3)");
+    let started = Instant::now();
+
+    println!("single car, no cooperation:");
+    println!("{:>12} {:>10} {:>18} {:>10}", "speed", "rate", "window packets", "loss");
+    for speed in [60.0, 80.0, 100.0, 120.0] {
+        for rate in [5.0, 10.0] {
+            let obs = HighwayExperiment::new(
+                HighwayConfig::drive_thru_reference()
+                    .with_speed_kmh(speed)
+                    .with_rate_pps(rate)
+                    .with_passes(passes()),
+            )
+            .run();
+            println!(
+                "{:>9.0} km/h {:>7.0}/s {:>18.1} {:>9.1}%",
+                obs.speed_kmh, obs.ap_rate_pps, obs.mean_window_packets, obs.loss_pct_before
+            );
+        }
+    }
+
+    println!("\nthree-car cooperating platoon on the same road:");
+    println!("{:>12} {:>18} {:>14} {:>14}", "speed", "window packets", "loss before", "loss after");
+    for speed in [60.0, 100.0, 120.0] {
+        let obs = HighwayExperiment::new(
+            HighwayConfig::drive_thru_reference()
+                .with_speed_kmh(speed)
+                .with_cooperating_platoon(3)
+                .with_passes(passes()),
+        )
+        .run();
+        println!(
+            "{:>9.0} km/h {:>18.1} {:>13.1}% {:>13.1}%",
+            obs.speed_kmh, obs.mean_window_packets, obs.loss_pct_before, obs.loss_pct_after
+        );
+    }
+    print_footer(started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,227 @@
+//! Protocol configuration.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// How a node asks its cooperators for missing packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestStrategy {
+    /// One REQUEST frame per missing packet — the behaviour of the paper's
+    /// prototype ("a node x broadcasts a REQUEST packet for each packet that
+    /// it has failed to receive").
+    PerPacket,
+    /// A single REQUEST frame carrying the whole missing list — the
+    /// optimisation suggested (but not evaluated) in §3.3 of the paper.
+    Batched,
+}
+
+/// How a node chooses which of the neighbours it has heard become its
+/// cooperators (the paper leaves the optimal selection algorithm as future
+/// work, §6; these policies let the ablation benches explore the space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Every one-hop neighbour heard becomes a cooperator, in the order it
+    /// was first heard — the prototype's behaviour.
+    AllNeighbours,
+    /// Only the first `k` neighbours heard become cooperators.
+    FirstHeard {
+        /// Maximum number of cooperators.
+        k: usize,
+    },
+    /// The `k` neighbours whose HELLOs arrive with the strongest signal
+    /// become cooperators (re-evaluated as beacons arrive).
+    StrongestSignal {
+        /// Maximum number of cooperators.
+        k: usize,
+    },
+}
+
+impl SelectionStrategy {
+    /// The maximum number of cooperators this policy will select, if bounded.
+    pub fn limit(&self) -> Option<usize> {
+        match self {
+            SelectionStrategy::AllNeighbours => None,
+            SelectionStrategy::FirstHeard { k } | SelectionStrategy::StrongestSignal { k } => Some(*k),
+        }
+    }
+}
+
+/// Configuration of a [`crate::CarqNode`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarqConfig {
+    /// Interval between HELLO beacons.
+    pub hello_interval: SimDuration,
+    /// How long without AP packets before the node decides it has left
+    /// coverage and enters the Cooperative-ARQ phase (5 s in the prototype).
+    pub ap_timeout: SimDuration,
+    /// Duration of one cooperative response slot. Cooperator `k` answers a
+    /// REQUEST after `k` slots; the slot must exceed one data-frame airtime
+    /// (≈ 8.5 ms for 1000-byte frames at 1 Mbps) so that an earlier answer
+    /// can be overheard and suppress later ones.
+    pub response_slot: SimDuration,
+    /// Pacing between successive REQUEST transmissions of the same node.
+    pub request_interval: SimDuration,
+    /// How the node requests missing packets.
+    pub request_strategy: RequestStrategy,
+    /// How the node selects its cooperators.
+    pub selection: SelectionStrategy,
+    /// Per-peer capacity of the cooperation buffer, in packets.
+    pub coop_buffer_capacity: usize,
+    /// Stop requesting after this many complete passes over the missing list
+    /// yield no recovery (the neighbours evidently do not hold the remaining
+    /// packets). The paper's prototype keeps requesting until a new AP is
+    /// reached; a small bound reproduces the same outcome without the idle
+    /// traffic.
+    pub stop_after_fruitless_cycles: u32,
+    /// Payload size (bytes) of the data packets this node expects; used only
+    /// for diagnostics.
+    pub expected_payload_bytes: u32,
+}
+
+impl CarqConfig {
+    /// The configuration of the paper's prototype: 1 s HELLOs, 5 s AP
+    /// timeout, per-packet REQUESTs, every neighbour a cooperator.
+    pub fn paper_prototype() -> Self {
+        CarqConfig {
+            hello_interval: SimDuration::from_secs(1),
+            ap_timeout: SimDuration::from_secs(5),
+            response_slot: SimDuration::from_millis(12),
+            request_interval: SimDuration::from_millis(80),
+            request_strategy: RequestStrategy::PerPacket,
+            selection: SelectionStrategy::AllNeighbours,
+            coop_buffer_capacity: 512,
+            stop_after_fruitless_cycles: 2,
+            expected_payload_bytes: 1_000,
+        }
+    }
+
+    /// Switches to the batched-REQUEST optimisation.
+    pub fn with_batched_requests(mut self) -> Self {
+        self.request_strategy = RequestStrategy::Batched;
+        self
+    }
+
+    /// Overrides the cooperator-selection strategy.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Overrides the HELLO interval.
+    pub fn with_hello_interval(mut self, interval: SimDuration) -> Self {
+        self.hello_interval = interval;
+        self
+    }
+
+    /// Overrides the AP timeout.
+    pub fn with_ap_timeout(mut self, timeout: SimDuration) -> Self {
+        self.ap_timeout = timeout;
+        self
+    }
+
+    /// Overrides the response slot.
+    pub fn with_response_slot(mut self, slot: SimDuration) -> Self {
+        self.response_slot = slot;
+        self
+    }
+
+    /// Overrides the request pacing interval.
+    pub fn with_request_interval(mut self, interval: SimDuration) -> Self {
+        self.request_interval = interval;
+        self
+    }
+
+    /// Validates internal consistency (positive timers, slot ordering).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hello_interval.is_zero() {
+            return Err("hello_interval must be positive".into());
+        }
+        if self.ap_timeout.is_zero() {
+            return Err("ap_timeout must be positive".into());
+        }
+        if self.response_slot.is_zero() {
+            return Err("response_slot must be positive".into());
+        }
+        if self.request_interval < self.response_slot {
+            return Err("request_interval must be at least one response slot".into());
+        }
+        if self.coop_buffer_capacity == 0 {
+            return Err("coop_buffer_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CarqConfig {
+    fn default() -> Self {
+        CarqConfig::paper_prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prototype_matches_published_constants() {
+        let cfg = CarqConfig::paper_prototype();
+        assert_eq!(cfg.ap_timeout, SimDuration::from_secs(5));
+        assert_eq!(cfg.hello_interval, SimDuration::from_secs(1));
+        assert_eq!(cfg.request_strategy, RequestStrategy::PerPacket);
+        assert_eq!(cfg.selection, SelectionStrategy::AllNeighbours);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(CarqConfig::default(), cfg);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = CarqConfig::paper_prototype()
+            .with_batched_requests()
+            .with_selection(SelectionStrategy::FirstHeard { k: 2 })
+            .with_hello_interval(SimDuration::from_millis(500))
+            .with_ap_timeout(SimDuration::from_secs(3))
+            .with_response_slot(SimDuration::from_millis(15))
+            .with_request_interval(SimDuration::from_millis(100));
+        assert_eq!(cfg.request_strategy, RequestStrategy::Batched);
+        assert_eq!(cfg.selection.limit(), Some(2));
+        assert_eq!(cfg.hello_interval, SimDuration::from_millis(500));
+        assert_eq!(cfg.ap_timeout, SimDuration::from_secs(3));
+        assert_eq!(cfg.response_slot, SimDuration::from_millis(15));
+        assert_eq!(cfg.request_interval, SimDuration::from_millis(100));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.request_interval = SimDuration::from_millis(1);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.hello_interval = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.ap_timeout = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.response_slot = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.coop_buffer_capacity = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn selection_limits() {
+        assert_eq!(SelectionStrategy::AllNeighbours.limit(), None);
+        assert_eq!(SelectionStrategy::FirstHeard { k: 3 }.limit(), Some(3));
+        assert_eq!(SelectionStrategy::StrongestSignal { k: 1 }.limit(), Some(1));
+    }
+}

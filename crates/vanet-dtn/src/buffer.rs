@@ -1,0 +1,335 @@
+//! Reception maps and cooperation buffers.
+//!
+//! Two bookkeeping structures drive the Cooperative-ARQ phase:
+//!
+//! * every car keeps, for its *own* flow, a [`ReceptionMap`]: which sequence
+//!   numbers it has received from the AP and which are missing "from the
+//!   first to the last received" (the paper's recovery target);
+//! * every car keeps a [`CoopBuffer`] with the packets it has overheard that
+//!   are addressed to the cars that listed it as a cooperator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use vanet_mac::NodeId;
+
+use crate::packet::{DataPacket, SeqNo};
+
+/// Tracks which sequence numbers of one flow have been received.
+///
+/// # Examples
+///
+/// ```
+/// use vanet_dtn::{ReceptionMap, SeqNo};
+///
+/// let mut map = ReceptionMap::new();
+/// map.mark_received(SeqNo::new(3));
+/// map.mark_received(SeqNo::new(6));
+/// assert_eq!(map.missing(), vec![SeqNo::new(4), SeqNo::new(5)]);
+/// assert_eq!(map.received_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceptionMap {
+    received: BTreeSet<SeqNo>,
+}
+
+impl ReceptionMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ReceptionMap::default()
+    }
+
+    /// Marks `seq` as received. Returns `true` if it was not already present.
+    pub fn mark_received(&mut self, seq: SeqNo) -> bool {
+        self.received.insert(seq)
+    }
+
+    /// Whether `seq` has been received.
+    pub fn contains(&self, seq: SeqNo) -> bool {
+        self.received.contains(&seq)
+    }
+
+    /// Number of distinct sequence numbers received.
+    pub fn received_count(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Whether nothing has been received yet.
+    pub fn is_empty(&self) -> bool {
+        self.received.is_empty()
+    }
+
+    /// The lowest sequence number received, if any.
+    pub fn first(&self) -> Option<SeqNo> {
+        self.received.iter().next().copied()
+    }
+
+    /// The highest sequence number received, if any.
+    pub fn last(&self) -> Option<SeqNo> {
+        self.received.iter().next_back().copied()
+    }
+
+    /// The sequence numbers missing between the first and the last received —
+    /// the recovery target of the Cooperative-ARQ phase ("recover all packets
+    /// from the first to the last received from the AP").
+    pub fn missing(&self) -> Vec<SeqNo> {
+        match (self.first(), self.last()) {
+            (Some(first), Some(last)) => first
+                .range_to_inclusive(last)
+                .filter(|s| !self.received.contains(s))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of missing sequence numbers between first and last received.
+    pub fn missing_count(&self) -> usize {
+        match (self.first(), self.last()) {
+            (Some(first), Some(last)) => {
+                (last.value() - first.value() + 1) as usize - self.received.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// The span (first..=last) length, i.e. how many packets the AP sent to
+    /// this flow while the node could observe them. Zero when nothing was
+    /// received.
+    pub fn span_len(&self) -> usize {
+        match (self.first(), self.last()) {
+            (Some(first), Some(last)) => (last.value() - first.value() + 1) as usize,
+            _ => 0,
+        }
+    }
+
+    /// Iterates over the received sequence numbers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = SeqNo> + '_ {
+        self.received.iter().copied()
+    }
+
+    /// Removes everything (e.g. when a new AP session starts).
+    pub fn clear(&mut self) {
+        self.received.clear();
+    }
+}
+
+impl FromIterator<SeqNo> for ReceptionMap {
+    fn from_iter<I: IntoIterator<Item = SeqNo>>(iter: I) -> Self {
+        ReceptionMap { received: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<SeqNo> for ReceptionMap {
+    fn extend<I: IntoIterator<Item = SeqNo>>(&mut self, iter: I) {
+        self.received.extend(iter);
+    }
+}
+
+/// The packets a node buffers on behalf of other cars (its "cooperatees").
+///
+/// Capacity is bounded per peer; when full, the oldest buffered packet for
+/// that peer is evicted first (the protocol requests packets in ascending
+/// order, so older packets are the most likely to have been recovered
+/// already).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoopBuffer {
+    capacity_per_peer: usize,
+    buffered: BTreeMap<NodeId, BTreeMap<SeqNo, DataPacket>>,
+}
+
+impl CoopBuffer {
+    /// Creates a buffer that keeps at most `capacity_per_peer` packets per
+    /// peer flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_per_peer: usize) -> Self {
+        assert!(capacity_per_peer > 0, "capacity must be positive");
+        CoopBuffer { capacity_per_peer, buffered: BTreeMap::new() }
+    }
+
+    /// Stores a packet overheard for `packet.destination`. Returns `true` if
+    /// the packet was newly inserted (not already buffered).
+    pub fn store(&mut self, packet: DataPacket) -> bool {
+        let per_peer = self.buffered.entry(packet.destination).or_default();
+        if per_peer.contains_key(&packet.seq) {
+            return false;
+        }
+        if per_peer.len() >= self.capacity_per_peer {
+            // Evict the oldest (lowest) sequence number.
+            let oldest = *per_peer.keys().next().expect("non-empty by len check");
+            per_peer.remove(&oldest);
+        }
+        per_peer.insert(packet.seq, packet);
+        true
+    }
+
+    /// Looks up a buffered packet for `peer` with sequence number `seq`.
+    pub fn get(&self, peer: NodeId, seq: SeqNo) -> Option<&DataPacket> {
+        self.buffered.get(&peer).and_then(|m| m.get(&seq))
+    }
+
+    /// Whether a packet for `peer`/`seq` is buffered.
+    pub fn holds(&self, peer: NodeId, seq: SeqNo) -> bool {
+        self.get(peer, seq).is_some()
+    }
+
+    /// Number of packets buffered for `peer`.
+    pub fn buffered_for(&self, peer: NodeId) -> usize {
+        self.buffered.get(&peer).map_or(0, BTreeMap::len)
+    }
+
+    /// Total number of buffered packets across all peers.
+    pub fn len(&self) -> usize {
+        self.buffered.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sequence numbers buffered for `peer`, ascending.
+    pub fn seqs_for(&self, peer: NodeId) -> Vec<SeqNo> {
+        self.buffered.get(&peer).map_or_else(Vec::new, |m| m.keys().copied().collect())
+    }
+
+    /// Drops everything buffered for `peer` (e.g. when the peer leaves the
+    /// platoon or has recovered everything).
+    pub fn drop_peer(&mut self, peer: NodeId) {
+        self.buffered.remove(&peer);
+    }
+
+    /// Drops all buffered packets.
+    pub fn clear(&mut self) {
+        self.buffered.clear();
+    }
+
+    /// The per-peer capacity this buffer was created with.
+    pub fn capacity_per_peer(&self) -> usize {
+        self.capacity_per_peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+    use sim_core::SimTime;
+
+    fn pkt(dst: u32, seq: u32) -> DataPacket {
+        DataPacket::new(NodeId::new(dst), SeqNo::new(seq), 1_000, SimTime::ZERO)
+    }
+
+    #[test]
+    fn reception_map_tracks_missing_between_first_and_last() {
+        let mut map = ReceptionMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.missing(), Vec::<SeqNo>::new());
+        assert_eq!(map.span_len(), 0);
+        for s in [2u32, 3, 6, 9] {
+            assert!(map.mark_received(SeqNo::new(s)));
+        }
+        assert!(!map.mark_received(SeqNo::new(3)), "duplicate reception");
+        assert_eq!(map.first(), Some(SeqNo::new(2)));
+        assert_eq!(map.last(), Some(SeqNo::new(9)));
+        assert_eq!(map.span_len(), 8);
+        assert_eq!(map.received_count(), 4);
+        assert_eq!(map.missing_count(), 4);
+        let missing: Vec<u32> = map.missing().into_iter().map(SeqNo::value).collect();
+        assert_eq!(missing, vec![4, 5, 7, 8]);
+        assert!(map.contains(SeqNo::new(6)));
+        assert!(!map.contains(SeqNo::new(7)));
+        map.clear();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn reception_map_collects_from_iterator() {
+        let map: ReceptionMap = (0..5u32).map(SeqNo::new).collect();
+        assert_eq!(map.received_count(), 5);
+        assert_eq!(map.missing_count(), 0);
+        let mut extended = map.clone();
+        extended.extend([SeqNo::new(7)]);
+        assert_eq!(extended.missing(), vec![SeqNo::new(5), SeqNo::new(6)]);
+        assert_eq!(map.iter().count(), 5);
+    }
+
+    #[test]
+    fn coop_buffer_stores_and_looks_up() {
+        let mut buf = CoopBuffer::new(10);
+        assert!(buf.is_empty());
+        assert!(buf.store(pkt(1, 5)));
+        assert!(!buf.store(pkt(1, 5)), "duplicate store");
+        assert!(buf.store(pkt(2, 5)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.buffered_for(NodeId::new(1)), 1);
+        assert!(buf.holds(NodeId::new(1), SeqNo::new(5)));
+        assert!(!buf.holds(NodeId::new(1), SeqNo::new(6)));
+        assert_eq!(buf.get(NodeId::new(2), SeqNo::new(5)).unwrap().destination, NodeId::new(2));
+        assert_eq!(buf.seqs_for(NodeId::new(1)), vec![SeqNo::new(5)]);
+        buf.drop_peer(NodeId::new(1));
+        assert_eq!(buf.buffered_for(NodeId::new(1)), 0);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity_per_peer(), 10);
+    }
+
+    #[test]
+    fn coop_buffer_evicts_oldest_when_full() {
+        let mut buf = CoopBuffer::new(3);
+        for s in 0..5u32 {
+            buf.store(pkt(1, s));
+        }
+        assert_eq!(buf.buffered_for(NodeId::new(1)), 3);
+        let seqs: Vec<u32> = buf.seqs_for(NodeId::new(1)).into_iter().map(SeqNo::value).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest packets evicted first");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CoopBuffer::new(0);
+    }
+
+    proptest! {
+        /// received + missing always equals the span between first and last.
+        #[test]
+        fn prop_reception_map_partition(seqs in proptest::collection::btree_set(0u32..500, 0..100)) {
+            let map: ReceptionMap = seqs.iter().copied().map(SeqNo::new).collect();
+            prop_assert_eq!(map.received_count() + map.missing_count(), map.span_len());
+            for m in map.missing() {
+                prop_assert!(!map.contains(m));
+            }
+        }
+
+        /// The buffer never exceeds its per-peer capacity, only ever holds
+        /// packets that were actually stored, and when packets arrive in
+        /// ascending order it retains the newest ones.
+        #[test]
+        fn prop_buffer_capacity_respected(seqs in proptest::collection::vec(0u32..200, 1..80), cap in 1usize..20) {
+            let mut buf = CoopBuffer::new(cap);
+            for s in &seqs {
+                buf.store(pkt(1, *s));
+            }
+            prop_assert!(buf.buffered_for(NodeId::new(1)) <= cap);
+            for held in buf.seqs_for(NodeId::new(1)) {
+                prop_assert!(seqs.contains(&held.value()));
+            }
+
+            // Ascending arrival (the AP's actual pattern): the newest `cap`
+            // distinct packets must be retained.
+            let mut sorted: Vec<u32> = seqs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let mut ordered = CoopBuffer::new(cap);
+            for s in &sorted {
+                ordered.store(pkt(1, *s));
+            }
+            let expect_newest: Vec<u32> = sorted.iter().rev().take(cap).rev().copied().collect();
+            let held: Vec<u32> = ordered.seqs_for(NodeId::new(1)).into_iter().map(SeqNo::value).collect();
+            prop_assert_eq!(held, expect_newest);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # vanet-dtn — delay-tolerant networking substrate
+//!
+//! The Cooperative ARQ protocol sits on top of a small DTN substrate that
+//! this crate provides:
+//!
+//! * [`packet`] — numbered data packets ([`packet::SeqNo`],
+//!   [`packet::DataPacket`]) addressed to individual cars, mirroring the
+//!   AP's "numbered packets addressed to each car" traffic of the testbed.
+//! * [`buffer`] — per-destination [`buffer::ReceptionMap`]s (which sequence
+//!   numbers a node holds, which are missing between the first and last
+//!   received) and the capacity-limited [`buffer::CoopBuffer`] in which a
+//!   car keeps packets overheard on behalf of its cooperators.
+//! * [`ap`] — the access-point traffic source: periodic numbered packets to
+//!   each car in the experiment, with pluggable scheduling policies
+//!   (fresh-data-only as in the paper, or an AP-side retransmission ARQ used
+//!   as an ablation baseline).
+//! * [`oracle`] — the joint-reception oracle ("virtual car"): the best any
+//!   cooperative scheme could do given the per-car receptions, used for
+//!   Figures 6–8 of the paper.
+//! * [`epidemic`] — a summary-vector anti-entropy exchange in the style of
+//!   epidemic routing, used as an overhead baseline against which the
+//!   REQUEST-based recovery of C-ARQ is compared.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ap;
+pub mod buffer;
+pub mod epidemic;
+pub mod oracle;
+pub mod packet;
+
+pub use ap::{AccessPointApp, ApConfig, ApSchedulingPolicy, ScheduledPacket};
+pub use buffer::{CoopBuffer, ReceptionMap};
+pub use epidemic::{AntiEntropySession, ExchangePlan, SummaryVector};
+pub use oracle::JointReceptionOracle;
+pub use packet::{DataPacket, SeqNo};

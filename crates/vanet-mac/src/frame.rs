@@ -1,0 +1,98 @@
+//! MAC frames.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{Destination, NodeId};
+
+/// MAC + PHY framing overhead in bytes added to every payload: a 24-byte
+/// 802.11 data header, a 4-byte FCS and an 8-byte LLC/SNAP header — the
+/// framing the prototype's monitor-mode captures would show.
+pub const FRAME_OVERHEAD_BYTES: u32 = 36;
+
+/// A MAC frame carrying an opaque payload of type `P`.
+///
+/// The payload type is supplied by the protocol layer (the `carq` crate uses
+/// its protocol message enum); the MAC layer only needs the payload *size* to
+/// compute airtime.
+///
+/// # Examples
+///
+/// ```
+/// use vanet_mac::{Destination, Frame, NodeId};
+///
+/// let frame = Frame::new(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 1_000, "data");
+/// assert_eq!(frame.payload_bytes, 1_000);
+/// assert_eq!(frame.total_bytes(), 1_036);
+/// assert_eq!(frame.total_bits(), 1_036 * 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame<P> {
+    /// The transmitting node.
+    pub src: NodeId,
+    /// The logical destination.
+    pub dst: Destination,
+    /// Payload size in bytes (excluding MAC framing overhead).
+    pub payload_bytes: u32,
+    /// The protocol payload.
+    pub payload: P,
+}
+
+impl<P> Frame<P> {
+    /// Creates a frame.
+    pub fn new(src: NodeId, dst: Destination, payload_bytes: u32, payload: P) -> Self {
+        Frame { src, dst, payload_bytes, payload }
+    }
+
+    /// Total on-air size in bytes, including MAC framing overhead.
+    pub fn total_bytes(&self) -> u32 {
+        self.payload_bytes + FRAME_OVERHEAD_BYTES
+    }
+
+    /// Total on-air size in bits.
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.total_bytes()) * 8
+    }
+
+    /// Maps the payload to another type, keeping the MAC fields.
+    pub fn map_payload<Q>(self, f: impl FnOnce(P) -> Q) -> Frame<Q> {
+        Frame { src: self.src, dst: self.dst, payload_bytes: self.payload_bytes, payload: f(self.payload) }
+    }
+
+    /// Whether this frame is logically addressed to `node` (its own data or a
+    /// broadcast).
+    pub fn is_addressed_to(&self, node: NodeId) -> bool {
+        self.dst.is_for(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_include_overhead() {
+        let f = Frame::new(NodeId::new(1), Destination::Broadcast, 100, ());
+        assert_eq!(f.total_bytes(), 136);
+        assert_eq!(f.total_bits(), 1_088);
+    }
+
+    #[test]
+    fn addressing_checks() {
+        let car1 = NodeId::new(1);
+        let car2 = NodeId::new(2);
+        let f = Frame::new(NodeId::new(0), Destination::Unicast(car1), 10, ());
+        assert!(f.is_addressed_to(car1));
+        assert!(!f.is_addressed_to(car2));
+        let b = Frame::new(NodeId::new(0), Destination::Broadcast, 10, ());
+        assert!(b.is_addressed_to(car2));
+    }
+
+    #[test]
+    fn map_payload_preserves_header() {
+        let f = Frame::new(NodeId::new(3), Destination::Broadcast, 42, 7u32);
+        let g = f.map_payload(|v| v.to_string());
+        assert_eq!(g.src, NodeId::new(3));
+        assert_eq!(g.payload_bytes, 42);
+        assert_eq!(g.payload, "7");
+    }
+}

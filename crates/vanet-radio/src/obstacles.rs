@@ -1,0 +1,218 @@
+//! Building blockage (non-line-of-sight) modelling.
+//!
+//! In a street canyon the dominant propagation effect besides distance is
+//! whether the link is line-of-sight along the street or has to cross a
+//! building. The paper's testbed AP sits on an office window facing one
+//! street of a city block: cars on that street see a (relatively) clean
+//! channel, while cars on the other three streets of the loop are shadowed
+//! by the block and effectively out of coverage — which is what confines the
+//! coverage area and produces the sharp reception windows of Figures 3–5.
+//!
+//! [`ObstacleMap`] models that with axis-aligned building footprints: every
+//! building whose footprint intersects the straight line between transmitter
+//! and receiver adds its penetration loss to the link budget.
+
+use serde::{Deserialize, Serialize};
+use vanet_geo::Point;
+
+/// An axis-aligned building footprint with a penetration loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Building {
+    /// South-west corner of the footprint.
+    pub min: Point,
+    /// North-east corner of the footprint.
+    pub max: Point,
+    /// Extra loss (dB) added to any link whose straight path crosses the
+    /// footprint. Typical values: 15–20 dB for light structures, 25–35 dB
+    /// for a full urban block.
+    pub penetration_loss_db: f64,
+}
+
+impl Building {
+    /// Creates a building from two opposite corners (in any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the penetration loss is negative.
+    pub fn new(corner_a: Point, corner_b: Point, penetration_loss_db: f64) -> Self {
+        assert!(penetration_loss_db >= 0.0, "penetration loss must be non-negative");
+        Building {
+            min: Point::new(corner_a.x.min(corner_b.x), corner_a.y.min(corner_b.y)),
+            max: Point::new(corner_a.x.max(corner_b.x), corner_a.y.max(corner_b.y)),
+            penetration_loss_db,
+        }
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the footprint.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the segment from `a` to `b` intersects the footprint.
+    ///
+    /// Uses the slab method (parametric clipping of the segment against the
+    /// axis-aligned box).
+    pub fn blocks(&self, a: Point, b: Point) -> bool {
+        if self.contains(a) || self.contains(b) {
+            return true;
+        }
+        let d = b - a;
+        let mut t_min = 0.0f64;
+        let mut t_max = 1.0f64;
+        for (origin, delta, lo, hi) in [
+            (a.x, d.x, self.min.x, self.max.x),
+            (a.y, d.y, self.min.y, self.max.y),
+        ] {
+            if delta.abs() < 1e-12 {
+                if origin < lo || origin > hi {
+                    return false;
+                }
+            } else {
+                let mut t1 = (lo - origin) / delta;
+                let mut t2 = (hi - origin) / delta;
+                if t1 > t2 {
+                    std::mem::swap(&mut t1, &mut t2);
+                }
+                t_min = t_min.max(t1);
+                t_max = t_max.min(t2);
+                if t_min > t_max {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A set of buildings contributing blockage loss to links.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObstacleMap {
+    buildings: Vec<Building>,
+}
+
+impl ObstacleMap {
+    /// An empty map (free-space scenario).
+    pub fn new() -> Self {
+        ObstacleMap::default()
+    }
+
+    /// Creates a map from a list of buildings.
+    pub fn from_buildings(buildings: Vec<Building>) -> Self {
+        ObstacleMap { buildings }
+    }
+
+    /// Adds one building.
+    pub fn add(&mut self, building: Building) {
+        self.buildings.push(building);
+    }
+
+    /// Number of buildings.
+    pub fn len(&self) -> usize {
+        self.buildings.len()
+    }
+
+    /// Whether the map has no buildings.
+    pub fn is_empty(&self) -> bool {
+        self.buildings.is_empty()
+    }
+
+    /// The buildings in the map.
+    pub fn buildings(&self) -> &[Building] {
+        &self.buildings
+    }
+
+    /// Total blockage loss (dB) of the straight link from `tx` to `rx`:
+    /// the sum of the penetration losses of every building the link crosses.
+    pub fn blockage_db(&self, tx: Point, rx: Point) -> f64 {
+        self.buildings
+            .iter()
+            .filter(|b| b.blocks(tx, rx))
+            .map(|b| b.penetration_loss_db)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, proptest};
+
+    fn block() -> Building {
+        Building::new(Point::new(10.0, 10.0), Point::new(30.0, 20.0), 25.0)
+    }
+
+    #[test]
+    fn corners_are_normalised() {
+        let b = Building::new(Point::new(30.0, 20.0), Point::new(10.0, 10.0), 5.0);
+        assert_eq!(b.min, Point::new(10.0, 10.0));
+        assert_eq!(b.max, Point::new(30.0, 20.0));
+    }
+
+    #[test]
+    fn segment_through_building_is_blocked() {
+        let b = block();
+        assert!(b.blocks(Point::new(0.0, 15.0), Point::new(40.0, 15.0)));
+        assert!(b.blocks(Point::new(20.0, 0.0), Point::new(20.0, 30.0)));
+        // Diagonal crossing.
+        assert!(b.blocks(Point::new(5.0, 5.0), Point::new(35.0, 25.0)));
+    }
+
+    #[test]
+    fn segment_missing_building_is_clear() {
+        let b = block();
+        assert!(!b.blocks(Point::new(0.0, 0.0), Point::new(40.0, 5.0)));
+        assert!(!b.blocks(Point::new(0.0, 25.0), Point::new(40.0, 25.0)));
+        assert!(!b.blocks(Point::new(5.0, 0.0), Point::new(5.0, 30.0)));
+    }
+
+    #[test]
+    fn endpoints_inside_count_as_blocked() {
+        let b = block();
+        assert!(b.blocks(Point::new(15.0, 15.0), Point::new(100.0, 100.0)));
+        assert!(b.blocks(Point::new(100.0, 100.0), Point::new(15.0, 15.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(!b.contains(Point::new(9.9, 10.0)));
+    }
+
+    #[test]
+    fn obstacle_map_sums_losses() {
+        let mut map = ObstacleMap::new();
+        assert!(map.is_empty());
+        map.add(block());
+        map.add(Building::new(Point::new(50.0, 10.0), Point::new(70.0, 20.0), 10.0));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.buildings().len(), 2);
+        // Crosses both buildings.
+        assert_eq!(map.blockage_db(Point::new(0.0, 15.0), Point::new(100.0, 15.0)), 35.0);
+        // Crosses only the first.
+        assert_eq!(map.blockage_db(Point::new(0.0, 15.0), Point::new(40.0, 15.0)), 25.0);
+        // Crosses neither.
+        assert_eq!(map.blockage_db(Point::new(0.0, 0.0), Point::new(100.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_loss_rejected() {
+        let _ = Building::new(Point::ORIGIN, Point::new(1.0, 1.0), -3.0);
+    }
+
+    proptest! {
+        /// Blocking is symmetric in the segment endpoints.
+        #[test]
+        fn prop_blocking_is_symmetric(ax in -50.0f64..100.0, ay in -50.0f64..100.0,
+                                      bx in -50.0f64..100.0, by in -50.0f64..100.0) {
+            let b = block();
+            let a = Point::new(ax, ay);
+            let c = Point::new(bx, by);
+            prop_assert!(b.blocks(a, c) == b.blocks(c, a));
+        }
+
+        /// A segment whose bounding box does not touch the building never blocks.
+        #[test]
+        fn prop_far_segments_clear(ax in 100.0f64..200.0, ay in 100.0f64..200.0,
+                                   bx in 100.0f64..200.0, by in 100.0f64..200.0) {
+            let b = block();
+            prop_assert!(!b.blocks(Point::new(ax, ay), Point::new(bx, by)));
+        }
+    }
+}

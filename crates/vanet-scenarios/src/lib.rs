@@ -1,0 +1,43 @@
+//! # vanet-scenarios — end-to-end experiments of the C-ARQ reproduction
+//!
+//! This crate assembles the full simulation stack — event engine, mobility,
+//! radio channel, MAC medium, AP traffic source and the Cooperative-ARQ
+//! protocol — into runnable experiments:
+//!
+//! * [`model`] — the discrete-event [`model::VanetModel`]: one access-point
+//!   set, one platoon of C-ARQ vehicles, a shared wireless medium, and the
+//!   event plumbing between them.
+//! * [`urban`] — the paper's testbed (Figure 2): three cars looping past an
+//!   office-window AP at ~20 km/h for 30 rounds, 5 × 1000-byte packets per
+//!   second per car at 1 Mbps. Regenerates Table 1 and Figures 3–8.
+//! * [`highway`] — the drive-thru-Internet context experiment (reference [1]
+//!   of the paper): loss rates of a car passing a roadside AP at highway
+//!   speeds and different sending rates.
+//! * [`multi_ap`] — the future-work extension quantified: how many AP passes
+//!   a platoon needs to complete a file download with and without C-ARQ.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
+//!
+//! let mut config = UrbanConfig::paper_testbed();
+//! config.rounds = 3; // quick look; the paper uses 30
+//! let result = UrbanExperiment::new(config).run();
+//! let table = vanet_stats::table1(result.rounds());
+//! println!("{}", vanet_stats::render_table1(&table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod highway;
+pub mod model;
+pub mod multi_ap;
+pub mod urban;
+
+pub use highway::{HighwayConfig, HighwayExperiment, HighwayObservation};
+pub use model::{ModelConfig, NodeStatsSnapshot, VanetModel};
+pub use multi_ap::{MultiApConfig, MultiApExperiment, MultiApOutcome};
+pub use urban::{ExperimentResult, UrbanConfig, UrbanExperiment};

@@ -1,0 +1,191 @@
+//! Multi-AP file-download extension experiment.
+//!
+//! The paper's conclusions ask (§6): "how the presented loss reduction can
+//! reduce the number of APs that a vehicular node needs to visit to download
+//! a file". This experiment answers that question with the simulator: a
+//! platoon repeatedly passes isolated APs (the Infostation model the paper
+//! builds on); at each pass the infrastructure sends each car the blocks it
+//! still misses, the cars run C-ARQ in the gap after the AP, and we count how
+//! many AP visits each car needs before its file is complete.
+//!
+//! Each pass is one full drive-by simulation (the same machinery as the
+//! highway experiment); between passes the infrastructure learns what each
+//! car holds — the uplink acknowledgement a real deployment would send when
+//! the car next associates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::highway::{HighwayConfig, HighwayExperiment};
+use vanet_mac::NodeId;
+
+/// Configuration of the multi-AP download experiment.
+#[derive(Debug, Clone)]
+pub struct MultiApConfig {
+    /// The file size each car must download, in blocks (one block = one
+    /// packet of `pass.payload_bytes`).
+    pub file_blocks: u32,
+    /// The per-pass drive-by configuration (speed, rate, platoon size,
+    /// cooperation on/off).
+    pub pass: HighwayConfig,
+    /// Safety bound on the number of AP visits simulated.
+    pub max_passes: u32,
+}
+
+impl MultiApConfig {
+    /// A 1500-block (≈ 1.5 MB) download by a three-car cooperative platoon on
+    /// an arterial road (80 km/h, 5 pkt/s per car): each AP pass delivers a
+    /// few hundred blocks, so several visits are needed and the effect of
+    /// cooperation on the visit count is visible.
+    pub fn default_download() -> Self {
+        MultiApConfig {
+            file_blocks: 1_500,
+            pass: HighwayConfig::drive_thru_reference()
+                .with_speed_kmh(80.0)
+                .with_rate_pps(5.0)
+                .with_cooperating_platoon(3)
+                .with_passes(1),
+            max_passes: 40,
+        }
+    }
+
+    /// Disables cooperation for the baseline comparison.
+    pub fn without_cooperation(mut self) -> Self {
+        self.pass.cooperation_enabled = false;
+        self
+    }
+
+    /// Overrides the file size in blocks.
+    pub fn with_file_blocks(mut self, blocks: u32) -> Self {
+        self.file_blocks = blocks;
+        self
+    }
+}
+
+/// The outcome of a multi-AP download for one car.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiApOutcome {
+    /// The car.
+    pub car: NodeId,
+    /// Number of AP visits needed to complete the file, or `None` if the
+    /// download did not finish within the configured pass budget.
+    pub passes_needed: Option<u32>,
+    /// Blocks obtained after the final simulated pass.
+    pub blocks_obtained: u32,
+    /// Total blocks delivered per pass on average (goodput per visit).
+    pub mean_blocks_per_pass: f64,
+}
+
+/// The multi-AP download experiment runner.
+#[derive(Debug, Clone)]
+pub struct MultiApExperiment {
+    config: MultiApConfig,
+}
+
+impl MultiApExperiment {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file size or pass budget is zero.
+    pub fn new(config: MultiApConfig) -> Self {
+        assert!(config.file_blocks > 0, "file must have at least one block");
+        assert!(config.max_passes > 0, "at least one pass must be allowed");
+        MultiApExperiment { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiApConfig {
+        &self.config
+    }
+
+    /// Runs the download and reports the per-car outcome.
+    pub fn run(&self) -> Vec<MultiApOutcome> {
+        let cfg = &self.config;
+        let n_cars = cfg.pass.n_cars;
+        let mut blocks: Vec<u32> = vec![0; n_cars];
+        let mut finished_at: Vec<Option<u32>> = vec![None; n_cars];
+        let mut per_pass_gain: Vec<Vec<f64>> = vec![Vec::new(); n_cars];
+
+        for pass in 0..cfg.max_passes {
+            if finished_at.iter().all(Option::is_some) {
+                break;
+            }
+            // Each AP visit is one drive-by simulation with a pass-specific
+            // seed so the channel realisation differs per visit.
+            let mut pass_cfg = cfg.pass.clone();
+            pass_cfg.master_seed = cfg.pass.master_seed.wrapping_add(u64::from(pass) * 7919);
+            let round = HighwayExperiment::new(pass_cfg).run_pass(pass);
+
+            for (i, car) in round.cars().iter().enumerate() {
+                if finished_at[i].is_some() {
+                    continue;
+                }
+                let Some(flow) = round.flow_for(*car) else { continue };
+                // Blocks the infrastructure can tick off after this visit:
+                // whatever the car ended up holding (after cooperation if it
+                // is enabled).
+                let gained = flow.after_coop.received_count() as u32;
+                per_pass_gain[i].push(f64::from(gained));
+                blocks[i] = (blocks[i] + gained).min(cfg.file_blocks);
+                if blocks[i] >= cfg.file_blocks {
+                    finished_at[i] = Some(pass + 1);
+                }
+            }
+        }
+
+        (0..n_cars)
+            .map(|i| MultiApOutcome {
+                car: NodeId::new(i as u32 + 1),
+                passes_needed: finished_at[i],
+                blocks_obtained: blocks[i],
+                mean_blocks_per_pass: vanet_stats::mean(&per_pass_gain[i]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_download(cooperation: bool) -> Vec<MultiApOutcome> {
+        let mut config = MultiApConfig::default_download().with_file_blocks(150);
+        config.max_passes = 12;
+        if !cooperation {
+            config = config.without_cooperation();
+        }
+        MultiApExperiment::new(config).run()
+    }
+
+    #[test]
+    fn download_completes_within_the_pass_budget() {
+        let outcomes = small_download(true);
+        assert_eq!(outcomes.len(), 3);
+        for outcome in &outcomes {
+            assert!(outcome.passes_needed.is_some(), "car {} never finished", outcome.car);
+            assert!(outcome.blocks_obtained >= 150);
+            assert!(outcome.mean_blocks_per_pass > 0.0);
+        }
+    }
+
+    #[test]
+    fn cooperation_needs_no_more_passes_than_the_baseline() {
+        let with_coop = small_download(true);
+        let without = small_download(false);
+        let total_with: u32 = with_coop.iter().filter_map(|o| o.passes_needed).sum();
+        let total_without: u32 = without
+            .iter()
+            .map(|o| o.passes_needed.unwrap_or(13))
+            .sum();
+        assert!(
+            total_with <= total_without,
+            "cooperation should not need more AP visits ({total_with} > {total_without})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_file_rejected() {
+        let _ = MultiApExperiment::new(MultiApConfig::default_download().with_file_blocks(0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Text rendering of tables and series, used by the bench harness to print
+//! paper-style output.
+
+use std::fmt::Write as _;
+
+use crate::series::SeriesPoint;
+use crate::table::Table1Row;
+
+/// Renders Table 1 in the layout of the paper: one block per car with mean
+/// and standard-deviation rows.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>12} {:>22} {:>22}",
+        "Car", "Tx by the AP", "Lost before coop.", "Lost after coop."
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>12.1} {:>14.1} ({:>4.1}%) {:>14.1} ({:>4.1}%)",
+            row.car.to_string(),
+            row.tx_by_ap.mean,
+            row.lost_before.mean,
+            row.loss_pct_before,
+            row.lost_after.mean,
+            row.loss_pct_after,
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>12.1} {:>22.1} {:>22.1}",
+            "  σ",
+            row.tx_by_ap.std_dev,
+            row.lost_before.std_dev,
+            row.lost_after.std_dev,
+        );
+    }
+    out
+}
+
+/// Renders one or more named series as CSV: `packet_index,<name1>,<name2>,…`.
+/// Missing points (a series shorter than the longest one) are left empty.
+///
+/// # Panics
+///
+/// Panics if `names` and `series` have different lengths.
+pub fn render_series_csv(names: &[&str], series: &[Vec<SeriesPoint>]) -> String {
+    assert_eq!(names.len(), series.len(), "one name per series required");
+    let mut out = String::new();
+    let _ = write!(out, "packet_index");
+    for name in names {
+        let _ = write!(out, ",{name}");
+    }
+    let _ = writeln!(out);
+    let longest = series.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        let index = series
+            .iter()
+            .find_map(|s| s.get(i).map(|p| p.packet_index))
+            .unwrap_or(i as u32);
+        let _ = write!(out, "{index}");
+        for s in series {
+            match s.get(i) {
+                Some(p) => {
+                    let _ = write!(out, ",{:.4}", p.probability);
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Converts a series into `(packet_index, probability)` rows — handy for
+/// plotting tools and assertions in integration tests.
+pub fn series_to_rows(series: &[SeriesPoint]) -> Vec<(u32, f64)> {
+    series.iter().map(|p| (p.packet_index, p.probability)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use vanet_mac::NodeId;
+
+    fn row() -> Table1Row {
+        Table1Row {
+            car: NodeId::new(1),
+            tx_by_ap: Summary { mean: 130.4, std_dev: 17.7, count: 30 },
+            lost_before: Summary { mean: 30.5, std_dev: 12.9, count: 30 },
+            lost_after: Summary { mean: 13.7, std_dev: 9.1, count: 30 },
+            loss_pct_before: 23.4,
+            loss_pct_after: 10.5,
+        }
+    }
+
+    fn points(probs: &[f64]) -> Vec<SeriesPoint> {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SeriesPoint { packet_index: i as u32, probability: *p, samples: 30 })
+            .collect()
+    }
+
+    #[test]
+    fn table_rendering_contains_paper_columns() {
+        let text = render_table1(&[row()]);
+        assert!(text.contains("Tx by the AP"));
+        assert!(text.contains("Lost before coop."));
+        assert!(text.contains("Lost after coop."));
+        assert!(text.contains("130.4"));
+        assert!(text.contains("23.4%"));
+        assert!(text.contains("10.5%"));
+        assert!(text.contains("17.7"));
+    }
+
+    #[test]
+    fn csv_rendering_includes_all_series() {
+        let csv = render_series_csv(
+            &["rx_car1", "rx_car2"],
+            &[points(&[1.0, 0.5]), points(&[0.0, 0.25, 0.75])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "packet_index,rx_car1,rx_car2");
+        assert_eq!(lines[1], "0,1.0000,0.0000");
+        assert_eq!(lines[2], "1,0.5000,0.2500");
+        assert_eq!(lines[3], "2,,0.7500");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per series")]
+    fn csv_requires_matching_name_count() {
+        let _ = render_series_csv(&["a"], &[]);
+    }
+
+    #[test]
+    fn rows_conversion() {
+        let rows = series_to_rows(&points(&[0.5, 1.0]));
+        assert_eq!(rows, vec![(0, 0.5), (1, 1.0)]);
+    }
+}

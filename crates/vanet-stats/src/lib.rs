@@ -1,0 +1,34 @@
+//! # vanet-stats — metrics and result aggregation for the C-ARQ experiments
+//!
+//! The paper's authors captured all received traffic on each laptop and
+//! post-processed the captures into Table 1 (per-car loss before / after
+//! cooperation) and Figures 3–8 (per-packet reception probabilities). This
+//! crate plays the same role for the simulator:
+//!
+//! * [`observation`] — the raw per-round record: for every flow (car), which
+//!   packets the AP sent, which every observer physically received and what
+//!   the destination ended up with after cooperation.
+//! * [`summary`] — mean / standard deviation helpers.
+//! * [`table`] — the Table-1 generator (per-car packets transmitted, lost
+//!   before cooperation, lost after cooperation, with standard deviations).
+//! * [`series`] — per-packet reception-probability series for Figures 3–5
+//!   (promiscuous reception at each car) and Figures 6–8 (after-cooperation
+//!   vs joint reception).
+//! * [`export`] — CSV and fixed-width text rendering used by the bench
+//!   harness to print paper-style tables and figure data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod observation;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use export::{render_series_csv, render_table1, series_to_rows};
+pub use observation::{FlowObservation, RoundResult};
+pub use series::{joint_series, reception_series, recovery_series, SeriesPoint};
+pub use summary::{mean, std_dev, Summary};
+pub use table::{table1, Table1Row};

@@ -1,0 +1,87 @@
+//! Mean / standard-deviation helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a sample; zero for an empty sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator, as used for the paper's
+/// "Std. Dev." rows); zero for samples with fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A mean ± standard-deviation pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    pub fn of(values: &[f64]) -> Self {
+        Summary { mean: mean(values), std_dev: std_dev(values), count: values.len() }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::{prop_assert, proptest};
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((std_dev(&xs) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.to_string(), "2.0 ± 1.0");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            let m = mean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            prop_assert!(std_dev(&xs) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Multi-AP file download: how many AP visits a platoon needs to finish a
+//! download, with and without Cooperative ARQ — the open question of the
+//! paper's §6 ("how the presented loss reduction can reduce the number of
+//! APs that a vehicular node needs to visit to download a file").
+//!
+//! ```text
+//! cargo run --release --example multi_ap_download -- [file_blocks]
+//! ```
+
+use carq_repro::scenarios::multi_ap::{MultiApConfig, MultiApExperiment};
+
+fn main() {
+    let blocks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_500);
+
+    for (label, cooperative) in [("with C-ARQ", true), ("without cooperation", false)] {
+        let mut config = MultiApConfig::default_download().with_file_blocks(blocks);
+        if !cooperative {
+            config = config.without_cooperation();
+        }
+        let outcomes = MultiApExperiment::new(config).run();
+        println!("Download of {blocks} blocks per car, {label}:");
+        for outcome in outcomes {
+            match outcome.passes_needed {
+                Some(passes) => println!(
+                    "  {}: {} AP visits ({:.0} blocks per visit on average)",
+                    outcome.car, passes, outcome.mean_blocks_per_pass
+                ),
+                None => println!(
+                    "  {}: unfinished after the pass budget ({} / {blocks} blocks)",
+                    outcome.car, outcome.blocks_obtained
+                ),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: run a few rounds of the paper's urban testbed and print a
+//! Table-1-style summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
+use carq_repro::stats::{render_table1, table1};
+
+fn main() {
+    // The paper uses 30 rounds; five keep the quickstart fast while still
+    // showing the effect.
+    let config = UrbanConfig::paper_testbed().with_rounds(5);
+    println!(
+        "Running {} rounds of the urban testbed (3 cars, 20 km/h, 5 pkt/s/car, 1 Mbps)...",
+        config.rounds
+    );
+    let result = UrbanExperiment::new(config).run();
+
+    let rows = table1(result.rounds());
+    println!();
+    println!("{}", render_table1(&rows));
+    for row in &rows {
+        println!(
+            "{}: losses reduced by {:.0}% thanks to cooperation",
+            row.car,
+            row.loss_reduction() * 100.0
+        );
+    }
+    println!(
+        "\nProtocol traffic: {} REQUEST frames, {} cooperative retransmissions",
+        result.total_requests_sent(),
+        result.total_coop_data_sent()
+    );
+}

@@ -1,0 +1,76 @@
+//! Full reproduction of the paper's urban testbed evaluation: Table 1 and
+//! the data behind Figures 3–8.
+//!
+//! ```text
+//! cargo run --release --example urban_testbed -- [rounds]
+//! ```
+//!
+//! With no argument the paper's 30 rounds are simulated (a few seconds in a
+//! release build).
+
+use carq_repro::mac::NodeId;
+use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
+use carq_repro::stats::{
+    joint_series, reception_series, recovery_series, render_series_csv, render_table1, table1,
+};
+
+fn main() {
+    let rounds: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+
+    let config = UrbanConfig::paper_testbed().with_rounds(rounds);
+    println!("Urban testbed: {} rounds, 3 cars, 20 km/h, 5 pkt/s/car @ 1 Mbps", rounds);
+    let result = UrbanExperiment::new(config).run();
+
+    // ----- Table 1 -------------------------------------------------------
+    println!("\n=== Table 1: packets received and lost per car ===");
+    let rows = table1(result.rounds());
+    println!("{}", render_table1(&rows));
+
+    // ----- Figures 3-5: promiscuous reception per observer ----------------
+    let cars = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+    for (figure, flow) in (3..=5).zip(cars) {
+        println!("=== Figure {figure}: probability of reception, packets addressed to {flow} ===");
+        let series: Vec<_> = cars
+            .iter()
+            .map(|observer| reception_series(result.rounds(), flow, *observer))
+            .collect();
+        let csv = render_series_csv(&["rx_in_car1", "rx_in_car2", "rx_in_car3"], &series);
+        print_csv_head(&csv, 8);
+    }
+
+    // ----- Figures 6-8: after cooperation vs joint reception --------------
+    for (figure, flow) in (6..=8).zip(cars) {
+        println!("=== Figure {figure}: reception with C-ARQ in {flow} vs joint reception ===");
+        let after = recovery_series(result.rounds(), flow);
+        let joint = joint_series(result.rounds(), flow);
+        let mean_after = mean_probability(&after);
+        let mean_joint = mean_probability(&joint);
+        println!(
+            "mean P(rx after coop.) = {mean_after:.3}   mean P(joint rx) = {mean_joint:.3}   gap = {:.3}",
+            mean_joint - mean_after
+        );
+        let csv = render_series_csv(&["after_coop", "joint"], &[after, joint]);
+        print_csv_head(&csv, 8);
+    }
+}
+
+fn mean_probability(series: &[carq_repro::stats::SeriesPoint]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|p| p.probability).sum::<f64>() / series.len() as f64
+}
+
+fn print_csv_head(csv: &str, lines: usize) {
+    for line in csv.lines().take(lines) {
+        println!("{line}");
+    }
+    let total = csv.lines().count();
+    if total > lines {
+        println!("... ({} more rows)", total - lines);
+    }
+    println!();
+}

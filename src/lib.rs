@@ -1,0 +1,43 @@
+//! # carq-repro — Cooperative ARQ for Delay-Tolerant Vehicular Networks
+//!
+//! Umbrella crate of the reproduction of *"A Cooperative ARQ for
+//! Delay-Tolerant Vehicular Networks"* (Morillo-Pozo, Trullols, Barceló,
+//! García-Vidal — ICDCS Workshops 2008). It re-exports every layer of the
+//! stack so that examples, integration tests and downstream users can depend
+//! on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event engine.
+//! * [`geo`] — geometry, roads and vehicular mobility.
+//! * [`radio`] — path loss, shadowing, fading and packet-error models.
+//! * [`mac`] — broadcast 802.11-like medium with carrier sensing and
+//!   collisions.
+//! * [`dtn`] — AP traffic sources, reception maps, cooperation buffers,
+//!   epidemic baseline and the joint-reception oracle.
+//! * [`protocol`] — the Cooperative ARQ protocol itself (the paper's
+//!   contribution).
+//! * [`stats`] — Table-1 and figure-series generation.
+//! * [`scenarios`] — the urban testbed, highway drive-thru and multi-AP
+//!   download experiments.
+//!
+//! ## Quickstart
+//!
+//! ```rust,no_run
+//! use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
+//!
+//! let config = UrbanConfig::paper_testbed().with_rounds(5);
+//! let result = UrbanExperiment::new(config).run();
+//! let table = carq_repro::stats::table1(result.rounds());
+//! println!("{}", carq_repro::stats::render_table1(&table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use carq as protocol;
+pub use sim_core as sim;
+pub use vanet_dtn as dtn;
+pub use vanet_geo as geo;
+pub use vanet_mac as mac;
+pub use vanet_radio as radio;
+pub use vanet_scenarios as scenarios;
+pub use vanet_stats as stats;
