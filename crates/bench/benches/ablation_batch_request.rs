@@ -37,15 +37,12 @@ fn main() {
         "{:<14} {:>14} {:>14} {:>16} {:>16}",
         "strategy", "loss before", "loss after", "REQUEST frames", "coop-data frames"
     );
-    for (label, strategy) in [
-        ("per-packet", RequestStrategy::PerPacket),
-        ("batched", RequestStrategy::Batched),
-    ] {
+    for (label, strategy) in
+        [("per-packet", RequestStrategy::PerPacket), ("batched", RequestStrategy::Batched)]
+    {
         let (before, after, requests, coop_data, elapsed) = run_with(strategy);
         total_elapsed += elapsed;
-        println!(
-            "{label:<14} {before:>13.1}% {after:>13.1}% {requests:>16} {coop_data:>16}"
-        );
+        println!("{label:<14} {before:>13.1}% {after:>13.1}% {requests:>16} {coop_data:>16}");
     }
     println!("\nexpected shape: both strategies recover a similar fraction of the losses,");
     println!("but the batched variant needs roughly one REQUEST frame per recovery cycle");

@@ -22,8 +22,16 @@ fn main() {
     let rounds = bench_rounds().min(15);
     let configs: [(&str, ApSchedulingPolicy, bool); 3] = [
         ("fresh data + C-ARQ (paper)", ApSchedulingPolicy::FreshDataOnly, true),
-        ("AP retransmissions, no coop", ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 }, false),
-        ("AP retransmissions + C-ARQ", ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 }, true),
+        (
+            "AP retransmissions, no coop",
+            ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 },
+            false,
+        ),
+        (
+            "AP retransmissions + C-ARQ",
+            ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 },
+            true,
+        ),
     ];
     let mut total_elapsed = 0.0;
     println!(

@@ -30,10 +30,8 @@ fn main() {
     );
     for (label, selection) in strategies {
         let carq = CarqConfig::paper_prototype().with_selection(selection);
-        let config = UrbanConfig::paper_testbed()
-            .with_platoon_size(5)
-            .with_rounds(rounds)
-            .with_carq(carq);
+        let config =
+            UrbanConfig::paper_testbed().with_platoon_size(5).with_rounds(rounds).with_carq(carq);
         let (result, elapsed) = run_urban(config);
         total_elapsed += elapsed;
         let rows = table1(result.rounds());

@@ -20,10 +20,7 @@ fn mean_probability(series: &[SeriesPoint]) -> f64 {
 }
 
 fn main() {
-    print_header(
-        "fig_carq",
-        "Figures 6-8 — reception with C-ARQ vs joint reception in car 1/2/3",
-    );
+    print_header("fig_carq", "Figures 6-8 — reception with C-ARQ vs joint reception in car 1/2/3");
     let (result, elapsed) = run_paper_testbed();
     for (figure, car) in (6..=8).zip([NodeId::new(1), NodeId::new(2), NodeId::new(3)]) {
         let after = recovery_series(result.rounds(), car);

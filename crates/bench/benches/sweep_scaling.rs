@@ -1,0 +1,60 @@
+//! P1: throughput of the sweep engine vs worker count.
+//!
+//! Runs the same small urban sweep at 1, 2, 4 and 8 worker threads and
+//! reports points/second for each, re-checking on the way that the exported
+//! CSV is byte-identical at every thread count (the engine's core
+//! guarantee). On a single-core container the scaling is flat by
+//! construction; on real hardware this bench documents the speedup every
+//! future scaling PR should preserve.
+//!
+//! Rounds per point default to 1 and can be raised with
+//! `CARQ_BENCH_ROUNDS` for a heavier, more realistic load.
+
+use bench::{print_footer, print_header};
+use vanet_scenarios::urban::UrbanConfig;
+use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec, UrbanSweep};
+
+fn rounds_per_point() -> u32 {
+    std::env::var("CARQ_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r| *r > 0)
+        .unwrap_or(1)
+}
+
+fn main() {
+    print_header("sweep_scaling", "sweep-engine throughput vs worker count");
+    let rounds = rounds_per_point();
+    println!("rounds/point : {rounds} (this bench defaults to 1, not the paper's 30)");
+    let experiment = UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(rounds));
+    let spec = SweepSpec::new(0x5eed)
+        .axis(
+            Param::SpeedKmh,
+            vec![ParamValue::Float(10.0), ParamValue::Float(20.0), ParamValue::Float(30.0)],
+        )
+        .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)])
+        .axis(Param::Cooperation, vec![ParamValue::Bool(true), ParamValue::Bool(false)]);
+
+    println!("{:>8} {:>10} {:>14} {:>10}", "threads", "points", "elapsed (s)", "points/s");
+    let started = std::time::Instant::now();
+    let mut reference_csv: Option<String> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let result = SweepEngine::new(threads).run(&experiment, &spec);
+        println!(
+            "{:>8} {:>10} {:>14.2} {:>10.2}",
+            threads,
+            result.len(),
+            result.elapsed.as_secs_f64(),
+            result.points_per_second(),
+        );
+        let csv = result.to_csv();
+        match &reference_csv {
+            None => reference_csv = Some(csv),
+            Some(reference) => {
+                assert_eq!(reference, &csv, "CSV must be identical at every thread count")
+            }
+        }
+    }
+    println!("determinism: CSV identical across all thread counts");
+    print_footer(started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,232 @@
+//! Tiny hand-rolled option parsing (the build environment has no crates.io
+//! access, so no clap): `--flag value` pairs after the subcommand words.
+
+use carq::{RequestStrategy, SelectionStrategy};
+use vanet_sweep::ParamValue;
+
+/// Parsed `--flag value` options, preserving lookup by flag name.
+#[derive(Debug, Default)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    /// Parses `args` as alternating `--flag value` pairs.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{flag}` (expected --flag value)"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            if pairs.iter().any(|(n, _)| n == name) {
+                return Err(format!("--{name} given twice"));
+            }
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Options { pairs })
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses `--name` as a `T`, with a default when absent.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// Flags that were given but are not in `known` — catches typos.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.pairs.iter().map(|(n, _)| n.clone()).filter(|n| !known.contains(&n.as_str())).collect()
+    }
+}
+
+/// Splits a comma-separated list, rejecting empty items.
+pub fn split_list(raw: &str) -> Result<Vec<&str>, String> {
+    let items: Vec<&str> = raw.split(',').map(str::trim).collect();
+    if items.iter().any(|i| i.is_empty()) {
+        return Err(format!("empty item in list `{raw}`"));
+    }
+    Ok(items)
+}
+
+/// Parses a comma-separated list of floats into sweep values.
+pub fn float_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?
+        .into_iter()
+        .map(|item| {
+            item.parse::<f64>()
+                .map(ParamValue::Float)
+                .map_err(|_| format!("`{item}` is not a number"))
+        })
+        .collect()
+}
+
+/// Parses a comma-separated list of unsigned integers into sweep values.
+pub fn int_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?
+        .into_iter()
+        .map(|item| {
+            item.parse::<u64>()
+                .map(ParamValue::Int)
+                .map_err(|_| format!("`{item}` is not an unsigned integer"))
+        })
+        .collect()
+}
+
+/// Parses floats that must be strictly positive (speeds, rates). The
+/// scenarios assert these invariants with panics; checking here keeps bad
+/// input on the CLI's clean error path instead.
+pub fn positive_float_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    let values = float_values(raw)?;
+    for value in &values {
+        if value.as_f64().is_none_or(|x| x <= 0.0 || !x.is_finite()) {
+            return Err(format!("`{value}` must be a positive number"));
+        }
+    }
+    Ok(values)
+}
+
+/// Parses integers that must be at least one (cars, payloads, blocks).
+pub fn positive_int_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    let values = int_values(raw)?;
+    for value in &values {
+        if value.as_u64().is_none_or(|x| x == 0) {
+            return Err(format!("`{value}` must be at least 1"));
+        }
+    }
+    Ok(values)
+}
+
+/// Parses `on,off`-style cooperation lists.
+pub fn bool_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?
+        .into_iter()
+        .map(|item| match item {
+            "on" | "true" | "1" => Ok(ParamValue::Bool(true)),
+            "off" | "false" | "0" => Ok(ParamValue::Bool(false)),
+            other => Err(format!("`{other}` is not on/off")),
+        })
+        .collect()
+}
+
+/// Parses one selection-strategy name: `all`, `firstK` or `strongK`.
+pub fn selection_value(item: &str) -> Result<ParamValue, String> {
+    fn bounded(item: &str, k_raw: &str) -> Result<usize, String> {
+        let k: usize = k_raw.parse().map_err(|_| format!("`{item}`: `{k_raw}` is not a count"))?;
+        if k == 0 {
+            return Err(format!("`{item}`: the cooperator count must be positive"));
+        }
+        Ok(k)
+    }
+    if item == "all" {
+        Ok(ParamValue::Selection(SelectionStrategy::AllNeighbours))
+    } else if let Some(k_raw) = item.strip_prefix("first") {
+        let k = bounded(item, k_raw)?;
+        Ok(ParamValue::Selection(SelectionStrategy::FirstHeard { k }))
+    } else if let Some(k_raw) = item.strip_prefix("strong") {
+        let k = bounded(item, k_raw)?;
+        Ok(ParamValue::Selection(SelectionStrategy::StrongestSignal { k }))
+    } else {
+        Err(format!("`{item}` is not a selection strategy (all, firstK, strongK)"))
+    }
+}
+
+/// Parses a comma-separated list of selection strategies.
+pub fn selection_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?.into_iter().map(selection_value).collect()
+}
+
+/// Parses a comma-separated list of REQUEST strategies.
+pub fn request_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?
+        .into_iter()
+        .map(|item| match item {
+            "per-packet" => Ok(ParamValue::Request(RequestStrategy::PerPacket)),
+            "batched" => Ok(ParamValue::Request(RequestStrategy::Batched)),
+            other => Err(format!("`{other}` is not a REQUEST strategy (per-packet, batched)")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_flag_value_pairs() {
+        let opts = Options::parse(&strs(&["--seed", "7", "--threads", "4"])).unwrap();
+        assert_eq!(opts.get("seed"), Some("7"));
+        assert_eq!(opts.get_parsed("threads", 0usize).unwrap(), 4);
+        assert_eq!(opts.get_parsed("rounds", 5u32).unwrap(), 5);
+        assert!(opts.unknown_flags(&["seed", "threads"]).is_empty());
+        assert_eq!(opts.unknown_flags(&["seed"]), vec!["threads".to_string()]);
+    }
+
+    #[test]
+    fn options_reject_malformed_input() {
+        assert!(Options::parse(&strs(&["seed"])).is_err());
+        assert!(Options::parse(&strs(&["--seed"])).is_err());
+        assert!(Options::parse(&strs(&["--seed", "1", "--seed", "2"])).is_err());
+        let opts = Options::parse(&strs(&["--threads", "x"])).unwrap();
+        assert!(opts.get_parsed("threads", 0usize).is_err());
+    }
+
+    #[test]
+    fn positive_parsers_reject_zero_and_negatives() {
+        assert_eq!(positive_float_values("10,20.5").unwrap().len(), 2);
+        assert!(positive_float_values("10,0").is_err());
+        assert!(positive_float_values("-5").is_err());
+        assert!(positive_float_values("inf").is_err());
+        assert_eq!(positive_int_values("1,2").unwrap().len(), 2);
+        assert!(positive_int_values("2,0").is_err());
+    }
+
+    #[test]
+    fn value_list_parsers() {
+        assert_eq!(float_values("10,20.5").unwrap().len(), 2);
+        assert_eq!(int_values("1,2,3").unwrap().len(), 3);
+        assert_eq!(
+            bool_values("on,off").unwrap(),
+            vec![ParamValue::Bool(true), ParamValue::Bool(false)]
+        );
+        assert!(float_values("10,,20").is_err());
+        assert!(int_values("1.5").is_err());
+        assert!(bool_values("maybe").is_err());
+    }
+
+    #[test]
+    fn strategy_parsers() {
+        use carq::{RequestStrategy, SelectionStrategy};
+        assert_eq!(
+            selection_values("all,first2,strong1").unwrap(),
+            vec![
+                ParamValue::Selection(SelectionStrategy::AllNeighbours),
+                ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }),
+                ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 1 }),
+            ]
+        );
+        assert!(selection_values("first0").is_err());
+        assert!(selection_values("bogus").is_err());
+        assert_eq!(
+            request_values("per-packet,batched").unwrap(),
+            vec![
+                ParamValue::Request(RequestStrategy::PerPacket),
+                ParamValue::Request(RequestStrategy::Batched),
+            ]
+        );
+        assert!(request_values("unicast").is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Subcommand implementations.
+
+use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
+use vanet_stats::{joint_series, recovery_series, render_series_csv, render_table1, table1};
+use vanet_sweep::{presets, Experiment, Param, SweepEngine, SweepSpec, UrbanSweep};
+
+use crate::cli::{
+    bool_values, positive_float_values, positive_int_values, request_values, selection_values,
+    Options,
+};
+
+const DEFAULT_SEED: u64 = 0x2008_1cdc;
+const DEFAULT_SWEEP_ROUNDS: u32 = 5;
+
+const USAGE: &str = "\
+carq-cli — Cooperative-ARQ reproduction front-end
+
+USAGE:
+  carq-cli sweep list
+      Show the built-in sweep presets.
+
+  carq-cli sweep run [--preset NAME] [COMMON]
+  carq-cli sweep run --scenario urban|highway|multiap [AXES] [COMMON]
+      Run a sweep in parallel and export its per-point metrics.
+      AXES (comma-separated values). Axes always expand in the fixed
+      order below — speeds slowest, blocks fastest — regardless of the
+      order the flags are given in, so the same axes always produce the
+      same point order and per-point seeds:
+        --speeds 10,20,30        platoon speed in km/h
+        --cars 2,3,4             platoon size
+        --rates 1,5,10           AP sending rate (packets/s per car)
+        --payloads 500,1000      payload bytes
+        --selections all,first2,strong2
+                                 cooperator selection strategy
+        --requests per-packet,batched
+                                 REQUEST strategy
+        --coop on,off            cooperation enabled
+        --blocks 300,600         file blocks (multiap only)
+      COMMON:
+        --rounds N               rounds/passes per point (default 5;
+                                 urban and highway only — a multiap point
+                                 is one whole download, bounded by the
+                                 scenario's AP-visit budget)
+        --seed S                 master seed (default 0x20081cdc)
+        --threads N              worker threads, 0 = all cores (default 0)
+        --format csv|json        export format (default csv)
+        --out PATH               write to a file instead of stdout
+
+  carq-cli table1 [--rounds N] [--seed S]
+      Regenerate Table 1 of the paper.
+
+  carq-cli fig reception|recovery [--car N] [--rounds N] [--seed S]
+      Print the per-packet series behind Figures 3-5 (reception) or
+      Figures 6-8 (recovery vs joint reception) as CSV.
+
+  carq-cli help
+      Show this text.";
+
+/// Routes a full argument vector to its subcommand.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("sweep") => match args.get(1).map(String::as_str) {
+            Some("list") => sweep_list(),
+            Some("run") => sweep_run(&Options::parse(&args[2..])?),
+            other => Err(format!(
+                "unknown sweep subcommand `{}` (expected list or run)",
+                other.unwrap_or("")
+            )),
+        },
+        Some("table1") => table1_cmd(&Options::parse(&args[1..])?),
+        Some("fig") => match args.get(1).map(String::as_str) {
+            Some(kind @ ("reception" | "recovery")) => fig_cmd(kind, &Options::parse(&args[2..])?),
+            other => Err(format!(
+                "unknown figure `{}` (expected reception or recovery)",
+                other.unwrap_or("")
+            )),
+        },
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn sweep_list() -> Result<(), String> {
+    println!("{:<20} description", "preset");
+    for preset in presets::all() {
+        println!("{:<20} {}", preset.name, preset.description);
+    }
+    Ok(())
+}
+
+/// A `--flag value` → axis-values parser.
+type AxisParser = fn(&str) -> Result<Vec<vanet_sweep::ParamValue>, String>;
+
+/// Builds a custom spec from axis flags. Axes expand in this table's fixed
+/// order (not the order the flags were typed in), so the same set of axes
+/// always yields the same point order — and with it the same per-point
+/// seeds.
+fn custom_spec(opts: &Options, seed: u64) -> Result<SweepSpec, String> {
+    let mut spec = SweepSpec::new(seed);
+    let axes: [(&str, Param, AxisParser); 8] = [
+        ("speeds", Param::SpeedKmh, positive_float_values),
+        ("cars", Param::NCars, positive_int_values),
+        ("rates", Param::ApRatePps, positive_float_values),
+        ("payloads", Param::PayloadBytes, positive_int_values),
+        ("selections", Param::Selection, selection_values),
+        ("requests", Param::Request, request_values),
+        ("coop", Param::Cooperation, bool_values),
+        ("blocks", Param::FileBlocks, positive_int_values),
+    ];
+    for (flag, param, parse) in axes {
+        if let Some(raw) = opts.get(flag) {
+            spec = spec.axis(param, parse(raw).map_err(|e| format!("--{flag}: {e}"))?);
+        }
+    }
+    if spec.is_empty() {
+        return Err("a custom sweep needs at least one axis (e.g. --speeds 10,20)".into());
+    }
+    Ok(spec)
+}
+
+fn scenario_experiment(name: &str, rounds: u32) -> Result<Box<dyn Experiment>, String> {
+    match name {
+        "urban" => Ok(Box::new(UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(rounds)))),
+        "highway" => {
+            let mut base = vanet_scenarios::highway::HighwayConfig::drive_thru_reference();
+            base.passes = rounds;
+            Ok(Box::new(vanet_sweep::HighwaySweep::new(base)))
+        }
+        // `rounds` deliberately does not reach multiap: a point is one
+        // whole download, whose length the scenario's own AP-visit budget
+        // (`max_passes`) bounds.
+        "multiap" => Ok(Box::new(vanet_sweep::MultiApSweep::new(
+            vanet_scenarios::multi_ap::MultiApConfig::default_download(),
+        ))),
+        other => Err(format!("unknown scenario `{other}` (urban, highway, multiap)")),
+    }
+}
+
+fn sweep_run(opts: &Options) -> Result<(), String> {
+    let known = [
+        "preset",
+        "scenario",
+        "speeds",
+        "cars",
+        "rates",
+        "payloads",
+        "selections",
+        "requests",
+        "coop",
+        "blocks",
+        "rounds",
+        "seed",
+        "threads",
+        "format",
+        "out",
+    ];
+    let unknown = opts.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+
+    let seed = parse_seed(opts)?;
+    let rounds: u32 = opts.get_parsed("rounds", DEFAULT_SWEEP_ROUNDS)?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let threads: usize = opts.get_parsed("threads", 0)?;
+    let format = opts.get("format").unwrap_or("csv");
+    if !matches!(format, "csv" | "json") {
+        return Err(format!("unknown format `{format}` (csv, json)"));
+    }
+
+    let (experiment, spec): (Box<dyn Experiment>, SweepSpec) =
+        match (opts.get("preset"), opts.get("scenario")) {
+            (Some(_), Some(_)) => {
+                return Err("--preset and --scenario are mutually exclusive".into())
+            }
+            (Some(name), None) => presets::find(name)
+                .ok_or_else(|| format!("unknown preset `{name}` (see `carq-cli sweep list`)"))?
+                .build(seed, rounds),
+            (None, scenario) => {
+                let experiment = scenario_experiment(scenario.unwrap_or("urban"), rounds)?;
+                (experiment, custom_spec(opts, seed)?)
+            }
+        };
+
+    let engine = SweepEngine::new(threads);
+    eprintln!(
+        "sweep: {} points of `{}` on {} thread(s), master seed {seed:#x}, {rounds} round(s) per point",
+        spec.len(),
+        experiment.name(),
+        engine.threads(),
+    );
+    let result = engine.run(experiment.as_ref(), &spec);
+    eprintln!(
+        "sweep: finished in {:.2} s ({:.2} points/s)",
+        result.elapsed.as_secs_f64(),
+        result.points_per_second(),
+    );
+
+    let rendered = if format == "json" { result.to_json() } else { result.to_csv() };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn parse_seed(opts: &Options) -> Result<u64, String> {
+    match opts.get("seed") {
+        None => Ok(DEFAULT_SEED),
+        Some(raw) => {
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            parsed.map_err(|_| format!("--seed: cannot parse `{raw}`"))
+        }
+    }
+}
+
+fn urban_result(
+    opts: &Options,
+    default_rounds: u32,
+) -> Result<vanet_scenarios::urban::ExperimentResult, String> {
+    let rounds: u32 = opts.get_parsed("rounds", default_rounds)?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let config = UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(parse_seed(opts)?);
+    Ok(UrbanExperiment::new(config).run())
+}
+
+fn table1_cmd(opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&["rounds", "seed"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let result = urban_result(opts, 30)?;
+    print!("{}", render_table1(&table1(result.rounds())));
+    Ok(())
+}
+
+fn fig_cmd(kind: &str, opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&["rounds", "seed", "car"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let car: u32 = opts.get_parsed("car", 1)?;
+    let result = urban_result(opts, 30)?;
+    let cars = result.cars();
+    let destination = vanet_mac_node_id(car);
+    if !cars.contains(&destination) {
+        return Err(format!("car {car} does not exist (the run has {} cars)", cars.len()));
+    }
+    let csv = match kind {
+        "reception" => {
+            // Figures 3-5: what every car physically received of this flow.
+            let names: Vec<String> = cars.iter().map(|c| format!("rx_at_{c}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let series: Vec<_> = cars
+                .iter()
+                .map(|observer| {
+                    vanet_stats::reception_series(result.rounds(), destination, *observer)
+                })
+                .collect();
+            render_series_csv(&name_refs, &series)
+        }
+        _ => {
+            // Figures 6-8: after cooperation vs the joint "virtual car".
+            let recovery = recovery_series(result.rounds(), destination);
+            let joint = joint_series(result.rounds(), destination);
+            render_series_csv(&["after_coop", "joint_reception"], &[recovery, joint])
+        }
+    };
+    print!("{csv}");
+    Ok(())
+}
+
+fn vanet_mac_node_id(car: u32) -> vanet_mac::NodeId {
+    vanet_mac::NodeId::new(car)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+        assert!(dispatch(&strs(&["sweep", "dance"])).is_err());
+        assert!(dispatch(&strs(&["fig", "losses"])).is_err());
+    }
+
+    #[test]
+    fn help_and_list_succeed() {
+        assert!(dispatch(&strs(&["help"])).is_ok());
+        assert!(dispatch(&strs(&[])).is_ok());
+        assert!(dispatch(&strs(&["sweep", "list"])).is_ok());
+    }
+
+    #[test]
+    fn custom_spec_requires_an_axis() {
+        let opts = Options::parse(&[]).unwrap();
+        assert!(custom_spec(&opts, 1).is_err());
+        let opts = Options::parse(&strs(&["--speeds", "10,20", "--cars", "2"])).unwrap();
+        let spec = custom_spec(&opts, 1).unwrap();
+        assert_eq!(spec.len(), 2);
+    }
+
+    #[test]
+    fn seed_parses_decimal_and_hex() {
+        let opts = Options::parse(&strs(&["--seed", "0xff"])).unwrap();
+        assert_eq!(parse_seed(&opts).unwrap(), 255);
+        let opts = Options::parse(&strs(&["--seed", "42"])).unwrap();
+        assert_eq!(parse_seed(&opts).unwrap(), 42);
+        let opts = Options::parse(&strs(&["--seed", "nope"])).unwrap();
+        assert!(parse_seed(&opts).is_err());
+        let opts = Options::parse(&[]).unwrap();
+        assert_eq!(parse_seed(&opts).unwrap(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn sweep_run_validates_flags_before_running() {
+        assert!(sweep_run(&Options::parse(&strs(&["--bogus", "1"])).unwrap()).is_err());
+        assert!(sweep_run(
+            &Options::parse(&strs(&["--preset", "x", "--scenario", "urban"])).unwrap()
+        )
+        .is_err());
+        assert!(sweep_run(&Options::parse(&strs(&["--preset", "no-such"])).unwrap()).is_err());
+        assert!(sweep_run(&Options::parse(&strs(&["--rounds", "0"])).unwrap()).is_err());
+        assert!(sweep_run(&Options::parse(&strs(&["--speeds", "10", "--format", "xml"])).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn scenario_lookup() {
+        assert!(scenario_experiment("urban", 1).is_ok());
+        assert!(scenario_experiment("highway", 1).is_ok());
+        assert!(scenario_experiment("multiap", 1).is_ok());
+        assert!(scenario_experiment("mars", 1).is_err());
+    }
+}

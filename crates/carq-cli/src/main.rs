@@ -1,0 +1,26 @@
+//! `carq-cli` — drive the C-ARQ reproduction without writing Rust.
+//!
+//! ```text
+//! carq-cli sweep list
+//! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
+//! carq-cli sweep run --scenario urban --speeds 10,20,30 --cars 2,3 --rounds 3
+//! carq-cli table1 --rounds 30
+//! carq-cli fig reception --car 1
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("carq-cli: {message}");
+            eprintln!("run `carq-cli help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

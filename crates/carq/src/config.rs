@@ -41,7 +41,9 @@ impl SelectionStrategy {
     pub fn limit(&self) -> Option<usize> {
         match self {
             SelectionStrategy::AllNeighbours => None,
-            SelectionStrategy::FirstHeard { k } | SelectionStrategy::StrongestSignal { k } => Some(*k),
+            SelectionStrategy::FirstHeard { k } | SelectionStrategy::StrongestSignal { k } => {
+                Some(*k)
+            }
         }
     }
 }

@@ -143,10 +143,7 @@ mod tests {
 
     #[test]
     fn hello_orders_follow_list_positions() {
-        let hello = HelloMessage::new(
-            NodeId::new(1),
-            vec![NodeId::new(2), NodeId::new(3)],
-        );
+        let hello = HelloMessage::new(NodeId::new(1), vec![NodeId::new(2), NodeId::new(3)]);
         assert_eq!(hello.order_of(NodeId::new(2)), Some(0));
         assert_eq!(hello.order_of(NodeId::new(3)), Some(1));
         assert_eq!(hello.order_of(NodeId::new(4)), None);
@@ -175,7 +172,8 @@ mod tests {
         let pkt = DataPacket::new(NodeId::new(1), SeqNo::new(0), 1_000, SimTime::ZERO);
         let data = CarqMessage::Data(pkt);
         let hello = CarqMessage::Hello(HelloMessage::new(NodeId::new(1), vec![]));
-        let request = CarqMessage::Request(RequestMessage::new(NodeId::new(1), vec![SeqNo::new(1)], 1));
+        let request =
+            CarqMessage::Request(RequestMessage::new(NodeId::new(1), vec![SeqNo::new(1)], 1));
         let coop = CarqMessage::CoopData(CoopDataMessage::new(pkt, NodeId::new(2)));
         assert_eq!(data.kind(), "data");
         assert_eq!(hello.kind(), "hello");

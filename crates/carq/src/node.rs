@@ -162,7 +162,10 @@ impl CarqNode {
     pub fn start(&mut self, _now: SimTime) -> Vec<Action> {
         self.started = true;
         let stagger = 0.05 + f64::from(self.id.as_u32() % 10) / 10.0;
-        vec![Action::SetTimer { kind: TimerKind::Hello, after: self.config.hello_interval.mul_f64(stagger) }]
+        vec![Action::SetTimer {
+            kind: TimerKind::Hello,
+            after: self.config.hello_interval.mul_f64(stagger),
+        }]
     }
 
     // ------------------------------------------------------------------
@@ -240,7 +243,12 @@ impl CarqNode {
 
     /// Handles a received frame. `snr_db` is the measured signal quality of
     /// the reception (used by signal-based cooperator selection).
-    pub fn handle_frame(&mut self, now: SimTime, frame: &Frame<CarqMessage>, snr_db: f64) -> Vec<Action> {
+    pub fn handle_frame(
+        &mut self,
+        now: SimTime,
+        frame: &Frame<CarqMessage>,
+        snr_db: f64,
+    ) -> Vec<Action> {
         match &frame.payload {
             CarqMessage::Data(packet) => self.handle_data(now, *packet),
             CarqMessage::Hello(hello) => self.handle_hello(hello, snr_db),
@@ -284,7 +292,10 @@ impl CarqNode {
             }
             if !self.ap_timeout_armed {
                 self.ap_timeout_armed = true;
-                actions.push(Action::SetTimer { kind: TimerKind::ApTimeout, after: self.config.ap_timeout });
+                actions.push(Action::SetTimer {
+                    kind: TimerKind::ApTimeout,
+                    after: self.config.ap_timeout,
+                });
             }
         } else if self.cooperatees.cooperates_for(packet.destination) {
             // Promiscuous buffering on behalf of the cars that listed us as a
@@ -355,7 +366,9 @@ impl CarqNode {
                 }
             }
             // If everything is recovered the node can stop requesting.
-            if self.planner.as_ref().is_some_and(RecoveryPlanner::is_complete) && self.phase == Phase::CooperativeArq {
+            if self.planner.as_ref().is_some_and(RecoveryPlanner::is_complete)
+                && self.phase == Phase::CooperativeArq
+            {
                 self.phase = Phase::Idle;
             }
             return Vec::new();
@@ -475,7 +488,10 @@ impl CarqNode {
         let pacing = self.request_pacing(seqs.len(), cooperator_count);
         vec![
             Action::Send { message: CarqMessage::Request(request), dst: Destination::Broadcast },
-            Action::SetTimer { kind: TimerKind::RequestCycle { epoch: self.coop_epoch }, after: pacing },
+            Action::SetTimer {
+                kind: TimerKind::RequestCycle { epoch: self.coop_epoch },
+                after: pacing,
+            },
         ]
     }
 
@@ -501,17 +517,29 @@ mod tests {
 
     fn data_frame(from_ap: u32, dst: u32, seq: u32) -> Frame<CarqMessage> {
         let packet = DataPacket::new(NodeId::new(dst), SeqNo::new(seq), 1_000, SimTime::ZERO);
-        Frame::new(NodeId::new(from_ap), Destination::Unicast(NodeId::new(dst)), 1_000, CarqMessage::Data(packet))
+        Frame::new(
+            NodeId::new(from_ap),
+            Destination::Unicast(NodeId::new(dst)),
+            1_000,
+            CarqMessage::Data(packet),
+        )
     }
 
     fn hello_frame(sender: u32, cooperators: &[u32]) -> Frame<CarqMessage> {
-        let hello = HelloMessage::new(NodeId::new(sender), cooperators.iter().map(|c| NodeId::new(*c)).collect());
+        let hello = HelloMessage::new(
+            NodeId::new(sender),
+            cooperators.iter().map(|c| NodeId::new(*c)).collect(),
+        );
         let bytes = hello.encoded_bytes();
         Frame::new(NodeId::new(sender), Destination::Broadcast, bytes, CarqMessage::Hello(hello))
     }
 
     fn request_frame(requester: u32, seqs: &[u32], coop_count: u32) -> Frame<CarqMessage> {
-        let req = RequestMessage::new(NodeId::new(requester), seqs.iter().map(|s| SeqNo::new(*s)).collect(), coop_count);
+        let req = RequestMessage::new(
+            NodeId::new(requester),
+            seqs.iter().map(|s| SeqNo::new(*s)).collect(),
+            coop_count,
+        );
         let bytes = req.encoded_bytes();
         Frame::new(NodeId::new(requester), Destination::Broadcast, bytes, CarqMessage::Request(req))
     }
@@ -519,7 +547,12 @@ mod tests {
     fn coop_data_frame(relay: u32, dst: u32, seq: u32) -> Frame<CarqMessage> {
         let packet = DataPacket::new(NodeId::new(dst), SeqNo::new(seq), 1_000, SimTime::ZERO);
         let msg = CoopDataMessage::new(packet, NodeId::new(relay));
-        Frame::new(NodeId::new(relay), Destination::Unicast(NodeId::new(dst)), msg.encoded_bytes(), CarqMessage::CoopData(msg))
+        Frame::new(
+            NodeId::new(relay),
+            Destination::Unicast(NodeId::new(dst)),
+            msg.encoded_bytes(),
+            CarqMessage::CoopData(msg),
+        )
     }
 
     fn sends(actions: &[Action]) -> Vec<&CarqMessage> {
@@ -700,13 +733,13 @@ mod tests {
             if let Some(CarqMessage::Request(r)) = sends(&actions).first() {
                 requested.extend(r.seqs.iter().map(|s| s.value()));
             }
-            let Some(TimerKind::RequestCycle { epoch }) = timers(&actions)
-                .into_iter()
-                .find(|t| matches!(t, TimerKind::RequestCycle { .. }))
+            let Some(TimerKind::RequestCycle { epoch }) =
+                timers(&actions).into_iter().find(|t| matches!(t, TimerKind::RequestCycle { .. }))
             else {
                 break;
             };
-            actions = node.handle_timer(SimTime::from_secs(10 + guard), TimerKind::RequestCycle { epoch });
+            actions = node
+                .handle_timer(SimTime::from_secs(10 + guard), TimerKind::RequestCycle { epoch });
         }
         // Two missing packets, two fruitless cycles allowed → each requested twice.
         assert_eq!(requested, vec![1, 2, 1, 2]);
@@ -731,7 +764,9 @@ mod tests {
         assert_eq!(seq, SeqNo::new(7));
         // Order 1 waits at least one full response slot.
         match &actions[0] {
-            Action::SetTimer { after, .. } => assert!(*after >= CarqConfig::paper_prototype().response_slot),
+            Action::SetTimer { after, .. } => {
+                assert!(*after >= CarqConfig::paper_prototype().response_slot)
+            }
             other => panic!("unexpected action {other:?}"),
         }
         // When the timer fires the cooperative retransmission goes out.
@@ -757,10 +792,13 @@ mod tests {
             let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 1, 7), SNR);
         }
         let delay_of = |node: &mut CarqNode| {
-            let actions = node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[7], 2), SNR);
+            let actions =
+                node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[7], 2), SNR);
             match actions
                 .iter()
-                .find(|a| matches!(a, Action::SetTimer { kind: TimerKind::CoopResponse { .. }, .. }))
+                .find(|a| {
+                    matches!(a, Action::SetTimer { kind: TimerKind::CoopResponse { .. }, .. })
+                })
                 .expect("a response must be scheduled")
             {
                 Action::SetTimer { after, .. } => *after,
@@ -841,9 +879,8 @@ mod tests {
         let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 2), SNR);
         let actions = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
         assert_eq!(node.phase(), Phase::CooperativeArq);
-        let Some(TimerKind::RequestCycle { epoch: old_epoch }) = timers(&actions)
-            .into_iter()
-            .find(|t| matches!(t, TimerKind::RequestCycle { .. }))
+        let Some(TimerKind::RequestCycle { epoch: old_epoch }) =
+            timers(&actions).into_iter().find(|t| matches!(t, TimerKind::RequestCycle { .. }))
         else {
             panic!("expected a request-cycle timer");
         };
@@ -852,7 +889,8 @@ mod tests {
         assert_eq!(node.phase(), Phase::Reception);
         assert!(timers(&actions).contains(&TimerKind::ApTimeout));
         // The stale request-cycle timer from the abandoned session is ignored.
-        let stale = node.handle_timer(SimTime::from_secs(101), TimerKind::RequestCycle { epoch: old_epoch });
+        let stale = node
+            .handle_timer(SimTime::from_secs(101), TimerKind::RequestCycle { epoch: old_epoch });
         assert!(stale.is_empty());
     }
 
@@ -884,7 +922,8 @@ mod tests {
             let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 1, seq), SNR);
         }
         // Car 1 batch-requests seqs 3..=5 with 2 cooperators; we are order 1.
-        let actions = node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[3, 4, 5], 2), SNR);
+        let actions =
+            node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[3, 4, 5], 2), SNR);
         let delays: Vec<SimDuration> = actions
             .iter()
             .filter_map(|a| match a {

@@ -48,7 +48,11 @@ impl RecoveryPlanner {
     /// Creates a planner for the given missing list (duplicates are removed,
     /// the list is kept in ascending order as the prototype requests packets
     /// from first to last).
-    pub fn new(strategy: RequestStrategy, stop_after_fruitless_cycles: u32, mut missing: Vec<SeqNo>) -> Self {
+    pub fn new(
+        strategy: RequestStrategy,
+        stop_after_fruitless_cycles: u32,
+        mut missing: Vec<SeqNo>,
+    ) -> Self {
         missing.sort_unstable();
         missing.dedup();
         RecoveryPlanner {
@@ -123,10 +127,8 @@ impl RecoveryPlanner {
         }
         match self.strategy {
             RequestStrategy::PerPacket => {
-                if self.cursor >= self.pending.len() {
-                    if !self.close_cycle() {
-                        return None;
-                    }
+                if self.cursor >= self.pending.len() && !self.close_cycle() {
+                    return None;
                 }
                 let seq = self.pending[self.cursor];
                 self.cursor += 1;
@@ -267,7 +269,7 @@ mod tests {
                 steps += 1;
                 prop_assert!(steps <= hard_cap, "planner did not terminate");
                 // Recover every N-th requested packet to exercise both paths.
-                if steps % recover_every == 0 {
+                if steps.is_multiple_of(recover_every) {
                     planner.mark_recovered(req[0]);
                 }
             }

@@ -40,10 +40,7 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -179,12 +176,10 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let q: EventQueue<&str> = vec![
-            (SimTime::from_secs(2), "later"),
-            (SimTime::from_secs(1), "sooner"),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<&str> =
+            vec![(SimTime::from_secs(2), "later"), (SimTime::from_secs(1), "sooner")]
+                .into_iter()
+                .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.scheduled_count(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));

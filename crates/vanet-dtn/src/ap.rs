@@ -64,7 +64,9 @@ impl ApConfig {
 
     /// Switches to the AP-side retransmission baseline.
     pub fn with_retransmissions(mut self, retransmit_ratio: f64) -> Self {
-        self.policy = ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: retransmit_ratio.clamp(0.0, 1.0) };
+        self.policy = ApSchedulingPolicy::RetransmitUnacked {
+            retransmit_ratio: retransmit_ratio.clamp(0.0, 1.0),
+        };
         self
     }
 
@@ -162,7 +164,11 @@ impl AccessPointApp {
             return None;
         }
         // Interleave: allow a retransmission once every ceil(1/ratio) slots.
-        let period = if retransmit_ratio >= 1.0 { 1 } else { (1.0 / retransmit_ratio.max(1e-6)).ceil() as u32 };
+        let period = if retransmit_ratio >= 1.0 {
+            1
+        } else {
+            (1.0 / retransmit_ratio.max(1e-6)).ceil() as u32
+        };
         self.slots_since_retransmit += 1;
         if self.slots_since_retransmit < period {
             return None;
@@ -201,11 +207,7 @@ impl AccessPointApp {
     /// Sequence numbers sent to `car` within the inclusive time window
     /// `[from, to]` — used to compute the paper's "Tx by the AP" column.
     pub fn sent_to_in_window(&self, car: NodeId, from: SimTime, to: SimTime) -> Vec<SeqNo> {
-        self.sent_to(car)
-            .iter()
-            .filter(|(_, t)| *t >= from && *t <= to)
-            .map(|(s, _)| *s)
-            .collect()
+        self.sent_to(car).iter().filter(|(_, t)| *t >= from && *t <= to).map(|(s, _)| *s).collect()
     }
 
     /// Total number of fresh packets sent to `car`.
@@ -249,7 +251,11 @@ mod tests {
         for i in 0..30u64 {
             let _ = ap.next_transmission(SimTime::from_millis(i * 67));
         }
-        let window = ap.sent_to_in_window(NodeId::new(1), SimTime::from_millis(200), SimTime::from_millis(1_200));
+        let window = ap.sent_to_in_window(
+            NodeId::new(1),
+            SimTime::from_millis(200),
+            SimTime::from_millis(1_200),
+        );
         assert!(!window.is_empty());
         assert!(window.len() < ap.total_sent_to(NodeId::new(1)));
     }

@@ -74,10 +74,9 @@ impl ReceptionMap {
     /// from the first to the last received from the AP").
     pub fn missing(&self) -> Vec<SeqNo> {
         match (self.first(), self.last()) {
-            (Some(first), Some(last)) => first
-                .range_to_inclusive(last)
-                .filter(|s| !self.received.contains(s))
-                .collect(),
+            (Some(first), Some(last)) => {
+                first.range_to_inclusive(last).filter(|s| !self.received.contains(s)).collect()
+            }
             _ => Vec::new(),
         }
     }

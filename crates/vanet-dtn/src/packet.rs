@@ -13,7 +13,9 @@ use vanet_mac::NodeId;
 
 /// A per-flow sequence number (the "packet number" axis of the paper's
 /// Figures 3–8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SeqNo(u32);
 
 impl SeqNo {
@@ -110,7 +112,8 @@ mod tests {
 
     #[test]
     fn seqno_ranges() {
-        let seqs: Vec<u32> = SeqNo::new(2).range_to_inclusive(SeqNo::new(5)).map(SeqNo::value).collect();
+        let seqs: Vec<u32> =
+            SeqNo::new(2).range_to_inclusive(SeqNo::new(5)).map(SeqNo::value).collect();
         assert_eq!(seqs, vec![2, 3, 4, 5]);
         assert_eq!(SeqNo::new(5).range_to_inclusive(SeqNo::new(2)).count(), 0);
     }

@@ -42,7 +42,9 @@ pub mod roads;
 pub use mobility::{DriverProfile, MobilityModel, PathMobility, PlatoonMobility, StaticPosition};
 pub use point::Point;
 pub use polyline::Polyline;
-pub use roads::{highway_segment, rectangular_loop, urban_testbed_block, urban_testbed_loop, RoadLayout};
+pub use roads::{
+    highway_segment, rectangular_loop, urban_testbed_block, urban_testbed_loop, RoadLayout,
+};
 
 /// Converts a speed given in km/h (the unit the paper uses: "about 20 Km/h")
 /// to the metres-per-second unit used throughout the crate.

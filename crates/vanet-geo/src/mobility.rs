@@ -214,11 +214,9 @@ impl PathMobility {
     fn effective_speed_at_distance(&self, dist: f64) -> f64 {
         let total = self.path.length();
         let d = if self.path.is_closed() { dist.rem_euclid(total) } else { dist.clamp(0.0, total) };
-        let near_corner = self
-            .path
-            .corner_distances()
-            .iter()
-            .any(|c| circular_distance(d, *c, total, self.path.is_closed()) < self.corner_influence_m);
+        let near_corner = self.path.corner_distances().iter().any(|c| {
+            circular_distance(d, *c, total, self.path.is_closed()) < self.corner_influence_m
+        });
         if near_corner {
             self.nominal_speed * self.corner_speed_factor
         } else {
@@ -386,7 +384,11 @@ mod tests {
     #[test]
     fn platoon_members_keep_order() {
         let mut rng = StreamRng::derive(1, "platoon");
-        let drivers = [DriverProfile::experienced(), DriverProfile::default(), DriverProfile::inexperienced()];
+        let drivers = [
+            DriverProfile::experienced(),
+            DriverProfile::default(),
+            DriverProfile::inexperienced(),
+        ];
         let platoon = PlatoonMobility::new(line(), 10.0, &drivers, &mut rng);
         assert_eq!(platoon.len(), 3);
         assert!(!platoon.is_empty());

@@ -117,11 +117,7 @@ impl Polyline {
         if total <= 0.0 {
             return self.vertices[0];
         }
-        let d = if self.closed {
-            distance.rem_euclid(total)
-        } else {
-            distance.clamp(0.0, total)
-        };
+        let d = if self.closed { distance.rem_euclid(total) } else { distance.clamp(0.0, total) };
         // Find the segment containing arc length `d`.
         let seg = match self
             .cumulative
@@ -208,7 +204,11 @@ mod tests {
 
     #[test]
     fn open_path_length_and_points() {
-        let p = Polyline::open(vec![Point::new(0.0, 0.0), Point::new(30.0, 0.0), Point::new(30.0, 40.0)]);
+        let p = Polyline::open(vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(30.0, 40.0),
+        ]);
         assert_eq!(p.length(), 70.0);
         assert!(!p.is_closed());
         assert_eq!(p.segment_count(), 2);
@@ -244,7 +244,11 @@ mod tests {
     fn corners_of_closed_and_open_paths() {
         let sq = square();
         assert_eq!(sq.corner_distances(), vec![0.0, 100.0, 200.0, 300.0]);
-        let open = Polyline::open(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)]);
+        let open = Polyline::open(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]);
         assert_eq!(open.corner_distances(), vec![10.0]);
     }
 

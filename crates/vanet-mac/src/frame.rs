@@ -55,7 +55,12 @@ impl<P> Frame<P> {
 
     /// Maps the payload to another type, keeping the MAC fields.
     pub fn map_payload<Q>(self, f: impl FnOnce(P) -> Q) -> Frame<Q> {
-        Frame { src: self.src, dst: self.dst, payload_bytes: self.payload_bytes, payload: f(self.payload) }
+        Frame {
+            src: self.src,
+            dst: self.dst,
+            payload_bytes: self.payload_bytes,
+            payload: f(self.payload),
+        }
     }
 
     /// Whether this frame is logically addressed to `node` (its own data or a

@@ -52,6 +52,4 @@ pub mod medium;
 pub use address::{Destination, NodeId};
 pub use csma::CsmaBackoff;
 pub use frame::Frame;
-pub use medium::{
-    Delivery, DeliveryOutcome, Medium, MediumConfig, RadioClass, TransmissionResult,
-};
+pub use medium::{Delivery, DeliveryOutcome, Medium, MediumConfig, RadioClass, TransmissionResult};

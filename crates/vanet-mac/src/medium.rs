@@ -192,7 +192,14 @@ impl Medium {
     pub fn new(config: MediumConfig) -> Self {
         let ap_vehicle = RadioChannel::new(config.ap_vehicle.clone());
         let vehicle_vehicle = RadioChannel::new(config.vehicle_vehicle.clone());
-        Medium { config, ap_vehicle, vehicle_vehicle, nodes: BTreeMap::new(), active: Vec::new(), stats: MediumStats::default() }
+        Medium {
+            config,
+            ap_vehicle,
+            vehicle_vehicle,
+            nodes: BTreeMap::new(),
+            active: Vec::new(),
+            stats: MediumStats::default(),
+        }
     }
 
     /// Registers a node. Its position defaults to the origin until
@@ -304,7 +311,9 @@ impl Medium {
             } else {
                 DeliveryOutcome::LostChannel
             };
-            if outcome == DeliveryOutcome::Received && self.collides_at(rx_id, rx_entry.position, &frame, now) {
+            if outcome == DeliveryOutcome::Received
+                && self.collides_at(rx_id, rx_entry.position, &frame, now)
+            {
                 outcome = DeliveryOutcome::LostCollision;
             }
             match outcome {
@@ -385,7 +394,12 @@ mod tests {
         let mut lost = 0;
         for i in 0..100 {
             let frame = Frame::new(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 1_000, i);
-            let result = medium.transmit(SimTime::from_millis(i as u64 * 200), frame, DataRate::Mbps1, &mut rng);
+            let result = medium.transmit(
+                SimTime::from_millis(i as u64 * 200),
+                frame,
+                DataRate::Mbps1,
+                &mut rng,
+            );
             if !result.deliveries[0].outcome.is_received() {
                 lost += 1;
             }
@@ -422,7 +436,12 @@ mod tests {
         let f1 = Frame::new(NodeId::new(1), Destination::Broadcast, 1_000, "first");
         let r1 = medium.transmit(SimTime::ZERO, f1, DataRate::Mbps1, &mut rng);
         let f2 = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, "second");
-        let r2 = medium.transmit(r1.ends_at + SimDuration::from_micros(50), f2, DataRate::Mbps1, &mut rng);
+        let r2 = medium.transmit(
+            r1.ends_at + SimDuration::from_micros(50),
+            f2,
+            DataRate::Mbps1,
+            &mut rng,
+        );
         assert!(r2.deliveries.iter().all(|d| d.outcome.is_received()));
     }
 

@@ -127,7 +127,12 @@ impl RadioConfig {
             tx_power_dbm: 14.0,
             antenna_gain_db: 0.0,
             noise_floor_dbm: -95.0,
-            path_loss: LogDistance { reference_m: 1.0, reference_loss_db: 40.0, exponent: 3.4, extra_loss_db: 10.0 },
+            path_loss: LogDistance {
+                reference_m: 1.0,
+                reference_loss_db: 40.0,
+                exponent: 3.4,
+                extra_loss_db: 10.0,
+            },
             shadowing_sigma_db: 4.0,
             shadowing_decorrelation_m: 25.0,
             fading: FadingKind::Rician { k_db: 6.0 },
@@ -144,7 +149,12 @@ impl RadioConfig {
             tx_power_dbm: 15.0,
             antenna_gain_db: 0.0,
             noise_floor_dbm: -95.0,
-            path_loss: LogDistance { reference_m: 1.0, reference_loss_db: 40.0, exponent: 2.9, extra_loss_db: 0.0 },
+            path_loss: LogDistance {
+                reference_m: 1.0,
+                reference_loss_db: 40.0,
+                exponent: 2.9,
+                extra_loss_db: 0.0,
+            },
             shadowing_sigma_db: 4.0,
             shadowing_decorrelation_m: 15.0,
             fading: FadingKind::Rician { k_db: 6.0 },
@@ -162,7 +172,12 @@ impl RadioConfig {
             tx_power_dbm: 15.0,
             antenna_gain_db: 2.0,
             noise_floor_dbm: -95.0,
-            path_loss: LogDistance { reference_m: 1.0, reference_loss_db: 40.0, exponent: 2.8, extra_loss_db: 0.0 },
+            path_loss: LogDistance {
+                reference_m: 1.0,
+                reference_loss_db: 40.0,
+                exponent: 2.8,
+                extra_loss_db: 0.0,
+            },
             shadowing_sigma_db: 4.0,
             shadowing_decorrelation_m: 50.0,
             fading: FadingKind::Rayleigh,
@@ -177,7 +192,12 @@ impl RadioConfig {
             tx_power_dbm: 30.0,
             antenna_gain_db: 0.0,
             noise_floor_dbm: -95.0,
-            path_loss: LogDistance { reference_m: 1.0, reference_loss_db: 30.0, exponent: 2.0, extra_loss_db: 0.0 },
+            path_loss: LogDistance {
+                reference_m: 1.0,
+                reference_loss_db: 30.0,
+                exponent: 2.0,
+                extra_loss_db: 0.0,
+            },
             shadowing_sigma_db: 0.0,
             shadowing_decorrelation_m: 10.0,
             fading: FadingKind::None,
@@ -299,7 +319,12 @@ impl ChannelModel for RadioChannel {
         let path_loss_db =
             self.config.path_loss.loss_db(distance_m) + self.config.obstacles.blockage_db(tx, rx);
         let rx_power_dbm = self.config.tx_power_dbm + self.config.antenna_gain_db - path_loss_db;
-        LinkBudget { distance_m, path_loss_db, rx_power_dbm, snr_db: rx_power_dbm - self.config.noise_floor_dbm }
+        LinkBudget {
+            distance_m,
+            path_loss_db,
+            rx_power_dbm,
+            snr_db: rx_power_dbm - self.config.noise_floor_dbm,
+        }
     }
 
     fn sample_reception(
@@ -411,7 +436,11 @@ impl ChannelModel for EmpiricalProfile {
     ) -> ReceptionVerdict {
         let p = self.probability_at(tx.distance_to(rx));
         let received = rng.chance(p);
-        ReceptionVerdict { received, success_probability: p, snr_db: self.link_budget(tx, rx).snr_db }
+        ReceptionVerdict {
+            received,
+            success_probability: p,
+            snr_db: self.link_budget(tx, rx).snr_db,
+        }
     }
 }
 

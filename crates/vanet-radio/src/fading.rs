@@ -78,11 +78,12 @@ impl FadingModel for RicianFading {
 }
 
 /// Selects the per-frame fast-fading model of a channel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum FadingKind {
     /// No fast fading (deterministic channel apart from shadowing).
     None,
     /// Rayleigh fading — rich scattering, no line-of-sight component.
+    #[default]
     Rayleigh,
     /// Rician fading — a line-of-sight component of `k_db` dB over the
     /// scattered power, typical of street-canyon links with the AP in view.
@@ -90,12 +91,6 @@ pub enum FadingKind {
         /// The K factor in dB.
         k_db: f64,
     },
-}
-
-impl Default for FadingKind {
-    fn default() -> Self {
-        FadingKind::Rayleigh
-    }
 }
 
 impl FadingKind {
@@ -205,7 +200,8 @@ mod tests {
         let mut rng = StreamRng::derive(2, "ray");
         let n = 20_000;
         let mean_power: f64 =
-            (0..n).map(|_| 10f64.powf(RayleighFading.sample_db(&mut rng) / 10.0)).sum::<f64>() / n as f64;
+            (0..n).map(|_| 10f64.powf(RayleighFading.sample_db(&mut rng) / 10.0)).sum::<f64>()
+                / n as f64;
         assert!((mean_power - 1.0).abs() < 0.05, "mean power {mean_power}");
         // Deep fades must exist.
         let deep = (0..n).filter(|_| RayleighFading.sample_db(&mut rng) < -10.0).count();
@@ -222,7 +218,10 @@ mod tests {
         assert!((mean_power - 1.0).abs() < 0.05, "mean power {mean_power}");
         let deep_rice = (0..n).filter(|_| rice.sample_db(&mut rng) < -10.0).count();
         let deep_rayleigh = (0..n).filter(|_| RayleighFading.sample_db(&mut rng) < -10.0).count();
-        assert!(deep_rice * 4 < deep_rayleigh, "Rician K=6 dB must fade far less often ({deep_rice} vs {deep_rayleigh})");
+        assert!(
+            deep_rice * 4 < deep_rayleigh,
+            "Rician K=6 dB must fade far less often ({deep_rice} vs {deep_rayleigh})"
+        );
     }
 
     #[test]

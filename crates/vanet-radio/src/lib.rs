@@ -51,7 +51,9 @@ pub mod obstacles;
 pub mod pathloss;
 pub mod per;
 
-pub use channel::{ChannelModel, EmpiricalProfile, LinkBudget, RadioChannel, RadioConfig, ReceptionVerdict};
+pub use channel::{
+    ChannelModel, EmpiricalProfile, LinkBudget, RadioChannel, RadioConfig, ReceptionVerdict,
+};
 pub use datarate::{DataRate, FrameTiming};
 pub use fading::{FadingKind, FadingModel, NoFading, RayleighFading, RicianFading, Shadowing};
 pub use obstacles::{Building, ObstacleMap};

@@ -59,10 +59,9 @@ impl Building {
         let d = b - a;
         let mut t_min = 0.0f64;
         let mut t_max = 1.0f64;
-        for (origin, delta, lo, hi) in [
-            (a.x, d.x, self.min.x, self.max.x),
-            (a.y, d.y, self.min.y, self.max.y),
-        ] {
+        for (origin, delta, lo, hi) in
+            [(a.x, d.x, self.min.x, self.max.x), (a.y, d.y, self.min.y, self.max.y)]
+        {
             if delta.abs() < 1e-12 {
                 if origin < lo || origin > hi {
                     return false;
@@ -124,11 +123,7 @@ impl ObstacleMap {
     /// Total blockage loss (dB) of the straight link from `tx` to `rx`:
     /// the sum of the penetration losses of every building the link crosses.
     pub fn blockage_db(&self, tx: Point, rx: Point) -> f64 {
-        self.buildings
-            .iter()
-            .filter(|b| b.blocks(tx, rx))
-            .map(|b| b.penetration_loss_db)
-            .sum()
+        self.buildings.iter().filter(|b| b.blocks(tx, rx)).map(|b| b.penetration_loss_db).sum()
     }
 }
 

@@ -73,7 +73,9 @@ impl LogDistance {
 impl PathLossModel for LogDistance {
     fn loss_db(&self, distance_m: f64) -> f64 {
         let d = distance_m.max(self.reference_m);
-        self.reference_loss_db + 10.0 * self.exponent * (d / self.reference_m).log10() + self.extra_loss_db
+        self.reference_loss_db
+            + 10.0 * self.exponent * (d / self.reference_m).log10()
+            + self.extra_loss_db
     }
 }
 

@@ -48,7 +48,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x_abs * x_abs).exp();
     1.0 - sign * erf
 }
@@ -118,7 +119,13 @@ mod tests {
 
     #[test]
     fn ber_decreases_with_snr() {
-        for m in [Modulation::Dbpsk, Modulation::Dqpsk, Modulation::Cck, Modulation::OfdmLow, Modulation::OfdmHigh] {
+        for m in [
+            Modulation::Dbpsk,
+            Modulation::Dqpsk,
+            Modulation::Cck,
+            Modulation::OfdmLow,
+            Modulation::OfdmHigh,
+        ] {
             let low = snr_to_ber(0.0, m);
             let high = snr_to_ber(15.0, m);
             assert!(high < low, "{m:?}: {high} !< {low}");

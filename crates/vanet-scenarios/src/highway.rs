@@ -136,7 +136,8 @@ impl HighwayExperiment {
         let layout = highway_segment(cfg.road_length_m, cfg.road_length_m);
         let speed = kmh_to_ms(cfg.speed_kmh);
 
-        let pass_rng = StreamRng::derive(cfg.master_seed, "highway-pass").substream(u64::from(pass));
+        let pass_rng =
+            StreamRng::derive(cfg.master_seed, "highway-pass").substream(u64::from(pass));
         let mut mobility_rng = pass_rng.substream(1);
         let shadow_seed = pass_rng.substream(2).gen::<u64>();
         let model_seed = pass_rng.substream(3).gen::<u64>();
@@ -161,7 +162,11 @@ impl HighwayExperiment {
             payload_bytes: cfg.payload_bytes,
             policy: vanet_dtn::ApSchedulingPolicy::FreshDataOnly,
         };
-        model.add_access_point(NodeId::new(0), layout.access_points[0], AccessPointApp::new(ap_config));
+        model.add_access_point(
+            NodeId::new(0),
+            layout.access_points[0],
+            AccessPointApp::new(ap_config),
+        );
 
         let drivers = vec![DriverProfile::experienced(); cfg.n_cars];
         let platoon = PlatoonMobility::new(layout.path.clone(), speed, &drivers, &mut mobility_rng);
@@ -216,9 +221,8 @@ mod tests {
 
     #[test]
     fn single_pass_produces_a_window_with_losses() {
-        let experiment = HighwayExperiment::new(
-            HighwayConfig::drive_thru_reference().with_passes(1),
-        );
+        let experiment =
+            HighwayExperiment::new(HighwayConfig::drive_thru_reference().with_passes(1));
         let round = experiment.run_pass(0);
         let flow = round.flow_for(NodeId::new(1)).unwrap();
         assert!(flow.tx_by_ap_in_window() > 10, "window {}", flow.tx_by_ap_in_window());
@@ -240,10 +244,8 @@ mod tests {
 
     #[test]
     fn cooperating_platoon_reduces_losses_at_speed() {
-        let solo = HighwayExperiment::new(
-            HighwayConfig::drive_thru_reference().with_passes(3),
-        )
-        .run();
+        let solo =
+            HighwayExperiment::new(HighwayConfig::drive_thru_reference().with_passes(3)).run();
         let platoon = HighwayExperiment::new(
             HighwayConfig::drive_thru_reference().with_cooperating_platoon(3).with_passes(3),
         )

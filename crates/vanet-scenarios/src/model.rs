@@ -180,7 +180,8 @@ impl VanetModel {
         }
         for (i, _) in self.aps.iter().enumerate() {
             // Small per-AP stagger so co-located APs do not start in lockstep.
-            events.push((SimTime::from_millis(i as u64 * 7), VanetEvent::ApTransmit { ap_index: i }));
+            events
+                .push((SimTime::from_millis(i as u64 * 7), VanetEvent::ApTransmit { ap_index: i }));
         }
         events
     }
@@ -201,7 +202,10 @@ impl VanetModel {
 
     /// Per-car protocol statistics.
     pub fn node_stats(&self) -> Vec<NodeStatsSnapshot> {
-        self.cars.iter().map(|c| NodeStatsSnapshot { node: c.id, stats: c.protocol.stats() }).collect()
+        self.cars
+            .iter()
+            .map(|c| NodeStatsSnapshot { node: c.id, stats: c.protocol.stats() })
+            .collect()
     }
 
     /// Builds the per-flow observations of the finished round.
@@ -212,11 +216,8 @@ impl VanetModel {
             .map(|car| {
                 let mut received_by = BTreeMap::new();
                 for observer in &self.cars {
-                    let map = self
-                        .promiscuous
-                        .get(&(car.id, observer.id))
-                        .cloned()
-                        .unwrap_or_default();
+                    let map =
+                        self.promiscuous.get(&(car.id, observer.id)).cloned().unwrap_or_default();
                     received_by.insert(observer.id, map);
                 }
                 let sent = self
@@ -284,7 +285,12 @@ impl VanetModel {
         }
     }
 
-    fn handle_ap_transmit(&mut self, now: SimTime, ap_index: usize, scheduler: &mut Scheduler<VanetEvent>) {
+    fn handle_ap_transmit(
+        &mut self,
+        now: SimTime,
+        ap_index: usize,
+        scheduler: &mut Scheduler<VanetEvent>,
+    ) {
         let interval = self.aps[ap_index].app.transmission_interval();
         let scheduled = self.aps[ap_index].app.next_transmission(now);
         let ap_id = self.aps[ap_index].id;
@@ -299,8 +305,12 @@ impl VanetModel {
         // Idealised loss feedback for the AP-side retransmission baseline: the
         // AP learns about a loss if the destination was close enough to have
         // NACKed it (median SNR above the carrier-sense floor).
-        if matches!(self.aps[ap_index].app.config().policy, ApSchedulingPolicy::RetransmitUnacked { .. }) {
-            if let Some(delivery) = result.deliveries.iter().find(|d| d.node == packet.destination) {
+        if matches!(
+            self.aps[ap_index].app.config().policy,
+            ApSchedulingPolicy::RetransmitUnacked { .. }
+        ) {
+            if let Some(delivery) = result.deliveries.iter().find(|d| d.node == packet.destination)
+            {
                 if !delivery.outcome.is_received() && delivery.snr_db > -5.0 {
                     self.aps[ap_index].app.report_missing(packet.destination, packet.seq);
                 }
@@ -394,7 +404,9 @@ impl Model for VanetModel {
                 }
             }
             VanetEvent::PositionUpdate => self.handle_position_update(now, scheduler),
-            VanetEvent::ApTransmit { ap_index } => self.handle_ap_transmit(now, ap_index, scheduler),
+            VanetEvent::ApTransmit { ap_index } => {
+                self.handle_ap_transmit(now, ap_index, scheduler)
+            }
             VanetEvent::CarTransmit { node, message, dst } => {
                 self.handle_car_transmit(now, node, message, dst, scheduler)
             }
@@ -437,7 +449,8 @@ mod tests {
         model.add_access_point(NodeId::new(0), Point::new(0.0, 10.0), app);
         let road = Polyline::open(vec![Point::new(-50.0, 0.0), Point::new(500.0, 0.0)]);
         for (i, id) in cars.iter().enumerate() {
-            let mobility = PathMobility::new(road.clone(), 10.0).with_start_offset(-(i as f64) * 20.0);
+            let mobility =
+                PathMobility::new(road.clone(), 10.0).with_start_offset(-(i as f64) * 20.0);
             model.add_car(*id, mobility);
         }
         model

@@ -173,10 +173,7 @@ mod tests {
         let with_coop = small_download(true);
         let without = small_download(false);
         let total_with: u32 = with_coop.iter().filter_map(|o| o.passes_needed).sum();
-        let total_without: u32 = without
-            .iter()
-            .map(|o| o.passes_needed.unwrap_or(13))
-            .sum();
+        let total_without: u32 = without.iter().map(|o| o.passes_needed.unwrap_or(13)).sum();
         assert!(
             total_with <= total_without,
             "cooperation should not need more AP visits ({total_with} > {total_without})"

@@ -11,7 +11,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sim_core::{RunOutcome, SimTime, Simulation, StreamRng};
 use vanet_dtn::{AccessPointApp, ApConfig, ApSchedulingPolicy};
-use vanet_geo::{kmh_to_ms, urban_testbed_block, urban_testbed_loop, DriverProfile, PathMobility, PlatoonMobility};
+use vanet_geo::{
+    kmh_to_ms, urban_testbed_block, urban_testbed_loop, DriverProfile, PathMobility,
+    PlatoonMobility,
+};
 use vanet_mac::{medium::MediumStats, MediumConfig, NodeId};
 use vanet_radio::{Building, DataRate, ObstacleMap};
 use vanet_stats::RoundResult;
@@ -216,7 +219,8 @@ impl UrbanExperiment {
 
         // Derive per-round randomness: mobility realisation, channel
         // shadowing landscape and every sampling stream.
-        let round_rng = StreamRng::derive(cfg.master_seed, "urban-round").substream(u64::from(round));
+        let round_rng =
+            StreamRng::derive(cfg.master_seed, "urban-round").substream(u64::from(round));
         let mut mobility_rng = round_rng.substream(1);
         let shadow_seed_a = round_rng.substream(2).gen::<u64>();
         let shadow_seed_b = round_rng.substream(3).gen::<u64>();
@@ -225,7 +229,8 @@ impl UrbanExperiment {
         // The city block enclosed by the loop heavily shadows every link that
         // has to cross it, confining AP coverage to the southern street.
         let (block_min, block_max) = urban_testbed_block();
-        let obstacles = ObstacleMap::from_buildings(vec![Building::new(block_min, block_max, 30.0)]);
+        let obstacles =
+            ObstacleMap::from_buildings(vec![Building::new(block_min, block_max, 30.0)]);
 
         let mut medium = cfg.medium.clone();
         medium.ap_vehicle = medium
@@ -258,9 +263,18 @@ impl UrbanExperiment {
             payload_bytes: cfg.payload_bytes,
             policy: cfg.ap_policy,
         };
-        model.add_access_point(NodeId::new(0), layout.access_points[0], AccessPointApp::new(ap_config));
+        model.add_access_point(
+            NodeId::new(0),
+            layout.access_points[0],
+            AccessPointApp::new(ap_config),
+        );
 
-        let platoon = PlatoonMobility::new(layout.path.clone(), speed, &cfg.drivers[..cfg.n_cars], &mut mobility_rng);
+        let platoon = PlatoonMobility::new(
+            layout.path.clone(),
+            speed,
+            &cfg.drivers[..cfg.n_cars],
+            &mut mobility_rng,
+        );
         for (i, id) in car_ids.iter().enumerate() {
             let mobility: PathMobility = platoon.member(i).clone();
             model.add_car(*id, mobility);
@@ -316,7 +330,10 @@ mod tests {
             total_before += flow.lost_before_coop();
             total_after += flow.lost_after_coop();
         }
-        assert!(total_after < total_before, "cooperation must recover packets ({total_after} !< {total_before})");
+        assert!(
+            total_after < total_before,
+            "cooperation must recover packets ({total_after} !< {total_before})"
+        );
         let recovered: u64 = node_stats.iter().map(|s| s.stats.recovered_via_coop).sum();
         assert!(recovered > 0);
     }

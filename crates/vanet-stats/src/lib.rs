@@ -27,8 +27,8 @@ pub mod series;
 pub mod summary;
 pub mod table;
 
-pub use export::{render_series_csv, render_table1, series_to_rows};
+pub use export::{render_series_csv, render_table1, series_to_rows, CellValue, RecordTable};
 pub use observation::{FlowObservation, RoundResult};
 pub use series::{joint_series, reception_series, recovery_series, SeriesPoint};
-pub use summary::{mean, std_dev, Summary};
+pub use summary::{mean, percentile, std_dev, Percentiles, Summary};
 pub use table::{table1, Table1Row};

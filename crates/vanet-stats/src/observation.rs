@@ -48,10 +48,7 @@ impl FlowObservation {
     pub fn lost_before_coop(&self) -> usize {
         let Some((first, last)) = self.window() else { return 0 };
         let direct = self.direct();
-        self.sent
-            .iter()
-            .filter(|s| **s >= first && **s <= last && !direct.contains(**s))
-            .count()
+        self.sent.iter().filter(|s| **s >= first && **s <= last && !direct.contains(**s)).count()
     }
 
     /// Packets still lost after cooperation (within the window).

@@ -80,7 +80,11 @@ fn accumulate(
 /// Figures 3–5: probability that `observer` received each packet of the flow
 /// addressed to `flow_dst` (promiscuous reception). Aligned on the joint
 /// reception window so the three observers' coverage regions line up.
-pub fn reception_series(rounds: &[RoundResult], flow_dst: NodeId, observer: NodeId) -> Vec<SeriesPoint> {
+pub fn reception_series(
+    rounds: &[RoundResult],
+    flow_dst: NodeId,
+    observer: NodeId,
+) -> Vec<SeriesPoint> {
     accumulate(rounds, flow_dst, Window::Joint, |flow, seq| {
         let map = flow.received_by.get(&observer)?;
         Some(map.contains(vanet_dtn::SeqNo::new(seq)))

@@ -45,6 +45,66 @@ impl std::fmt::Display for Summary {
     }
 }
 
+/// Percentile of a sample using the *inclusive* definition (linear
+/// interpolation on rank `p/100 · (n−1)`, what spreadsheets call
+/// `PERCENTILE.INC`); zero for an empty sample. `p` is clamped to
+/// `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile`] on an already-sorted, non-empty sample.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The percentile spread of a sample, as reported per sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes the spread of a sample; all zeros for an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+        Percentiles {
+            min: sorted[0],
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +134,36 @@ mod tests {
         assert_eq!(s.to_string(), "2.0 ± 1.0");
     }
 
+    #[test]
+    fn percentile_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        // Rank 0.25·4 = 1 → exactly the second value.
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        // Rank 0.10·4 = 0.4 → interpolation between 1 and 2.
+        assert!((percentile(&xs, 10.0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_degenerate_and_clamped() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], -10.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 400.0), 2.0);
+    }
+
+    #[test]
+    fn percentiles_struct_orders_fields() {
+        let p = Percentiles::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.max, 5.0);
+        assert!(p.min <= p.p50 && p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
     proptest! {
         #[test]
         fn prop_mean_within_min_max(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
@@ -82,6 +172,21 @@ mod tests {
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
             prop_assert!(std_dev(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn prop_percentiles_are_monotone_and_bounded(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = (p1.min(p2), p1.max(p2));
+            let a = percentile(&xs, lo);
+            let b = percentile(&xs, hi);
+            prop_assert!(a <= b + 1e-9);
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
         }
     }
 }

@@ -124,7 +124,8 @@ mod tests {
             received_by: BTreeMap::new(),
             after_coop: ReceptionMap::new(),
         };
-        let rows = table1(&[RoundResult::new(vec![flow(1, &[2], &[])]), RoundResult::new(vec![empty])]);
+        let rows =
+            table1(&[RoundResult::new(vec![flow(1, &[2], &[])]), RoundResult::new(vec![empty])]);
         assert_eq!(rows[0].tx_by_ap.count, 1, "the empty round is not averaged in");
     }
 

@@ -1,0 +1,348 @@
+//! The parallel sweep executor and its result type.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::RngCore as _;
+use sim_core::StreamRng;
+use vanet_stats::{CellValue, RecordTable};
+
+use crate::experiment::{Experiment, PointSummary};
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// Derives the seed for point `index` of a sweep with `master_seed`.
+///
+/// The derivation goes through a dedicated [`StreamRng`] stream
+/// (`"sweep.point"`) and its per-index substream, so:
+///
+/// * the seed depends **only** on `(master_seed, index)` — never on the
+///   thread that happens to execute the point, which makes sweep results
+///   byte-identical at any thread count;
+/// * points of the same sweep get uncorrelated seeds (substream mixing);
+/// * a sweep's seeds are uncorrelated with the per-round streams the
+///   scenarios themselves derive from the point seed, because the label
+///   namespaces differ.
+pub fn point_seed(master_seed: u64, index: usize) -> u64 {
+    StreamRng::derive(master_seed, "sweep.point").substream(index as u64).next_u64()
+}
+
+/// The work-sharing parallel sweep executor.
+///
+/// Workers pull point indices from a shared queue (an atomic counter), so
+/// load balances dynamically across threads regardless of how uneven the
+/// per-point cost is; results land in their point's slot, so the output
+/// order is the spec's expansion order, not completion order.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// Creates an engine running `threads` workers; `0` means one per
+    /// available CPU.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            threads
+        };
+        SweepEngine { threads }
+    }
+
+    /// The worker count this engine uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every point of `spec` through `experiment` and collects the
+    /// results in expansion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is empty, or if the experiment reports different
+    /// metric names for different points.
+    pub fn run(&self, experiment: &dyn Experiment, spec: &SweepSpec) -> SweepResult {
+        let points = spec.expand();
+        assert!(!points.is_empty(), "cannot run an empty sweep");
+        let seeds: Vec<u64> = (0..points.len()).map(|i| point_seed(spec.master_seed, i)).collect();
+
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PointSummary>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(points.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(index) else { break };
+                    let summary = experiment.run_point(point, seeds[index]);
+                    *slots[index].lock().expect("sweep slot poisoned") = Some(summary);
+                });
+            }
+        });
+
+        let summaries: Vec<PointSummary> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("sweep slot poisoned").expect("every point was executed")
+            })
+            .collect();
+
+        let reference = summaries[0].names();
+        for (i, summary) in summaries.iter().enumerate() {
+            assert_eq!(
+                summary.names(),
+                reference,
+                "experiment reported inconsistent metrics at point {i}"
+            );
+        }
+
+        SweepResult {
+            experiment: experiment.name().to_string(),
+            master_seed: spec.master_seed,
+            threads: self.threads,
+            elapsed: started.elapsed(),
+            points,
+            seeds,
+            summaries,
+        }
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new(0)
+    }
+}
+
+/// The outcome of a sweep: the expanded points, their derived seeds and
+/// their metric rows, in expansion order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Name of the experiment that ran.
+    pub experiment: String,
+    /// The master seed the sweep ran with.
+    pub master_seed: u64,
+    /// Worker count used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep.
+    pub elapsed: Duration,
+    /// The points, in expansion order.
+    pub points: Vec<SweepPoint>,
+    /// The per-point seeds, aligned with `points`.
+    pub seeds: Vec<u64>,
+    /// The per-point metric rows, aligned with `points`.
+    pub summaries: Vec<PointSummary>,
+}
+
+impl SweepResult {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep had no points (never true for an executed sweep).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points executed per wall-clock second.
+    pub fn points_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Converts the result into a [`RecordTable`]: one row per point with
+    /// `scenario`, `point`, `seed`, one column per swept parameter, and one
+    /// column per metric.
+    ///
+    /// Wall-clock data (`elapsed`, `threads`) deliberately stays out of the
+    /// table so exports are reproducible byte for byte.
+    pub fn to_table(&self) -> RecordTable {
+        let mut columns: Vec<String> = vec!["scenario".into(), "point".into(), "seed".into()];
+        // The union of parameters over all points, in first-seen order, so
+        // explicit extra points that assign fewer parameters still align.
+        let mut params: Vec<crate::Param> = Vec::new();
+        for point in &self.points {
+            for (param, _) in point.assignments() {
+                if !params.contains(param) {
+                    params.push(*param);
+                }
+            }
+        }
+        columns.extend(params.iter().map(|p| p.key().to_string()));
+        columns.extend(
+            self.summaries
+                .first()
+                .map(PointSummary::names)
+                .unwrap_or_default()
+                .iter()
+                .map(|name| (*name).to_string()),
+        );
+
+        let mut table = RecordTable::new(columns);
+        for (index, (point, summary)) in self.points.iter().zip(&self.summaries).enumerate() {
+            // Seeds render as hex text: they can exceed `i64::MAX`, which
+            // the integer cell type would saturate (and collide) at.
+            let mut row: Vec<CellValue> = vec![
+                self.experiment.as_str().into(),
+                index.into(),
+                format!("{:#018x}", self.seeds[index]).into(),
+            ];
+            for param in &params {
+                row.push(match point.get(*param) {
+                    Some(crate::ParamValue::Float(x)) => CellValue::Float(x),
+                    Some(crate::ParamValue::Int(x)) => x.into(),
+                    Some(value) => value.to_string().into(),
+                    None => "".into(),
+                });
+            }
+            for (_, value) in &summary.metrics {
+                row.push(CellValue::Float(*value));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// Renders the result as CSV.
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+
+    /// Renders the result as JSON.
+    pub fn to_json(&self) -> String {
+        self.to_table().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Param, ParamValue};
+
+    /// A cheap fake experiment: metrics are pure functions of the point and
+    /// seed, with a per-point artificial imbalance in runtime.
+    struct FakeExperiment;
+
+    impl Experiment for FakeExperiment {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary {
+            let x = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let n = point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0);
+            // Uneven cost exercises the dynamic load balancing.
+            std::thread::sleep(std::time::Duration::from_millis(n % 3));
+            PointSummary {
+                metrics: vec![("x_plus_n", x + n as f64), ("seed_low", (seed % 1000) as f64)],
+            }
+        }
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(0xABCD)
+            .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0), ParamValue::Float(20.0)])
+            .axis(Param::NCars, vec![ParamValue::Int(1), ParamValue::Int(2), ParamValue::Int(3)])
+    }
+
+    #[test]
+    fn point_seeds_depend_only_on_master_seed_and_index() {
+        assert_eq!(point_seed(1, 0), point_seed(1, 0));
+        assert_ne!(point_seed(1, 0), point_seed(1, 1));
+        assert_ne!(point_seed(1, 0), point_seed(2, 0));
+    }
+
+    #[test]
+    fn engine_resolves_zero_threads_to_available_parallelism() {
+        assert!(SweepEngine::new(0).threads() >= 1);
+        assert_eq!(SweepEngine::new(3).threads(), 3);
+        assert!(SweepEngine::default().threads() >= 1);
+    }
+
+    #[test]
+    fn results_are_in_expansion_order_and_thread_count_independent() {
+        let spec = spec();
+        let serial = SweepEngine::new(1).run(&FakeExperiment, &spec);
+        let parallel = SweepEngine::new(4).run(&FakeExperiment, &spec);
+        let wide = SweepEngine::new(16).run(&FakeExperiment, &spec);
+        assert_eq!(serial.len(), 6);
+        assert_eq!(serial.points, parallel.points);
+        assert_eq!(serial.summaries, parallel.summaries);
+        assert_eq!(serial.summaries, wide.summaries);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_csv(), wide.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn table_has_param_and_metric_columns() {
+        let result = SweepEngine::new(2).run(&FakeExperiment, &spec());
+        let table = result.to_table();
+        assert_eq!(
+            table.columns(),
+            &["scenario", "point", "seed", "speed_kmh", "n_cars", "x_plus_n", "seed_low"]
+        );
+        assert_eq!(table.rows().len(), 6);
+        let csv = result.to_csv();
+        assert!(csv.starts_with("scenario,point,seed,speed_kmh,n_cars,x_plus_n,seed_low\n"));
+        assert!(csv.contains("fake,0,0x"), "seeds export as hex text: {csv}");
+        assert!(result.points_per_second() > 0.0);
+        assert!(!result.is_empty());
+        // Hex rendering is lossless, so per-point seeds stay distinct.
+        let seed_cells: std::collections::BTreeSet<&str> =
+            csv.lines().skip(1).map(|line| line.split(',').nth(2).unwrap()).collect();
+        assert_eq!(seed_cells.len(), 6);
+    }
+
+    #[test]
+    fn explicit_points_missing_a_param_export_empty_cells() {
+        let spec = SweepSpec::new(9)
+            .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0)])
+            .axis(Param::NCars, vec![ParamValue::Int(2)])
+            .point(SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Float(99.0))]));
+        let result = SweepEngine::new(2).run(&FakeExperiment, &spec);
+        let csv = result.to_csv();
+        let last_row = csv.lines().last().unwrap();
+        assert!(last_row.starts_with("fake,1,"));
+        assert!(
+            last_row.contains(",99.000000,,"),
+            "missing n_cars must export as empty: {last_row}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn empty_spec_rejected() {
+        let _ = SweepEngine::new(1).run(&FakeExperiment, &SweepSpec::new(1));
+    }
+
+    /// An experiment whose metric names depend on the point — must be caught.
+    struct InconsistentExperiment;
+
+    impl Experiment for InconsistentExperiment {
+        fn name(&self) -> &'static str {
+            "inconsistent"
+        }
+
+        fn run_point(&self, point: &SweepPoint, _seed: u64) -> PointSummary {
+            let n = point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0);
+            PointSummary { metrics: vec![(if n == 1 { "a" } else { "b" }, 0.0)] }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent metrics")]
+    fn inconsistent_metric_names_rejected() {
+        let spec =
+            SweepSpec::new(1).axis(Param::NCars, vec![ParamValue::Int(1), ParamValue::Int(2)]);
+        let _ = SweepEngine::new(1).run(&InconsistentExperiment, &spec);
+    }
+}

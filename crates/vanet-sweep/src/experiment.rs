@@ -1,0 +1,422 @@
+//! The [`Experiment`] trait and its adapters for the three scenarios of
+//! `vanet-scenarios`.
+
+use vanet_scenarios::highway::{HighwayConfig, HighwayExperiment};
+use vanet_scenarios::multi_ap::{MultiApConfig, MultiApExperiment};
+use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
+use vanet_stats::{mean, Percentiles};
+
+use crate::spec::{Param, SweepPoint};
+
+/// The metric row one sweep point produced: ordered `(name, value)` pairs.
+/// Every point of one sweep must report the same metric names in the same
+/// order (the engine enforces this), so the rows align into a table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointSummary {
+    /// Ordered metric values.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl PointSummary {
+    /// The metric names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.metrics.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// The value of the metric called `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+}
+
+/// A scenario that a sweep can drive.
+///
+/// Implementations hold a *base* configuration; each sweep point overrides
+/// the parameters it assigns (unknown parameters are ignored, so one spec
+/// can drive scenarios that consume different subsets). `run_point` must be
+/// a pure function of `(point, seed)` — all randomness must derive from
+/// `seed` — because the engine relies on that for thread-count-independent
+/// results.
+pub trait Experiment: Send + Sync {
+    /// Short scenario name used in exports and the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario at `point`, seeding all randomness from `seed`.
+    fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary;
+}
+
+/// Narrows a sweep value to the `u32` the scenario configs use,
+/// saturating rather than wrapping (a 2^32-block file would otherwise
+/// become a 0-block file and export plausible-looking nonsense).
+fn saturate_u32(value: u64) -> u32 {
+    u32::try_from(value).unwrap_or(u32::MAX)
+}
+
+/// Per-flow loss percentages pooled over rounds — shared by the urban and
+/// highway adapters.
+#[derive(Debug, Default)]
+struct LossSamples {
+    window: Vec<f64>,
+    before_pct: Vec<f64>,
+    after_pct: Vec<f64>,
+}
+
+impl LossSamples {
+    fn absorb(&mut self, round: &vanet_stats::RoundResult) {
+        for car in round.cars() {
+            let Some(flow) = round.flow_for(car) else { continue };
+            let tx = flow.tx_by_ap_in_window();
+            if tx == 0 {
+                continue;
+            }
+            self.window.push(tx as f64);
+            self.before_pct.push(flow.lost_before_coop() as f64 / tx as f64 * 100.0);
+            self.after_pct.push(flow.lost_after_coop() as f64 / tx as f64 * 100.0);
+        }
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        let after = Percentiles::of(&self.after_pct);
+        vec![
+            ("tx_window_mean", mean(&self.window)),
+            ("loss_before_pct_mean", mean(&self.before_pct)),
+            ("loss_after_pct_mean", mean(&self.after_pct)),
+            ("loss_after_pct_p50", after.p50),
+            ("loss_after_pct_p90", after.p90),
+            ("loss_after_pct_max", after.max),
+        ]
+    }
+}
+
+/// Sweep adapter for the paper's urban testbed.
+#[derive(Debug, Clone)]
+pub struct UrbanSweep {
+    base: UrbanConfig,
+}
+
+impl UrbanSweep {
+    /// Creates an adapter sweeping around `base`.
+    pub fn new(base: UrbanConfig) -> Self {
+        UrbanSweep { base }
+    }
+
+    /// Sweeps around the paper's testbed configuration.
+    pub fn paper_testbed() -> Self {
+        UrbanSweep::new(UrbanConfig::paper_testbed())
+    }
+
+    /// The configuration a point runs: the base with the point's overrides.
+    pub fn config_for(&self, point: &SweepPoint) -> UrbanConfig {
+        let mut cfg = self.base.clone();
+        if let Some(speed) = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()) {
+            cfg.speed_kmh = speed;
+        }
+        if let Some(n) = point.get(Param::NCars).and_then(|v| v.as_u64()) {
+            cfg = cfg.with_platoon_size(n as usize);
+        }
+        if let Some(rate) = point.get(Param::ApRatePps).and_then(|v| v.as_f64()) {
+            cfg.ap_rate_pps = rate;
+        }
+        if let Some(payload) = point.get(Param::PayloadBytes).and_then(|v| v.as_u64()) {
+            cfg.payload_bytes = saturate_u32(payload);
+            cfg.carq.expected_payload_bytes = saturate_u32(payload);
+        }
+        if let Some(crate::ParamValue::Selection(selection)) = point.get(Param::Selection) {
+            cfg.carq.selection = selection;
+        }
+        if let Some(crate::ParamValue::Request(request)) = point.get(Param::Request) {
+            cfg.carq.request_strategy = request;
+        }
+        if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
+            cfg.cooperation_enabled = coop;
+        }
+        if let Some(rounds) = point.get(Param::Rounds).and_then(|v| v.as_u64()) {
+            cfg.rounds = saturate_u32(rounds);
+        }
+        cfg
+    }
+}
+
+impl Experiment for UrbanSweep {
+    fn name(&self) -> &'static str {
+        "urban"
+    }
+
+    fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary {
+        let mut cfg = self.config_for(point);
+        cfg.master_seed = seed;
+        let result = UrbanExperiment::new(cfg).run();
+        let mut losses = LossSamples::default();
+        let mut efficiency = Vec::new();
+        for round in result.rounds() {
+            losses.absorb(round);
+            for car in round.cars() {
+                if let Some(flow) = round.flow_for(car) {
+                    efficiency.push(flow.recovery_efficiency());
+                }
+            }
+        }
+        let mut metrics = losses.metrics();
+        metrics.push(("recovery_efficiency_mean", mean(&efficiency)));
+        metrics.push(("requests_sent", result.total_requests_sent() as f64));
+        metrics.push(("coop_data_sent", result.total_coop_data_sent() as f64));
+        PointSummary { metrics }
+    }
+}
+
+/// Sweep adapter for the highway drive-thru scenario.
+#[derive(Debug, Clone)]
+pub struct HighwaySweep {
+    base: HighwayConfig,
+}
+
+impl HighwaySweep {
+    /// Creates an adapter sweeping around `base`.
+    pub fn new(base: HighwayConfig) -> Self {
+        HighwaySweep { base }
+    }
+
+    /// Sweeps around the drive-thru reference configuration.
+    pub fn drive_thru() -> Self {
+        HighwaySweep::new(HighwayConfig::drive_thru_reference())
+    }
+
+    /// The configuration a point runs.
+    pub fn config_for(&self, point: &SweepPoint) -> HighwayConfig {
+        let mut cfg = self.base.clone();
+        if let Some(speed) = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()) {
+            cfg.speed_kmh = speed;
+        }
+        if let Some(rate) = point.get(Param::ApRatePps).and_then(|v| v.as_f64()) {
+            cfg.ap_rate_pps = rate;
+        }
+        if let Some(n) = point.get(Param::NCars).and_then(|v| v.as_u64()) {
+            cfg.n_cars = n as usize;
+        }
+        if let Some(payload) = point.get(Param::PayloadBytes).and_then(|v| v.as_u64()) {
+            cfg.payload_bytes = saturate_u32(payload);
+        }
+        if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
+            cfg.cooperation_enabled = coop;
+        }
+        if let Some(passes) = point.get(Param::Rounds).and_then(|v| v.as_u64()) {
+            cfg.passes = saturate_u32(passes);
+        }
+        cfg
+    }
+}
+
+impl Experiment for HighwaySweep {
+    fn name(&self) -> &'static str {
+        "highway"
+    }
+
+    fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary {
+        let mut cfg = self.config_for(point);
+        cfg.master_seed = seed;
+        let passes = cfg.passes;
+        let experiment = HighwayExperiment::new(cfg);
+        let mut losses = LossSamples::default();
+        for pass in 0..passes {
+            losses.absorb(&experiment.run_pass(pass));
+        }
+        PointSummary { metrics: losses.metrics() }
+    }
+}
+
+/// Sweep adapter for the multi-AP download extension.
+#[derive(Debug, Clone)]
+pub struct MultiApSweep {
+    base: MultiApConfig,
+}
+
+impl MultiApSweep {
+    /// Creates an adapter sweeping around `base`.
+    pub fn new(base: MultiApConfig) -> Self {
+        MultiApSweep { base }
+    }
+
+    /// Sweeps around the default 1500-block download.
+    pub fn default_download() -> Self {
+        MultiApSweep::new(MultiApConfig::default_download())
+    }
+
+    /// The configuration a point runs.
+    pub fn config_for(&self, point: &SweepPoint) -> MultiApConfig {
+        let mut cfg = self.base.clone();
+        if let Some(blocks) = point.get(Param::FileBlocks).and_then(|v| v.as_u64()) {
+            cfg.file_blocks = saturate_u32(blocks);
+        }
+        if let Some(speed) = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()) {
+            cfg.pass.speed_kmh = speed;
+        }
+        if let Some(rate) = point.get(Param::ApRatePps).and_then(|v| v.as_f64()) {
+            cfg.pass.ap_rate_pps = rate;
+        }
+        if let Some(n) = point.get(Param::NCars).and_then(|v| v.as_u64()) {
+            cfg.pass.n_cars = n as usize;
+        }
+        if let Some(payload) = point.get(Param::PayloadBytes).and_then(|v| v.as_u64()) {
+            cfg.pass.payload_bytes = saturate_u32(payload);
+        }
+        if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
+            cfg.pass.cooperation_enabled = coop;
+        }
+        cfg
+    }
+}
+
+impl Experiment for MultiApSweep {
+    fn name(&self) -> &'static str {
+        "multi-ap"
+    }
+
+    fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary {
+        let mut cfg = self.config_for(point);
+        cfg.pass.master_seed = seed;
+        let max_passes = cfg.max_passes;
+        let outcomes = MultiApExperiment::new(cfg).run();
+        // A car that never finishes counts as `max_passes + 1` visits — a
+        // pessimistic lower bound that keeps the mean monotone across a
+        // sweep axis instead of collapsing to 0 exactly where downloads
+        // stop completing.
+        let visits: Vec<f64> =
+            outcomes.iter().map(|o| f64::from(o.passes_needed.unwrap_or(max_passes + 1))).collect();
+        let unfinished = outcomes.iter().filter(|o| o.passes_needed.is_none()).count();
+        let worst = visits.iter().copied().fold(0.0, f64::max);
+        let blocks_per_pass: Vec<f64> = outcomes.iter().map(|o| o.mean_blocks_per_pass).collect();
+        PointSummary {
+            metrics: vec![
+                ("passes_needed_mean", mean(&visits)),
+                ("passes_needed_max", worst),
+                ("unfinished_cars", unfinished as f64),
+                ("blocks_per_pass_mean", mean(&blocks_per_pass)),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ParamValue;
+    use carq::{RequestStrategy, SelectionStrategy};
+
+    fn point(assignments: Vec<(Param, ParamValue)>) -> SweepPoint {
+        SweepPoint::new(assignments)
+    }
+
+    #[test]
+    fn urban_overrides_reach_the_config() {
+        let sweep = UrbanSweep::paper_testbed();
+        let cfg = sweep.config_for(&point(vec![
+            (Param::SpeedKmh, ParamValue::Float(35.0)),
+            (Param::NCars, ParamValue::Int(5)),
+            (Param::ApRatePps, ParamValue::Float(8.0)),
+            (Param::PayloadBytes, ParamValue::Int(500)),
+            (Param::Selection, ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 })),
+            (Param::Request, ParamValue::Request(RequestStrategy::Batched)),
+            (Param::Cooperation, ParamValue::Bool(false)),
+            (Param::Rounds, ParamValue::Int(4)),
+        ]));
+        assert_eq!(cfg.speed_kmh, 35.0);
+        assert_eq!(cfg.n_cars, 5);
+        assert_eq!(cfg.drivers.len(), 5);
+        assert_eq!(cfg.ap_rate_pps, 8.0);
+        assert_eq!(cfg.payload_bytes, 500);
+        assert_eq!(cfg.carq.expected_payload_bytes, 500);
+        assert_eq!(cfg.carq.selection, SelectionStrategy::FirstHeard { k: 2 });
+        assert_eq!(cfg.carq.request_strategy, RequestStrategy::Batched);
+        assert!(!cfg.cooperation_enabled);
+        assert_eq!(cfg.rounds, 4);
+    }
+
+    #[test]
+    fn unassigned_parameters_keep_base_values() {
+        let sweep = UrbanSweep::paper_testbed();
+        let cfg = sweep.config_for(&point(vec![(Param::NCars, ParamValue::Int(4))]));
+        let base = UrbanConfig::paper_testbed();
+        assert_eq!(cfg.speed_kmh, base.speed_kmh);
+        assert_eq!(cfg.ap_rate_pps, base.ap_rate_pps);
+        assert_eq!(cfg.rounds, base.rounds);
+        assert_eq!(cfg.n_cars, 4);
+    }
+
+    #[test]
+    fn highway_overrides_reach_the_config() {
+        let sweep = HighwaySweep::drive_thru();
+        let cfg = sweep.config_for(&point(vec![
+            (Param::SpeedKmh, ParamValue::Float(120.0)),
+            (Param::ApRatePps, ParamValue::Float(10.0)),
+            (Param::NCars, ParamValue::Int(3)),
+            (Param::Cooperation, ParamValue::Bool(true)),
+            (Param::Rounds, ParamValue::Int(2)),
+        ]));
+        assert_eq!(cfg.speed_kmh, 120.0);
+        assert_eq!(cfg.ap_rate_pps, 10.0);
+        assert_eq!(cfg.n_cars, 3);
+        assert!(cfg.cooperation_enabled);
+        assert_eq!(cfg.passes, 2);
+    }
+
+    #[test]
+    fn oversized_values_saturate_instead_of_wrapping() {
+        let cfg = MultiApSweep::default_download()
+            .config_for(&point(vec![(Param::FileBlocks, ParamValue::Int(1 << 32))]));
+        assert_eq!(cfg.file_blocks, u32::MAX);
+        let cfg = UrbanSweep::paper_testbed()
+            .config_for(&point(vec![(Param::PayloadBytes, ParamValue::Int(u64::MAX))]));
+        assert_eq!(cfg.payload_bytes, u32::MAX);
+    }
+
+    #[test]
+    fn multi_ap_unfinished_downloads_report_pessimistic_visit_counts() {
+        let mut base = MultiApConfig::default_download();
+        base.max_passes = 1; // one visit can never move ~10k blocks
+        let sweep = MultiApSweep::new(base);
+        let summary =
+            sweep.run_point(&point(vec![(Param::FileBlocks, ParamValue::Int(10_000))]), 5);
+        assert_eq!(summary.get("unfinished_cars"), Some(3.0));
+        // Unfinished cars count as max_passes + 1 visits, not 0.
+        assert_eq!(summary.get("passes_needed_mean"), Some(2.0));
+        assert_eq!(summary.get("passes_needed_max"), Some(2.0));
+    }
+
+    #[test]
+    fn multi_ap_overrides_reach_pass_and_file() {
+        let sweep = MultiApSweep::default_download();
+        let cfg = sweep.config_for(&point(vec![
+            (Param::FileBlocks, ParamValue::Int(600)),
+            (Param::SpeedKmh, ParamValue::Float(60.0)),
+            (Param::Cooperation, ParamValue::Bool(false)),
+        ]));
+        assert_eq!(cfg.file_blocks, 600);
+        assert_eq!(cfg.pass.speed_kmh, 60.0);
+        assert!(!cfg.pass.cooperation_enabled);
+    }
+
+    #[test]
+    fn urban_point_run_reports_the_full_metric_row() {
+        let sweep = UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(1));
+        let summary = sweep.run_point(&point(vec![(Param::NCars, ParamValue::Int(2))]), 42);
+        let names = summary.names();
+        assert!(names.contains(&"loss_before_pct_mean"));
+        assert!(names.contains(&"loss_after_pct_p90"));
+        assert!(names.contains(&"requests_sent"));
+        assert!(summary.get("tx_window_mean").unwrap() > 0.0);
+        let before = summary.get("loss_before_pct_mean").unwrap();
+        let after = summary.get("loss_after_pct_mean").unwrap();
+        assert!(after <= before, "cooperation must not increase losses ({after} > {before})");
+    }
+
+    #[test]
+    fn same_seed_same_summary_different_seed_differs() {
+        let sweep = UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(1));
+        let p = point(vec![(Param::NCars, ParamValue::Int(2))]);
+        let a = sweep.run_point(&p, 7);
+        let b = sweep.run_point(&p, 7);
+        let c = sweep.run_point(&p, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

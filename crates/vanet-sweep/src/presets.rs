@@ -1,0 +1,175 @@
+//! Named, ready-to-run sweeps — the catalogue behind `carq-cli sweep list`.
+
+use carq::{RequestStrategy, SelectionStrategy};
+use vanet_scenarios::urban::UrbanConfig;
+
+use crate::experiment::{Experiment, HighwaySweep, MultiApSweep, UrbanSweep};
+use crate::spec::{Param, ParamValue, SweepSpec};
+
+/// A named sweep: an experiment plus the spec it runs.
+pub struct Preset {
+    /// The CLI name.
+    pub name: &'static str,
+    /// One-line description shown by `sweep list`.
+    pub description: &'static str,
+    build: fn(u64, u32) -> (Box<dyn Experiment>, SweepSpec),
+}
+
+impl std::fmt::Debug for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Preset").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl Preset {
+    /// Instantiates the preset with a master seed and a per-point round
+    /// count (laps for urban, passes for highway; the multi-AP download
+    /// ignores it — each of its points is one whole download, bounded by
+    /// the scenario's AP-visit budget).
+    pub fn build(&self, master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+        (self.build)(master_seed, rounds)
+    }
+}
+
+fn floats(xs: &[f64]) -> Vec<ParamValue> {
+    xs.iter().map(|x| ParamValue::Float(*x)).collect()
+}
+
+fn ints(xs: &[u64]) -> Vec<ParamValue> {
+    xs.iter().map(|x| ParamValue::Int(*x)).collect()
+}
+
+fn urban_platoon(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    let base = UrbanConfig::paper_testbed().with_rounds(rounds);
+    let spec = SweepSpec::new(master_seed)
+        .axis(Param::SpeedKmh, floats(&[10.0, 15.0, 20.0, 25.0, 30.0, 40.0]))
+        .axis(Param::NCars, ints(&[2, 3, 4, 5]));
+    (Box::new(UrbanSweep::new(base)), spec)
+}
+
+fn urban_load(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    let base = UrbanConfig::paper_testbed().with_rounds(rounds);
+    let spec = SweepSpec::new(master_seed)
+        .axis(Param::ApRatePps, floats(&[1.0, 2.0, 5.0, 10.0]))
+        .axis(Param::PayloadBytes, ints(&[250, 500, 1000]))
+        .axis(Param::NCars, ints(&[2, 3]));
+    (Box::new(UrbanSweep::new(base)), spec)
+}
+
+fn urban_strategies(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    let base = UrbanConfig::paper_testbed().with_rounds(rounds);
+    let spec = SweepSpec::new(master_seed)
+        .axis(
+            Param::Selection,
+            vec![
+                ParamValue::Selection(SelectionStrategy::AllNeighbours),
+                ParamValue::Selection(SelectionStrategy::FirstHeard { k: 1 }),
+                ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }),
+                ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 1 }),
+                ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 2 }),
+            ],
+        )
+        .axis(
+            Param::Request,
+            vec![
+                ParamValue::Request(RequestStrategy::PerPacket),
+                ParamValue::Request(RequestStrategy::Batched),
+            ],
+        )
+        .axis(Param::NCars, ints(&[3, 5]));
+    (Box::new(UrbanSweep::new(base)), spec)
+}
+
+fn highway_speed_rate(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    let mut base = vanet_scenarios::highway::HighwayConfig::drive_thru_reference();
+    base.passes = rounds;
+    let spec = SweepSpec::new(master_seed)
+        .axis(Param::SpeedKmh, floats(&[60.0, 80.0, 100.0, 120.0, 140.0]))
+        .axis(Param::ApRatePps, floats(&[1.0, 5.0, 10.0]))
+        .axis(Param::Cooperation, vec![ParamValue::Bool(false), ParamValue::Bool(true)])
+        .axis(Param::NCars, ints(&[3]));
+    (Box::new(HighwaySweep::new(base)), spec)
+}
+
+// `rounds` has no effect here: a multi-AP point is one whole download,
+// bounded by the scenario's own AP-visit budget rather than a round count.
+fn multi_ap_blocks(master_seed: u64, _rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    let base = vanet_scenarios::multi_ap::MultiApConfig::default_download();
+    let spec = SweepSpec::new(master_seed)
+        .axis(Param::FileBlocks, ints(&[300, 600, 1200, 1500]))
+        .axis(Param::Cooperation, vec![ParamValue::Bool(false), ParamValue::Bool(true)])
+        .axis(Param::NCars, ints(&[2, 3, 4]));
+    (Box::new(MultiApSweep::new(base)), spec)
+}
+
+/// The built-in preset catalogue.
+pub fn all() -> Vec<Preset> {
+    vec![
+        Preset {
+            name: "urban-platoon",
+            description: "urban testbed, speed x platoon-size grid (24 points)",
+            build: urban_platoon,
+        },
+        Preset {
+            name: "urban-load",
+            description: "urban testbed, AP rate x payload x platoon grid (24 points)",
+            build: urban_load,
+        },
+        Preset {
+            name: "urban-strategies",
+            description: "urban testbed, cooperator-selection x REQUEST-strategy grid (20 points)",
+            build: urban_strategies,
+        },
+        Preset {
+            name: "highway-speed-rate",
+            description: "highway drive-thru, speed x rate x cooperation grid (30 points)",
+            build: highway_speed_rate,
+        },
+        Preset {
+            name: "multiap-blocks",
+            description: "multi-AP download, file-size x cooperation x platoon grid (24 points)",
+            build: multi_ap_blocks,
+        },
+    ]
+}
+
+/// Looks a preset up by name.
+pub fn find(name: &str) -> Option<Preset> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_unique_and_findable() {
+        let presets = all();
+        assert!(presets.len() >= 5);
+        let names: std::collections::BTreeSet<&str> = presets.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), presets.len());
+        for preset in &presets {
+            assert!(find(preset.name).is_some());
+        }
+        assert!(find("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn presets_expand_to_their_advertised_sizes() {
+        for preset in all() {
+            let (experiment, spec) = preset.build(1, 2);
+            assert!(!spec.is_empty(), "{} is empty", preset.name);
+            assert!(!experiment.name().is_empty());
+            // The flagship urban preset must satisfy the >= 24-point bar.
+            if preset.name == "urban-platoon" {
+                assert_eq!(spec.len(), 24);
+            }
+        }
+    }
+
+    #[test]
+    fn preset_debug_shows_name() {
+        let preset = find("urban-platoon").unwrap();
+        assert!(format!("{preset:?}").contains("urban-platoon"));
+    }
+}

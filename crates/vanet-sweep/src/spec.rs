@@ -1,0 +1,376 @@
+//! Declarative sweep specifications: parameters, axes and grid expansion.
+
+use std::fmt;
+
+use carq::{RequestStrategy, SelectionStrategy};
+
+/// A parameter a sweep can vary. Not every scenario consumes every
+/// parameter; an [`crate::Experiment`] implementation ignores the parameters
+/// it has no use for (e.g. `FileBlocks` outside the multi-AP download).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Param {
+    /// Platoon cruise speed in km/h.
+    SpeedKmh,
+    /// Number of cars in the platoon.
+    NCars,
+    /// AP sending rate per car, packets per second.
+    ApRatePps,
+    /// Payload per data packet in bytes.
+    PayloadBytes,
+    /// Cooperator-selection strategy of the C-ARQ protocol.
+    Selection,
+    /// REQUEST strategy of the C-ARQ protocol (per-packet vs batched).
+    Request,
+    /// Whether cooperation is enabled at all.
+    Cooperation,
+    /// Rounds (urban laps) or passes (highway drive-bys) per point.
+    Rounds,
+    /// File size in blocks (multi-AP download only).
+    FileBlocks,
+}
+
+impl Param {
+    /// The column name used in exports and the CLI.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Param::SpeedKmh => "speed_kmh",
+            Param::NCars => "n_cars",
+            Param::ApRatePps => "ap_rate_pps",
+            Param::PayloadBytes => "payload_bytes",
+            Param::Selection => "selection",
+            Param::Request => "request",
+            Param::Cooperation => "cooperation",
+            Param::Rounds => "rounds",
+            Param::FileBlocks => "file_blocks",
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One value of a sweep parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// A real-valued parameter (speed, rate).
+    Float(f64),
+    /// An integral parameter (cars, payload, rounds, blocks).
+    Int(u64),
+    /// An on/off parameter (cooperation).
+    Bool(bool),
+    /// A cooperator-selection strategy.
+    Selection(SelectionStrategy),
+    /// A REQUEST strategy.
+    Request(RequestStrategy),
+}
+
+impl ParamValue {
+    /// The float behind this value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(x) => Some(*x),
+            ParamValue::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer behind this value, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ParamValue::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Fixed decimals keep exports byte-stable; see vanet-stats.
+            ParamValue::Float(x) => write!(f, "{x:.3}"),
+            ParamValue::Int(x) => write!(f, "{x}"),
+            ParamValue::Bool(x) => write!(f, "{x}"),
+            ParamValue::Selection(SelectionStrategy::AllNeighbours) => f.write_str("all"),
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k }) => write!(f, "first{k}"),
+            ParamValue::Selection(SelectionStrategy::StrongestSignal { k }) => {
+                write!(f, "strong{k}")
+            }
+            ParamValue::Request(RequestStrategy::PerPacket) => f.write_str("per-packet"),
+            ParamValue::Request(RequestStrategy::Batched) => f.write_str("batched"),
+        }
+    }
+}
+
+/// One axis of the sweep grid: a parameter and the values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// The varied parameter.
+    pub param: Param,
+    /// The values, in the order they were declared (the expansion preserves
+    /// this order).
+    pub values: Vec<ParamValue>,
+}
+
+/// One point of an expanded sweep: parameter assignments in axis order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepPoint {
+    assignments: Vec<(Param, ParamValue)>,
+}
+
+impl SweepPoint {
+    /// Creates a point from explicit assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter appears twice.
+    pub fn new(assignments: Vec<(Param, ParamValue)>) -> Self {
+        for (i, (param, _)) in assignments.iter().enumerate() {
+            assert!(
+                !assignments[..i].iter().any(|(p, _)| p == param),
+                "parameter {param} assigned twice in one point"
+            );
+        }
+        SweepPoint { assignments }
+    }
+
+    /// The assignments, in axis order.
+    pub fn assignments(&self) -> &[(Param, ParamValue)] {
+        &self.assignments
+    }
+
+    /// The value assigned to `param`, if any.
+    pub fn get(&self, param: Param) -> Option<ParamValue> {
+        self.assignments.iter().find(|(p, _)| *p == param).map(|(_, v)| *v)
+    }
+
+    /// A compact `key=value,key=value` label for logs and progress output.
+    pub fn label(&self) -> String {
+        self.assignments.iter().map(|(p, v)| format!("{p}={v}")).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// A declarative sweep: a master seed, a cartesian grid of axes, and an
+/// optional list of explicit extra points appended after the grid.
+///
+/// Expansion order is deterministic and independent of how the sweep is
+/// later executed: the grid is row-major with the **first** axis varying
+/// slowest, followed by the explicit points in declaration order. The
+/// per-point seed derivation (see [`crate::engine::point_seed`]) keys on the
+/// point's position in this expansion, which is what makes sweep results
+/// independent of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Master seed; every point derives its own seed from it.
+    pub master_seed: u64,
+    /// Grid axes, outermost first.
+    pub axes: Vec<Axis>,
+    /// Explicit points appended after the grid.
+    pub extra_points: Vec<SweepPoint>,
+}
+
+impl SweepSpec {
+    /// Creates an empty spec with the given master seed.
+    pub fn new(master_seed: u64) -> Self {
+        SweepSpec { master_seed, axes: Vec::new(), extra_points: Vec::new() }
+    }
+
+    /// Adds a grid axis. Axes expand in the order they are added, the first
+    /// varying slowest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or the parameter already has an axis.
+    #[must_use]
+    pub fn axis(mut self, param: Param, values: Vec<ParamValue>) -> Self {
+        assert!(!values.is_empty(), "axis {param} needs at least one value");
+        assert!(
+            !self.axes.iter().any(|a| a.param == param),
+            "parameter {param} already has an axis"
+        );
+        self.axes.push(Axis { param, values });
+        self
+    }
+
+    /// Appends an explicit point after the grid.
+    #[must_use]
+    pub fn point(mut self, point: SweepPoint) -> Self {
+        self.extra_points.push(point);
+        self
+    }
+
+    /// Number of points the expansion will produce.
+    pub fn len(&self) -> usize {
+        let grid: usize = if self.axes.is_empty() {
+            0
+        } else {
+            self.axes.iter().map(|a| a.values.len()).product()
+        };
+        grid + self.extra_points.len()
+    }
+
+    /// Whether the expansion is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into its points: the cartesian product of the axes
+    /// (row-major, first axis slowest) followed by the explicit points.
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        if !self.axes.is_empty() {
+            let mut indices = vec![0usize; self.axes.len()];
+            loop {
+                points.push(SweepPoint::new(
+                    self.axes
+                        .iter()
+                        .zip(&indices)
+                        .map(|(axis, i)| (axis.param, axis.values[*i]))
+                        .collect(),
+                ));
+                // Odometer increment, last axis fastest.
+                let mut dim = self.axes.len();
+                loop {
+                    if dim == 0 {
+                        return self.finish_expansion(points);
+                    }
+                    dim -= 1;
+                    indices[dim] += 1;
+                    if indices[dim] < self.axes[dim].values.len() {
+                        break;
+                    }
+                    indices[dim] = 0;
+                }
+            }
+        }
+        self.finish_expansion(points)
+    }
+
+    fn finish_expansion(&self, mut points: Vec<SweepPoint>) -> Vec<SweepPoint> {
+        points.extend(self.extra_points.iter().cloned());
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floats(xs: &[f64]) -> Vec<ParamValue> {
+        xs.iter().map(|x| ParamValue::Float(*x)).collect()
+    }
+
+    fn ints(xs: &[u64]) -> Vec<ParamValue> {
+        xs.iter().map(|x| ParamValue::Int(*x)).collect()
+    }
+
+    #[test]
+    fn expansion_is_row_major_with_first_axis_slowest() {
+        let spec = SweepSpec::new(1)
+            .axis(Param::SpeedKmh, floats(&[10.0, 20.0]))
+            .axis(Param::NCars, ints(&[2, 3, 4]));
+        let points = spec.expand();
+        assert_eq!(points.len(), 6);
+        assert_eq!(spec.len(), 6);
+        let as_pairs: Vec<(f64, u64)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p.get(Param::SpeedKmh).unwrap().as_f64().unwrap(),
+                    p.get(Param::NCars).unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            as_pairs,
+            vec![(10.0, 2), (10.0, 3), (10.0, 4), (20.0, 2), (20.0, 3), (20.0, 4)]
+        );
+    }
+
+    #[test]
+    fn expansion_ordering_is_stable_across_calls() {
+        let spec = SweepSpec::new(7)
+            .axis(Param::ApRatePps, floats(&[1.0, 5.0, 10.0]))
+            .axis(Param::PayloadBytes, ints(&[500, 1000]))
+            .axis(Param::NCars, ints(&[2, 3]));
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        // Labels are unique: no two grid points collide.
+        let labels: std::collections::BTreeSet<String> = a.iter().map(SweepPoint::label).collect();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn explicit_points_follow_the_grid_in_order() {
+        let extra_a = SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Float(99.0))]);
+        let extra_b = SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Float(5.0))]);
+        let spec = SweepSpec::new(1)
+            .axis(Param::SpeedKmh, floats(&[10.0]))
+            .point(extra_a.clone())
+            .point(extra_b.clone());
+        let points = spec.expand();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1], extra_a);
+        assert_eq!(points[2], extra_b);
+    }
+
+    #[test]
+    fn spec_with_only_explicit_points_expands_to_them() {
+        let point = SweepPoint::new(vec![(Param::NCars, ParamValue::Int(4))]);
+        let spec = SweepSpec::new(3).point(point.clone());
+        assert_eq!(spec.expand(), vec![point]);
+        assert!(!spec.is_empty());
+        assert!(SweepSpec::new(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an axis")]
+    fn duplicate_axis_rejected() {
+        let _ = SweepSpec::new(1).axis(Param::NCars, ints(&[1])).axis(Param::NCars, ints(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        let _ = SweepPoint::new(vec![
+            (Param::NCars, ParamValue::Int(1)),
+            (Param::NCars, ParamValue::Int(2)),
+        ]);
+    }
+
+    #[test]
+    fn param_values_render_compactly() {
+        use carq::{RequestStrategy, SelectionStrategy};
+        assert_eq!(ParamValue::Float(20.0).to_string(), "20.000");
+        assert_eq!(ParamValue::Int(3).to_string(), "3");
+        assert_eq!(ParamValue::Bool(true).to_string(), "true");
+        assert_eq!(ParamValue::Selection(SelectionStrategy::AllNeighbours).to_string(), "all");
+        assert_eq!(
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }).to_string(),
+            "first2"
+        );
+        assert_eq!(
+            ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 1 }).to_string(),
+            "strong1"
+        );
+        assert_eq!(ParamValue::Request(RequestStrategy::PerPacket).to_string(), "per-packet");
+        assert_eq!(ParamValue::Request(RequestStrategy::Batched).to_string(), "batched");
+        let point = SweepPoint::new(vec![
+            (Param::SpeedKmh, ParamValue::Float(20.0)),
+            (Param::NCars, ParamValue::Int(3)),
+        ]);
+        assert_eq!(point.label(), "speed_kmh=20.000,n_cars=3");
+    }
+}

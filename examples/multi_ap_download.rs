@@ -3,37 +3,47 @@
 //! paper's §6 ("how the presented loss reduction can reduce the number of
 //! APs that a vehicular node needs to visit to download a file").
 //!
+//! This example drives the question through the sweep engine instead of a
+//! hand-rolled loop: one `SweepSpec` with a cooperation on/off axis and a
+//! platoon-size axis, executed in parallel, exported as a metrics table.
+//!
 //! ```text
 //! cargo run --release --example multi_ap_download -- [file_blocks]
 //! ```
 
-use carq_repro::scenarios::multi_ap::{MultiApConfig, MultiApExperiment};
+use carq_repro::scenarios::multi_ap::MultiApConfig;
+use carq_repro::sweep::{MultiApSweep, Param, ParamValue, SweepEngine, SweepSpec};
 
 fn main() {
-    let blocks: u32 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1_500);
+    let blocks: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_500);
 
-    for (label, cooperative) in [("with C-ARQ", true), ("without cooperation", false)] {
-        let mut config = MultiApConfig::default_download().with_file_blocks(blocks);
-        if !cooperative {
-            config = config.without_cooperation();
-        }
-        let outcomes = MultiApExperiment::new(config).run();
-        println!("Download of {blocks} blocks per car, {label}:");
-        for outcome in outcomes {
-            match outcome.passes_needed {
-                Some(passes) => println!(
-                    "  {}: {} AP visits ({:.0} blocks per visit on average)",
-                    outcome.car, passes, outcome.mean_blocks_per_pass
-                ),
-                None => println!(
-                    "  {}: unfinished after the pass budget ({} / {blocks} blocks)",
-                    outcome.car, outcome.blocks_obtained
-                ),
-            }
+    let experiment = MultiApSweep::new(MultiApConfig::default_download());
+    let spec = SweepSpec::new(0x2008_1cdc)
+        .axis(Param::FileBlocks, vec![ParamValue::Int(blocks)])
+        .axis(Param::Cooperation, vec![ParamValue::Bool(true), ParamValue::Bool(false)])
+        .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)]);
+
+    let result = SweepEngine::new(0).run(&experiment, &spec);
+    println!(
+        "Download of {blocks} blocks per car ({} points, {:.1} s):\n",
+        result.len(),
+        result.elapsed.as_secs_f64(),
+    );
+    for (point, summary) in result.points.iter().zip(&result.summaries) {
+        let coop = point.get(Param::Cooperation).and_then(|v| v.as_bool()).unwrap_or(true);
+        let cars = point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0);
+        let label = if coop { "with C-ARQ" } else { "without cooperation" };
+        let unfinished = summary.get("unfinished_cars").unwrap_or(0.0);
+        print!(
+            "  {cars} cars, {label:<20}: {:.1} AP visits on average (worst {:.0}, {:.0} blocks/visit)",
+            summary.get("passes_needed_mean").unwrap_or(0.0),
+            summary.get("passes_needed_max").unwrap_or(0.0),
+            summary.get("blocks_per_pass_mean").unwrap_or(0.0),
+        );
+        if unfinished > 0.0 {
+            print!("  [{unfinished:.0} car(s) never finished]");
         }
         println!();
     }
+    println!("\nFull metric rows (CSV):\n{}", result.to_csv());
 }

@@ -15,10 +15,7 @@ use carq_repro::stats::{
 };
 
 fn main() {
-    let rounds: u32 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(30);
+    let rounds: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
 
     let config = UrbanConfig::paper_testbed().with_rounds(rounds);
     println!("Urban testbed: {} rounds, 3 cars, 20 km/h, 5 pkt/s/car @ 1 Mbps", rounds);

@@ -15,9 +15,13 @@
 //!   epidemic baseline and the joint-reception oracle.
 //! * [`protocol`] — the Cooperative ARQ protocol itself (the paper's
 //!   contribution).
-//! * [`stats`] — Table-1 and figure-series generation.
+//! * [`stats`] — Table-1 and figure-series generation, summaries,
+//!   percentiles and CSV/JSON record export.
 //! * [`scenarios`] — the urban testbed, highway drive-thru and multi-AP
 //!   download experiments.
+//! * [`sweep`] — the parallel, deterministic experiment-sweep engine
+//!   (parameter grids over any scenario, thread-count-independent results)
+//!   that the `carq-cli` binary drives from the command line.
 //!
 //! ## Quickstart
 //!
@@ -41,3 +45,4 @@ pub use vanet_mac as mac;
 pub use vanet_radio as radio;
 pub use vanet_scenarios as scenarios;
 pub use vanet_stats as stats;
+pub use vanet_sweep as sweep;

@@ -22,10 +22,8 @@ fn ap_retransmissions_trade_goodput_for_reliability() {
         UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(seed).without_cooperation(),
     )
     .run();
-    let mut retransmit_cfg = UrbanConfig::paper_testbed()
-        .with_rounds(rounds)
-        .with_seed(seed)
-        .without_cooperation();
+    let mut retransmit_cfg =
+        UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(seed).without_cooperation();
     retransmit_cfg.ap_policy = ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 };
     let retransmit = UrbanExperiment::new(retransmit_cfg).run();
 

@@ -4,9 +4,7 @@
 
 use carq_repro::mac::NodeId;
 use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
-use carq_repro::stats::{
-    joint_series, reception_series, recovery_series, table1, SeriesPoint,
-};
+use carq_repro::stats::{joint_series, reception_series, recovery_series, table1, SeriesPoint};
 
 fn mean_probability(series: &[SeriesPoint]) -> f64 {
     if series.is_empty() {
@@ -91,10 +89,7 @@ fn region_structure_matches_figure_3() {
     // Region I: car 1 receives better than the trailing cars.
     let own_i = region(&own, 0, third);
     let car3_i = region(&by_car3, 0, third);
-    assert!(
-        own_i > car3_i,
-        "Region I: expected car 1 ({own_i:.2}) to beat car 3 ({car3_i:.2})"
-    );
+    assert!(own_i > car3_i, "Region I: expected car 1 ({own_i:.2}) to beat car 3 ({car3_i:.2})");
     // Region III: the trailing cars receive better than car 1.
     let own_iii = region(&own, 2 * third, own.len());
     let car2_iii = region(&by_car2, 2 * third, by_car2.len());
@@ -139,10 +134,8 @@ fn no_cooperation_baseline_matches_direct_reception() {
 
 #[test]
 fn larger_platoons_recover_at_least_as_well() {
-    let three = UrbanExperiment::new(
-        UrbanConfig::paper_testbed().with_rounds(3).with_seed(5),
-    )
-    .run();
+    let three =
+        UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(3).with_seed(5)).run();
     let five = UrbanExperiment::new(
         UrbanConfig::paper_testbed().with_platoon_size(5).with_rounds(3).with_seed(5),
     )

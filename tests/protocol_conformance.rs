@@ -44,7 +44,13 @@ impl Harness {
     }
 
     /// Delivers a frame to every node except the sender and `drop_at`.
-    fn broadcast(&mut self, src: NodeId, dst: Destination, message: CarqMessage, drop_at: &[NodeId]) {
+    fn broadcast(
+        &mut self,
+        src: NodeId,
+        dst: Destination,
+        message: CarqMessage,
+        drop_at: &[NodeId],
+    ) {
         let frame = Frame::new(src, dst, message.encoded_bytes(), message);
         let mut follow_ups = Vec::new();
         for (idx, node) in self.nodes.iter_mut().enumerate() {
@@ -174,7 +180,8 @@ fn three_car_platoon_recovers_everything_the_platoon_holds() {
     // scheduled, so the total number of cooperative transmissions equals the
     // total number of recoveries.
     let total_sent: u64 = [1, 2, 3].iter().map(|c| h.node(*c).stats().coop_data_sent).sum();
-    let total_recovered: u64 = [1, 2, 3].iter().map(|c| h.node(*c).stats().recovered_via_coop).sum();
+    let total_recovered: u64 =
+        [1, 2, 3].iter().map(|c| h.node(*c).stats().recovered_via_coop).sum();
     assert_eq!(total_recovered, 5);
     assert!(
         total_sent <= total_recovered + 2,

@@ -1,0 +1,210 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API surface the workspace's criterion benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, benchmark groups and the
+//! `criterion_group!` / `criterion_main!` macros — with a much simpler
+//! measurement loop: a short warm-up, then a fixed time budget of samples,
+//! reporting mean time per iteration. There is no statistical analysis, HTML
+//! report or regression detection; the point is that `cargo bench` runs and
+//! prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value. The `std::hint` version is
+/// good enough for this harness.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one batch per
+/// sample regardless, so the variants only exist for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: large batches in the real criterion.
+    SmallInput,
+    /// Large routine input: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Total time and iteration count of the last measurement.
+    sample: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.sample = Some((elapsed, iters));
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration cost.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~1 s of measurement, capped to keep slow benches bearable.
+        let iters =
+            (Duration::from_secs(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe = Instant::now();
+        black_box(routine(input));
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_secs(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.record(start.elapsed() + once, iters + 1);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.sample {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+            println!("{name:<40} time: {:>12}   ({iters} iterations)", format_duration(per_iter));
+        }
+        _ => println!("{name:<40} (no measurement)"),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration. The stand-in accepts and ignores
+    /// the arguments `cargo bench` passes.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the sample count (ignored).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+
+    /// Prints the final summary (a no-op here).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("  {name}"), &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.sample.is_some());
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest API the workspace's tests use:
+//!
+//! * the [`proptest!`] macro with `fn name(arg in strategy, …) { … }` cases;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`];
+//! * numeric [`Range`](std::ops::Range) strategies;
+//! * [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics with
+//! the case index and the failure message, and the sequence of generated
+//! inputs is a pure function of the test name and case index, so a failure
+//! reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), __proptest_rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left == right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn collections_respect_size(
+            v in crate::collection::vec(0u8..10, 2..6),
+            s in crate::collection::btree_set(0u32..1000, 0..8),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() < 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let strategy = 0u64..u64::MAX;
+        let a = strategy.new_value(&mut TestRng::for_case("t", 3));
+        let b = strategy.new_value(&mut TestRng::for_case("t", 3));
+        let c = strategy.new_value(&mut TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run_cases("always_fails", |_| {
+            Err(TestCaseError::fail("nope".to_string()))
+        });
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) facade.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serialises through serde (CSV/JSON output is
+//! hand-rolled in `vanet-stats::export`). This crate exists so that the
+//! `#[derive(Serialize, Deserialize)]` annotations on the workspace's data
+//! types keep compiling; the derives come from the sibling no-op
+//! `serde_derive` stand-in and expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! downstream users with the real serde can serialise them, but nothing in
+//! the workspace itself performs serde serialisation (all export paths are
+//! hand-rolled CSV/JSON in `vanet-stats`). These derive macros therefore
+//! accept the full attribute syntax (`#[serde(default)]`, `#[serde(skip)]`,
+//! …) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
