@@ -9,7 +9,7 @@
 use bench::{bench_rounds, print_footer, print_header, run_urban};
 use carq::{CarqConfig, SelectionStrategy};
 use vanet_scenarios::urban::UrbanConfig;
-use vanet_stats::table1;
+use vanet_stats::{counter_total, round_results, table1};
 
 fn main() {
     print_header(
@@ -32,20 +32,15 @@ fn main() {
         let carq = CarqConfig::paper_prototype().with_selection(selection);
         let config =
             UrbanConfig::paper_testbed().with_platoon_size(5).with_rounds(rounds).with_carq(carq);
-        let (result, elapsed) = run_urban(config);
+        let (reports, elapsed) = run_urban(config);
         total_elapsed += elapsed;
-        let rows = table1(result.rounds());
+        let rows = table1(&round_results(&reports));
         let before = rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len().max(1) as f64;
         let after = rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len().max(1) as f64;
-        let suppressed: u64 = result
-            .node_stats()
-            .iter()
-            .flat_map(|round| round.iter())
-            .map(|s| s.stats.responses_suppressed)
-            .sum();
+        let suppressed = counter_total(&reports, "responses_suppressed");
         println!(
-            "{label:<18} {before:>13.1}% {after:>13.1}% {:>16} {suppressed:>18}",
-            result.total_coop_data_sent()
+            "{label:<18} {before:>13.1}% {after:>13.1}% {:>16.0} {suppressed:>18.0}",
+            counter_total(&reports, "coop_data_sent")
         );
     }
     println!("\nexpected shape: recruiting every neighbour recovers the most packets but");

@@ -10,7 +10,9 @@ use sim_core::{EventQueue, Model, Scheduler, SimDuration, SimTime, Simulation, S
 use vanet_geo::Point;
 use vanet_mac::{Destination, Frame, Medium, MediumConfig, NodeId, RadioClass};
 use vanet_radio::{ChannelModel, DataRate, RadioChannel, RadioConfig};
-use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
+use vanet_scenarios::round_seed;
+use vanet_scenarios::urban::{UrbanConfig, UrbanRun};
+use vanet_scenarios::ScenarioRun as _;
 
 /// A model that reschedules itself a fixed number of times.
 struct Countdown {
@@ -99,11 +101,11 @@ fn bench_urban_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("urban");
     group.sample_size(10);
     group.bench_function("one_full_round", |b| {
-        let experiment = UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(1));
+        let run = UrbanRun::new(UrbanConfig::paper_testbed().with_rounds(1));
         let mut round = 0;
         b.iter(|| {
             round += 1;
-            experiment.run_round(round)
+            run.run_round(round, round_seed(bench::BENCH_SEED, round))
         })
     });
     group.finish();

@@ -10,21 +10,20 @@
 
 use bench::{bench_rounds, print_footer, print_header, run_paper_testbed};
 use vanet_mac::NodeId;
-use vanet_stats::{reception_series, render_series_csv};
+use vanet_stats::{reception_series, render_series_csv, round_results};
 
 fn main() {
     print_header(
         "fig_reception",
         "Figures 3-5 — probability of reception of packets addressed to each car",
     );
-    let (result, elapsed) = run_paper_testbed();
+    let (reports, elapsed) = run_paper_testbed();
+    let results = round_results(&reports);
     let cars = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
     for (figure, flow) in (3..=5).zip(cars) {
         println!("--- Figure {figure}: packets addressed to {flow} ---");
-        let series: Vec<_> = cars
-            .iter()
-            .map(|observer| reception_series(result.rounds(), flow, *observer))
-            .collect();
+        let series: Vec<_> =
+            cars.iter().map(|observer| reception_series(&results, flow, *observer)).collect();
         // Region summary (thirds of the window), then the full CSV.
         for (label, s) in ["Rx in car 1", "Rx in car 2", "Rx in car 3"].iter().zip(&series) {
             if s.is_empty() {

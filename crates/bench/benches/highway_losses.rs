@@ -1,55 +1,65 @@
 //! Context experiment (E8): drive-thru losses at highway speeds.
 //!
-//! The paper motivates C-ARQ with the measurements of its reference [1]:
+//! The paper motivates C-ARQ with the measurements of its reference \[1\]:
 //! "vehicles passing in front of an AP moving at different speeds have losses
 //! on the order of 50-60% depending on the nominal sending rate and vehicle
-//! speed". This bench sweeps speed × sending rate for a single car and prints
-//! the per-pass loss percentage, then shows how a three-car cooperating
-//! platoon changes the picture.
+//! speed". This bench sweeps speed × sending rate for a single car through
+//! the `highway` scenario and prints the per-pass loss percentage, then
+//! shows how a three-car cooperating platoon changes the picture.
 
-use bench::{print_footer, print_header};
+use bench::{print_footer, print_header, BENCH_SEED};
 use std::time::Instant;
-use vanet_scenarios::highway::{HighwayConfig, HighwayExperiment};
+use vanet_scenarios::{HighwayScenario, Param, ParamValue, SweepPoint};
+use vanet_sweep::{SweepEngine, SweepSpec};
 
 fn passes() -> u32 {
     std::env::var("CARQ_BENCH_PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
 }
 
+fn floats(xs: &[f64]) -> Vec<ParamValue> {
+    xs.iter().map(|x| ParamValue::Float(*x)).collect()
+}
+
 fn main() {
     print_header("highway_losses", "drive-thru loss levels cited from reference [1] (§1, §3)");
     let started = Instant::now();
+    let scenario = HighwayScenario::drive_thru();
+    let engine = SweepEngine::new(0);
 
     println!("single car, no cooperation:");
+    let spec = SweepSpec::new(BENCH_SEED)
+        .axis(Param::SpeedKmh, floats(&[60.0, 80.0, 100.0, 120.0]))
+        .axis(Param::ApRatePps, floats(&[5.0, 10.0]))
+        .axis(Param::Rounds, vec![ParamValue::Int(u64::from(passes()))]);
+    let result = engine.run(&scenario, &spec).expect("schema-valid sweep");
     println!("{:>12} {:>10} {:>18} {:>10}", "speed", "rate", "window packets", "loss");
-    for speed in [60.0, 80.0, 100.0, 120.0] {
-        for rate in [5.0, 10.0] {
-            let obs = HighwayExperiment::new(
-                HighwayConfig::drive_thru_reference()
-                    .with_speed_kmh(speed)
-                    .with_rate_pps(rate)
-                    .with_passes(passes()),
-            )
-            .run();
-            println!(
-                "{:>9.0} km/h {:>7.0}/s {:>18.1} {:>9.1}%",
-                obs.speed_kmh, obs.ap_rate_pps, obs.mean_window_packets, obs.loss_pct_before
-            );
-        }
+    for (point, summary) in result.points.iter().zip(&result.summaries) {
+        println!(
+            "{:>9.0} km/h {:>7.0}/s {:>18.1} {:>9.1}%",
+            point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap(),
+            point.get(Param::ApRatePps).and_then(|v| v.as_f64()).unwrap(),
+            summary.get("tx_window_mean").unwrap(),
+            summary.get("loss_before_pct_mean").unwrap(),
+        );
     }
 
     println!("\nthree-car cooperating platoon on the same road:");
     println!("{:>12} {:>18} {:>14} {:>14}", "speed", "window packets", "loss before", "loss after");
     for speed in [60.0, 100.0, 120.0] {
-        let obs = HighwayExperiment::new(
-            HighwayConfig::drive_thru_reference()
-                .with_speed_kmh(speed)
-                .with_cooperating_platoon(3)
-                .with_passes(passes()),
-        )
-        .run();
+        let point = SweepPoint::new(vec![
+            (Param::SpeedKmh, ParamValue::Float(speed)),
+            (Param::NCars, ParamValue::Int(3)),
+            (Param::Cooperation, ParamValue::Bool(true)),
+            (Param::Rounds, ParamValue::Int(u64::from(passes()))),
+        ]);
+        let (_, summary) = vanet_scenarios::run_point(&scenario, &point, BENCH_SEED, 0)
+            .expect("schema-valid point");
         println!(
             "{:>9.0} km/h {:>18.1} {:>13.1}% {:>13.1}%",
-            obs.speed_kmh, obs.mean_window_packets, obs.loss_pct_before, obs.loss_pct_after
+            speed,
+            summary.get("tx_window_mean").unwrap(),
+            summary.get("loss_before_pct_mean").unwrap(),
+            summary.get("loss_after_pct_mean").unwrap(),
         );
     }
     print_footer(started.elapsed().as_secs_f64());

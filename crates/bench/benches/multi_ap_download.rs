@@ -3,11 +3,14 @@
 //! §6 of the paper asks "how the presented loss reduction can reduce the
 //! number of APs that a vehicular node needs to visit to download a file".
 //! This bench runs the multi-AP download experiment with and without
-//! Cooperative ARQ and reports the AP-visit count per car.
+//! Cooperative ARQ and reports the AP-visit count per car. The AP visits
+//! simulate in parallel waves; the per-car accounting is a deterministic
+//! fold over the per-visit reports.
 
-use bench::{print_footer, print_header};
+use bench::{print_footer, print_header, BENCH_SEED};
 use std::time::Instant;
-use vanet_scenarios::multi_ap::{MultiApConfig, MultiApExperiment};
+use vanet_scenarios::multi_ap::{MultiApConfig, MultiApRun};
+use vanet_scenarios::run_rounds;
 
 fn file_blocks() -> u32 {
     std::env::var("CARQ_BENCH_FILE_BLOCKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_500)
@@ -27,8 +30,9 @@ fn main() {
         if !cooperative {
             config = config.without_cooperation();
         }
-        let outcomes = MultiApExperiment::new(config).run();
-        for outcome in outcomes {
+        let run = MultiApRun::new(config);
+        let reports = run_rounds(&run, BENCH_SEED, 0);
+        for outcome in run.outcomes(&reports) {
             let visits = outcome
                 .passes_needed
                 .map(|p| p.to_string())

@@ -3,16 +3,18 @@
 //! Runs the same small urban sweep at 1, 2, 4 and 8 worker threads and
 //! reports points/second for each, re-checking on the way that the exported
 //! CSV is byte-identical at every thread count (the engine's core
-//! guarantee). On a single-core container the scaling is flat by
-//! construction; on real hardware this bench documents the speedup every
-//! future scaling PR should preserve.
+//! guarantee) — with intra-point round parallelism engaged whenever the
+//! thread budget exceeds the point count. On a single-core container the
+//! scaling is flat by construction; on real hardware this bench documents
+//! the speedup every future scaling PR should preserve.
 //!
 //! Rounds per point default to 1 and can be raised with
 //! `CARQ_BENCH_ROUNDS` for a heavier, more realistic load.
 
 use bench::{print_footer, print_header};
 use vanet_scenarios::urban::UrbanConfig;
-use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec, UrbanSweep};
+use vanet_scenarios::UrbanScenario;
+use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec};
 
 fn rounds_per_point() -> u32 {
     std::env::var("CARQ_BENCH_ROUNDS")
@@ -26,7 +28,7 @@ fn main() {
     print_header("sweep_scaling", "sweep-engine throughput vs worker count");
     let rounds = rounds_per_point();
     println!("rounds/point : {rounds} (this bench defaults to 1, not the paper's 30)");
-    let experiment = UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(rounds));
+    let scenario = UrbanScenario::new(UrbanConfig::paper_testbed().with_rounds(rounds));
     let spec = SweepSpec::new(0x5eed)
         .axis(
             Param::SpeedKmh,
@@ -39,7 +41,7 @@ fn main() {
     let started = std::time::Instant::now();
     let mut reference_csv: Option<String> = None;
     for threads in [1usize, 2, 4, 8] {
-        let result = SweepEngine::new(threads).run(&experiment, &spec);
+        let result = SweepEngine::new(threads).run(&scenario, &spec).expect("schema-valid sweep");
         println!(
             "{:>8} {:>10} {:>14.2} {:>10.2}",
             threads,

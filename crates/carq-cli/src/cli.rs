@@ -1,5 +1,6 @@
 //! Tiny hand-rolled option parsing (the build environment has no crates.io
-//! access, so no clap): `--flag value` pairs after the subcommand words.
+//! access, so no clap): `--flag value` pairs after the subcommand words,
+//! plus a declared set of valueless `--switch` flags.
 
 use carq::{RequestStrategy, SelectionStrategy};
 use vanet_sweep::ParamValue;
@@ -8,31 +9,50 @@ use vanet_sweep::ParamValue;
 #[derive(Debug, Default)]
 pub struct Options {
     pairs: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Options {
     /// Parses `args` as alternating `--flag value` pairs.
     pub fn parse(args: &[String]) -> Result<Options, String> {
-        let mut pairs = Vec::new();
+        Options::parse_with_switches(args, &[])
+    }
+
+    /// Parses `args` as `--flag value` pairs, except that flags listed in
+    /// `switches` take no value (e.g. `--allow-unknown`).
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Options, String> {
+        let mut options = Options::default();
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{flag}` (expected --flag value)"));
             };
+            if switches.contains(&name) {
+                if options.switches.iter().any(|n| n == name) {
+                    return Err(format!("--{name} given twice"));
+                }
+                options.switches.push(name.to_string());
+                continue;
+            }
             let Some(value) = iter.next() else {
                 return Err(format!("--{name} needs a value"));
             };
-            if pairs.iter().any(|(n, _)| n == name) {
+            if options.pairs.iter().any(|(n, _)| n == name) {
                 return Err(format!("--{name} given twice"));
             }
-            pairs.push((name.to_string(), value.clone()));
+            options.pairs.push((name.to_string(), value.clone()));
         }
-        Ok(Options { pairs })
+        Ok(options)
     }
 
     /// The raw value of `--name`, if given.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the valueless switch `--name` was given.
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|n| n == name)
     }
 
     /// Parses `--name` as a `T`, with a default when absent.
@@ -44,6 +64,7 @@ impl Options {
     }
 
     /// Flags that were given but are not in `known` — catches typos.
+    /// (Switches are checked at parse time and never unknown.)
     pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
         self.pairs.iter().map(|(n, _)| n.clone()).filter(|n| !known.contains(&n.as_str())).collect()
     }
@@ -58,7 +79,9 @@ pub fn split_list(raw: &str) -> Result<Vec<&str>, String> {
     Ok(items)
 }
 
-/// Parses a comma-separated list of floats into sweep values.
+/// Parses a comma-separated list of floats into sweep values. Range
+/// checking happens downstream against the scenario's typed schema, so bad
+/// magnitudes get the schema's error message rather than a parser guess.
 pub fn float_values(raw: &str) -> Result<Vec<ParamValue>, String> {
     split_list(raw)?
         .into_iter()
@@ -80,30 +103,6 @@ pub fn int_values(raw: &str) -> Result<Vec<ParamValue>, String> {
                 .map_err(|_| format!("`{item}` is not an unsigned integer"))
         })
         .collect()
-}
-
-/// Parses floats that must be strictly positive (speeds, rates). The
-/// scenarios assert these invariants with panics; checking here keeps bad
-/// input on the CLI's clean error path instead.
-pub fn positive_float_values(raw: &str) -> Result<Vec<ParamValue>, String> {
-    let values = float_values(raw)?;
-    for value in &values {
-        if value.as_f64().is_none_or(|x| x <= 0.0 || !x.is_finite()) {
-            return Err(format!("`{value}` must be a positive number"));
-        }
-    }
-    Ok(values)
-}
-
-/// Parses integers that must be at least one (cars, payloads, blocks).
-pub fn positive_int_values(raw: &str) -> Result<Vec<ParamValue>, String> {
-    let values = int_values(raw)?;
-    for value in &values {
-        if value.as_u64().is_none_or(|x| x == 0) {
-            return Err(format!("`{value}` must be at least 1"));
-        }
-    }
-    Ok(values)
 }
 
 /// Parses `on,off`-style cooperation lists.
@@ -176,22 +175,38 @@ mod tests {
     }
 
     #[test]
+    fn switches_take_no_value() {
+        let opts = Options::parse_with_switches(
+            &strs(&["--allow-unknown", "--seed", "7"]),
+            &["allow-unknown"],
+        )
+        .unwrap();
+        assert!(opts.has_switch("allow-unknown"));
+        assert_eq!(opts.get("seed"), Some("7"));
+        // A switch at the end consumes nothing.
+        let opts = Options::parse_with_switches(
+            &strs(&["--seed", "7", "--allow-unknown"]),
+            &["allow-unknown"],
+        )
+        .unwrap();
+        assert!(opts.has_switch("allow-unknown"));
+        // Without the declaration it would have needed a value.
+        assert!(Options::parse(&strs(&["--allow-unknown"])).is_err());
+        // Duplicated switches are rejected.
+        assert!(Options::parse_with_switches(
+            &strs(&["--allow-unknown", "--allow-unknown"]),
+            &["allow-unknown"],
+        )
+        .is_err());
+    }
+
+    #[test]
     fn options_reject_malformed_input() {
         assert!(Options::parse(&strs(&["seed"])).is_err());
         assert!(Options::parse(&strs(&["--seed"])).is_err());
         assert!(Options::parse(&strs(&["--seed", "1", "--seed", "2"])).is_err());
         let opts = Options::parse(&strs(&["--threads", "x"])).unwrap();
         assert!(opts.get_parsed("threads", 0usize).is_err());
-    }
-
-    #[test]
-    fn positive_parsers_reject_zero_and_negatives() {
-        assert_eq!(positive_float_values("10,20.5").unwrap().len(), 2);
-        assert!(positive_float_values("10,0").is_err());
-        assert!(positive_float_values("-5").is_err());
-        assert!(positive_float_values("inf").is_err());
-        assert_eq!(positive_int_values("1,2").unwrap().len(), 2);
-        assert!(positive_int_values("2,0").is_err());
     }
 
     #[test]

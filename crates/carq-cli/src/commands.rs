@@ -1,50 +1,63 @@
 //! Subcommand implementations.
 
-use vanet_scenarios::urban::{UrbanConfig, UrbanExperiment};
-use vanet_stats::{joint_series, recovery_series, render_series_csv, render_table1, table1};
-use vanet_sweep::{presets, Experiment, Param, SweepEngine, SweepSpec, UrbanSweep};
+use vanet_scenarios::{
+    run_point, Param, ParamKind, ParamValue, Scenario, ScenarioRegistry, SweepPoint, UrbanScenario,
+};
+use vanet_stats::{
+    joint_series, recovery_series, render_series_csv, render_table1, round_results, table1,
+    RoundResult,
+};
+use vanet_sweep::{presets, SweepEngine, SweepSpec};
 
 use crate::cli::{
-    bool_values, positive_float_values, positive_int_values, request_values, selection_values,
-    Options,
+    bool_values, float_values, int_values, request_values, selection_values, Options,
 };
 
 const DEFAULT_SEED: u64 = 0x2008_1cdc;
 const DEFAULT_SWEEP_ROUNDS: u32 = 5;
 
+/// Valueless flags accepted by `scenario run` / `sweep run`.
+const SWITCHES: [&str; 1] = ["allow-unknown"];
+
 const USAGE: &str = "\
 carq-cli — Cooperative-ARQ reproduction front-end
 
 USAGE:
+  carq-cli scenario list
+      Show every registered scenario.
+
+  carq-cli scenario describe NAME
+      Show a scenario's typed parameter schema: every parameter it
+      consumes, with type, default, range and documentation.
+
+  carq-cli scenario run NAME [--PARAM V1,V2,...]... [COMMON] [--allow-unknown]
+      Run a scenario, sweeping any of its schema parameters. Each
+      --PARAM flag is a parameter from `scenario describe NAME` and
+      takes a comma-separated value list; giving several parameters
+      sweeps their cartesian grid (axes expand in schema order, the
+      first varying slowest). With no parameter flags the scenario
+      runs once at its base configuration. Parameters outside the
+      scenario's schema are an error unless --allow-unknown drops
+      them.
+        carq-cli scenario run urban --speed_kmh 10,20 --n_cars 2,3 --rounds 3
+
   carq-cli sweep list
       Show the built-in sweep presets.
 
-  carq-cli sweep run [--preset NAME] [COMMON]
-  carq-cli sweep run --scenario urban|highway|multiap [AXES] [COMMON]
-      Run a sweep in parallel and export its per-point metrics.
-      AXES (comma-separated values). Axes always expand in the fixed
-      order below — speeds slowest, blocks fastest — regardless of the
-      order the flags are given in, so the same axes always produce the
-      same point order and per-point seeds:
-        --speeds 10,20,30        platoon speed in km/h
-        --cars 2,3,4             platoon size
-        --rates 1,5,10           AP sending rate (packets/s per car)
-        --payloads 500,1000      payload bytes
-        --selections all,first2,strong2
-                                 cooperator selection strategy
-        --requests per-packet,batched
-                                 REQUEST strategy
-        --coop on,off            cooperation enabled
-        --blocks 300,600         file blocks (multiap only)
-      COMMON:
-        --rounds N               rounds/passes per point (default 5;
-                                 urban and highway only — a multiap point
-                                 is one whole download, bounded by the
-                                 scenario's AP-visit budget)
-        --seed S                 master seed (default 0x20081cdc)
-        --threads N              worker threads, 0 = all cores (default 0)
-        --format csv|json        export format (default csv)
-        --out PATH               write to a file instead of stdout
+  carq-cli sweep run --preset NAME [COMMON] [--rounds N] [--allow-unknown]
+      Run a preset sweep in parallel and export its per-point metrics.
+      --rounds N sets rounds/passes per point (default 5; a multi-ap
+      point is one whole download, bounded by the scenario's AP-visit
+      budget).
+
+  COMMON (scenario run and sweep run):
+    --seed S                 master seed (default 0x20081cdc)
+    --threads N              worker threads, 0 = all cores (default 0).
+                             Threads beyond the point count parallelise
+                             rounds within each point; exports are
+                             byte-identical at any thread count.
+    --format csv|json        export format (default csv)
+    --out PATH               write to a file instead of stdout
 
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
@@ -63,9 +76,28 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
+        Some("scenario") => match args.get(1).map(String::as_str) {
+            Some("list") => scenario_list(),
+            Some("describe") => match args.get(2) {
+                Some(name) => scenario_describe(name),
+                None => Err("scenario describe needs a scenario name".into()),
+            },
+            Some("run") => match args.get(2) {
+                Some(name) if !name.starts_with("--") => {
+                    scenario_run(name, &Options::parse_with_switches(&args[3..], &SWITCHES)?)
+                }
+                _ => {
+                    Err("scenario run needs a scenario name (see `carq-cli scenario list`)".into())
+                }
+            },
+            other => Err(format!(
+                "unknown scenario subcommand `{}` (expected list, describe or run)",
+                other.unwrap_or("")
+            )),
+        },
         Some("sweep") => match args.get(1).map(String::as_str) {
             Some("list") => sweep_list(),
-            Some("run") => sweep_run(&Options::parse(&args[2..])?),
+            Some("run") => sweep_run(&Options::parse_with_switches(&args[2..], &SWITCHES)?),
             other => Err(format!(
                 "unknown sweep subcommand `{}` (expected list or run)",
                 other.unwrap_or("")
@@ -83,6 +115,112 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn scenario_list() -> Result<(), String> {
+    let registry = ScenarioRegistry::builtin();
+    println!("{:<12} {:>7}  description", "scenario", "params");
+    for scenario in registry.iter() {
+        println!(
+            "{:<12} {:>7}  {}",
+            scenario.name(),
+            scenario.schema().params().len(),
+            scenario.description()
+        );
+    }
+    println!("\nrun `carq-cli scenario describe NAME` for a scenario's parameter schema");
+    Ok(())
+}
+
+fn lookup<'r>(registry: &'r ScenarioRegistry, name: &str) -> Result<&'r dyn Scenario, String> {
+    registry.get(name).ok_or_else(|| {
+        format!("unknown scenario `{name}` (known: {})", registry.names().join(", "))
+    })
+}
+
+fn scenario_describe(name: &str) -> Result<(), String> {
+    let registry = ScenarioRegistry::builtin();
+    let scenario = lookup(&registry, name)?;
+    println!("{} — {}", scenario.name(), scenario.description());
+    println!();
+    print!("{}", scenario.schema().render());
+    println!();
+    println!(
+        "sweep any parameter with `carq-cli scenario run {} --PARAM v1,v2,...`",
+        scenario.name()
+    );
+    Ok(())
+}
+
+/// A `--flag value` → axis-values parser.
+type AxisParser = fn(&str) -> Result<Vec<ParamValue>, String>;
+
+fn parser_for(kind: ParamKind) -> AxisParser {
+    match kind {
+        ParamKind::Float => float_values,
+        ParamKind::Int => int_values,
+        ParamKind::Bool => bool_values,
+        ParamKind::Selection => selection_values,
+        ParamKind::Request => request_values,
+    }
+}
+
+/// The parameter vocabulary the CLI accepts, derived from the registry:
+/// `scenario`'s own schema parameters first (in schema order), then every
+/// parameter any other registered scenario declares. Nothing is
+/// hard-coded, so a new scenario's parameters become flags the moment it
+/// registers; the cross-scenario tail is what `--allow-unknown` can drop.
+fn vocabulary(registry: &ScenarioRegistry, scenario: &dyn Scenario) -> Vec<(Param, ParamKind)> {
+    let mut ordered: Vec<(Param, ParamKind)> =
+        scenario.schema().params().iter().map(|s| (s.param, s.kind)).collect();
+    for other in registry.iter() {
+        for spec in other.schema().params() {
+            if !ordered.iter().any(|(p, _)| *p == spec.param) {
+                ordered.push((spec.param, spec.kind));
+            }
+        }
+    }
+    ordered
+}
+
+/// Builds the sweep spec for `scenario run`: one axis per given parameter
+/// flag, in vocabulary order (the target scenario's schema first), so the
+/// same flags always produce the same point order and per-point seeds.
+/// With no parameter flags the spec is the single base-configuration point.
+fn scenario_spec(
+    vocabulary: &[(Param, ParamKind)],
+    opts: &Options,
+    seed: u64,
+) -> Result<SweepSpec, String> {
+    let mut spec = SweepSpec::new(seed);
+    for (param, kind) in vocabulary {
+        if let Some(raw) = opts.get(param.key()) {
+            let values = parser_for(*kind)(raw).map_err(|e| format!("--{}: {e}", param.key()))?;
+            spec = spec.axis(*param, values);
+        }
+    }
+    if spec.is_empty() {
+        spec = spec.point(SweepPoint::empty());
+    }
+    Ok(spec)
+}
+
+fn scenario_run(name: &str, opts: &Options) -> Result<(), String> {
+    let registry = ScenarioRegistry::builtin();
+    let scenario = lookup(&registry, name)?;
+    let vocabulary = vocabulary(&registry, scenario);
+    let mut known: Vec<&str> = vec!["seed", "threads", "format", "out"];
+    known.extend(vocabulary.iter().map(|(p, _)| p.key()));
+    let unknown = opts.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown flags: --{} (see `carq-cli scenario describe {name}`)",
+            unknown.join(", --")
+        ));
+    }
+    let seed = parse_seed(opts)?;
+    let spec = scenario_spec(&vocabulary, opts, seed)?;
+    execute_sweep(scenario, &spec, opts)
+}
+
 fn sweep_list() -> Result<(), String> {
     println!("{:<20} description", "preset");
     for preset in presets::all() {
@@ -91,110 +229,50 @@ fn sweep_list() -> Result<(), String> {
     Ok(())
 }
 
-/// A `--flag value` → axis-values parser.
-type AxisParser = fn(&str) -> Result<Vec<vanet_sweep::ParamValue>, String>;
-
-/// Builds a custom spec from axis flags. Axes expand in this table's fixed
-/// order (not the order the flags were typed in), so the same set of axes
-/// always yields the same point order — and with it the same per-point
-/// seeds.
-fn custom_spec(opts: &Options, seed: u64) -> Result<SweepSpec, String> {
-    let mut spec = SweepSpec::new(seed);
-    let axes: [(&str, Param, AxisParser); 8] = [
-        ("speeds", Param::SpeedKmh, positive_float_values),
-        ("cars", Param::NCars, positive_int_values),
-        ("rates", Param::ApRatePps, positive_float_values),
-        ("payloads", Param::PayloadBytes, positive_int_values),
-        ("selections", Param::Selection, selection_values),
-        ("requests", Param::Request, request_values),
-        ("coop", Param::Cooperation, bool_values),
-        ("blocks", Param::FileBlocks, positive_int_values),
-    ];
-    for (flag, param, parse) in axes {
-        if let Some(raw) = opts.get(flag) {
-            spec = spec.axis(param, parse(raw).map_err(|e| format!("--{flag}: {e}"))?);
-        }
-    }
-    if spec.is_empty() {
-        return Err("a custom sweep needs at least one axis (e.g. --speeds 10,20)".into());
-    }
-    Ok(spec)
-}
-
-fn scenario_experiment(name: &str, rounds: u32) -> Result<Box<dyn Experiment>, String> {
-    match name {
-        "urban" => Ok(Box::new(UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(rounds)))),
-        "highway" => {
-            let mut base = vanet_scenarios::highway::HighwayConfig::drive_thru_reference();
-            base.passes = rounds;
-            Ok(Box::new(vanet_sweep::HighwaySweep::new(base)))
-        }
-        // `rounds` deliberately does not reach multiap: a point is one
-        // whole download, whose length the scenario's own AP-visit budget
-        // (`max_passes`) bounds.
-        "multiap" => Ok(Box::new(vanet_sweep::MultiApSweep::new(
-            vanet_scenarios::multi_ap::MultiApConfig::default_download(),
-        ))),
-        other => Err(format!("unknown scenario `{other}` (urban, highway, multiap)")),
-    }
-}
-
 fn sweep_run(opts: &Options) -> Result<(), String> {
-    let known = [
-        "preset",
-        "scenario",
-        "speeds",
-        "cars",
-        "rates",
-        "payloads",
-        "selections",
-        "requests",
-        "coop",
-        "blocks",
-        "rounds",
-        "seed",
-        "threads",
-        "format",
-        "out",
-    ];
-    let unknown = opts.unknown_flags(&known);
+    let unknown = opts.unknown_flags(&["preset", "rounds", "seed", "threads", "format", "out"]);
     if !unknown.is_empty() {
+        if unknown.iter().any(|f| f == "scenario") {
+            return Err("custom sweeps moved to `carq-cli scenario run NAME --PARAM values,...` \
+                 (run `carq-cli scenario list` to see the scenarios)"
+                .into());
+        }
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
-
+    let Some(name) = opts.get("preset") else {
+        return Err("sweep run needs --preset NAME (see `carq-cli sweep list`); \
+                    for custom sweeps use `carq-cli scenario run`"
+            .into());
+    };
     let seed = parse_seed(opts)?;
     let rounds: u32 = opts.get_parsed("rounds", DEFAULT_SWEEP_ROUNDS)?;
     if rounds == 0 {
         return Err("--rounds must be positive".into());
     }
+    let preset = presets::find(name)
+        .ok_or_else(|| format!("unknown preset `{name}` (see `carq-cli sweep list`)"))?;
+    let (scenario, spec) = preset.build(seed, rounds);
+    execute_sweep(scenario.as_ref(), &spec, opts)
+}
+
+/// The shared back half of `scenario run` and `sweep run`: drive the
+/// engine, report progress on stderr, render, and write the export.
+fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> Result<(), String> {
     let threads: usize = opts.get_parsed("threads", 0)?;
     let format = opts.get("format").unwrap_or("csv");
     if !matches!(format, "csv" | "json") {
         return Err(format!("unknown format `{format}` (csv, json)"));
     }
 
-    let (experiment, spec): (Box<dyn Experiment>, SweepSpec) =
-        match (opts.get("preset"), opts.get("scenario")) {
-            (Some(_), Some(_)) => {
-                return Err("--preset and --scenario are mutually exclusive".into())
-            }
-            (Some(name), None) => presets::find(name)
-                .ok_or_else(|| format!("unknown preset `{name}` (see `carq-cli sweep list`)"))?
-                .build(seed, rounds),
-            (None, scenario) => {
-                let experiment = scenario_experiment(scenario.unwrap_or("urban"), rounds)?;
-                (experiment, custom_spec(opts, seed)?)
-            }
-        };
-
-    let engine = SweepEngine::new(threads);
+    let engine = SweepEngine::new(threads).with_allow_unknown(opts.has_switch("allow-unknown"));
     eprintln!(
-        "sweep: {} points of `{}` on {} thread(s), master seed {seed:#x}, {rounds} round(s) per point",
+        "sweep: {} point(s) of `{}` on {} thread(s), master seed {:#x}",
         spec.len(),
-        experiment.name(),
+        scenario.name(),
         engine.threads(),
+        spec.master_seed,
     );
-    let result = engine.run(experiment.as_ref(), &spec);
+    let result = engine.run(scenario, spec).map_err(|e| e.to_string())?;
     eprintln!(
         "sweep: finished in {:.2} s ({:.2} points/s)",
         result.elapsed.as_secs_f64(),
@@ -225,16 +303,21 @@ fn parse_seed(opts: &Options) -> Result<u64, String> {
     }
 }
 
-fn urban_result(
-    opts: &Options,
-    default_rounds: u32,
-) -> Result<vanet_scenarios::urban::ExperimentResult, String> {
+/// Runs the urban testbed at its paper configuration (with a `--rounds`
+/// override) and returns the per-round results — the input of the Table-1
+/// and figure-series generators.
+fn urban_rounds(opts: &Options, default_rounds: u32) -> Result<Vec<RoundResult>, String> {
     let rounds: u32 = opts.get_parsed("rounds", default_rounds)?;
     if rounds == 0 {
         return Err("--rounds must be positive".into());
     }
-    let config = UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(parse_seed(opts)?);
-    Ok(UrbanExperiment::new(config).run())
+    let scenario = UrbanScenario::paper_testbed();
+    let point = SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(u64::from(rounds)))]);
+    let threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let (reports, _) =
+        run_point(&scenario, &point, parse_seed(opts)?, threads).map_err(|e| e.to_string())?;
+    Ok(round_results(&reports))
 }
 
 fn table1_cmd(opts: &Options) -> Result<(), String> {
@@ -242,8 +325,8 @@ fn table1_cmd(opts: &Options) -> Result<(), String> {
     if !unknown.is_empty() {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
-    let result = urban_result(opts, 30)?;
-    print!("{}", render_table1(&table1(result.rounds())));
+    let rounds = urban_rounds(opts, 30)?;
+    print!("{}", render_table1(&table1(&rounds)));
     Ok(())
 }
 
@@ -253,9 +336,9 @@ fn fig_cmd(kind: &str, opts: &Options) -> Result<(), String> {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
     let car: u32 = opts.get_parsed("car", 1)?;
-    let result = urban_result(opts, 30)?;
-    let cars = result.cars();
-    let destination = vanet_mac_node_id(car);
+    let rounds = urban_rounds(opts, 30)?;
+    let cars = rounds.first().map(RoundResult::cars).unwrap_or_default();
+    let destination = vanet_mac::NodeId::new(car);
     if !cars.contains(&destination) {
         return Err(format!("car {car} does not exist (the run has {} cars)", cars.len()));
     }
@@ -266,25 +349,19 @@ fn fig_cmd(kind: &str, opts: &Options) -> Result<(), String> {
             let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let series: Vec<_> = cars
                 .iter()
-                .map(|observer| {
-                    vanet_stats::reception_series(result.rounds(), destination, *observer)
-                })
+                .map(|observer| vanet_stats::reception_series(&rounds, destination, *observer))
                 .collect();
             render_series_csv(&name_refs, &series)
         }
         _ => {
             // Figures 6-8: after cooperation vs the joint "virtual car".
-            let recovery = recovery_series(result.rounds(), destination);
-            let joint = joint_series(result.rounds(), destination);
+            let recovery = recovery_series(&rounds, destination);
+            let joint = joint_series(&rounds, destination);
             render_series_csv(&["after_coop", "joint_reception"], &[recovery, joint])
         }
     };
     print!("{csv}");
     Ok(())
-}
-
-fn vanet_mac_node_id(car: u32) -> vanet_mac::NodeId {
-    vanet_mac::NodeId::new(car)
 }
 
 #[cfg(test)]
@@ -295,27 +372,65 @@ mod tests {
         items.iter().map(|s| s.to_string()).collect()
     }
 
+    fn switch_opts(items: &[&str]) -> Options {
+        Options::parse_with_switches(&strs(items), &SWITCHES).unwrap()
+    }
+
     #[test]
     fn dispatch_rejects_unknown_commands() {
         assert!(dispatch(&strs(&["frobnicate"])).is_err());
         assert!(dispatch(&strs(&["sweep", "dance"])).is_err());
         assert!(dispatch(&strs(&["fig", "losses"])).is_err());
+        assert!(dispatch(&strs(&["scenario", "paint"])).is_err());
+        assert!(dispatch(&strs(&["scenario", "describe"])).is_err());
+        assert!(dispatch(&strs(&["scenario", "describe", "mars"])).is_err());
+        assert!(dispatch(&strs(&["scenario", "run"])).is_err());
+        assert!(dispatch(&strs(&["scenario", "run", "--seed"])).is_err());
     }
 
     #[test]
-    fn help_and_list_succeed() {
+    fn help_and_listings_succeed() {
         assert!(dispatch(&strs(&["help"])).is_ok());
         assert!(dispatch(&strs(&[])).is_ok());
         assert!(dispatch(&strs(&["sweep", "list"])).is_ok());
+        assert!(dispatch(&strs(&["scenario", "list"])).is_ok());
+        assert!(dispatch(&strs(&["scenario", "describe", "urban"])).is_ok());
+        assert!(dispatch(&strs(&["scenario", "describe", "multiap"])).is_ok());
     }
 
     #[test]
-    fn custom_spec_requires_an_axis() {
-        let opts = Options::parse(&[]).unwrap();
-        assert!(custom_spec(&opts, 1).is_err());
-        let opts = Options::parse(&strs(&["--speeds", "10,20", "--cars", "2"])).unwrap();
-        let spec = custom_spec(&opts, 1).unwrap();
-        assert_eq!(spec.len(), 2);
+    fn scenario_spec_builds_axes_in_schema_order() {
+        let registry = ScenarioRegistry::builtin();
+        let urban = registry.get("urban").unwrap();
+        let vocab = vocabulary(&registry, urban);
+        // The vocabulary covers every registered scenario's parameters, the
+        // target scenario's own schema first.
+        assert_eq!(vocab[0].0, Param::SpeedKmh);
+        assert!(vocab.iter().any(|(p, _)| *p == Param::FileBlocks), "multi-ap params included");
+        // Flags given in reverse order still expand schema-first.
+        let opts = switch_opts(&["--n_cars", "2,3", "--speed_kmh", "10,20"]);
+        let spec = scenario_spec(&vocab, &opts, 1).unwrap();
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.axes[0].param, Param::SpeedKmh);
+        assert_eq!(spec.axes[1].param, Param::NCars);
+        // No parameter flags: a single base-configuration point.
+        let spec = scenario_spec(&vocab, &switch_opts(&[]), 1).unwrap();
+        assert_eq!(spec.len(), 1);
+        assert!(spec.expand()[0].assignments().is_empty());
+        // Parse errors surface with the flag name.
+        let err = scenario_spec(&vocab, &switch_opts(&["--n_cars", "two"]), 1).unwrap_err();
+        assert!(err.contains("--n_cars"), "{err}");
+    }
+
+    #[test]
+    fn scenario_run_validates_flags() {
+        assert!(scenario_run("urban", &switch_opts(&["--bogus", "1"])).is_err());
+        assert!(scenario_run("mars", &switch_opts(&[])).is_err());
+        // An unknown *parameter* (valid flag, wrong scenario) is a schema
+        // error listing the parameter...
+        let err = scenario_run("highway", &switch_opts(&["--file_blocks", "100"])).unwrap_err();
+        assert!(err.contains("file_blocks"), "{err}");
+        assert!(err.contains("allow-unknown"), "{err}");
     }
 
     #[test]
@@ -332,22 +447,15 @@ mod tests {
 
     #[test]
     fn sweep_run_validates_flags_before_running() {
-        assert!(sweep_run(&Options::parse(&strs(&["--bogus", "1"])).unwrap()).is_err());
-        assert!(sweep_run(
-            &Options::parse(&strs(&["--preset", "x", "--scenario", "urban"])).unwrap()
-        )
-        .is_err());
-        assert!(sweep_run(&Options::parse(&strs(&["--preset", "no-such"])).unwrap()).is_err());
-        assert!(sweep_run(&Options::parse(&strs(&["--rounds", "0"])).unwrap()).is_err());
-        assert!(sweep_run(&Options::parse(&strs(&["--speeds", "10", "--format", "xml"])).unwrap())
-            .is_err());
-    }
-
-    #[test]
-    fn scenario_lookup() {
-        assert!(scenario_experiment("urban", 1).is_ok());
-        assert!(scenario_experiment("highway", 1).is_ok());
-        assert!(scenario_experiment("multiap", 1).is_ok());
-        assert!(scenario_experiment("mars", 1).is_err());
+        assert!(sweep_run(&switch_opts(&["--bogus", "1"])).is_err());
+        assert!(sweep_run(&switch_opts(&["--preset", "no-such"])).is_err());
+        assert!(sweep_run(&switch_opts(&["--preset", "urban-platoon", "--rounds", "0"])).is_err());
+        assert!(sweep_run(&switch_opts(&["--preset", "urban-platoon", "--format", "xml"])).is_err());
+        // The old custom-sweep entry point points at its replacement.
+        let err = sweep_run(&switch_opts(&["--scenario", "urban"])).unwrap_err();
+        assert!(err.contains("scenario run"), "{err}");
+        // No preset at all names the replacement too.
+        let err = sweep_run(&switch_opts(&[])).unwrap_err();
+        assert!(err.contains("--preset"), "{err}");
     }
 }

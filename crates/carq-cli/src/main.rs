@@ -1,9 +1,11 @@
 //! `carq-cli` — drive the C-ARQ reproduction without writing Rust.
 //!
 //! ```text
+//! carq-cli scenario list
+//! carq-cli scenario describe urban
+//! carq-cli scenario run urban --speed_kmh 10,20,30 --n_cars 2,3 --rounds 3
 //! carq-cli sweep list
 //! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
-//! carq-cli sweep run --scenario urban --speeds 10,20,30 --cars 2,3 --rounds 3
 //! carq-cli table1 --rounds 30
 //! carq-cli fig reception --car 1
 //! ```

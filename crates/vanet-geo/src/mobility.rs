@@ -4,7 +4,7 @@
 //! transmitting: the three reception "regions" of Figures 3–5 arise from the
 //! platoon entering, crossing and leaving the AP's coverage area with
 //! driver-dependent spacing ("the driver in car 2 was the least experienced,
-//! [so] car 3 became very close to car 2 at corner C"). The models here
+//! \[so\] car 3 became very close to car 2 at corner C"). The models here
 //! capture exactly those effects:
 //!
 //! * [`PathMobility`] — one vehicle following a [`Polyline`] at a nominal

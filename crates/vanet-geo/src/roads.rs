@@ -99,7 +99,7 @@ pub fn urban_testbed_block() -> (Point, Point) {
 
 /// A straight highway segment of the given length with APs placed every
 /// `ap_spacing_m` metres, 10 m off the carriageway — the drive-thru-Internet
-/// scenario of reference [1] of the paper and of our multi-AP download
+/// scenario of reference \[1\] of the paper and of our multi-AP download
 /// extension experiment.
 ///
 /// # Panics

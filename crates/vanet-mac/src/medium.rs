@@ -64,7 +64,7 @@ impl MediumConfig {
         }
     }
 
-    /// A highway drive-thru deployment (reference [1] of the paper).
+    /// A highway drive-thru deployment (reference \[1\] of the paper).
     pub fn highway() -> Self {
         MediumConfig {
             ap_vehicle: RadioConfig::highway_2_4ghz(),

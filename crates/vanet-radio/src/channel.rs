@@ -10,7 +10,7 @@
 //!   urban testbed.
 //! * [`EmpiricalProfile`] — a distance-binned reception-probability table,
 //!   in the spirit of the drive-thru-Internet measurements the paper cites
-//!   as reference [1]. Useful for calibrating against published loss
+//!   as reference \[1\]. Useful for calibrating against published loss
 //!   percentages and as a fast baseline channel.
 
 use serde::{Deserialize, Serialize};
@@ -163,7 +163,7 @@ impl RadioConfig {
         }
     }
 
-    /// A highway drive-thru channel (reference [1] of the paper): open
+    /// A highway drive-thru channel (reference \[1\] of the paper): open
     /// surroundings, higher speeds, roadside AP mast. Calibrated so that a
     /// passing car sees a usable cell of a few hundred metres, as the
     /// drive-thru-Internet measurements report.
@@ -350,7 +350,7 @@ impl ChannelModel for RadioChannel {
 ///
 /// The profile is a piecewise-linear function `P(reception | distance)`. The
 /// default profile reproduces the qualitative drive-thru findings of the
-/// paper's reference [1]: an entry region with rising reception, a
+/// paper's reference \[1\]: an entry region with rising reception, a
 /// "production" region of good reception around the AP and a symmetric exit
 /// region, with overall losses in the 50–60 % range at highway speeds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -381,7 +381,7 @@ impl EmpiricalProfile {
         EmpiricalProfile { points, reference_snr_at_zero_db: 30.0 }
     }
 
-    /// The drive-thru-Internet profile of the paper's reference [1]:
+    /// The drive-thru-Internet profile of the paper's reference \[1\]:
     /// usable reception out to roughly ±250 m of the AP with a good region
     /// of ±80 m.
     pub fn drive_thru() -> Self {

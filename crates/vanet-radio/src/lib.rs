@@ -17,7 +17,7 @@
 //!   path loss, shadowing, fading and thermal noise into a single
 //!   "was this frame received?" sampling interface, plus
 //!   [`channel::EmpiricalProfile`] for distance-binned loss curves measured
-//!   in drive-thru studies (reference [1] of the paper).
+//!   in drive-thru studies (reference \[1\] of the paper).
 //!
 //! ## Example
 //!

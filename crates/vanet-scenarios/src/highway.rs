@@ -1,24 +1,31 @@
 //! The highway drive-thru context experiment.
 //!
 //! The paper motivates Cooperative ARQ with the drive-thru-Internet
-//! measurements of its reference [1]: a car passing a roadside AP on a
+//! measurements of its reference \[1\]: a car passing a roadside AP on a
 //! highway loses 50–60 % of the packets, depending on speed and nominal
 //! sending rate. This experiment reproduces that context: a single car (or a
 //! small platoon) passes one AP on a straight road at highway speed while the
 //! AP sends at a configurable rate, and we report the per-pass loss
 //! percentage with and without cooperation.
+//!
+//! Exposed through the unified [`Scenario`] API: one round of
+//! [`HighwayScenario`] is one drive-by pass — the same per-pass simulation
+//! the multi-AP download reuses for each AP visit.
 
-use serde::{Deserialize, Serialize};
+use rand::Rng;
 use sim_core::{SimDuration, SimTime, Simulation, StreamRng};
 use vanet_dtn::{AccessPointApp, ApConfig};
 use vanet_geo::{highway_segment, kmh_to_ms, DriverProfile, PlatoonMobility};
 use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::DataRate;
-use vanet_stats::RoundResult;
+use vanet_stats::{PointSummary, RoundReport};
 
 use crate::model::{ModelConfig, VanetModel};
+use crate::params::{Param, SweepPoint};
+use crate::scenario::{LossSamples, Scenario, ScenarioRun};
+use crate::schema::{ParamError, ParamSchema, ParamSpec};
+use crate::urban::saturate_u32;
 use carq::CarqConfig;
-use rand::Rng;
 
 /// Configuration of one highway drive-thru run.
 #[derive(Debug, Clone)]
@@ -34,8 +41,6 @@ pub struct HighwayConfig {
     pub n_cars: usize,
     /// Number of passes to average over.
     pub passes: u32,
-    /// Master seed.
-    pub master_seed: u64,
     /// Length of the simulated road segment in metres (the AP sits at its
     /// centre).
     pub road_length_m: f64,
@@ -55,7 +60,6 @@ impl HighwayConfig {
             payload_bytes: 1_000,
             n_cars: 1,
             passes: 10,
-            master_seed: 0xd21e,
             road_length_m: 2_000.0,
             data_rate: DataRate::Mbps1,
             cooperation_enabled: false,
@@ -88,170 +92,321 @@ impl HighwayConfig {
     }
 }
 
-/// Aggregate outcome of a highway experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct HighwayObservation {
-    /// Vehicle speed in km/h.
-    pub speed_kmh: f64,
-    /// AP sending rate per car (packets per second).
-    pub ap_rate_pps: f64,
-    /// Mean packets transmitted to a car within its reception window.
-    pub mean_window_packets: f64,
-    /// Mean loss percentage before cooperation.
-    pub loss_pct_before: f64,
-    /// Mean loss percentage after cooperation (equals `loss_pct_before`
-    /// when cooperation is disabled or the platoon has a single car).
-    pub loss_pct_after: f64,
+/// Simulates one drive-by pass of `cfg`, seeding all randomness from `seed`.
+/// Shared by the highway scenario (one pass per round) and the multi-AP
+/// download (one pass per AP visit).
+pub(crate) fn simulate_pass(cfg: &HighwayConfig, round: u32, seed: u64) -> RoundReport {
+    let layout = highway_segment(cfg.road_length_m, cfg.road_length_m);
+    let speed = kmh_to_ms(cfg.speed_kmh);
+
+    let pass_rng = StreamRng::derive(seed, "highway-pass");
+    let mut mobility_rng = pass_rng.substream(1);
+    let shadow_seed = pass_rng.substream(2).gen::<u64>();
+    let model_seed = pass_rng.substream(3).gen::<u64>();
+
+    let mut medium = MediumConfig::highway();
+    medium.ap_vehicle = medium.ap_vehicle.clone().with_shadowing_seed(shadow_seed);
+
+    let model_config = ModelConfig {
+        medium,
+        data_rate: cfg.data_rate,
+        carq: CarqConfig::paper_prototype().with_ap_timeout(SimDuration::from_secs(3)),
+        position_update_interval: SimDuration::from_millis(50),
+        seed: model_seed,
+        cooperation_enabled: cfg.cooperation_enabled,
+    };
+    let mut model = VanetModel::new(model_config);
+
+    let car_ids: Vec<NodeId> = (1..=cfg.n_cars as u32).map(NodeId::new).collect();
+    let ap_config = ApConfig {
+        cars: car_ids.clone(),
+        packets_per_second_per_car: cfg.ap_rate_pps,
+        payload_bytes: cfg.payload_bytes,
+        policy: vanet_dtn::ApSchedulingPolicy::FreshDataOnly,
+    };
+    model.add_access_point(NodeId::new(0), layout.access_points[0], AccessPointApp::new(ap_config));
+
+    let drivers = vec![DriverProfile::experienced(); cfg.n_cars];
+    let platoon = PlatoonMobility::new(layout.path.clone(), speed, &drivers, &mut mobility_rng);
+    for (i, id) in car_ids.iter().enumerate() {
+        model.add_car(*id, platoon.member(i).clone());
+    }
+
+    // Simulate until the last car has cleared the road plus a margin for
+    // the Cooperative-ARQ phase.
+    let travel_secs = cfg.road_length_m / speed + 20.0;
+    let mut sim = Simulation::new(model)
+        .with_horizon(SimTime::from_secs_f64(travel_secs))
+        .with_event_budget(5_000_000);
+    for (t, ev) in sim.model().initial_events() {
+        sim.schedule_at(t, ev);
+    }
+    sim.run();
+    let model = sim.into_model();
+
+    let node_stats = model.node_stats();
+    let sum = |f: fn(&carq::CarqNodeStats) -> u64| -> f64 {
+        node_stats.iter().map(|s| f(&s.stats) as f64).sum()
+    };
+    RoundReport::new(round, seed, model.round_result())
+        .with_counter("requests_sent", sum(|s| s.requests_sent))
+        .with_counter("coop_data_sent", sum(|s| s.coop_data_sent))
+        .with_counter("recovered_via_coop", sum(|s| s.recovered_via_coop))
+        .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
+        .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
 }
 
-/// The highway experiment runner.
+/// The highway drive-thru as a registry-discoverable [`Scenario`].
+#[derive(Debug)]
+pub struct HighwayScenario {
+    base: HighwayConfig,
+    schema: ParamSchema,
+}
+
+impl HighwayScenario {
+    /// A scenario sweeping around `base`.
+    pub fn new(base: HighwayConfig) -> Self {
+        let schema = ParamSchema::new(
+            "highway",
+            vec![
+                ParamSpec::float(
+                    Param::SpeedKmh,
+                    "vehicle speed in km/h",
+                    base.speed_kmh,
+                    1.0,
+                    250.0,
+                ),
+                ParamSpec::float(
+                    Param::ApRatePps,
+                    "AP sending rate per car (packets/s)",
+                    base.ap_rate_pps,
+                    0.1,
+                    1_000.0,
+                ),
+                ParamSpec::int(
+                    Param::NCars,
+                    "number of cars in the platoon",
+                    base.n_cars as u64,
+                    1,
+                    32,
+                ),
+                ParamSpec::int(
+                    Param::PayloadBytes,
+                    "payload per data packet in bytes",
+                    u64::from(base.payload_bytes),
+                    1,
+                    65_535,
+                ),
+                ParamSpec::bool(
+                    Param::Cooperation,
+                    "whether the platoon runs C-ARQ",
+                    base.cooperation_enabled,
+                ),
+                ParamSpec::int(
+                    Param::Rounds,
+                    "drive-by passes to average over",
+                    u64::from(base.passes),
+                    1,
+                    10_000,
+                ),
+            ],
+        );
+        HighwayScenario { base, schema }
+    }
+
+    /// The scenario at the drive-thru reference configuration.
+    pub fn drive_thru() -> Self {
+        HighwayScenario::new(HighwayConfig::drive_thru_reference())
+    }
+
+    /// The base configuration `configure` overrides.
+    pub fn base(&self) -> &HighwayConfig {
+        &self.base
+    }
+
+    /// The configuration a point runs.
+    pub fn config_for(&self, point: &SweepPoint) -> Result<HighwayConfig, ParamError> {
+        self.schema.validate(point)?;
+        let mut cfg = self.base.clone();
+        apply_pass_overrides(&mut cfg, point);
+        if let Some(passes) = point.get(Param::Rounds).and_then(|v| v.as_u64()) {
+            cfg.passes = saturate_u32(passes);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Applies the drive-by parameter overrides a point assigns to `cfg` —
+/// the override set shared by the highway scenario and the multi-AP
+/// download's per-visit pass configuration.
+pub(crate) fn apply_pass_overrides(cfg: &mut HighwayConfig, point: &SweepPoint) {
+    if let Some(speed) = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()) {
+        cfg.speed_kmh = speed;
+    }
+    if let Some(rate) = point.get(Param::ApRatePps).and_then(|v| v.as_f64()) {
+        cfg.ap_rate_pps = rate;
+    }
+    if let Some(n) = point.get(Param::NCars).and_then(|v| v.as_u64()) {
+        cfg.n_cars = n as usize;
+    }
+    if let Some(payload) = point.get(Param::PayloadBytes).and_then(|v| v.as_u64()) {
+        cfg.payload_bytes = saturate_u32(payload);
+    }
+    if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
+        cfg.cooperation_enabled = coop;
+    }
+}
+
+impl Scenario for HighwayScenario {
+    fn name(&self) -> &'static str {
+        "highway"
+    }
+
+    fn description(&self) -> &'static str {
+        "drive-thru-Internet context: loss rates of cars passing a roadside AP at highway speed"
+    }
+
+    fn schema(&self) -> &ParamSchema {
+        &self.schema
+    }
+
+    fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+        Ok(Box::new(HighwayRun::new(self.config_for(point)?)))
+    }
+}
+
+/// One configured highway experiment: [`ScenarioRun::run_round`] simulates
+/// one drive-by pass.
 #[derive(Debug, Clone)]
-pub struct HighwayExperiment {
+pub struct HighwayRun {
     config: HighwayConfig,
 }
 
-impl HighwayExperiment {
-    /// Creates a runner.
+impl HighwayRun {
+    /// Creates a run.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (no cars, no passes,
-    /// non-positive speed or rate).
+    /// non-positive speed or rate). Configurations built through
+    /// [`HighwayScenario::configure`] are schema-checked and cannot trip
+    /// these.
     pub fn new(config: HighwayConfig) -> Self {
         assert!(config.n_cars >= 1, "at least one car required");
         assert!(config.passes >= 1, "at least one pass required");
         assert!(config.speed_kmh > 0.0, "speed must be positive");
         assert!(config.ap_rate_pps > 0.0, "rate must be positive");
-        HighwayExperiment { config }
+        HighwayRun { config }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &HighwayConfig {
         &self.config
     }
+}
 
-    /// Runs a single pass and returns its raw observations.
-    pub fn run_pass(&self, pass: u32) -> RoundResult {
-        let cfg = &self.config;
-        let layout = highway_segment(cfg.road_length_m, cfg.road_length_m);
-        let speed = kmh_to_ms(cfg.speed_kmh);
-
-        let pass_rng =
-            StreamRng::derive(cfg.master_seed, "highway-pass").substream(u64::from(pass));
-        let mut mobility_rng = pass_rng.substream(1);
-        let shadow_seed = pass_rng.substream(2).gen::<u64>();
-        let model_seed = pass_rng.substream(3).gen::<u64>();
-
-        let mut medium = MediumConfig::highway();
-        medium.ap_vehicle = medium.ap_vehicle.clone().with_shadowing_seed(shadow_seed);
-
-        let model_config = ModelConfig {
-            medium,
-            data_rate: cfg.data_rate,
-            carq: CarqConfig::paper_prototype().with_ap_timeout(SimDuration::from_secs(3)),
-            position_update_interval: SimDuration::from_millis(50),
-            seed: model_seed,
-            cooperation_enabled: cfg.cooperation_enabled,
-        };
-        let mut model = VanetModel::new(model_config);
-
-        let car_ids: Vec<NodeId> = (1..=cfg.n_cars as u32).map(NodeId::new).collect();
-        let ap_config = ApConfig {
-            cars: car_ids.clone(),
-            packets_per_second_per_car: cfg.ap_rate_pps,
-            payload_bytes: cfg.payload_bytes,
-            policy: vanet_dtn::ApSchedulingPolicy::FreshDataOnly,
-        };
-        model.add_access_point(
-            NodeId::new(0),
-            layout.access_points[0],
-            AccessPointApp::new(ap_config),
-        );
-
-        let drivers = vec![DriverProfile::experienced(); cfg.n_cars];
-        let platoon = PlatoonMobility::new(layout.path.clone(), speed, &drivers, &mut mobility_rng);
-        for (i, id) in car_ids.iter().enumerate() {
-            model.add_car(*id, platoon.member(i).clone());
-        }
-
-        // Simulate until the last car has cleared the road plus a margin for
-        // the Cooperative-ARQ phase.
-        let travel_secs = cfg.road_length_m / speed + 20.0;
-        let mut sim = Simulation::new(model)
-            .with_horizon(SimTime::from_secs_f64(travel_secs))
-            .with_event_budget(5_000_000);
-        for (t, ev) in sim.model().initial_events() {
-            sim.schedule_at(t, ev);
-        }
-        sim.run();
-        sim.into_model().round_result()
+impl ScenarioRun for HighwayRun {
+    fn rounds(&self) -> u32 {
+        self.config.passes
     }
 
-    /// Runs all passes and aggregates loss percentages.
-    pub fn run(&self) -> HighwayObservation {
-        let mut window = Vec::new();
-        let mut before = Vec::new();
-        let mut after = Vec::new();
-        for pass in 0..self.config.passes {
-            let round = self.run_pass(pass);
-            for car in round.cars() {
-                let flow = round.flow_for(car).expect("flow exists");
-                let tx = flow.tx_by_ap_in_window();
-                if tx == 0 {
-                    continue;
-                }
-                window.push(tx as f64);
-                before.push(flow.lost_before_coop() as f64 / tx as f64 * 100.0);
-                after.push(flow.lost_after_coop() as f64 / tx as f64 * 100.0);
-            }
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+        simulate_pass(&self.config, round, seed)
+    }
+
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+        let mut losses = LossSamples::default();
+        for report in rounds {
+            losses.absorb(&report.result);
         }
-        HighwayObservation {
-            speed_kmh: self.config.speed_kmh,
-            ap_rate_pps: self.config.ap_rate_pps,
-            mean_window_packets: vanet_stats::mean(&window),
-            loss_pct_before: vanet_stats::mean(&before),
-            loss_pct_after: vanet_stats::mean(&after),
-        }
+        PointSummary { metrics: losses.metrics() }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::ParamValue;
+    use crate::scenario::run_rounds;
+
+    fn summary_for(cfg: HighwayConfig, seed: u64) -> PointSummary {
+        let run = HighwayRun::new(cfg);
+        let reports = run_rounds(&run, seed, 1);
+        run.aggregate(&reports)
+    }
 
     #[test]
     fn single_pass_produces_a_window_with_losses() {
-        let experiment =
-            HighwayExperiment::new(HighwayConfig::drive_thru_reference().with_passes(1));
-        let round = experiment.run_pass(0);
-        let flow = round.flow_for(NodeId::new(1)).unwrap();
+        let run = HighwayRun::new(HighwayConfig::drive_thru_reference().with_passes(1));
+        let report = run.run_round(0, 3);
+        let flow = report.result.flow_for(NodeId::new(1)).unwrap();
         assert!(flow.tx_by_ap_in_window() > 10, "window {}", flow.tx_by_ap_in_window());
         assert!(flow.lost_before_coop() > 0);
     }
 
     #[test]
+    fn passes_are_pure_functions_of_the_seed() {
+        let run = HighwayRun::new(HighwayConfig::drive_thru_reference().with_passes(2));
+        assert_eq!(run.run_round(0, 11), run.run_round(0, 11));
+        assert_ne!(run.run_round(0, 11).result, run.run_round(0, 12).result);
+    }
+
+    #[test]
     fn faster_cars_have_smaller_windows() {
-        let slow = HighwayExperiment::new(
+        let slow = summary_for(
             HighwayConfig::drive_thru_reference().with_speed_kmh(60.0).with_passes(2),
-        )
-        .run();
-        let fast = HighwayExperiment::new(
+            7,
+        );
+        let fast = summary_for(
             HighwayConfig::drive_thru_reference().with_speed_kmh(140.0).with_passes(2),
-        )
-        .run();
-        assert!(fast.mean_window_packets < slow.mean_window_packets);
+            7,
+        );
+        assert!(fast.get("tx_window_mean").unwrap() < slow.get("tx_window_mean").unwrap());
     }
 
     #[test]
     fn cooperating_platoon_reduces_losses_at_speed() {
-        let solo =
-            HighwayExperiment::new(HighwayConfig::drive_thru_reference().with_passes(3)).run();
-        let platoon = HighwayExperiment::new(
+        let solo = summary_for(HighwayConfig::drive_thru_reference().with_passes(3), 5);
+        let platoon = summary_for(
             HighwayConfig::drive_thru_reference().with_cooperating_platoon(3).with_passes(3),
-        )
-        .run();
-        assert_eq!(solo.loss_pct_before, solo.loss_pct_after, "no cooperation possible alone");
-        assert!(platoon.loss_pct_after < platoon.loss_pct_before);
+            5,
+        );
+        assert_eq!(
+            solo.get("loss_before_pct_mean"),
+            solo.get("loss_after_pct_mean"),
+            "no cooperation possible alone"
+        );
+        assert!(
+            platoon.get("loss_after_pct_mean").unwrap()
+                < platoon.get("loss_before_pct_mean").unwrap()
+        );
+    }
+
+    #[test]
+    fn scenario_overrides_and_validation() {
+        let scenario = HighwayScenario::drive_thru();
+        let cfg = scenario
+            .config_for(&SweepPoint::new(vec![
+                (Param::SpeedKmh, ParamValue::Float(120.0)),
+                (Param::ApRatePps, ParamValue::Float(10.0)),
+                (Param::NCars, ParamValue::Int(3)),
+                (Param::Cooperation, ParamValue::Bool(true)),
+                (Param::Rounds, ParamValue::Int(2)),
+            ]))
+            .unwrap();
+        assert_eq!(cfg.speed_kmh, 120.0);
+        assert_eq!(cfg.ap_rate_pps, 10.0);
+        assert_eq!(cfg.n_cars, 3);
+        assert!(cfg.cooperation_enabled);
+        assert_eq!(cfg.passes, 2);
+        // Selection is an urban-only parameter: the highway schema rejects it.
+        let err = scenario
+            .config_for(&SweepPoint::new(vec![(
+                Param::Selection,
+                ParamValue::Selection(carq::SelectionStrategy::AllNeighbours),
+            )]))
+            .unwrap_err();
+        assert!(matches!(err, ParamError::Unknown { scenario: "highway", .. }), "{err}");
     }
 
     #[test]
@@ -259,6 +414,6 @@ mod tests {
     fn zero_cars_rejected() {
         let mut cfg = HighwayConfig::drive_thru_reference();
         cfg.n_cars = 0;
-        let _ = HighwayExperiment::new(cfg);
+        let _ = HighwayRun::new(cfg);
     }
 }

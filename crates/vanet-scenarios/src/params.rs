@@ -1,0 +1,238 @@
+//! The parameter vocabulary scenarios share: [`Param`], [`ParamValue`] and
+//! the [`SweepPoint`] assignment a scenario is configured from.
+//!
+//! These types used to live in `vanet-sweep`; they moved here so that the
+//! [`Scenario`](crate::Scenario) trait can speak them without a dependency
+//! cycle — a scenario is configured from a `SweepPoint`, whoever produced it
+//! (the sweep engine, the CLI, or a hand-written test).
+
+use std::fmt;
+
+use carq::{RequestStrategy, SelectionStrategy};
+
+/// A parameter a scenario can consume. Which parameters a scenario actually
+/// understands — with documentation, defaults and ranges — is declared by
+/// its [`ParamSchema`](crate::ParamSchema); assigning a parameter outside
+/// the schema is an error (see [`ParamError`](crate::ParamError)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Param {
+    /// Platoon cruise speed in km/h.
+    SpeedKmh,
+    /// Number of cars in the platoon.
+    NCars,
+    /// AP sending rate per car, packets per second.
+    ApRatePps,
+    /// Payload per data packet in bytes.
+    PayloadBytes,
+    /// Cooperator-selection strategy of the C-ARQ protocol.
+    Selection,
+    /// REQUEST strategy of the C-ARQ protocol (per-packet vs batched).
+    Request,
+    /// Whether cooperation is enabled at all.
+    Cooperation,
+    /// Rounds per point: urban laps, highway passes, or the AP-visit budget
+    /// of a multi-AP download.
+    Rounds,
+    /// File size in blocks (multi-AP download only).
+    FileBlocks,
+}
+
+impl Param {
+    /// The column name used in exports and the CLI.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Param::SpeedKmh => "speed_kmh",
+            Param::NCars => "n_cars",
+            Param::ApRatePps => "ap_rate_pps",
+            Param::PayloadBytes => "payload_bytes",
+            Param::Selection => "selection",
+            Param::Request => "request",
+            Param::Cooperation => "cooperation",
+            Param::Rounds => "rounds",
+            Param::FileBlocks => "file_blocks",
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One value of a scenario parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// A real-valued parameter (speed, rate).
+    Float(f64),
+    /// An integral parameter (cars, payload, rounds, blocks).
+    Int(u64),
+    /// An on/off parameter (cooperation).
+    Bool(bool),
+    /// A cooperator-selection strategy.
+    Selection(SelectionStrategy),
+    /// A REQUEST strategy.
+    Request(RequestStrategy),
+}
+
+impl ParamValue {
+    /// The float behind this value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(x) => Some(*x),
+            ParamValue::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer behind this value, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ParamValue::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Fixed decimals keep exports byte-stable; see vanet-stats.
+            ParamValue::Float(x) => write!(f, "{x:.3}"),
+            ParamValue::Int(x) => write!(f, "{x}"),
+            ParamValue::Bool(x) => write!(f, "{x}"),
+            ParamValue::Selection(SelectionStrategy::AllNeighbours) => f.write_str("all"),
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k }) => write!(f, "first{k}"),
+            ParamValue::Selection(SelectionStrategy::StrongestSignal { k }) => {
+                write!(f, "strong{k}")
+            }
+            ParamValue::Request(RequestStrategy::PerPacket) => f.write_str("per-packet"),
+            ParamValue::Request(RequestStrategy::Batched) => f.write_str("batched"),
+        }
+    }
+}
+
+/// One point of a sweep (or a one-off run): parameter assignments in a
+/// stable order. Parameters a scenario's schema declares but the point does
+/// not assign keep their schema defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepPoint {
+    assignments: Vec<(Param, ParamValue)>,
+}
+
+impl SweepPoint {
+    /// Creates a point from explicit assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter appears twice.
+    pub fn new(assignments: Vec<(Param, ParamValue)>) -> Self {
+        for (i, (param, _)) in assignments.iter().enumerate() {
+            assert!(
+                !assignments[..i].iter().any(|(p, _)| p == param),
+                "parameter {param} assigned twice in one point"
+            );
+        }
+        SweepPoint { assignments }
+    }
+
+    /// The empty point: every parameter keeps its schema default.
+    pub fn empty() -> Self {
+        SweepPoint::default()
+    }
+
+    /// The assignments, in declaration order.
+    pub fn assignments(&self) -> &[(Param, ParamValue)] {
+        &self.assignments
+    }
+
+    /// The value assigned to `param`, if any.
+    pub fn get(&self, param: Param) -> Option<ParamValue> {
+        self.assignments.iter().find(|(p, _)| *p == param).map(|(_, v)| *v)
+    }
+
+    /// A copy of this point without the assignments for `params`.
+    #[must_use]
+    pub fn without(&self, params: &[Param]) -> SweepPoint {
+        SweepPoint {
+            assignments: self
+                .assignments
+                .iter()
+                .filter(|(p, _)| !params.contains(p))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// A compact `key=value,key=value` label for logs and progress output.
+    pub fn label(&self) -> String {
+        self.assignments.iter().map(|(p, v)| format!("{p}={v}")).collect::<Vec<_>>().join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_values_render_compactly() {
+        assert_eq!(ParamValue::Float(20.0).to_string(), "20.000");
+        assert_eq!(ParamValue::Int(3).to_string(), "3");
+        assert_eq!(ParamValue::Bool(true).to_string(), "true");
+        assert_eq!(ParamValue::Selection(SelectionStrategy::AllNeighbours).to_string(), "all");
+        assert_eq!(
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }).to_string(),
+            "first2"
+        );
+        assert_eq!(
+            ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 1 }).to_string(),
+            "strong1"
+        );
+        assert_eq!(ParamValue::Request(RequestStrategy::PerPacket).to_string(), "per-packet");
+        assert_eq!(ParamValue::Request(RequestStrategy::Batched).to_string(), "batched");
+        let point = SweepPoint::new(vec![
+            (Param::SpeedKmh, ParamValue::Float(20.0)),
+            (Param::NCars, ParamValue::Int(3)),
+        ]);
+        assert_eq!(point.label(), "speed_kmh=20.000,n_cars=3");
+    }
+
+    #[test]
+    fn value_accessors_narrow_by_kind() {
+        assert_eq!(ParamValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(ParamValue::Int(4).as_f64(), Some(4.0));
+        assert_eq!(ParamValue::Int(4).as_u64(), Some(4));
+        assert_eq!(ParamValue::Float(2.5).as_u64(), None);
+        assert_eq!(ParamValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(ParamValue::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn without_strips_assignments() {
+        let point = SweepPoint::new(vec![
+            (Param::SpeedKmh, ParamValue::Float(20.0)),
+            (Param::FileBlocks, ParamValue::Int(100)),
+        ]);
+        let stripped = point.without(&[Param::FileBlocks]);
+        assert_eq!(stripped.get(Param::SpeedKmh), Some(ParamValue::Float(20.0)));
+        assert_eq!(stripped.get(Param::FileBlocks), None);
+        assert!(SweepPoint::empty().assignments().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        let _ = SweepPoint::new(vec![
+            (Param::NCars, ParamValue::Int(1)),
+            (Param::NCars, ParamValue::Int(2)),
+        ]);
+    }
+}

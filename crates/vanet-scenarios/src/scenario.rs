@@ -1,0 +1,271 @@
+//! The unified scenario API: one first-class interface every experiment
+//! implements, one purity contract every round obeys.
+//!
+//! * [`Scenario`] — a named, documented experiment family: it declares the
+//!   typed [`ParamSchema`] of the parameters it consumes and turns a
+//!   validated [`SweepPoint`] into a runnable [`ScenarioRun`].
+//! * [`ScenarioRun`] — one fully-configured experiment: a fixed number of
+//!   rounds, a **pure** `run_round(round, seed)` (all randomness derives
+//!   from `seed`; no interior mutability observable across rounds) and an
+//!   `aggregate` that folds the per-round [`RoundReport`]s into the
+//!   [`PointSummary`] metric row.
+//! * [`run_rounds`] — the shared executor: derives per-round seeds with
+//!   [`round_seed`] and runs rounds in parallel waves, producing results
+//!   that are byte-identical at any thread count.
+//!
+//! The purity contract is what buys intra-point parallelism: because a
+//! round is a function of `(configuration, round, seed)` alone, rounds can
+//! execute shuffled, interleaved or on any number of threads without
+//! changing a single exported byte.
+
+use rand::RngCore as _;
+use sim_core::StreamRng;
+use vanet_stats::{PointSummary, RoundReport};
+
+use crate::params::SweepPoint;
+use crate::schema::{ParamError, ParamSchema};
+
+/// An experiment family, discoverable by name through the
+/// [`ScenarioRegistry`](crate::ScenarioRegistry).
+pub trait Scenario: Send + Sync {
+    /// Short name used in registries, exports and the CLI (e.g. `urban`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `carq-cli scenario list`.
+    fn description(&self) -> &'static str;
+
+    /// The typed schema of the parameters this scenario consumes.
+    fn schema(&self) -> &ParamSchema;
+
+    /// Validates `point` against the schema and builds the runnable,
+    /// fully-configured experiment.
+    fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError>;
+}
+
+/// One fully-configured experiment at one parameter point.
+pub trait ScenarioRun: Send + Sync {
+    /// The number of rounds this run executes (laps, passes or the AP-visit
+    /// budget of a download).
+    fn rounds(&self) -> u32;
+
+    /// Runs round `round`, seeding **all** randomness from `seed`.
+    ///
+    /// This must be a pure function of `(self, round, seed)`: calling it
+    /// twice with the same arguments returns identical reports, and calls
+    /// for different rounds may happen in any order and on any thread.
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport;
+
+    /// Folds the per-round reports (in round order) into the point's metric
+    /// row. Implementations must ignore trailing reports past their own
+    /// completion criterion, so that executors may overshoot
+    /// [`ScenarioRun::is_settled`] without changing the summary.
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary;
+
+    /// Whether the reports collected so far already determine the outcome —
+    /// an early-exit hint for open-ended runs (e.g. a download that
+    /// finished well before its AP-visit budget). The default never settles.
+    fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {
+        let _ = rounds_so_far;
+        false
+    }
+}
+
+/// Derives the seed of round `round` from a run's `base_seed`.
+///
+/// The derivation goes through a dedicated [`StreamRng`] stream
+/// (`"scenario.round"`) and its per-round substream, so round seeds are a
+/// pure function of `(base_seed, round)` — independent of execution order
+/// and thread placement — and uncorrelated across rounds. Inside a sweep the
+/// base seed is itself derived from `(master seed, point index)`, completing
+/// the `(master seed, point index, round)` chain.
+pub fn round_seed(base_seed: u64, round: u32) -> u64 {
+    StreamRng::derive(base_seed, "scenario.round").substream(u64::from(round)).next_u64()
+}
+
+/// Runs a configured scenario's rounds — in parallel when `threads > 1` —
+/// and returns their reports in round order. `threads == 0` means one
+/// worker per available CPU, like `SweepEngine::new` in `vanet-sweep`.
+///
+/// Rounds execute in waves of `threads`; between waves the executor asks
+/// [`ScenarioRun::is_settled`] whether the remaining rounds still matter.
+/// Because every round seeds from [`round_seed`] alone and `aggregate`
+/// ignores trailing reports, the resulting [`PointSummary`] — and any CSV
+/// or JSON derived from it — is byte-identical at any thread count.
+pub fn run_rounds(run: &dyn ScenarioRun, base_seed: u64, threads: usize) -> Vec<RoundReport> {
+    let total = run.rounds();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        threads
+    } as u32;
+    let mut reports: Vec<RoundReport> = Vec::with_capacity(total as usize);
+    let mut next = 0u32;
+    while next < total {
+        if !reports.is_empty() && run.is_settled(&reports) {
+            break;
+        }
+        let end = next.saturating_add(threads).min(total);
+        if end - next == 1 {
+            reports.push(run.run_round(next, round_seed(base_seed, next)));
+        } else {
+            let wave: Vec<RoundReport> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (next..end)
+                    .map(|round| {
+                        scope.spawn(move || run.run_round(round, round_seed(base_seed, round)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("round worker panicked")).collect()
+            });
+            reports.extend(wave);
+        }
+        next = end;
+    }
+    reports
+}
+
+/// Convenience: configure `scenario` at `point`, run every round with
+/// `threads` workers, and aggregate — the one-call path for examples, tests
+/// and the CLI's single-point commands.
+pub fn run_point(
+    scenario: &dyn Scenario,
+    point: &SweepPoint,
+    seed: u64,
+    threads: usize,
+) -> Result<(Vec<RoundReport>, PointSummary), ParamError> {
+    let run = scenario.configure(point)?;
+    let reports = run_rounds(run.as_ref(), seed, threads);
+    let summary = run.aggregate(&reports);
+    Ok((reports, summary))
+}
+
+/// Per-flow loss percentages pooled over rounds — the shared aggregation of
+/// the urban and highway scenarios.
+#[derive(Debug, Default)]
+pub(crate) struct LossSamples {
+    window: Vec<f64>,
+    before_pct: Vec<f64>,
+    after_pct: Vec<f64>,
+}
+
+impl LossSamples {
+    pub(crate) fn absorb(&mut self, round: &vanet_stats::RoundResult) {
+        for car in round.cars() {
+            let Some(flow) = round.flow_for(car) else { continue };
+            let tx = flow.tx_by_ap_in_window();
+            if tx == 0 {
+                continue;
+            }
+            self.window.push(tx as f64);
+            self.before_pct.push(flow.lost_before_coop() as f64 / tx as f64 * 100.0);
+            self.after_pct.push(flow.lost_after_coop() as f64 / tx as f64 * 100.0);
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> Vec<(&'static str, f64)> {
+        let after = vanet_stats::Percentiles::of(&self.after_pct);
+        vec![
+            ("tx_window_mean", vanet_stats::mean(&self.window)),
+            ("loss_before_pct_mean", vanet_stats::mean(&self.before_pct)),
+            ("loss_after_pct_mean", vanet_stats::mean(&self.after_pct)),
+            ("loss_after_pct_p50", after.p50),
+            ("loss_after_pct_p90", after.p90),
+            ("loss_after_pct_max", after.max),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A cheap pure run: metrics are functions of `(round, seed)` only.
+    struct FakeRun {
+        rounds: u32,
+        settle_after: Option<u32>,
+        calls: AtomicUsize,
+    }
+
+    impl FakeRun {
+        fn new(rounds: u32) -> Self {
+            FakeRun { rounds, settle_after: None, calls: AtomicUsize::new(0) }
+        }
+    }
+
+    impl ScenarioRun for FakeRun {
+        fn rounds(&self) -> u32 {
+            self.rounds
+        }
+
+        fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+                .with_counter("value", (seed % 1_000) as f64)
+        }
+
+        fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+            let cutoff = self.settle_after.unwrap_or(self.rounds) as usize;
+            let total: f64 = rounds.iter().take(cutoff).filter_map(|r| r.counter("value")).sum();
+            PointSummary { metrics: vec![("total", total)] }
+        }
+
+        fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {
+            self.settle_after.is_some_and(|n| rounds_so_far.len() >= n as usize)
+        }
+    }
+
+    #[test]
+    fn round_seeds_are_pure_and_distinct() {
+        assert_eq!(round_seed(7, 0), round_seed(7, 0));
+        let seeds: std::collections::BTreeSet<u64> = (0..64).map(|r| round_seed(7, r)).collect();
+        assert_eq!(seeds.len(), 64, "round seeds must not collide in a small run");
+        assert_ne!(round_seed(7, 0), round_seed(8, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn reports_come_back_in_round_order_at_any_thread_count() {
+        let run = FakeRun::new(11);
+        let serial = run_rounds(&run, 42, 1);
+        assert_eq!(serial.len(), 11);
+        for (i, report) in serial.iter().enumerate() {
+            assert_eq!(report.round, i as u32);
+            assert_eq!(report.seed, round_seed(42, i as u32));
+        }
+        for threads in [2, 4, 8, 16] {
+            let parallel = run_rounds(&run, 42, threads);
+            assert_eq!(serial, parallel, "thread count {threads} changed the reports");
+        }
+    }
+
+    #[test]
+    fn settled_runs_stop_early_but_aggregate_identically() {
+        let serial = FakeRun { settle_after: Some(3), ..FakeRun::new(40) };
+        let serial_reports = run_rounds(&serial, 9, 1);
+        // Serial execution stops right after the settle point.
+        assert_eq!(serial_reports.len(), 3);
+        assert_eq!(serial.calls.load(Ordering::Relaxed), 3);
+
+        let wide = FakeRun { settle_after: Some(3), ..FakeRun::new(40) };
+        let wide_reports = run_rounds(&wide, 9, 8);
+        // A wide wave may overshoot the settle point but never runs the
+        // whole budget.
+        let wide_calls = wide.calls.load(Ordering::Relaxed);
+        assert!((3..=8).contains(&wide_calls), "ran {wide_calls} rounds");
+        // ...and the aggregate ignores the overshoot.
+        assert_eq!(serial.aggregate(&serial_reports), wide.aggregate(&wide_reports));
+    }
+
+    #[test]
+    fn run_point_validates_before_running() {
+        use crate::params::{Param, ParamValue};
+        let scenario = crate::urban::UrbanScenario::paper_testbed();
+        let err = run_point(
+            &scenario,
+            &SweepPoint::new(vec![(Param::FileBlocks, ParamValue::Int(5))]),
+            1,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParamError::Unknown { .. }));
+    }
+}

@@ -1,0 +1,448 @@
+//! Typed parameter schemas: which parameters a scenario consumes, with
+//! documentation, defaults and ranges — and the validation that turns a
+//! loose [`SweepPoint`] into a trustworthy configuration.
+
+use std::fmt;
+
+use crate::params::{Param, ParamValue, SweepPoint};
+
+/// The type a parameter value must have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A real number ([`ParamValue::Float`]; integers are accepted and
+    /// widened).
+    Float,
+    /// An unsigned integer ([`ParamValue::Int`]).
+    Int,
+    /// An on/off value ([`ParamValue::Bool`]).
+    Bool,
+    /// A cooperator-selection strategy ([`ParamValue::Selection`]).
+    Selection,
+    /// A REQUEST strategy ([`ParamValue::Request`]).
+    Request,
+}
+
+impl ParamKind {
+    /// The kind name shown in schema listings and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParamKind::Float => "float",
+            ParamKind::Int => "int",
+            ParamKind::Bool => "bool",
+            ParamKind::Selection => "selection",
+            ParamKind::Request => "request",
+        }
+    }
+
+    fn of(value: ParamValue) -> &'static str {
+        match value {
+            ParamValue::Float(_) => "float",
+            ParamValue::Int(_) => "int",
+            ParamValue::Bool(_) => "bool",
+            ParamValue::Selection(_) => "selection",
+            ParamValue::Request(_) => "request",
+        }
+    }
+}
+
+/// One documented parameter of a scenario: its type, its default (taken from
+/// the scenario's base configuration) and, for numeric kinds, the inclusive
+/// range of accepted values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// The parameter.
+    pub param: Param,
+    /// The type values must have.
+    pub kind: ParamKind,
+    /// One-line documentation shown by `carq-cli scenario describe`.
+    pub doc: &'static str,
+    /// The value used when a point does not assign the parameter.
+    pub default: ParamValue,
+    /// Inclusive numeric lower bound (`None` for non-numeric kinds).
+    pub min: Option<f64>,
+    /// Inclusive numeric upper bound (`None` for non-numeric kinds).
+    pub max: Option<f64>,
+}
+
+impl ParamSpec {
+    /// A float parameter accepted in `[min, max]`.
+    pub fn float(param: Param, doc: &'static str, default: f64, min: f64, max: f64) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Float,
+            doc,
+            default: ParamValue::Float(default),
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    /// An integer parameter accepted in `[min, max]`.
+    pub fn int(param: Param, doc: &'static str, default: u64, min: u64, max: u64) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Int,
+            doc,
+            default: ParamValue::Int(default),
+            min: Some(min as f64),
+            max: Some(max as f64),
+        }
+    }
+
+    /// A boolean parameter.
+    pub fn bool(param: Param, doc: &'static str, default: bool) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Bool,
+            doc,
+            default: ParamValue::Bool(default),
+            min: None,
+            max: None,
+        }
+    }
+
+    /// A cooperator-selection-strategy parameter.
+    pub fn selection(param: Param, doc: &'static str, default: carq::SelectionStrategy) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Selection,
+            doc,
+            default: ParamValue::Selection(default),
+            min: None,
+            max: None,
+        }
+    }
+
+    /// A REQUEST-strategy parameter.
+    pub fn request(param: Param, doc: &'static str, default: carq::RequestStrategy) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Request,
+            doc,
+            default: ParamValue::Request(default),
+            min: None,
+            max: None,
+        }
+    }
+
+    /// The `[min, max]` range rendered for listings, or `-` when the kind
+    /// has no range.
+    pub fn range_label(&self) -> String {
+        match (self.min, self.max, self.kind) {
+            (Some(min), Some(max), ParamKind::Int) => format!("{}..={}", min as u64, max as u64),
+            (Some(min), Some(max), _) => format!("{min}..={max}"),
+            _ => "-".to_string(),
+        }
+    }
+
+    /// Checks one assigned value against this spec.
+    pub fn check(&self, value: ParamValue) -> Result<(), ParamError> {
+        let kind_error = || ParamError::Type {
+            param: self.param,
+            expected: self.kind,
+            got: ParamKind::of(value),
+        };
+        let numeric = match (self.kind, value) {
+            (ParamKind::Float, ParamValue::Float(x)) => Some(x),
+            // Integers widen to floats (a sweep axis `10,20` may be typed as
+            // ints even where the scenario wants a float).
+            (ParamKind::Float, ParamValue::Int(x)) => Some(x as f64),
+            (ParamKind::Int, ParamValue::Int(x)) => Some(x as f64),
+            (ParamKind::Bool, ParamValue::Bool(_))
+            | (ParamKind::Selection, ParamValue::Selection(_))
+            | (ParamKind::Request, ParamValue::Request(_)) => None,
+            _ => return Err(kind_error()),
+        };
+        if let Some(x) = numeric {
+            if !x.is_finite() {
+                return Err(self.range_error(value));
+            }
+            if let Some(min) = self.min {
+                if x < min {
+                    return Err(self.range_error(value));
+                }
+            }
+            if let Some(max) = self.max {
+                if x > max {
+                    return Err(self.range_error(value));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn range_error(&self, value: ParamValue) -> ParamError {
+        ParamError::Range { param: self.param, value: value.to_string(), range: self.range_label() }
+    }
+}
+
+/// The typed parameter schema of one scenario: every parameter it consumes,
+/// in the order they are documented and exported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSchema {
+    scenario: &'static str,
+    params: Vec<ParamSpec>,
+}
+
+impl ParamSchema {
+    /// Creates the schema of `scenario` from its parameter specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is declared twice or a default violates its own
+    /// spec (both programmer errors).
+    pub fn new(scenario: &'static str, params: Vec<ParamSpec>) -> Self {
+        for (i, spec) in params.iter().enumerate() {
+            assert!(
+                !params[..i].iter().any(|s| s.param == spec.param),
+                "{scenario}: parameter {} declared twice",
+                spec.param
+            );
+            if let Err(e) = spec.check(spec.default) {
+                panic!("{scenario}: default for {} violates its own spec: {e}", spec.param);
+            }
+        }
+        ParamSchema { scenario, params }
+    }
+
+    /// The scenario this schema belongs to.
+    pub fn scenario(&self) -> &'static str {
+        self.scenario
+    }
+
+    /// The parameter specs, in declaration order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// The spec of `param`, if the scenario consumes it.
+    pub fn spec(&self, param: Param) -> Option<&ParamSpec> {
+        self.params.iter().find(|s| s.param == param)
+    }
+
+    /// Whether the scenario consumes `param`.
+    pub fn contains(&self, param: Param) -> bool {
+        self.spec(param).is_some()
+    }
+
+    /// The parameters `point` assigns that this schema does not declare.
+    pub fn unknown_params(&self, point: &SweepPoint) -> Vec<Param> {
+        point.assignments().iter().map(|(p, _)| *p).filter(|p| !self.contains(*p)).collect()
+    }
+
+    /// Validates `point` against this schema: every assigned parameter must
+    /// be declared, of the right type and within range. Unknown parameters
+    /// are an error — the silent-ignore behaviour of the old per-scenario
+    /// adapters hid typos and unit mistakes; callers that really want to
+    /// drive several scenarios from one spec strip the extras first with
+    /// [`ParamSchema::strip_unknown`].
+    pub fn validate(&self, point: &SweepPoint) -> Result<(), ParamError> {
+        let unknown = self.unknown_params(point);
+        if !unknown.is_empty() {
+            return Err(ParamError::Unknown { scenario: self.scenario, params: unknown });
+        }
+        for (param, value) in point.assignments() {
+            self.spec(*param).expect("declared above").check(*value)?;
+        }
+        Ok(())
+    }
+
+    /// A copy of `point` without the parameters this schema does not declare
+    /// — the `--allow-unknown` escape hatch.
+    pub fn strip_unknown(&self, point: &SweepPoint) -> SweepPoint {
+        point.without(&self.unknown_params(point))
+    }
+
+    /// Renders the schema as the fixed-width table `carq-cli scenario
+    /// describe` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<10} {:<14} {:<14} description\n",
+            "parameter", "type", "default", "range"
+        ));
+        for spec in &self.params {
+            out.push_str(&format!(
+                "{:<14} {:<10} {:<14} {:<14} {}\n",
+                spec.param.key(),
+                spec.kind.name(),
+                spec.default.to_string(),
+                spec.range_label(),
+                spec.doc
+            ));
+        }
+        out
+    }
+}
+
+/// Why a [`SweepPoint`] was rejected by a scenario's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// The point assigns parameters the scenario does not consume.
+    Unknown {
+        /// The rejecting scenario.
+        scenario: &'static str,
+        /// The unrecognized parameters, in assignment order.
+        params: Vec<Param>,
+    },
+    /// A value has the wrong type.
+    Type {
+        /// The offending parameter.
+        param: Param,
+        /// The type the schema expects.
+        expected: ParamKind,
+        /// The type the point assigned.
+        got: &'static str,
+    },
+    /// A numeric value is outside the accepted range (or not finite).
+    Range {
+        /// The offending parameter.
+        param: Param,
+        /// The rendered offending value.
+        value: String,
+        /// The rendered accepted range.
+        range: String,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Unknown { scenario, params } => {
+                let names: Vec<&str> = params.iter().map(Param::key).collect();
+                write!(
+                    f,
+                    "scenario `{scenario}` does not consume parameter(s): {} \
+                     (use --allow-unknown to ignore them)",
+                    names.join(", ")
+                )
+            }
+            ParamError::Type { param, expected, got } => {
+                write!(f, "parameter `{param}` expects a {} value, got {got}", expected.name())
+            }
+            ParamError::Range { param, value, range } => {
+                write!(f, "parameter `{param}`: value {value} is outside the range {range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carq::SelectionStrategy;
+
+    fn schema() -> ParamSchema {
+        ParamSchema::new(
+            "test",
+            vec![
+                ParamSpec::float(Param::SpeedKmh, "speed", 20.0, 1.0, 200.0),
+                ParamSpec::int(Param::NCars, "cars", 3, 1, 32),
+                ParamSpec::bool(Param::Cooperation, "coop", true),
+                ParamSpec::selection(Param::Selection, "sel", SelectionStrategy::AllNeighbours),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_points_pass() {
+        let s = schema();
+        let point = SweepPoint::new(vec![
+            (Param::SpeedKmh, ParamValue::Float(30.0)),
+            (Param::NCars, ParamValue::Int(5)),
+            (Param::Cooperation, ParamValue::Bool(false)),
+        ]);
+        assert!(s.validate(&point).is_ok());
+        assert!(s.validate(&SweepPoint::empty()).is_ok());
+        // Ints widen into float parameters.
+        let widened = SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Int(30))]);
+        assert!(s.validate(&widened).is_ok());
+    }
+
+    #[test]
+    fn unknown_parameters_are_listed() {
+        let s = schema();
+        let point = SweepPoint::new(vec![
+            (Param::FileBlocks, ParamValue::Int(100)),
+            (Param::Rounds, ParamValue::Int(2)),
+        ]);
+        let err = s.validate(&point).unwrap_err();
+        assert_eq!(
+            err,
+            ParamError::Unknown {
+                scenario: "test",
+                params: vec![Param::FileBlocks, Param::Rounds]
+            }
+        );
+        let message = err.to_string();
+        assert!(message.contains("file_blocks"), "{message}");
+        assert!(message.contains("rounds"), "{message}");
+        assert!(message.contains("--allow-unknown"), "{message}");
+        // The escape hatch strips exactly those parameters.
+        let stripped = s.strip_unknown(&point);
+        assert!(stripped.assignments().is_empty());
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        let s = schema();
+        let err =
+            s.validate(&SweepPoint::new(vec![(Param::NCars, ParamValue::Float(2.5))])).unwrap_err();
+        assert!(matches!(err, ParamError::Type { param: Param::NCars, .. }), "{err}");
+        let err = s
+            .validate(&SweepPoint::new(vec![(Param::Cooperation, ParamValue::Int(1))]))
+            .unwrap_err();
+        assert!(err.to_string().contains("expects a bool"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let s = schema();
+        for bad in [ParamValue::Float(0.0), ParamValue::Float(500.0), ParamValue::Float(f64::NAN)] {
+            let err = s.validate(&SweepPoint::new(vec![(Param::SpeedKmh, bad)])).unwrap_err();
+            assert!(matches!(err, ParamError::Range { param: Param::SpeedKmh, .. }), "{err}");
+        }
+        let err =
+            s.validate(&SweepPoint::new(vec![(Param::NCars, ParamValue::Int(0))])).unwrap_err();
+        assert!(err.to_string().contains("1..=32"), "{err}");
+    }
+
+    #[test]
+    fn specs_carry_defaults_and_lookups_work() {
+        let s = schema();
+        assert_eq!(s.spec(Param::SpeedKmh).unwrap().default, ParamValue::Float(20.0));
+        assert_eq!(s.spec(Param::Cooperation).unwrap().default, ParamValue::Bool(true));
+        assert!(s.contains(Param::NCars));
+        assert!(!s.contains(Param::FileBlocks));
+        assert_eq!(s.scenario(), "test");
+    }
+
+    #[test]
+    fn render_lists_every_parameter() {
+        let rendered = schema().render();
+        for key in ["speed_kmh", "n_cars", "cooperation", "selection"] {
+            assert!(rendered.contains(key), "missing {key} in:\n{rendered}");
+        }
+        assert!(rendered.contains("1..=32"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declarations_rejected() {
+        let _ = ParamSchema::new(
+            "dup",
+            vec![
+                ParamSpec::int(Param::NCars, "cars", 3, 1, 32),
+                ParamSpec::int(Param::NCars, "cars", 3, 1, 32),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "violates its own spec")]
+    fn invalid_default_rejected() {
+        let _ = ParamSchema::new("bad", vec![ParamSpec::int(Param::NCars, "cars", 0, 1, 32)]);
+    }
+}

@@ -6,31 +6,38 @@
 //! per car, everything at 1 Mbps. Each of the 30 rounds is one lap: the
 //! platoon enters coverage, crosses it, leaves it, and performs the
 //! Cooperative-ARQ phase in the dark part of the loop.
+//!
+//! The experiment is exposed through the unified [`Scenario`] API:
+//! [`UrbanScenario`] declares the typed parameter schema, and the
+//! [`ScenarioRun`] it configures runs one lap per round — a pure function
+//! of `(round, seed)`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use sim_core::{RunOutcome, SimTime, Simulation, StreamRng};
 use vanet_dtn::{AccessPointApp, ApConfig, ApSchedulingPolicy};
 use vanet_geo::{
     kmh_to_ms, urban_testbed_block, urban_testbed_loop, DriverProfile, PathMobility,
     PlatoonMobility,
 };
-use vanet_mac::{medium::MediumStats, MediumConfig, NodeId};
+use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::{Building, DataRate, ObstacleMap};
-use vanet_stats::RoundResult;
+use vanet_stats::{mean, PointSummary, RoundReport};
 
-use crate::model::{ModelConfig, NodeStatsSnapshot, VanetModel};
+use crate::model::{ModelConfig, VanetModel};
+use crate::params::{Param, ParamValue, SweepPoint};
+use crate::scenario::{LossSamples, Scenario, ScenarioRun};
+use crate::schema::{ParamError, ParamSchema, ParamSpec};
 
 use carq::CarqConfig;
 use sim_core::SimDuration;
 
-/// Configuration of the urban experiment.
+/// Configuration of the urban experiment. This is the *base* configuration;
+/// per-point overrides arrive through [`UrbanScenario::configure`] and all
+/// randomness derives from the per-round seed.
 #[derive(Debug, Clone)]
 pub struct UrbanConfig {
     /// Number of experiment rounds (laps); the paper uses 30.
     pub rounds: u32,
-    /// Master seed; every round derives its own sub-seed.
-    pub master_seed: u64,
     /// Number of cars in the platoon; the paper uses 3.
     pub n_cars: usize,
     /// Platoon cruise speed in km/h; the paper reports "about 20 Km/h".
@@ -63,7 +70,6 @@ impl UrbanConfig {
     pub fn paper_testbed() -> Self {
         UrbanConfig {
             rounds: 30,
-            master_seed: 0x2008_1cdc,
             n_cars: 3,
             speed_kmh: 20.0,
             drivers: vec![
@@ -94,12 +100,6 @@ impl UrbanConfig {
         self
     }
 
-    /// Overrides the master seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.master_seed = seed;
-        self
-    }
-
     /// Overrides the protocol configuration.
     pub fn with_carq(mut self, carq: CarqConfig) -> Self {
         self.carq = carq;
@@ -118,70 +118,158 @@ impl UrbanConfig {
     }
 }
 
-/// The aggregated outcome of an urban experiment.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct ExperimentResult {
-    rounds: Vec<RoundResult>,
-    /// Per-round, per-car protocol statistics.
-    #[serde(skip)]
-    node_stats: Vec<Vec<NodeStatsSnapshot>>,
-    /// Per-round medium statistics.
-    medium_stats: Vec<MediumStats>,
+/// Narrows a sweep value to the `u32` the configs use, saturating rather
+/// than wrapping.
+pub(crate) fn saturate_u32(value: u64) -> u32 {
+    u32::try_from(value).unwrap_or(u32::MAX)
 }
 
-impl ExperimentResult {
-    /// The per-round observations, in round order.
-    pub fn rounds(&self) -> &[RoundResult] {
-        &self.rounds
+/// The urban testbed as a registry-discoverable [`Scenario`].
+#[derive(Debug)]
+pub struct UrbanScenario {
+    base: UrbanConfig,
+    schema: ParamSchema,
+}
+
+impl UrbanScenario {
+    /// A scenario sweeping around `base`.
+    pub fn new(base: UrbanConfig) -> Self {
+        let schema = ParamSchema::new(
+            "urban",
+            vec![
+                ParamSpec::float(
+                    Param::SpeedKmh,
+                    "platoon cruise speed in km/h",
+                    base.speed_kmh,
+                    1.0,
+                    200.0,
+                ),
+                ParamSpec::int(
+                    Param::NCars,
+                    "number of cars in the platoon",
+                    base.n_cars as u64,
+                    1,
+                    32,
+                ),
+                ParamSpec::float(
+                    Param::ApRatePps,
+                    "AP sending rate per car (packets/s)",
+                    base.ap_rate_pps,
+                    0.1,
+                    1_000.0,
+                ),
+                ParamSpec::int(
+                    Param::PayloadBytes,
+                    "payload per data packet in bytes",
+                    u64::from(base.payload_bytes),
+                    1,
+                    65_535,
+                ),
+                ParamSpec::selection(
+                    Param::Selection,
+                    "cooperator-selection strategy",
+                    base.carq.selection,
+                ),
+                ParamSpec::request(
+                    Param::Request,
+                    "REQUEST strategy (per-packet or batched)",
+                    base.carq.request_strategy,
+                ),
+                ParamSpec::bool(
+                    Param::Cooperation,
+                    "whether the platoon runs C-ARQ",
+                    base.cooperation_enabled,
+                ),
+                ParamSpec::int(
+                    Param::Rounds,
+                    "experiment rounds (laps); the paper uses 30",
+                    u64::from(base.rounds),
+                    1,
+                    10_000,
+                ),
+            ],
+        );
+        UrbanScenario { base, schema }
     }
 
-    /// Per-round, per-car protocol statistics.
-    pub fn node_stats(&self) -> &[Vec<NodeStatsSnapshot>] {
-        &self.node_stats
+    /// The scenario at the paper's testbed configuration.
+    pub fn paper_testbed() -> Self {
+        UrbanScenario::new(UrbanConfig::paper_testbed())
     }
 
-    /// Per-round medium statistics.
-    pub fn medium_stats(&self) -> &[MediumStats] {
-        &self.medium_stats
+    /// The base configuration `configure` overrides.
+    pub fn base(&self) -> &UrbanConfig {
+        &self.base
     }
 
-    /// The car ids observed (from the first round).
-    pub fn cars(&self) -> Vec<NodeId> {
-        self.rounds.first().map(RoundResult::cars).unwrap_or_default()
-    }
-
-    /// Total number of REQUEST frames sent over all rounds and cars.
-    pub fn total_requests_sent(&self) -> u64 {
-        self.node_stats
-            .iter()
-            .flat_map(|round| round.iter())
-            .map(|snapshot| snapshot.stats.requests_sent)
-            .sum()
-    }
-
-    /// Total number of cooperative retransmissions over all rounds and cars.
-    pub fn total_coop_data_sent(&self) -> u64 {
-        self.node_stats
-            .iter()
-            .flat_map(|round| round.iter())
-            .map(|snapshot| snapshot.stats.coop_data_sent)
-            .sum()
+    /// The configuration a point runs: the base with the point's overrides.
+    /// Callers outside `configure` (tests, benches) can inspect it.
+    pub fn config_for(&self, point: &SweepPoint) -> Result<UrbanConfig, ParamError> {
+        self.schema.validate(point)?;
+        let mut cfg = self.base.clone();
+        if let Some(speed) = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()) {
+            cfg.speed_kmh = speed;
+        }
+        if let Some(n) = point.get(Param::NCars).and_then(|v| v.as_u64()) {
+            cfg = cfg.with_platoon_size(n as usize);
+        }
+        if let Some(rate) = point.get(Param::ApRatePps).and_then(|v| v.as_f64()) {
+            cfg.ap_rate_pps = rate;
+        }
+        if let Some(payload) = point.get(Param::PayloadBytes).and_then(|v| v.as_u64()) {
+            cfg.payload_bytes = saturate_u32(payload);
+            cfg.carq.expected_payload_bytes = saturate_u32(payload);
+        }
+        if let Some(ParamValue::Selection(selection)) = point.get(Param::Selection) {
+            cfg.carq.selection = selection;
+        }
+        if let Some(ParamValue::Request(request)) = point.get(Param::Request) {
+            cfg.carq.request_strategy = request;
+        }
+        if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
+            cfg.cooperation_enabled = coop;
+        }
+        if let Some(rounds) = point.get(Param::Rounds).and_then(|v| v.as_u64()) {
+            cfg.rounds = saturate_u32(rounds);
+        }
+        Ok(cfg)
     }
 }
 
-/// The urban experiment runner.
+impl Scenario for UrbanScenario {
+    fn name(&self) -> &'static str {
+        "urban"
+    }
+
+    fn description(&self) -> &'static str {
+        "the paper's urban testbed: a platoon lapping past an office-window AP (Table 1, Figs 3-8)"
+    }
+
+    fn schema(&self) -> &ParamSchema {
+        &self.schema
+    }
+
+    fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+        Ok(Box::new(UrbanRun::new(self.config_for(point)?)))
+    }
+}
+
+/// One configured urban experiment: [`ScenarioRun::run_round`] simulates one
+/// lap.
 #[derive(Debug, Clone)]
-pub struct UrbanExperiment {
+pub struct UrbanRun {
     config: UrbanConfig,
 }
 
-impl UrbanExperiment {
-    /// Creates a runner for the given configuration.
+impl UrbanRun {
+    /// Creates a run for the given configuration.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is internally inconsistent (no cars, no
     /// drivers, non-positive speed, or an invalid protocol configuration).
+    /// Configurations built through [`UrbanScenario::configure`] are
+    /// schema-checked and cannot trip these.
     pub fn new(config: UrbanConfig) -> Self {
         assert!(config.n_cars >= 1, "the experiment needs at least one car");
         assert!(!config.drivers.is_empty(), "at least one driver profile is required");
@@ -191,36 +279,28 @@ impl UrbanExperiment {
         if let Err(msg) = config.carq.validate() {
             panic!("invalid protocol configuration: {msg}");
         }
-        UrbanExperiment { config }
+        UrbanRun { config }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &UrbanConfig {
         &self.config
     }
+}
 
-    /// Runs all rounds and aggregates the results.
-    pub fn run(&self) -> ExperimentResult {
-        let mut result = ExperimentResult::default();
-        for round in 0..self.config.rounds {
-            let (round_result, node_stats, medium_stats) = self.run_round(round);
-            result.rounds.push(round_result);
-            result.node_stats.push(node_stats);
-            result.medium_stats.push(medium_stats);
-        }
-        result
+impl ScenarioRun for UrbanRun {
+    fn rounds(&self) -> u32 {
+        self.config.rounds
     }
 
-    /// Runs a single round (lap) and returns its observations.
-    pub fn run_round(&self, round: u32) -> (RoundResult, Vec<NodeStatsSnapshot>, MediumStats) {
+    /// Runs a single round (lap). All randomness — mobility realisation,
+    /// shadowing landscape, every sampling stream — derives from `seed`.
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
         let cfg = &self.config;
         let layout = urban_testbed_loop();
         let speed = kmh_to_ms(cfg.speed_kmh);
 
-        // Derive per-round randomness: mobility realisation, channel
-        // shadowing landscape and every sampling stream.
-        let round_rng =
-            StreamRng::derive(cfg.master_seed, "urban-round").substream(u64::from(round));
+        let round_rng = StreamRng::derive(seed, "urban-round");
         let mut mobility_rng = round_rng.substream(1);
         let shadow_seed_a = round_rng.substream(2).gen::<u64>();
         let shadow_seed_b = round_rng.substream(3).gen::<u64>();
@@ -289,27 +369,58 @@ impl UrbanExperiment {
         let outcome = sim.run();
         debug_assert_ne!(outcome, RunOutcome::EventBudgetExhausted, "runaway event loop");
         let model = sim.into_model();
-        (model.round_result(), model.node_stats(), model.medium_stats())
+
+        let node_stats = model.node_stats();
+        let sum = |f: fn(&carq::CarqNodeStats) -> u64| -> f64 {
+            node_stats.iter().map(|s| f(&s.stats) as f64).sum()
+        };
+        RoundReport::new(round, seed, model.round_result())
+            .with_counter("requests_sent", sum(|s| s.requests_sent))
+            .with_counter("coop_data_sent", sum(|s| s.coop_data_sent))
+            .with_counter("recovered_via_coop", sum(|s| s.recovered_via_coop))
+            .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
+            .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
+    }
+
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+        let mut losses = LossSamples::default();
+        let mut efficiency = Vec::new();
+        for report in rounds {
+            losses.absorb(&report.result);
+            for car in report.result.cars() {
+                if let Some(flow) = report.result.flow_for(car) {
+                    efficiency.push(flow.recovery_efficiency());
+                }
+            }
+        }
+        let mut metrics = losses.metrics();
+        metrics.push(("recovery_efficiency_mean", mean(&efficiency)));
+        metrics.push(("requests_sent", vanet_stats::counter_total(rounds, "requests_sent")));
+        metrics.push(("coop_data_sent", vanet_stats::counter_total(rounds, "coop_data_sent")));
+        PointSummary { metrics }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{round_seed, run_rounds};
 
-    fn quick_config() -> UrbanConfig {
-        UrbanConfig::paper_testbed().with_rounds(2).with_seed(99)
+    fn quick_run(rounds: u32) -> UrbanRun {
+        UrbanRun::new(UrbanConfig::paper_testbed().with_rounds(rounds))
     }
 
     #[test]
     fn single_round_produces_observations_for_every_car() {
-        let experiment = UrbanExperiment::new(quick_config());
-        let (round, node_stats, medium_stats) = experiment.run_round(0);
-        assert_eq!(round.cars(), vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
-        assert_eq!(node_stats.len(), 3);
-        assert!(medium_stats.frames_sent > 500, "AP alone sends ~15 frames/s");
-        for car in round.cars() {
-            let flow = round.flow_for(car).unwrap();
+        let run = quick_run(1);
+        let report = run.run_round(0, 99);
+        assert_eq!(report.result.cars(), vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert!(
+            report.counter("medium_frames_sent").unwrap() > 500.0,
+            "AP alone sends ~15 frames/s"
+        );
+        for car in report.result.cars() {
+            let flow = report.result.flow_for(car).unwrap();
             assert!(
                 flow.tx_by_ap_in_window() > 40,
                 "car {car} saw only {} packets in its window",
@@ -321,12 +432,12 @@ mod tests {
 
     #[test]
     fn cooperation_reduces_losses_in_a_round() {
-        let experiment = UrbanExperiment::new(quick_config());
-        let (round, node_stats, _) = experiment.run_round(1);
+        let run = quick_run(2);
+        let report = run.run_round(1, round_seed(99, 1));
         let mut total_before = 0usize;
         let mut total_after = 0usize;
-        for car in round.cars() {
-            let flow = round.flow_for(car).unwrap();
+        for car in report.result.cars() {
+            let flow = report.result.flow_for(car).unwrap();
             total_before += flow.lost_before_coop();
             total_after += flow.lost_after_coop();
         }
@@ -334,57 +445,107 @@ mod tests {
             total_after < total_before,
             "cooperation must recover packets ({total_after} !< {total_before})"
         );
-        let recovered: u64 = node_stats.iter().map(|s| s.stats.recovered_via_coop).sum();
-        assert!(recovered > 0);
+        assert!(report.counter("recovered_via_coop").unwrap() > 0.0);
     }
 
     #[test]
-    fn rounds_are_reproducible_for_a_fixed_seed() {
-        let experiment = UrbanExperiment::new(quick_config());
-        let (a, _, _) = experiment.run_round(0);
-        let (b, _, _) = experiment.run_round(0);
-        assert_eq!(a, b);
+    fn rounds_are_pure_functions_of_round_and_seed() {
+        let run = quick_run(2);
+        assert_eq!(run.run_round(0, 7), run.run_round(0, 7));
+        assert_ne!(run.run_round(0, 7).result, run.run_round(0, 8).result);
+        // The round index alone does not re-randomise: the seed carries all
+        // the entropy.
+        assert_eq!(run.run_round(0, 7).result, run.run_round(1, 7).result);
     }
 
     #[test]
-    fn different_rounds_differ() {
-        let experiment = UrbanExperiment::new(quick_config());
-        let (a, _, _) = experiment.run_round(0);
-        let (b, _, _) = experiment.run_round(1);
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn run_aggregates_all_rounds() {
-        let experiment = UrbanExperiment::new(quick_config());
-        let result = experiment.run();
-        assert_eq!(result.rounds().len(), 2);
-        assert_eq!(result.node_stats().len(), 2);
-        assert_eq!(result.medium_stats().len(), 2);
-        assert_eq!(result.cars().len(), 3);
-        assert!(result.total_requests_sent() > 0);
-        assert!(result.total_coop_data_sent() > 0);
+    fn run_rounds_aggregates_all_rounds() {
+        let run = quick_run(2);
+        let reports = run_rounds(&run, 99, 1);
+        assert_eq!(reports.len(), 2);
+        let summary = run.aggregate(&reports);
+        assert!(summary.get("requests_sent").unwrap() > 0.0);
+        assert!(summary.get("coop_data_sent").unwrap() > 0.0);
+        let before = summary.get("loss_before_pct_mean").unwrap();
+        let after = summary.get("loss_after_pct_mean").unwrap();
+        assert!(after <= before, "cooperation must not increase losses ({after} > {before})");
     }
 
     #[test]
     fn no_cooperation_baseline_sends_no_protocol_traffic() {
-        let experiment = UrbanExperiment::new(quick_config().without_cooperation().with_rounds(1));
-        let result = experiment.run();
-        assert_eq!(result.total_requests_sent(), 0);
-        assert_eq!(result.total_coop_data_sent(), 0);
+        let run = UrbanRun::new(UrbanConfig::paper_testbed().without_cooperation().with_rounds(1));
+        let reports = run_rounds(&run, 5, 1);
+        let summary = run.aggregate(&reports);
+        assert_eq!(summary.get("requests_sent"), Some(0.0));
+        assert_eq!(summary.get("coop_data_sent"), Some(0.0));
         // Losses before and after coincide in the baseline.
-        let round = &result.rounds()[0];
-        for car in round.cars() {
-            let flow = round.flow_for(car).unwrap();
+        for car in reports[0].result.cars() {
+            let flow = reports[0].result.flow_for(car).unwrap();
             assert_eq!(flow.lost_before_coop(), flow.lost_after_coop());
         }
     }
 
     #[test]
+    fn scenario_overrides_reach_the_config() {
+        use carq::{RequestStrategy, SelectionStrategy};
+        let scenario = UrbanScenario::paper_testbed();
+        let cfg = scenario
+            .config_for(&SweepPoint::new(vec![
+                (Param::SpeedKmh, ParamValue::Float(35.0)),
+                (Param::NCars, ParamValue::Int(5)),
+                (Param::ApRatePps, ParamValue::Float(8.0)),
+                (Param::PayloadBytes, ParamValue::Int(500)),
+                (Param::Selection, ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 })),
+                (Param::Request, ParamValue::Request(RequestStrategy::Batched)),
+                (Param::Cooperation, ParamValue::Bool(false)),
+                (Param::Rounds, ParamValue::Int(4)),
+            ]))
+            .unwrap();
+        assert_eq!(cfg.speed_kmh, 35.0);
+        assert_eq!(cfg.n_cars, 5);
+        assert_eq!(cfg.drivers.len(), 5);
+        assert_eq!(cfg.ap_rate_pps, 8.0);
+        assert_eq!(cfg.payload_bytes, 500);
+        assert_eq!(cfg.carq.expected_payload_bytes, 500);
+        assert_eq!(cfg.carq.selection, SelectionStrategy::FirstHeard { k: 2 });
+        assert_eq!(cfg.carq.request_strategy, RequestStrategy::Batched);
+        assert!(!cfg.cooperation_enabled);
+        assert_eq!(cfg.rounds, 4);
+    }
+
+    #[test]
+    fn unassigned_parameters_keep_base_values() {
+        let scenario = UrbanScenario::paper_testbed();
+        let cfg = scenario
+            .config_for(&SweepPoint::new(vec![(Param::NCars, ParamValue::Int(4))]))
+            .unwrap();
+        let base = UrbanConfig::paper_testbed();
+        assert_eq!(cfg.speed_kmh, base.speed_kmh);
+        assert_eq!(cfg.ap_rate_pps, base.ap_rate_pps);
+        assert_eq!(cfg.rounds, base.rounds);
+        assert_eq!(cfg.n_cars, 4);
+    }
+
+    #[test]
+    fn unknown_and_out_of_range_parameters_are_rejected() {
+        let scenario = UrbanScenario::paper_testbed();
+        let err = scenario
+            .configure(&SweepPoint::new(vec![(Param::FileBlocks, ParamValue::Int(100))]))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ParamError::Unknown { scenario: "urban", .. }), "{err}");
+        let err = scenario
+            .configure(&SweepPoint::new(vec![(Param::NCars, ParamValue::Int(0))]))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ParamError::Range { param: Param::NCars, .. }), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "at least one car")]
     fn zero_cars_rejected() {
-        let mut cfg = quick_config();
+        let mut cfg = UrbanConfig::paper_testbed();
         cfg.n_cars = 0;
-        let _ = UrbanExperiment::new(cfg);
+        let _ = UrbanRun::new(cfg);
     }
 }

@@ -8,6 +8,8 @@
 //! * [`observation`] — the raw per-round record: for every flow (car), which
 //!   packets the AP sent, which every observer physically received and what
 //!   the destination ended up with after cooperation.
+//! * [`report`] — the carriers every scenario shares: the per-round
+//!   [`RoundReport`] and the per-point aggregated [`PointSummary`].
 //! * [`summary`] — mean / standard deviation helpers.
 //! * [`table`] — the Table-1 generator (per-car packets transmitted, lost
 //!   before cooperation, lost after cooperation, with standard deviations).
@@ -23,12 +25,14 @@
 
 pub mod export;
 pub mod observation;
+pub mod report;
 pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use export::{render_series_csv, render_table1, series_to_rows, CellValue, RecordTable};
 pub use observation::{FlowObservation, RoundResult};
+pub use report::{counter_total, round_results, PointSummary, RoundReport};
 pub use series::{joint_series, reception_series, recovery_series, SeriesPoint};
 pub use summary::{mean, percentile, std_dev, Percentiles, Summary};
 pub use table::{table1, Table1Row};

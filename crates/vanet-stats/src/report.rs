@@ -1,0 +1,121 @@
+//! Common round-result carriers shared by every scenario.
+//!
+//! The unified `Scenario` API (in `vanet-scenarios`) demands that one round
+//! of *any* experiment — an urban lap, a highway drive-by, one AP visit of a
+//! download — reports its outcome in the same shape, so that the sweep
+//! engine, the CLI and the figure generators can treat scenarios uniformly:
+//!
+//! * [`RoundReport`] — what one round produced: the per-flow
+//!   [`RoundResult`], the seed the round ran with, and named scalar
+//!   counters (protocol frames sent, medium statistics, …).
+//! * [`PointSummary`] — the aggregated metric row of a whole point (all
+//!   rounds), as exported into sweep tables.
+
+use crate::observation::RoundResult;
+
+/// The outcome of one experiment round, in the shape every scenario shares.
+///
+/// A `RoundReport` must be a pure function of `(configuration, round, seed)`
+/// — the purity contract that makes rounds executable in any order and on
+/// any thread without changing results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundReport {
+    /// The round index within its point (lap, pass or AP-visit number).
+    pub round: u32,
+    /// The seed all of the round's randomness derived from.
+    pub seed: u64,
+    /// The per-flow observations of the round.
+    pub result: RoundResult,
+    /// Named scalar counters of the round (e.g. `requests_sent`,
+    /// `coop_data_sent`, `medium_frames_sent`). Every round of one scenario
+    /// reports the same counter names.
+    pub counters: Vec<(&'static str, f64)>,
+}
+
+impl RoundReport {
+    /// Creates a report for `round` run with `seed`.
+    pub fn new(round: u32, seed: u64, result: RoundResult) -> Self {
+        RoundReport { round, seed, result, counters: Vec::new() }
+    }
+
+    /// Adds a named counter (builder style).
+    #[must_use]
+    pub fn with_counter(mut self, name: &'static str, value: f64) -> Self {
+        self.counters.push((name, value));
+        self
+    }
+
+    /// The value of the counter called `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Sums the counter `name` over all `reports` (absent counters count as 0).
+pub fn counter_total(reports: &[RoundReport], name: &str) -> f64 {
+    reports.iter().filter_map(|r| r.counter(name)).sum()
+}
+
+/// Clones the per-round [`RoundResult`]s out of `reports`, in report order —
+/// the shape the Table-1 and figure-series generators consume.
+pub fn round_results(reports: &[RoundReport]) -> Vec<RoundResult> {
+    reports.iter().map(|r| r.result.clone()).collect()
+}
+
+/// The metric row one sweep point produced: ordered `(name, value)` pairs.
+/// Every point of one sweep must report the same metric names in the same
+/// order (the sweep engine enforces this), so the rows align into a table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointSummary {
+    /// Ordered metric values.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl PointSummary {
+    /// The metric names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.metrics.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// The value of the metric called `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_look_up_by_name() {
+        let report = RoundReport::new(3, 77, RoundResult::default())
+            .with_counter("requests_sent", 4.0)
+            .with_counter("coop_data_sent", 9.0);
+        assert_eq!(report.round, 3);
+        assert_eq!(report.seed, 77);
+        assert_eq!(report.counter("requests_sent"), Some(4.0));
+        assert_eq!(report.counter("nope"), None);
+    }
+
+    #[test]
+    fn counter_total_sums_over_reports() {
+        let reports: Vec<RoundReport> = (0..4)
+            .map(|i| {
+                RoundReport::new(i, u64::from(i), RoundResult::default())
+                    .with_counter("requests_sent", f64::from(i))
+            })
+            .collect();
+        assert_eq!(counter_total(&reports, "requests_sent"), 6.0);
+        assert_eq!(counter_total(&reports, "absent"), 0.0);
+        assert_eq!(round_results(&reports).len(), 4);
+    }
+
+    #[test]
+    fn point_summary_lookups() {
+        let summary = PointSummary { metrics: vec![("a", 1.0), ("b", 2.0)] };
+        assert_eq!(summary.names(), vec!["a", "b"]);
+        assert_eq!(summary.get("b"), Some(2.0));
+        assert_eq!(summary.get("c"), None);
+    }
+}

@@ -1,14 +1,15 @@
 //! The parallel sweep executor and its result type.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rand::RngCore as _;
 use sim_core::StreamRng;
-use vanet_stats::{CellValue, RecordTable};
+use vanet_scenarios::{run_rounds, ParamError, Scenario, ScenarioRun};
+use vanet_stats::{CellValue, PointSummary, RecordTable};
 
-use crate::experiment::{Experiment, PointSummary};
 use crate::spec::{SweepPoint, SweepSpec};
 
 /// Derives the seed for point `index` of a sweep with `master_seed`.
@@ -20,22 +21,66 @@ use crate::spec::{SweepPoint, SweepSpec};
 ///   thread that happens to execute the point, which makes sweep results
 ///   byte-identical at any thread count;
 /// * points of the same sweep get uncorrelated seeds (substream mixing);
-/// * a sweep's seeds are uncorrelated with the per-round streams the
-///   scenarios themselves derive from the point seed, because the label
-///   namespaces differ.
+/// * a sweep's seeds are uncorrelated with the per-round seeds the executor
+///   derives from the point seed ([`vanet_scenarios::round_seed`]), because
+///   the label namespaces differ. The full chain is
+///   `(master seed, point index, round) → round seed`.
 pub fn point_seed(master_seed: u64, index: usize) -> u64 {
     StreamRng::derive(master_seed, "sweep.point").substream(index as u64).next_u64()
 }
 
+/// Why a sweep could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec expanded to no points.
+    EmptySweep,
+    /// A point failed the scenario's schema validation.
+    Param {
+        /// Index of the offending point in the expansion.
+        point: usize,
+        /// The point's `key=value` label.
+        label: String,
+        /// The underlying schema error.
+        source: ParamError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptySweep => f.write_str("cannot run an empty sweep"),
+            SweepError::Param { point, label, source } => {
+                write!(f, "point {point} ({label}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Param { source, .. } => Some(source),
+            SweepError::EmptySweep => None,
+        }
+    }
+}
+
 /// The work-sharing parallel sweep executor.
 ///
-/// Workers pull point indices from a shared queue (an atomic counter), so
-/// load balances dynamically across threads regardless of how uneven the
-/// per-point cost is; results land in their point's slot, so the output
-/// order is the spec's expansion order, not completion order.
+/// The engine parallelises at two levels from one thread budget. Workers
+/// pull point indices from a shared queue (an atomic counter), so load
+/// balances dynamically across points regardless of how uneven the
+/// per-point cost is; when the sweep has fewer points than threads, the
+/// leftover budget goes **inside** each point, running its rounds in
+/// parallel waves (see [`vanet_scenarios::run_rounds`]). Results land in
+/// their point's slot, so the output order is the spec's expansion order,
+/// not completion order — and because every round's seed is a pure function
+/// of `(master seed, point index, round)`, exports are byte-identical at
+/// any thread count.
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
     threads: usize,
+    allow_unknown: bool,
 }
 
 impl SweepEngine {
@@ -47,7 +92,16 @@ impl SweepEngine {
         } else {
             threads
         };
-        SweepEngine { threads }
+        SweepEngine { threads, allow_unknown: false }
+    }
+
+    /// Silently drops sweep parameters the scenario's schema does not
+    /// declare instead of failing validation — the escape hatch for driving
+    /// scenarios that consume different subsets from one spec.
+    #[must_use]
+    pub fn with_allow_unknown(mut self, allow: bool) -> Self {
+        self.allow_unknown = allow;
+        self
     }
 
     /// The worker count this engine uses.
@@ -55,17 +109,64 @@ impl SweepEngine {
         self.threads
     }
 
-    /// Runs every point of `spec` through `experiment` and collects the
+    /// Whether unknown parameters are dropped instead of rejected.
+    pub fn allow_unknown(&self) -> bool {
+        self.allow_unknown
+    }
+
+    /// Runs every point of `spec` through `scenario` and collects the
     /// results in expansion order.
+    ///
+    /// Every point is validated against the scenario's schema (and
+    /// configured) **before** anything runs, so a typo in one point fails
+    /// the sweep fast instead of after hours of simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::EmptySweep`] when the spec has no points;
+    /// [`SweepError::Param`] when a point fails schema validation.
     ///
     /// # Panics
     ///
-    /// Panics if the spec is empty, or if the experiment reports different
-    /// metric names for different points.
-    pub fn run(&self, experiment: &dyn Experiment, spec: &SweepSpec) -> SweepResult {
+    /// Panics if the scenario reports different metric names for different
+    /// points (a scenario implementation bug).
+    pub fn run(
+        &self,
+        scenario: &dyn Scenario,
+        spec: &SweepSpec,
+    ) -> Result<SweepResult, SweepError> {
         let points = spec.expand();
-        assert!(!points.is_empty(), "cannot run an empty sweep");
+        if points.is_empty() {
+            return Err(SweepError::EmptySweep);
+        }
         let seeds: Vec<u64> = (0..points.len()).map(|i| point_seed(spec.master_seed, i)).collect();
+
+        // Configure (and thereby validate) every point up front.
+        let runs: Vec<Box<dyn ScenarioRun>> = points
+            .iter()
+            .enumerate()
+            .map(|(index, point)| {
+                let effective = if self.allow_unknown {
+                    scenario.schema().strip_unknown(point)
+                } else {
+                    point.clone()
+                };
+                scenario.configure(&effective).map_err(|source| SweepError::Param {
+                    point: index,
+                    label: point.label(),
+                    source,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Split the thread budget: as many point workers as there are
+        // points to keep busy, the rest of the budget parallelising rounds
+        // within each point. The ceiling division hands the remainder to
+        // the round level (5 points on 8 threads → 2 round workers each,
+        // briefly 10 live threads) rather than leaving it idle. The split
+        // affects wall-clock only — never results.
+        let outer = self.threads.min(points.len()).max(1);
+        let inner = self.threads.div_ceil(outer);
 
         let started = Instant::now();
         let next = AtomicUsize::new(0);
@@ -73,11 +174,12 @@ impl SweepEngine {
             points.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(points.len()) {
+            for _ in 0..outer {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(point) = points.get(index) else { break };
-                    let summary = experiment.run_point(point, seeds[index]);
+                    let Some(run) = runs.get(index) else { break };
+                    let reports = run_rounds(run.as_ref(), seeds[index], inner);
+                    let summary = run.aggregate(&reports);
                     *slots[index].lock().expect("sweep slot poisoned") = Some(summary);
                 });
             }
@@ -95,19 +197,19 @@ impl SweepEngine {
             assert_eq!(
                 summary.names(),
                 reference,
-                "experiment reported inconsistent metrics at point {i}"
+                "scenario reported inconsistent metrics at point {i}"
             );
         }
 
-        SweepResult {
-            experiment: experiment.name().to_string(),
+        Ok(SweepResult {
+            scenario: scenario.name().to_string(),
             master_seed: spec.master_seed,
             threads: self.threads,
             elapsed: started.elapsed(),
             points,
             seeds,
             summaries,
-        }
+        })
     }
 }
 
@@ -121,8 +223,8 @@ impl Default for SweepEngine {
 /// their metric rows, in expansion order.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// Name of the experiment that ran.
-    pub experiment: String,
+    /// Name of the scenario that ran.
+    pub scenario: String,
     /// The master seed the sweep ran with.
     pub master_seed: u64,
     /// Worker count used.
@@ -191,7 +293,7 @@ impl SweepResult {
             // Seeds render as hex text: they can exceed `i64::MAX`, which
             // the integer cell type would saturate (and collide) at.
             let mut row: Vec<CellValue> = vec![
-                self.experiment.as_str().into(),
+                self.scenario.as_str().into(),
                 index.into(),
                 format!("{:#018x}", self.seeds[index]).into(),
             ];
@@ -226,23 +328,74 @@ impl SweepResult {
 mod tests {
     use super::*;
     use crate::spec::{Param, ParamValue};
+    use vanet_scenarios::{ParamSchema, ParamSpec};
+    use vanet_stats::RoundReport;
 
-    /// A cheap fake experiment: metrics are pure functions of the point and
+    /// A cheap fake scenario: metrics are pure functions of the point and
     /// seed, with a per-point artificial imbalance in runtime.
-    struct FakeExperiment;
+    struct FakeScenario {
+        schema: ParamSchema,
+    }
 
-    impl Experiment for FakeExperiment {
+    impl FakeScenario {
+        fn new() -> Self {
+            FakeScenario {
+                schema: ParamSchema::new(
+                    "fake",
+                    vec![
+                        ParamSpec::float(Param::SpeedKmh, "speed", 0.0, 0.0, 1_000.0),
+                        ParamSpec::int(Param::NCars, "cars", 0, 0, 1_000),
+                    ],
+                ),
+            }
+        }
+    }
+
+    struct FakeRun {
+        x: f64,
+        n: u64,
+    }
+
+    impl Scenario for FakeScenario {
         fn name(&self) -> &'static str {
             "fake"
         }
 
-        fn run_point(&self, point: &SweepPoint, seed: u64) -> PointSummary {
-            let x = point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap_or(0.0);
-            let n = point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0);
+        fn description(&self) -> &'static str {
+            "fake"
+        }
+
+        fn schema(&self) -> &ParamSchema {
+            &self.schema
+        }
+
+        fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+            self.schema.validate(point)?;
+            Ok(Box::new(FakeRun {
+                x: point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap_or(0.0),
+                n: point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0),
+            }))
+        }
+    }
+
+    impl ScenarioRun for FakeRun {
+        fn rounds(&self) -> u32 {
+            2
+        }
+
+        fn run_round(&self, round: u32, seed: u64) -> RoundReport {
             // Uneven cost exercises the dynamic load balancing.
-            std::thread::sleep(std::time::Duration::from_millis(n % 3));
+            std::thread::sleep(std::time::Duration::from_millis(self.n % 3));
+            RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+                .with_counter("seed_low", (seed % 1000) as f64)
+        }
+
+        fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
             PointSummary {
-                metrics: vec![("x_plus_n", x + n as f64), ("seed_low", (seed % 1000) as f64)],
+                metrics: vec![
+                    ("x_plus_n", self.x + self.n as f64),
+                    ("seed_low_sum", vanet_stats::counter_total(rounds, "seed_low")),
+                ],
             }
         }
     }
@@ -265,14 +418,17 @@ mod tests {
         assert!(SweepEngine::new(0).threads() >= 1);
         assert_eq!(SweepEngine::new(3).threads(), 3);
         assert!(SweepEngine::default().threads() >= 1);
+        assert!(!SweepEngine::new(1).allow_unknown());
+        assert!(SweepEngine::new(1).with_allow_unknown(true).allow_unknown());
     }
 
     #[test]
     fn results_are_in_expansion_order_and_thread_count_independent() {
+        let scenario = FakeScenario::new();
         let spec = spec();
-        let serial = SweepEngine::new(1).run(&FakeExperiment, &spec);
-        let parallel = SweepEngine::new(4).run(&FakeExperiment, &spec);
-        let wide = SweepEngine::new(16).run(&FakeExperiment, &spec);
+        let serial = SweepEngine::new(1).run(&scenario, &spec).unwrap();
+        let parallel = SweepEngine::new(4).run(&scenario, &spec).unwrap();
+        let wide = SweepEngine::new(16).run(&scenario, &spec).unwrap();
         assert_eq!(serial.len(), 6);
         assert_eq!(serial.points, parallel.points);
         assert_eq!(serial.summaries, parallel.summaries);
@@ -284,15 +440,15 @@ mod tests {
 
     #[test]
     fn table_has_param_and_metric_columns() {
-        let result = SweepEngine::new(2).run(&FakeExperiment, &spec());
+        let result = SweepEngine::new(2).run(&FakeScenario::new(), &spec()).unwrap();
         let table = result.to_table();
         assert_eq!(
             table.columns(),
-            &["scenario", "point", "seed", "speed_kmh", "n_cars", "x_plus_n", "seed_low"]
+            &["scenario", "point", "seed", "speed_kmh", "n_cars", "x_plus_n", "seed_low_sum"]
         );
         assert_eq!(table.rows().len(), 6);
         let csv = result.to_csv();
-        assert!(csv.starts_with("scenario,point,seed,speed_kmh,n_cars,x_plus_n,seed_low\n"));
+        assert!(csv.starts_with("scenario,point,seed,speed_kmh,n_cars,x_plus_n,seed_low_sum\n"));
         assert!(csv.contains("fake,0,0x"), "seeds export as hex text: {csv}");
         assert!(result.points_per_second() > 0.0);
         assert!(!result.is_empty());
@@ -308,7 +464,7 @@ mod tests {
             .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0)])
             .axis(Param::NCars, vec![ParamValue::Int(2)])
             .point(SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Float(99.0))]));
-        let result = SweepEngine::new(2).run(&FakeExperiment, &spec);
+        let result = SweepEngine::new(2).run(&FakeScenario::new(), &spec).unwrap();
         let csv = result.to_csv();
         let last_row = csv.lines().last().unwrap();
         assert!(last_row.starts_with("fake,1,"));
@@ -319,30 +475,90 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty sweep")]
-    fn empty_spec_rejected() {
-        let _ = SweepEngine::new(1).run(&FakeExperiment, &SweepSpec::new(1));
+    fn empty_spec_is_an_error() {
+        let err = SweepEngine::new(1).run(&FakeScenario::new(), &SweepSpec::new(1)).unwrap_err();
+        assert_eq!(err, SweepError::EmptySweep);
+        assert!(err.to_string().contains("empty sweep"));
     }
 
-    /// An experiment whose metric names depend on the point — must be caught.
-    struct InconsistentExperiment;
+    #[test]
+    fn unknown_parameters_fail_validation_before_running() {
+        let spec = SweepSpec::new(1)
+            .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0)])
+            .axis(Param::FileBlocks, vec![ParamValue::Int(100)]);
+        let err = SweepEngine::new(1).run(&FakeScenario::new(), &spec).unwrap_err();
+        match &err {
+            SweepError::Param { point, label, source } => {
+                assert_eq!(*point, 0);
+                assert!(label.contains("file_blocks"), "{label}");
+                assert!(matches!(source, ParamError::Unknown { .. }));
+            }
+            other => panic!("expected a param error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("file_blocks"), "{err}");
 
-    impl Experiment for InconsistentExperiment {
+        // The escape hatch drops the unknown axis and runs.
+        let result =
+            SweepEngine::new(1).with_allow_unknown(true).run(&FakeScenario::new(), &spec).unwrap();
+        assert_eq!(result.len(), 1);
+        // The dropped parameter still appears in the export (it was swept).
+        assert!(result.to_csv().contains("file_blocks"));
+    }
+
+    /// A scenario whose metric names depend on the point — must be caught.
+    struct InconsistentScenario {
+        schema: ParamSchema,
+    }
+
+    struct InconsistentRun {
+        n: u64,
+    }
+
+    impl Scenario for InconsistentScenario {
         fn name(&self) -> &'static str {
             "inconsistent"
         }
 
-        fn run_point(&self, point: &SweepPoint, _seed: u64) -> PointSummary {
-            let n = point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0);
-            PointSummary { metrics: vec![(if n == 1 { "a" } else { "b" }, 0.0)] }
+        fn description(&self) -> &'static str {
+            "inconsistent"
+        }
+
+        fn schema(&self) -> &ParamSchema {
+            &self.schema
+        }
+
+        fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+            Ok(Box::new(InconsistentRun {
+                n: point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(0),
+            }))
+        }
+    }
+
+    impl ScenarioRun for InconsistentRun {
+        fn rounds(&self) -> u32 {
+            1
+        }
+
+        fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+            RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+        }
+
+        fn aggregate(&self, _rounds: &[RoundReport]) -> PointSummary {
+            PointSummary { metrics: vec![(if self.n == 1 { "a" } else { "b" }, 0.0)] }
         }
     }
 
     #[test]
     #[should_panic(expected = "inconsistent metrics")]
     fn inconsistent_metric_names_rejected() {
+        let scenario = InconsistentScenario {
+            schema: ParamSchema::new(
+                "inconsistent",
+                vec![ParamSpec::int(Param::NCars, "cars", 0, 0, 10)],
+            ),
+        };
         let spec =
             SweepSpec::new(1).axis(Param::NCars, vec![ParamValue::Int(1), ParamValue::Int(2)]);
-        let _ = SweepEngine::new(1).run(&InconsistentExperiment, &spec);
+        let _ = SweepEngine::new(1).run(&scenario, &spec);
     }
 }

@@ -3,47 +3,56 @@
 //! The paper evaluates one configuration of each scenario; its open
 //! questions (cooperator selection §6, batched REQUESTs §3.3, multi-AP
 //! downloads) all demand *sweeps* over platoon size, speed, sending rate and
-//! protocol strategy. This crate is the platform for those sweeps:
+//! protocol strategy. This crate is the platform for those sweeps, built on
+//! the unified [`Scenario`] API of `vanet-scenarios`:
 //!
 //! * [`SweepSpec`] — a declarative parameter grid (cartesian axes plus
 //!   explicit extra points) expanded in a stable, thread-independent order;
-//! * [`Experiment`] — the adapter trait between a sweep point and a
-//!   scenario, implemented for the urban testbed ([`UrbanSweep`]), the
-//!   highway drive-thru ([`HighwaySweep`]) and the multi-AP download
-//!   ([`MultiApSweep`]);
-//! * [`SweepEngine`] — a work-sharing thread pool executing points in
-//!   parallel;
+//! * [`SweepEngine`] — the two-level parallel executor: points run on a
+//!   work-sharing pool, and leftover thread budget parallelises the rounds
+//!   *within* each point. Every point is validated against the scenario's
+//!   typed [`ParamSchema`] before anything
+//!   runs; unknown parameters are an error unless
+//!   [`SweepEngine::with_allow_unknown`] opts out;
 //! * [`SweepResult`] — per-point metric rows that flow into `vanet-stats`
 //!   ([`vanet_stats::RecordTable`]) and export as CSV or JSON;
 //! * [`presets`] — the named sweep catalogue `carq-cli sweep list` shows.
 //!
 //! ## Determinism and seed derivation
 //!
-//! A sweep is reproducible byte for byte at **any** thread count. The scheme:
+//! A sweep is reproducible byte for byte at **any** thread count, with both
+//! levels of parallelism enabled. The scheme:
 //!
 //! 1. The spec carries one `master_seed`.
 //! 2. Point `i` of the expansion gets
 //!    `point_seed = StreamRng::derive(master_seed, "sweep.point").substream(i)`
 //!    (first draw) — a pure function of `(master_seed, i)`, independent of
 //!    which worker executes the point ([`engine::point_seed`]).
-//! 3. The scenario seeds *all* of its randomness from that point seed via
-//!    its own named sub-streams (per-round mobility, shadowing, model
-//!    events), so two runs of the same point are identical and different
-//!    points are uncorrelated.
+//! 3. Round `r` of a point gets
+//!    `round_seed = StreamRng::derive(point_seed, "scenario.round").substream(r)`
+//!    (first draw) — completing the pure `(master seed, point index, round)`
+//!    chain ([`vanet_scenarios::round_seed`]).
+//! 4. The scenario seeds *all* of a round's randomness from that round seed
+//!    via its own named sub-streams (mobility, shadowing, model events), as
+//!    the [`ScenarioRun::run_round`] purity contract requires.
 //!
 //! Results are collected into each point's slot (not in completion order),
-//! and float formatting is fixed-precision, so the exported CSV/JSON of a
-//! sweep is a pure function of `(experiment, spec)`.
+//! rounds fold in round order, and float formatting is fixed-precision, so
+//! the exported CSV/JSON of a sweep is a pure function of
+//! `(scenario, spec)`.
 //!
 //! ## Example
 //!
 //! ```rust,no_run
-//! use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec, UrbanSweep};
+//! use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec};
+//! use vanet_scenarios::UrbanScenario;
 //!
 //! let spec = SweepSpec::new(42)
 //!     .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0), ParamValue::Float(20.0)])
 //!     .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)]);
-//! let result = SweepEngine::new(0).run(&UrbanSweep::paper_testbed(), &spec);
+//! let result = SweepEngine::new(0)
+//!     .run(&UrbanScenario::paper_testbed(), &spec)
+//!     .expect("schema-valid sweep");
 //! println!("{}", result.to_csv());
 //! ```
 
@@ -52,10 +61,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
-pub mod experiment;
 pub mod presets;
 pub mod spec;
 
-pub use engine::{point_seed, SweepEngine, SweepResult};
-pub use experiment::{Experiment, HighwaySweep, MultiApSweep, PointSummary, UrbanSweep};
+pub use engine::{point_seed, SweepEngine, SweepError, SweepResult};
 pub use spec::{Axis, Param, ParamValue, SweepPoint, SweepSpec};
+// The scenario-side half of the sweep API, re-exported so downstream code
+// can drive sweeps from this crate alone.
+pub use vanet_scenarios::{
+    round_seed, ParamError, ParamSchema, Scenario, ScenarioRegistry, ScenarioRun,
+};
+pub use vanet_stats::PointSummary;

@@ -2,17 +2,17 @@
 
 use carq::{RequestStrategy, SelectionStrategy};
 use vanet_scenarios::urban::UrbanConfig;
+use vanet_scenarios::{HighwayScenario, MultiApScenario, Scenario, UrbanScenario};
 
-use crate::experiment::{Experiment, HighwaySweep, MultiApSweep, UrbanSweep};
 use crate::spec::{Param, ParamValue, SweepSpec};
 
-/// A named sweep: an experiment plus the spec it runs.
+/// A named sweep: a scenario plus the spec it runs.
 pub struct Preset {
     /// The CLI name.
     pub name: &'static str,
     /// One-line description shown by `sweep list`.
     pub description: &'static str,
-    build: fn(u64, u32) -> (Box<dyn Experiment>, SweepSpec),
+    build: fn(u64, u32) -> (Box<dyn Scenario>, SweepSpec),
 }
 
 impl std::fmt::Debug for Preset {
@@ -26,7 +26,7 @@ impl Preset {
     /// count (laps for urban, passes for highway; the multi-AP download
     /// ignores it — each of its points is one whole download, bounded by
     /// the scenario's AP-visit budget).
-    pub fn build(&self, master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+    pub fn build(&self, master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
         (self.build)(master_seed, rounds)
     }
 }
@@ -39,24 +39,24 @@ fn ints(xs: &[u64]) -> Vec<ParamValue> {
     xs.iter().map(|x| ParamValue::Int(*x)).collect()
 }
 
-fn urban_platoon(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+fn urban_platoon(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let base = UrbanConfig::paper_testbed().with_rounds(rounds);
     let spec = SweepSpec::new(master_seed)
         .axis(Param::SpeedKmh, floats(&[10.0, 15.0, 20.0, 25.0, 30.0, 40.0]))
         .axis(Param::NCars, ints(&[2, 3, 4, 5]));
-    (Box::new(UrbanSweep::new(base)), spec)
+    (Box::new(UrbanScenario::new(base)), spec)
 }
 
-fn urban_load(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+fn urban_load(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let base = UrbanConfig::paper_testbed().with_rounds(rounds);
     let spec = SweepSpec::new(master_seed)
         .axis(Param::ApRatePps, floats(&[1.0, 2.0, 5.0, 10.0]))
         .axis(Param::PayloadBytes, ints(&[250, 500, 1000]))
         .axis(Param::NCars, ints(&[2, 3]));
-    (Box::new(UrbanSweep::new(base)), spec)
+    (Box::new(UrbanScenario::new(base)), spec)
 }
 
-fn urban_strategies(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+fn urban_strategies(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let base = UrbanConfig::paper_testbed().with_rounds(rounds);
     let spec = SweepSpec::new(master_seed)
         .axis(
@@ -77,10 +77,10 @@ fn urban_strategies(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, Swee
             ],
         )
         .axis(Param::NCars, ints(&[3, 5]));
-    (Box::new(UrbanSweep::new(base)), spec)
+    (Box::new(UrbanScenario::new(base)), spec)
 }
 
-fn highway_speed_rate(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+fn highway_speed_rate(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let mut base = vanet_scenarios::highway::HighwayConfig::drive_thru_reference();
     base.passes = rounds;
     let spec = SweepSpec::new(master_seed)
@@ -88,18 +88,18 @@ fn highway_speed_rate(master_seed: u64, rounds: u32) -> (Box<dyn Experiment>, Sw
         .axis(Param::ApRatePps, floats(&[1.0, 5.0, 10.0]))
         .axis(Param::Cooperation, vec![ParamValue::Bool(false), ParamValue::Bool(true)])
         .axis(Param::NCars, ints(&[3]));
-    (Box::new(HighwaySweep::new(base)), spec)
+    (Box::new(HighwayScenario::new(base)), spec)
 }
 
 // `rounds` has no effect here: a multi-AP point is one whole download,
 // bounded by the scenario's own AP-visit budget rather than a round count.
-fn multi_ap_blocks(master_seed: u64, _rounds: u32) -> (Box<dyn Experiment>, SweepSpec) {
+fn multi_ap_blocks(master_seed: u64, _rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let base = vanet_scenarios::multi_ap::MultiApConfig::default_download();
     let spec = SweepSpec::new(master_seed)
         .axis(Param::FileBlocks, ints(&[300, 600, 1200, 1500]))
         .axis(Param::Cooperation, vec![ParamValue::Bool(false), ParamValue::Bool(true)])
         .axis(Param::NCars, ints(&[2, 3, 4]));
-    (Box::new(MultiApSweep::new(base)), spec)
+    (Box::new(MultiApScenario::new(base)), spec)
 }
 
 /// The built-in preset catalogue.
@@ -157,12 +157,27 @@ mod tests {
     #[test]
     fn presets_expand_to_their_advertised_sizes() {
         for preset in all() {
-            let (experiment, spec) = preset.build(1, 2);
+            let (scenario, spec) = preset.build(1, 2);
             assert!(!spec.is_empty(), "{} is empty", preset.name);
-            assert!(!experiment.name().is_empty());
+            assert!(!scenario.name().is_empty());
             // The flagship urban preset must satisfy the >= 24-point bar.
             if preset.name == "urban-platoon" {
                 assert_eq!(spec.len(), 24);
+            }
+        }
+    }
+
+    #[test]
+    fn every_preset_point_passes_its_scenario_schema() {
+        // The strictness satellite: presets must stay valid under
+        // unknown-parameter rejection, without the escape hatch.
+        for preset in all() {
+            let (scenario, spec) = preset.build(1, 2);
+            for (i, point) in spec.expand().iter().enumerate() {
+                scenario
+                    .schema()
+                    .validate(point)
+                    .unwrap_or_else(|e| panic!("{} point {i} fails validation: {e}", preset.name));
             }
         }
     }

@@ -1,116 +1,10 @@
-//! Declarative sweep specifications: parameters, axes and grid expansion.
+//! Declarative sweep specifications: axes and grid expansion.
+//!
+//! The parameter vocabulary itself — [`Param`], [`ParamValue`],
+//! [`SweepPoint`] — lives in `vanet-scenarios` (next to the schemas that
+//! validate it) and is re-exported here for convenience.
 
-use std::fmt;
-
-use carq::{RequestStrategy, SelectionStrategy};
-
-/// A parameter a sweep can vary. Not every scenario consumes every
-/// parameter; an [`crate::Experiment`] implementation ignores the parameters
-/// it has no use for (e.g. `FileBlocks` outside the multi-AP download).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Param {
-    /// Platoon cruise speed in km/h.
-    SpeedKmh,
-    /// Number of cars in the platoon.
-    NCars,
-    /// AP sending rate per car, packets per second.
-    ApRatePps,
-    /// Payload per data packet in bytes.
-    PayloadBytes,
-    /// Cooperator-selection strategy of the C-ARQ protocol.
-    Selection,
-    /// REQUEST strategy of the C-ARQ protocol (per-packet vs batched).
-    Request,
-    /// Whether cooperation is enabled at all.
-    Cooperation,
-    /// Rounds (urban laps) or passes (highway drive-bys) per point.
-    Rounds,
-    /// File size in blocks (multi-AP download only).
-    FileBlocks,
-}
-
-impl Param {
-    /// The column name used in exports and the CLI.
-    pub fn key(&self) -> &'static str {
-        match self {
-            Param::SpeedKmh => "speed_kmh",
-            Param::NCars => "n_cars",
-            Param::ApRatePps => "ap_rate_pps",
-            Param::PayloadBytes => "payload_bytes",
-            Param::Selection => "selection",
-            Param::Request => "request",
-            Param::Cooperation => "cooperation",
-            Param::Rounds => "rounds",
-            Param::FileBlocks => "file_blocks",
-        }
-    }
-}
-
-impl fmt::Display for Param {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.key())
-    }
-}
-
-/// One value of a sweep parameter.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ParamValue {
-    /// A real-valued parameter (speed, rate).
-    Float(f64),
-    /// An integral parameter (cars, payload, rounds, blocks).
-    Int(u64),
-    /// An on/off parameter (cooperation).
-    Bool(bool),
-    /// A cooperator-selection strategy.
-    Selection(SelectionStrategy),
-    /// A REQUEST strategy.
-    Request(RequestStrategy),
-}
-
-impl ParamValue {
-    /// The float behind this value, if it is numeric.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            ParamValue::Float(x) => Some(*x),
-            ParamValue::Int(x) => Some(*x as f64),
-            _ => None,
-        }
-    }
-
-    /// The integer behind this value, if integral.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            ParamValue::Int(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The boolean behind this value, if boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            ParamValue::Bool(x) => Some(*x),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for ParamValue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            // Fixed decimals keep exports byte-stable; see vanet-stats.
-            ParamValue::Float(x) => write!(f, "{x:.3}"),
-            ParamValue::Int(x) => write!(f, "{x}"),
-            ParamValue::Bool(x) => write!(f, "{x}"),
-            ParamValue::Selection(SelectionStrategy::AllNeighbours) => f.write_str("all"),
-            ParamValue::Selection(SelectionStrategy::FirstHeard { k }) => write!(f, "first{k}"),
-            ParamValue::Selection(SelectionStrategy::StrongestSignal { k }) => {
-                write!(f, "strong{k}")
-            }
-            ParamValue::Request(RequestStrategy::PerPacket) => f.write_str("per-packet"),
-            ParamValue::Request(RequestStrategy::Batched) => f.write_str("batched"),
-        }
-    }
-}
+pub use vanet_scenarios::{Param, ParamValue, SweepPoint};
 
 /// One axis of the sweep grid: a parameter and the values it takes.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,44 +14,6 @@ pub struct Axis {
     /// The values, in the order they were declared (the expansion preserves
     /// this order).
     pub values: Vec<ParamValue>,
-}
-
-/// One point of an expanded sweep: parameter assignments in axis order.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct SweepPoint {
-    assignments: Vec<(Param, ParamValue)>,
-}
-
-impl SweepPoint {
-    /// Creates a point from explicit assignments.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a parameter appears twice.
-    pub fn new(assignments: Vec<(Param, ParamValue)>) -> Self {
-        for (i, (param, _)) in assignments.iter().enumerate() {
-            assert!(
-                !assignments[..i].iter().any(|(p, _)| p == param),
-                "parameter {param} assigned twice in one point"
-            );
-        }
-        SweepPoint { assignments }
-    }
-
-    /// The assignments, in axis order.
-    pub fn assignments(&self) -> &[(Param, ParamValue)] {
-        &self.assignments
-    }
-
-    /// The value assigned to `param`, if any.
-    pub fn get(&self, param: Param) -> Option<ParamValue> {
-        self.assignments.iter().find(|(p, _)| *p == param).map(|(_, v)| *v)
-    }
-
-    /// A compact `key=value,key=value` label for logs and progress output.
-    pub fn label(&self) -> String {
-        self.assignments.iter().map(|(p, v)| format!("{p}={v}")).collect::<Vec<_>>().join(",")
-    }
 }
 
 /// A declarative sweep: a master seed, a cartesian grid of axes, and an
@@ -339,38 +195,5 @@ mod tests {
     #[should_panic(expected = "already has an axis")]
     fn duplicate_axis_rejected() {
         let _ = SweepSpec::new(1).axis(Param::NCars, ints(&[1])).axis(Param::NCars, ints(&[2]));
-    }
-
-    #[test]
-    #[should_panic(expected = "assigned twice")]
-    fn duplicate_assignment_rejected() {
-        let _ = SweepPoint::new(vec![
-            (Param::NCars, ParamValue::Int(1)),
-            (Param::NCars, ParamValue::Int(2)),
-        ]);
-    }
-
-    #[test]
-    fn param_values_render_compactly() {
-        use carq::{RequestStrategy, SelectionStrategy};
-        assert_eq!(ParamValue::Float(20.0).to_string(), "20.000");
-        assert_eq!(ParamValue::Int(3).to_string(), "3");
-        assert_eq!(ParamValue::Bool(true).to_string(), "true");
-        assert_eq!(ParamValue::Selection(SelectionStrategy::AllNeighbours).to_string(), "all");
-        assert_eq!(
-            ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }).to_string(),
-            "first2"
-        );
-        assert_eq!(
-            ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 1 }).to_string(),
-            "strong1"
-        );
-        assert_eq!(ParamValue::Request(RequestStrategy::PerPacket).to_string(), "per-packet");
-        assert_eq!(ParamValue::Request(RequestStrategy::Batched).to_string(), "batched");
-        let point = SweepPoint::new(vec![
-            (Param::SpeedKmh, ParamValue::Float(20.0)),
-            (Param::NCars, ParamValue::Int(3)),
-        ]);
-        assert_eq!(point.label(), "speed_kmh=20.000,n_cars=3");
     }
 }

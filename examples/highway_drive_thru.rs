@@ -1,45 +1,60 @@
 //! Highway drive-thru experiment: loss rates of cars passing a roadside AP
 //! at highway speeds (the context the paper cites from reference [1]), and
-//! how a cooperating platoon changes them.
+//! how a cooperating platoon changes them — a two-axis sweep over the
+//! `highway` scenario's typed schema.
 //!
 //! ```text
 //! cargo run --release --example highway_drive_thru
 //! ```
 
-use carq_repro::scenarios::highway::{HighwayConfig, HighwayExperiment};
+use carq_repro::scenarios::HighwayScenario;
+use carq_repro::sweep::{Param, ParamValue, Scenario, SweepEngine, SweepSpec};
+
+fn floats(xs: &[f64]) -> Vec<ParamValue> {
+    xs.iter().map(|x| ParamValue::Float(*x)).collect()
+}
 
 fn main() {
+    let scenario = HighwayScenario::drive_thru();
+    let engine = SweepEngine::new(0);
+
     println!("Drive-thru losses of a single car (no cooperation):");
+    let spec = SweepSpec::new(0xd21e)
+        .axis(Param::SpeedKmh, floats(&[60.0, 80.0, 100.0, 120.0]))
+        .axis(Param::ApRatePps, floats(&[5.0, 10.0]))
+        .axis(Param::Rounds, vec![ParamValue::Int(5)]);
+    let result = engine.run(&scenario, &spec).expect("schema-valid sweep");
     println!("{:>10} {:>10} {:>16} {:>12}", "speed", "rate", "window packets", "loss %");
-    for speed in [60.0, 80.0, 100.0, 120.0] {
-        for rate in [5.0, 10.0] {
-            let obs = HighwayExperiment::new(
-                HighwayConfig::drive_thru_reference()
-                    .with_speed_kmh(speed)
-                    .with_rate_pps(rate)
-                    .with_passes(5),
-            )
-            .run();
-            println!(
-                "{:>8.0} km/h {:>6.0}/s {:>16.1} {:>11.1}%",
-                obs.speed_kmh, obs.ap_rate_pps, obs.mean_window_packets, obs.loss_pct_before
-            );
-        }
+    for (point, summary) in result.points.iter().zip(&result.summaries) {
+        println!(
+            "{:>8.0} km/h {:>6.0}/s {:>16.1} {:>11.1}%",
+            point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap(),
+            point.get(Param::ApRatePps).and_then(|v| v.as_f64()).unwrap(),
+            summary.get("tx_window_mean").unwrap(),
+            summary.get("loss_before_pct_mean").unwrap(),
+        );
     }
 
     println!("\nSame road, three-car cooperating platoon:");
+    let spec = SweepSpec::new(0xd21e)
+        .axis(Param::SpeedKmh, floats(&[60.0, 100.0]))
+        .axis(Param::NCars, vec![ParamValue::Int(3)])
+        .axis(Param::Cooperation, vec![ParamValue::Bool(true)])
+        .axis(Param::Rounds, vec![ParamValue::Int(5)]);
+    let result = engine.run(&scenario, &spec).expect("schema-valid sweep");
     println!("{:>10} {:>16} {:>14} {:>14}", "speed", "window packets", "loss before", "loss after");
-    for speed in [60.0, 100.0] {
-        let obs = HighwayExperiment::new(
-            HighwayConfig::drive_thru_reference()
-                .with_speed_kmh(speed)
-                .with_cooperating_platoon(3)
-                .with_passes(5),
-        )
-        .run();
+    for (point, summary) in result.points.iter().zip(&result.summaries) {
         println!(
             "{:>8.0} km/h {:>16.1} {:>13.1}% {:>13.1}%",
-            obs.speed_kmh, obs.mean_window_packets, obs.loss_pct_before, obs.loss_pct_after
+            point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap(),
+            summary.get("tx_window_mean").unwrap(),
+            summary.get("loss_before_pct_mean").unwrap(),
+            summary.get("loss_after_pct_mean").unwrap(),
         );
     }
+    println!(
+        "\n(the same sweep from the shell: carq-cli scenario run {} \
+         --speed_kmh 60,100 --n_cars 3 --cooperation on --rounds 5)",
+        scenario.name()
+    );
 }

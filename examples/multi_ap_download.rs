@@ -3,27 +3,28 @@
 //! paper's §6 ("how the presented loss reduction can reduce the number of
 //! APs that a vehicular node needs to visit to download a file").
 //!
-//! This example drives the question through the sweep engine instead of a
-//! hand-rolled loop: one `SweepSpec` with a cooperation on/off axis and a
-//! platoon-size axis, executed in parallel, exported as a metrics table.
+//! This example drives the question through the sweep engine: one
+//! `SweepSpec` with a cooperation on/off axis and a platoon-size axis over
+//! the `multi-ap` scenario, executed in parallel (points *and* the AP
+//! visits within each point), exported as a metrics table.
 //!
 //! ```text
 //! cargo run --release --example multi_ap_download -- [file_blocks]
 //! ```
 
-use carq_repro::scenarios::multi_ap::MultiApConfig;
-use carq_repro::sweep::{MultiApSweep, Param, ParamValue, SweepEngine, SweepSpec};
+use carq_repro::scenarios::MultiApScenario;
+use carq_repro::sweep::{Param, ParamValue, SweepEngine, SweepSpec};
 
 fn main() {
     let blocks: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_500);
 
-    let experiment = MultiApSweep::new(MultiApConfig::default_download());
+    let scenario = MultiApScenario::default_download();
     let spec = SweepSpec::new(0x2008_1cdc)
         .axis(Param::FileBlocks, vec![ParamValue::Int(blocks)])
         .axis(Param::Cooperation, vec![ParamValue::Bool(true), ParamValue::Bool(false)])
         .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)]);
 
-    let result = SweepEngine::new(0).run(&experiment, &spec);
+    let result = SweepEngine::new(0).run(&scenario, &spec).expect("schema-valid sweep");
     println!(
         "Download of {blocks} blocks per car ({} points, {:.1} s):\n",
         result.len(),

@@ -1,24 +1,33 @@
-//! Quickstart: run a few rounds of the paper's urban testbed and print a
-//! Table-1-style summary.
+//! Quickstart: run a few rounds of the paper's urban testbed through the
+//! unified `Scenario` API and print a Table-1-style summary.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
-use carq_repro::stats::{render_table1, table1};
+use carq_repro::scenarios::{run_rounds, Param, ParamValue, ScenarioRegistry, SweepPoint};
+use carq_repro::stats::{counter_total, render_table1, round_results, table1};
 
 fn main() {
+    // Scenarios are discoverable by name; `carq-cli scenario list` shows
+    // the same registry from the shell.
+    let registry = ScenarioRegistry::builtin();
+    let urban = registry.get("urban").expect("urban is built in");
+
     // The paper uses 30 rounds; five keep the quickstart fast while still
-    // showing the effect.
-    let config = UrbanConfig::paper_testbed().with_rounds(5);
+    // showing the effect. Every other parameter keeps its schema default.
+    let point = SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(5))]);
+    let run = urban.configure(&point).expect("the point is schema-valid");
     println!(
         "Running {} rounds of the urban testbed (3 cars, 20 km/h, 5 pkt/s/car, 1 Mbps)...",
-        config.rounds
+        run.rounds()
     );
-    let result = UrbanExperiment::new(config).run();
 
-    let rows = table1(result.rounds());
+    // Rounds are pure functions of (round, seed), so they parallelise: four
+    // worker threads here, byte-identical results at any count.
+    let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 4);
+
+    let rows = table1(&round_results(&reports));
     println!();
     println!("{}", render_table1(&rows));
     for row in &rows {
@@ -30,7 +39,7 @@ fn main() {
     }
     println!(
         "\nProtocol traffic: {} REQUEST frames, {} cooperative retransmissions",
-        result.total_requests_sent(),
-        result.total_coop_data_sent()
+        counter_total(&reports, "requests_sent"),
+        counter_total(&reports, "coop_data_sent")
     );
 }

@@ -1,5 +1,5 @@
 //! Full reproduction of the paper's urban testbed evaluation: Table 1 and
-//! the data behind Figures 3–8.
+//! the data behind Figures 3–8, driven through the unified `Scenario` API.
 //!
 //! ```text
 //! cargo run --release --example urban_testbed -- [rounds]
@@ -9,31 +9,33 @@
 //! release build).
 
 use carq_repro::mac::NodeId;
-use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
+use carq_repro::scenarios::{run_rounds, Param, ParamValue, Scenario, SweepPoint, UrbanScenario};
 use carq_repro::stats::{
-    joint_series, reception_series, recovery_series, render_series_csv, render_table1, table1,
+    joint_series, reception_series, recovery_series, render_series_csv, render_table1,
+    round_results, table1,
 };
 
 fn main() {
-    let rounds: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let rounds: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
 
-    let config = UrbanConfig::paper_testbed().with_rounds(rounds);
+    let scenario = UrbanScenario::paper_testbed();
+    let point = SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(rounds))]);
+    let run = scenario.configure(&point).expect("schema-valid point");
     println!("Urban testbed: {} rounds, 3 cars, 20 km/h, 5 pkt/s/car @ 1 Mbps", rounds);
-    let result = UrbanExperiment::new(config).run();
+    let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 0);
+    let results = round_results(&reports);
 
     // ----- Table 1 -------------------------------------------------------
     println!("\n=== Table 1: packets received and lost per car ===");
-    let rows = table1(result.rounds());
+    let rows = table1(&results);
     println!("{}", render_table1(&rows));
 
     // ----- Figures 3-5: promiscuous reception per observer ----------------
     let cars = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
     for (figure, flow) in (3..=5).zip(cars) {
         println!("=== Figure {figure}: probability of reception, packets addressed to {flow} ===");
-        let series: Vec<_> = cars
-            .iter()
-            .map(|observer| reception_series(result.rounds(), flow, *observer))
-            .collect();
+        let series: Vec<_> =
+            cars.iter().map(|observer| reception_series(&results, flow, *observer)).collect();
         let csv = render_series_csv(&["rx_in_car1", "rx_in_car2", "rx_in_car3"], &series);
         print_csv_head(&csv, 8);
     }
@@ -41,8 +43,8 @@ fn main() {
     // ----- Figures 6-8: after cooperation vs joint reception --------------
     for (figure, flow) in (6..=8).zip(cars) {
         println!("=== Figure {figure}: reception with C-ARQ in {flow} vs joint reception ===");
-        let after = recovery_series(result.rounds(), flow);
-        let joint = joint_series(result.rounds(), flow);
+        let after = recovery_series(&results, flow);
+        let joint = joint_series(&results, flow);
         let mean_after = mean_probability(&after);
         let mean_joint = mean_probability(&joint);
         println!(

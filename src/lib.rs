@@ -18,19 +18,24 @@
 //! * [`stats`] — Table-1 and figure-series generation, summaries,
 //!   percentiles and CSV/JSON record export.
 //! * [`scenarios`] — the urban testbed, highway drive-thru and multi-AP
-//!   download experiments.
+//!   download experiments behind the unified `Scenario` API: typed
+//!   parameter schemas, per-round purity, a name-indexed registry.
 //! * [`sweep`] — the parallel, deterministic experiment-sweep engine
-//!   (parameter grids over any scenario, thread-count-independent results)
-//!   that the `carq-cli` binary drives from the command line.
+//!   (parameter grids over any scenario, intra-point parallel rounds,
+//!   thread-count-independent results) that the `carq-cli` binary drives
+//!   from the command line.
 //!
 //! ## Quickstart
 //!
 //! ```rust,no_run
-//! use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
+//! use carq_repro::scenarios::{run_rounds, Param, ParamValue, ScenarioRegistry, SweepPoint};
 //!
-//! let config = UrbanConfig::paper_testbed().with_rounds(5);
-//! let result = UrbanExperiment::new(config).run();
-//! let table = carq_repro::stats::table1(result.rounds());
+//! let registry = ScenarioRegistry::builtin();
+//! let urban = registry.get("urban").expect("built-in scenario");
+//! let point = SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(5))]);
+//! let run = urban.configure(&point).expect("schema-valid point");
+//! let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 4);
+//! let table = carq_repro::stats::table1(&carq_repro::stats::round_results(&reports));
 //! println!("{}", carq_repro::stats::render_table1(&table));
 //! ```
 

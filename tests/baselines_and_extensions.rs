@@ -1,40 +1,40 @@
 //! Integration tests of the baselines and extension experiments: the AP-side
 //! retransmission ARQ, the epidemic anti-entropy overhead comparison, the
-//! highway drive-thru context and the multi-AP download extension.
+//! highway drive-thru context and the multi-AP download extension — all
+//! driven through the unified `Scenario` API.
 
 use carq_repro::dtn::{AntiEntropySession, SummaryVector};
 use carq_repro::dtn::{ApSchedulingPolicy, SeqNo};
 use carq_repro::mac::NodeId;
 use carq_repro::protocol::RequestMessage;
-use carq_repro::scenarios::highway::{HighwayConfig, HighwayExperiment};
-use carq_repro::scenarios::multi_ap::{MultiApConfig, MultiApExperiment};
-use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
-use carq_repro::stats::table1;
+use carq_repro::scenarios::highway::HighwayScenario;
+use carq_repro::scenarios::multi_ap::{MultiApConfig, MultiApScenario};
+use carq_repro::scenarios::urban::{UrbanConfig, UrbanRun};
+use carq_repro::scenarios::{run_point, run_rounds, Param, ParamValue, SweepPoint};
+use carq_repro::stats::{round_results, table1, PointSummary};
 
 /// The AP-side retransmission baseline trades fresh-data goodput for loss
 /// reduction: it must lose less than the no-retransmission baseline but send
 /// fewer distinct packets per pass.
+///
+/// The AP policy is a base-configuration knob (not a schema parameter), so
+/// this test builds `UrbanRun`s directly from configs.
 #[test]
 fn ap_retransmissions_trade_goodput_for_reliability() {
     let rounds = 3;
     let seed = 31;
-    let fresh = UrbanExperiment::new(
-        UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(seed).without_cooperation(),
-    )
-    .run();
-    let mut retransmit_cfg =
-        UrbanConfig::paper_testbed().with_rounds(rounds).with_seed(seed).without_cooperation();
-    retransmit_cfg.ap_policy = ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 };
-    let retransmit = UrbanExperiment::new(retransmit_cfg).run();
-
-    let summary = |result: &carq_repro::scenarios::urban::ExperimentResult| {
-        let rows = table1(result.rounds());
+    let base = UrbanConfig::paper_testbed().with_rounds(rounds).without_cooperation();
+    let summary = |config: UrbanConfig| {
+        let run = UrbanRun::new(config);
+        let rows = table1(&round_results(&run_rounds(&run, seed, 2)));
         let tx = rows.iter().map(|r| r.tx_by_ap.mean).sum::<f64>() / rows.len() as f64;
         let loss = rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len() as f64;
         (tx, loss)
     };
-    let (fresh_tx, fresh_loss) = summary(&fresh);
-    let (re_tx, re_loss) = summary(&retransmit);
+    let (fresh_tx, fresh_loss) = summary(base.clone());
+    let mut retransmit_cfg = base;
+    retransmit_cfg.ap_policy = ApSchedulingPolicy::RetransmitUnacked { retransmit_ratio: 0.5 };
+    let (re_tx, re_loss) = summary(retransmit_cfg);
     assert!(
         re_loss < fresh_loss,
         "retransmissions should reduce losses ({re_loss:.1}% !< {fresh_loss:.1}%)"
@@ -78,25 +78,28 @@ fn epidemic_exchange_is_never_cheaper_than_carq_recovery() {
     assert_eq!(plan.b_to_a.iter().filter(|(flow, _)| *flow == car2).count(), 5);
 }
 
+fn highway_summary(extra: Vec<(Param, ParamValue)>) -> PointSummary {
+    let mut assignments = vec![(Param::Rounds, ParamValue::Int(3))];
+    assignments.extend(extra);
+    let scenario = HighwayScenario::drive_thru();
+    let (_, summary) =
+        run_point(&scenario, &SweepPoint::new(assignments), 0xd21e, 2).expect("schema-valid point");
+    summary
+}
+
 /// Highway context: losses grow with speed (smaller windows, same loss
 /// probability per position) and the drive-thru loss level is in the tens of
 /// percent, as the measurements cited by the paper report.
 #[test]
 fn highway_losses_match_the_drive_thru_picture() {
-    let slow = HighwayExperiment::new(
-        HighwayConfig::drive_thru_reference().with_speed_kmh(60.0).with_passes(3),
-    )
-    .run();
-    let fast = HighwayExperiment::new(
-        HighwayConfig::drive_thru_reference().with_speed_kmh(120.0).with_passes(3),
-    )
-    .run();
-    assert!(fast.mean_window_packets < slow.mean_window_packets);
+    let slow = highway_summary(vec![(Param::SpeedKmh, ParamValue::Float(60.0))]);
+    let fast = highway_summary(vec![(Param::SpeedKmh, ParamValue::Float(120.0))]);
+    assert!(fast.get("tx_window_mean").unwrap() < slow.get("tx_window_mean").unwrap());
     for obs in [&slow, &fast] {
+        let loss = obs.get("loss_before_pct_mean").unwrap();
         assert!(
-            (15.0..=75.0).contains(&obs.loss_pct_before),
-            "loss {:.1}% outside the plausible drive-thru band",
-            obs.loss_pct_before
+            (15.0..=75.0).contains(&loss),
+            "loss {loss:.1}% outside the plausible drive-thru band"
         );
     }
 }
@@ -105,23 +108,25 @@ fn highway_losses_match_the_drive_thru_picture() {
 /// than without it, and each visit delivers more blocks.
 #[test]
 fn cooperative_download_needs_no_more_ap_visits() {
-    let blocks = 300;
     let run = |cooperative: bool| {
-        let mut config = MultiApConfig::default_download().with_file_blocks(blocks);
+        let mut config = MultiApConfig::default_download().with_file_blocks(300);
         config.max_passes = 10;
         if !cooperative {
             config = config.without_cooperation();
         }
-        MultiApExperiment::new(config).run()
+        let scenario = MultiApScenario::new(config);
+        let (_, summary) =
+            run_point(&scenario, &SweepPoint::empty(), 0x2008, 2).expect("schema-valid point");
+        summary
     };
     let with_coop = run(true);
     let without = run(false);
-    let visits = |outcomes: &[carq_repro::scenarios::multi_ap::MultiApOutcome]| -> u32 {
-        outcomes.iter().map(|o| o.passes_needed.unwrap_or(11)).sum()
-    };
-    assert!(visits(&with_coop) <= visits(&without));
-    let mean_gain = |outcomes: &[carq_repro::scenarios::multi_ap::MultiApOutcome]| -> f64 {
-        outcomes.iter().map(|o| o.mean_blocks_per_pass).sum::<f64>() / outcomes.len() as f64
-    };
-    assert!(mean_gain(&with_coop) >= mean_gain(&without));
+    // `passes_needed_mean` already counts unfinished cars pessimistically.
+    assert!(
+        with_coop.get("passes_needed_mean").unwrap() <= without.get("passes_needed_mean").unwrap()
+    );
+    assert!(
+        with_coop.get("blocks_per_pass_mean").unwrap()
+            >= without.get("blocks_per_pass_mean").unwrap()
+    );
 }

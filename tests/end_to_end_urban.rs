@@ -1,10 +1,14 @@
 //! End-to-end integration tests of the paper's urban testbed reproduction:
 //! the full stack (engine → mobility → channel → MAC → AP → C-ARQ → stats)
-//! must reproduce the qualitative results of the paper's evaluation.
+//! must reproduce the qualitative results of the paper's evaluation, driven
+//! through the unified `Scenario` API.
 
 use carq_repro::mac::NodeId;
-use carq_repro::scenarios::urban::{UrbanConfig, UrbanExperiment};
-use carq_repro::stats::{joint_series, reception_series, recovery_series, table1, SeriesPoint};
+use carq_repro::scenarios::{run_rounds, Param, ParamValue, Scenario, SweepPoint, UrbanScenario};
+use carq_repro::stats::{
+    counter_total, joint_series, reception_series, recovery_series, round_results, table1,
+    RoundReport, RoundResult, SeriesPoint,
+};
 
 fn mean_probability(series: &[SeriesPoint]) -> f64 {
     if series.is_empty() {
@@ -13,16 +17,25 @@ fn mean_probability(series: &[SeriesPoint]) -> f64 {
     series.iter().map(|p| p.probability).sum::<f64>() / series.len() as f64
 }
 
+fn reports_for(rounds: u64, seed: u64, extra: Vec<(Param, ParamValue)>) -> Vec<RoundReport> {
+    let mut assignments = vec![(Param::Rounds, ParamValue::Int(rounds))];
+    assignments.extend(extra);
+    let run = UrbanScenario::paper_testbed()
+        .configure(&SweepPoint::new(assignments))
+        .expect("schema-valid point");
+    run_rounds(run.as_ref(), seed, 2)
+}
+
 /// A small but representative experiment (6 rounds instead of 30) used by
 /// most assertions below.
-fn small_experiment() -> carq_repro::scenarios::urban::ExperimentResult {
-    UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(6).with_seed(2024)).run()
+fn small_experiment() -> Vec<RoundResult> {
+    round_results(&reports_for(6, 2024, vec![]))
 }
 
 #[test]
 fn cooperation_reduces_losses_for_every_car() {
     let result = small_experiment();
-    let rows = table1(result.rounds());
+    let rows = table1(&result);
     assert_eq!(rows.len(), 3);
     for row in &rows {
         assert!(
@@ -56,8 +69,8 @@ fn cooperation_reduces_losses_for_every_car() {
 fn recovery_is_close_to_the_joint_reception_oracle() {
     let result = small_experiment();
     for car in [NodeId::new(1), NodeId::new(2), NodeId::new(3)] {
-        let after = mean_probability(&recovery_series(result.rounds(), car));
-        let joint = mean_probability(&joint_series(result.rounds(), car));
+        let after = mean_probability(&recovery_series(&result, car));
+        let joint = mean_probability(&joint_series(&result, car));
         assert!(joint >= after - 1e-9, "joint reception bounds the protocol");
         assert!(
             joint - after < 0.08,
@@ -74,9 +87,9 @@ fn region_structure_matches_figure_3() {
     // have better reception while car 1 leaves coverage (Region III).
     let result = small_experiment();
     let car1 = NodeId::new(1);
-    let own = reception_series(result.rounds(), car1, car1);
-    let by_car2 = reception_series(result.rounds(), car1, NodeId::new(2));
-    let by_car3 = reception_series(result.rounds(), car1, NodeId::new(3));
+    let own = reception_series(&result, car1, car1);
+    let by_car2 = reception_series(&result, car1, NodeId::new(2));
+    let by_car3 = reception_series(&result, car1, NodeId::new(3));
     assert!(own.len() > 30, "window has {} points", own.len());
     let third = own.len() / 3;
     let region = |s: &[SeriesPoint], lo: usize, hi: usize| {
@@ -103,30 +116,26 @@ fn region_structure_matches_figure_3() {
 
 #[test]
 fn experiments_are_reproducible_for_a_fixed_seed() {
-    let config = UrbanConfig::paper_testbed().with_rounds(2).with_seed(7);
-    let a = UrbanExperiment::new(config.clone()).run();
-    let b = UrbanExperiment::new(config).run();
-    assert_eq!(a.rounds(), b.rounds());
+    let a = reports_for(2, 7, vec![]);
+    let b = reports_for(2, 7, vec![]);
+    assert_eq!(a, b);
 }
 
 #[test]
 fn different_seeds_give_different_realisations() {
-    let a = UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(1).with_seed(1)).run();
-    let b = UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(1).with_seed(2)).run();
-    assert_ne!(a.rounds(), b.rounds());
+    let a = reports_for(1, 1, vec![]);
+    let b = reports_for(1, 2, vec![]);
+    assert_ne!(a[0].result, b[0].result);
 }
 
 #[test]
 fn no_cooperation_baseline_matches_direct_reception() {
-    let result = UrbanExperiment::new(
-        UrbanConfig::paper_testbed().with_rounds(2).with_seed(11).without_cooperation(),
-    )
-    .run();
-    assert_eq!(result.total_requests_sent(), 0);
-    assert_eq!(result.total_coop_data_sent(), 0);
-    for round in result.rounds() {
-        for car in round.cars() {
-            let flow = round.flow_for(car).unwrap();
+    let reports = reports_for(2, 11, vec![(Param::Cooperation, ParamValue::Bool(false))]);
+    assert_eq!(counter_total(&reports, "requests_sent"), 0.0);
+    assert_eq!(counter_total(&reports, "coop_data_sent"), 0.0);
+    for report in &reports {
+        for car in report.result.cars() {
+            let flow = report.result.flow_for(car).unwrap();
             assert_eq!(flow.lost_before_coop(), flow.lost_after_coop());
         }
     }
@@ -134,14 +143,10 @@ fn no_cooperation_baseline_matches_direct_reception() {
 
 #[test]
 fn larger_platoons_recover_at_least_as_well() {
-    let three =
-        UrbanExperiment::new(UrbanConfig::paper_testbed().with_rounds(3).with_seed(5)).run();
-    let five = UrbanExperiment::new(
-        UrbanConfig::paper_testbed().with_platoon_size(5).with_rounds(3).with_seed(5),
-    )
-    .run();
-    let mean_after = |result: &carq_repro::scenarios::urban::ExperimentResult| {
-        let rows = table1(result.rounds());
+    let three = round_results(&reports_for(3, 5, vec![]));
+    let five = round_results(&reports_for(3, 5, vec![(Param::NCars, ParamValue::Int(5))]));
+    let mean_after = |result: &[RoundResult]| {
+        let rows = table1(result);
         rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len() as f64
     };
     // More cooperators means more diversity; allow a small tolerance because

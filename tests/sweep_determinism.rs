@@ -1,45 +1,48 @@
 //! Sweep-engine determinism, end to end through the umbrella crate: the
 //! exported CSV of a real urban sweep must be byte-identical at 1, 2 and 8
-//! worker threads, and the expansion order must be stable.
+//! worker threads — with intra-point round parallelism engaged — and the
+//! per-round seed derivation must be order- and thread-count-independent.
 
-use carq_repro::scenarios::urban::UrbanConfig;
-use carq_repro::sweep::{point_seed, Param, ParamValue, SweepEngine, SweepSpec, UrbanSweep};
+use carq_repro::scenarios::urban::UrbanScenario;
+use carq_repro::scenarios::{round_seed, run_rounds, Scenario, ScenarioRun};
+use carq_repro::stats::{PointSummary, RoundReport, RoundResult};
+use carq_repro::sweep::{point_seed, Param, ParamValue, SweepEngine, SweepPoint, SweepSpec};
+use proptest::prelude::*;
 
 fn quick_spec() -> SweepSpec {
     SweepSpec::new(0xD57E_AB1E)
         .axis(Param::SpeedKmh, vec![ParamValue::Float(15.0), ParamValue::Float(25.0)])
-        .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)])
-}
-
-fn quick_experiment() -> UrbanSweep {
-    UrbanSweep::new(UrbanConfig::paper_testbed().with_rounds(1))
+        .axis(Param::NCars, vec![ParamValue::Int(2)])
+        // Two rounds per point so that wide engines also parallelise inside
+        // each point (8 threads over 2 points → 4 round workers per point).
+        .axis(Param::Rounds, vec![ParamValue::Int(2)])
 }
 
 #[test]
 fn csv_export_is_byte_identical_at_1_2_and_8_threads() {
-    let experiment = quick_experiment();
+    let scenario = UrbanScenario::paper_testbed();
     let spec = quick_spec();
-    let csv_1 = SweepEngine::new(1).run(&experiment, &spec).to_csv();
-    let csv_2 = SweepEngine::new(2).run(&experiment, &spec).to_csv();
-    let csv_8 = SweepEngine::new(8).run(&experiment, &spec).to_csv();
+    let csv_1 = SweepEngine::new(1).run(&scenario, &spec).unwrap().to_csv();
+    let csv_2 = SweepEngine::new(2).run(&scenario, &spec).unwrap().to_csv();
+    let csv_8 = SweepEngine::new(8).run(&scenario, &spec).unwrap().to_csv();
     assert_eq!(csv_1, csv_2, "2 threads changed the export");
     assert_eq!(csv_1, csv_8, "8 threads changed the export");
     // The export carries real data, not just headers.
-    assert_eq!(csv_1.lines().count(), 5);
-    assert!(csv_1.starts_with("scenario,point,seed,speed_kmh,n_cars,"));
+    assert_eq!(csv_1.lines().count(), 3);
+    assert!(csv_1.starts_with("scenario,point,seed,speed_kmh,n_cars,rounds,"));
 }
 
 #[test]
 fn json_export_matches_across_thread_counts_and_differs_across_seeds() {
-    let experiment = quick_experiment();
+    let scenario = UrbanScenario::paper_testbed();
     let spec = quick_spec();
-    let json_1 = SweepEngine::new(1).run(&experiment, &spec).to_json();
-    let json_8 = SweepEngine::new(8).run(&experiment, &spec).to_json();
+    let json_1 = SweepEngine::new(1).run(&scenario, &spec).unwrap().to_json();
+    let json_8 = SweepEngine::new(8).run(&scenario, &spec).unwrap().to_json();
     assert_eq!(json_1, json_8);
 
     let mut reseeded = quick_spec();
     reseeded.master_seed ^= 1;
-    let other = SweepEngine::new(8).run(&experiment, &reseeded).to_json();
+    let other = SweepEngine::new(8).run(&scenario, &reseeded).unwrap().to_json();
     assert_ne!(json_1, other, "a different master seed must change the results");
 }
 
@@ -52,9 +55,7 @@ fn grid_expansion_ordering_is_stable() {
     let speeds: Vec<f64> =
         a.iter().map(|p| p.get(Param::SpeedKmh).unwrap().as_f64().unwrap()).collect();
     // First axis varies slowest.
-    assert_eq!(speeds, vec![15.0, 15.0, 25.0, 25.0]);
-    let cars: Vec<u64> = a.iter().map(|p| p.get(Param::NCars).unwrap().as_u64().unwrap()).collect();
-    assert_eq!(cars, vec![2, 3, 2, 3]);
+    assert_eq!(speeds, vec![15.0, 25.0]);
 }
 
 #[test]
@@ -64,4 +65,109 @@ fn point_seeds_are_pure_functions_of_master_seed_and_index() {
     }
     let seeds: std::collections::BTreeSet<u64> = (0..32).map(|i| point_seed(7, i)).collect();
     assert_eq!(seeds.len(), 32, "per-point seeds must not collide in a small sweep");
+}
+
+#[test]
+fn round_seeds_chain_from_master_seed_point_index_and_round() {
+    // The full derivation chain is pure: master seed → point seed → round
+    // seed, with no dependence on execution order or thread placement.
+    let mut all = std::collections::BTreeSet::new();
+    for point in 0..4 {
+        let base = point_seed(0xBEEF, point);
+        for round in 0..8 {
+            assert_eq!(round_seed(base, round), round_seed(base, round));
+            all.insert(round_seed(base, round));
+        }
+    }
+    assert_eq!(all.len(), 32, "round seeds must not collide across a small sweep");
+}
+
+#[test]
+fn real_urban_rounds_executed_shuffled_match_in_order_execution() {
+    // The scenario-purity half of the contract, on the real simulator: run
+    // the same three rounds in a scrambled order and compare against the
+    // in-order execution, report by report.
+    let run = UrbanScenario::paper_testbed()
+        .configure(&SweepPoint::new(vec![
+            (Param::Rounds, ParamValue::Int(3)),
+            (Param::NCars, ParamValue::Int(2)),
+        ]))
+        .unwrap();
+    let base = 0x0D0E;
+    let in_order = run_rounds(run.as_ref(), base, 1);
+    let mut shuffled: Vec<RoundReport> =
+        [2u32, 0, 1].iter().map(|r| run.run_round(*r, round_seed(base, *r))).collect();
+    shuffled.sort_by_key(|r| r.round);
+    assert_eq!(in_order, shuffled);
+    assert_eq!(run.aggregate(&in_order), run.aggregate(&shuffled));
+}
+
+/// A cheap pure run for the property test below: the report is an
+/// arithmetic function of `(round, seed)`, so thousands of executions cost
+/// nothing while still exercising the executor and the seed derivation.
+struct ArithmeticRun {
+    rounds: u32,
+}
+
+impl ScenarioRun for ArithmeticRun {
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+        RoundReport::new(round, seed, RoundResult::default())
+            .with_counter("mix", ((seed ^ u64::from(round)) % 100_003) as f64)
+    }
+
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+        // Position-weighted so that any reordering of the reports changes
+        // the metric — the aggregate must only ever see round order.
+        let weighted: f64 = rounds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.counter("mix").map(|m| m * (i + 1) as f64))
+            .sum();
+        PointSummary { metrics: vec![("weighted_mix", weighted)] }
+    }
+}
+
+proptest! {
+    #[test]
+    fn per_round_seeds_are_order_and_thread_count_independent(
+        base_seed in 0u64..u64::MAX,
+        rounds in 1u32..24,
+        threads in 1usize..9,
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let run = ArithmeticRun { rounds };
+
+        // Reference: strictly serial, in round order.
+        let serial = run_rounds(&run, base_seed, 1);
+        prop_assert_eq!(serial.len(), rounds as usize);
+
+        // Parallel execution with an arbitrary thread count.
+        let parallel = run_rounds(&run, base_seed, threads);
+        prop_assert_eq!(&serial, &parallel);
+
+        // Manual execution in a random order: derive each round's seed
+        // independently, run shuffled, sort by round afterwards.
+        let mut order: Vec<u32> = (0..rounds).collect();
+        // Fisher-Yates driven by a splitmix-style walk of shuffle_seed.
+        let mut state = shuffle_seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut scrambled: Vec<RoundReport> = order
+            .iter()
+            .map(|r| run.run_round(*r, round_seed(base_seed, *r)))
+            .collect();
+        scrambled.sort_by_key(|r| r.round);
+        prop_assert_eq!(&serial, &scrambled);
+
+        // And the PointSummary — the thing sweeps export — is identical.
+        prop_assert_eq!(run.aggregate(&serial), run.aggregate(&scrambled));
+        prop_assert_eq!(run.aggregate(&serial), run.aggregate(&parallel));
+    }
 }
