@@ -1,0 +1,84 @@
+//! P2: cost of a sweep against a cold vs. a warm round cache.
+//!
+//! Runs the same small urban sweep three times through one on-disk
+//! `SweepCache` — cache-less baseline, cold cache (everything simulates
+//! and is written back), warm cache (everything replays from the journal)
+//! — and reports the elapsed time and `run_round` call count of each. The
+//! warm pass must make **zero** `run_round` calls and export byte-identical
+//! CSV, which this bench re-checks on the way; the elapsed ratio is the
+//! price of a re-run after the cache exists (journal decode + aggregation
+//! only).
+//!
+//! Rounds per point default to 1 and can be raised with
+//! `CARQ_BENCH_ROUNDS` for a heavier, more realistic load.
+
+use std::sync::Arc;
+
+use bench::{print_footer, print_header};
+use vanet_cache::SweepCache;
+use vanet_scenarios::urban::UrbanConfig;
+use vanet_scenarios::UrbanScenario;
+use vanet_sweep::{Param, ParamValue, SweepEngine, SweepSpec};
+
+fn rounds_per_point() -> u32 {
+    std::env::var("CARQ_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r| *r > 0)
+        .unwrap_or(1)
+}
+
+fn main() {
+    print_header("cache_resume", "sweep cost against a cold vs. warm round cache");
+    let rounds = rounds_per_point();
+    println!("rounds/point : {rounds} (this bench defaults to 1, not the paper's 30)");
+    let scenario = UrbanScenario::new(UrbanConfig::paper_testbed().with_rounds(rounds));
+    let spec = SweepSpec::new(0x5eed)
+        .axis(
+            Param::SpeedKmh,
+            vec![ParamValue::Float(10.0), ParamValue::Float(20.0), ParamValue::Float(30.0)],
+        )
+        .axis(Param::NCars, vec![ParamValue::Int(2), ParamValue::Int(3)]);
+
+    let dir = std::env::temp_dir().join(format!("carq-bench-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = Arc::new(SweepCache::open(&dir).expect("cache opens"));
+    let started = std::time::Instant::now();
+
+    println!("{:>10} {:>14} {:>11} {:>9}", "pass", "elapsed (s)", "simulated", "cached");
+    let mut reference_csv: Option<String> = None;
+    for (pass, engine) in [
+        ("baseline", SweepEngine::new(0)),
+        ("cold", SweepEngine::new(0).with_cache(cache.clone())),
+        ("warm", SweepEngine::new(0).with_cache(cache.clone())),
+    ] {
+        let result = engine.run(&scenario, &spec).expect("schema-valid sweep");
+        println!(
+            "{:>10} {:>14.2} {:>11} {:>9}",
+            pass,
+            result.elapsed.as_secs_f64(),
+            result.rounds_simulated,
+            result.rounds_cached,
+        );
+        if pass == "warm" {
+            assert_eq!(result.rounds_simulated, 0, "warm pass must make no run_round calls");
+        }
+        let csv = result.to_csv();
+        match &reference_csv {
+            None => reference_csv = Some(csv),
+            Some(reference) => {
+                assert_eq!(reference, &csv, "CSV must be identical with and without the cache")
+            }
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "journal      : {} record(s), {} byte(s) at {}",
+        stats.entries,
+        stats.file_bytes,
+        cache.journal_path().display()
+    );
+    println!("determinism  : CSV identical across baseline/cold/warm passes");
+    std::fs::remove_dir_all(&dir).ok();
+    print_footer(started.elapsed().as_secs_f64());
+}

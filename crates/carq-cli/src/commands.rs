@@ -1,5 +1,8 @@
 //! Subcommand implementations.
 
+use std::sync::Arc;
+
+use vanet_cache::SweepCache;
 use vanet_scenarios::{
     run_point, Param, ParamKind, ParamValue, Scenario, ScenarioRegistry, SweepPoint, UrbanScenario,
 };
@@ -58,6 +61,21 @@ USAGE:
                              byte-identical at any thread count.
     --format csv|json        export format (default csv)
     --out PATH               write to a file instead of stdout
+    --cache DIR              persistent round cache (created if missing):
+                             rounds already in DIR are reused, only the
+                             missing ones simulate, and new results are
+                             written back — so identical re-runs simulate
+                             nothing, widened grids or raised --rounds
+                             simulate only the delta, and a killed sweep
+                             resumes. Exports are byte-identical with and
+                             without the cache.
+
+  carq-cli cache stats --cache DIR
+      Show what a cache directory holds: entries per scenario, journal
+      size, bytes recovered from a torn tail.
+
+  carq-cli cache clear --cache DIR
+      Remove a cache directory's journal.
 
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
@@ -100,6 +118,14 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             Some("run") => sweep_run(&Options::parse_with_switches(&args[2..], &SWITCHES)?),
             other => Err(format!(
                 "unknown sweep subcommand `{}` (expected list or run)",
+                other.unwrap_or("")
+            )),
+        },
+        Some("cache") => match args.get(1).map(String::as_str) {
+            Some("stats") => cache_stats(&Options::parse(&args[2..])?),
+            Some("clear") => cache_clear(&Options::parse(&args[2..])?),
+            other => Err(format!(
+                "unknown cache subcommand `{}` (expected stats or clear)",
                 other.unwrap_or("")
             )),
         },
@@ -207,7 +233,7 @@ fn scenario_run(name: &str, opts: &Options) -> Result<(), String> {
     let registry = ScenarioRegistry::builtin();
     let scenario = lookup(&registry, name)?;
     let vocabulary = vocabulary(&registry, scenario);
-    let mut known: Vec<&str> = vec!["seed", "threads", "format", "out"];
+    let mut known: Vec<&str> = vec!["seed", "threads", "format", "out", "cache"];
     known.extend(vocabulary.iter().map(|(p, _)| p.key()));
     let unknown = opts.unknown_flags(&known);
     if !unknown.is_empty() {
@@ -230,7 +256,8 @@ fn sweep_list() -> Result<(), String> {
 }
 
 fn sweep_run(opts: &Options) -> Result<(), String> {
-    let unknown = opts.unknown_flags(&["preset", "rounds", "seed", "threads", "format", "out"]);
+    let unknown =
+        opts.unknown_flags(&["preset", "rounds", "seed", "threads", "format", "out", "cache"]);
     if !unknown.is_empty() {
         if unknown.iter().any(|f| f == "scenario") {
             return Err("custom sweeps moved to `carq-cli scenario run NAME --PARAM values,...` \
@@ -264,7 +291,19 @@ fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> R
         return Err(format!("unknown format `{format}` (csv, json)"));
     }
 
-    let engine = SweepEngine::new(threads).with_allow_unknown(opts.has_switch("allow-unknown"));
+    let mut engine = SweepEngine::new(threads).with_allow_unknown(opts.has_switch("allow-unknown"));
+    if let Some(dir) = opts.get("cache") {
+        let cache = SweepCache::open(dir).map_err(|e| e.to_string())?;
+        let stats = cache.stats();
+        if stats.recovered_bytes > 0 {
+            eprintln!(
+                "cache: dropped a torn {}-byte tail (previous run was killed mid-write)",
+                stats.recovered_bytes
+            );
+        }
+        eprintln!("cache: {} round(s) on hand in {dir}", stats.entries);
+        engine = engine.with_cache(Arc::new(cache));
+    }
     eprintln!(
         "sweep: {} point(s) of `{}` on {} thread(s), master seed {:#x}",
         spec.len(),
@@ -278,6 +317,12 @@ fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> R
         result.elapsed.as_secs_f64(),
         result.points_per_second(),
     );
+    if opts.get("cache").is_some() {
+        eprintln!(
+            "cache: {} round(s) simulated, {} served from cache",
+            result.rounds_simulated, result.rounds_cached,
+        );
+    }
 
     let rendered = if format == "json" { result.to_json() } else { result.to_csv() };
     match opts.get("out") {
@@ -286,6 +331,37 @@ fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> R
         }
         None => print!("{rendered}"),
     }
+    Ok(())
+}
+
+/// Requires and returns the `--cache DIR` flag of a `cache` subcommand.
+fn cache_dir<'o>(opts: &'o Options, action: &str) -> Result<&'o str, String> {
+    let unknown = opts.unknown_flags(&["cache"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    opts.get("cache").ok_or_else(|| format!("cache {action} needs --cache DIR"))
+}
+
+fn cache_stats(opts: &Options) -> Result<(), String> {
+    let dir = cache_dir(opts, "stats")?;
+    let cache = SweepCache::open(dir).map_err(|e| e.to_string())?;
+    let stats = cache.stats();
+    println!("journal: {}", cache.journal_path().display());
+    println!("entries: {} round report(s), {} byte(s)", stats.entries, stats.file_bytes);
+    if stats.recovered_bytes > 0 {
+        println!("recovered: dropped a torn {}-byte tail on open", stats.recovered_bytes);
+    }
+    for (scenario, count) in &stats.scenarios {
+        println!("  {scenario:<12} {count} round(s)");
+    }
+    Ok(())
+}
+
+fn cache_clear(opts: &Options) -> Result<(), String> {
+    let dir = cache_dir(opts, "clear")?;
+    let bytes = vanet_cache::clear(dir).map_err(|e| e.to_string())?;
+    println!("cleared {dir}: {bytes} byte(s) removed");
     Ok(())
 }
 
@@ -431,6 +507,24 @@ mod tests {
         let err = scenario_run("highway", &switch_opts(&["--file_blocks", "100"])).unwrap_err();
         assert!(err.contains("file_blocks"), "{err}");
         assert!(err.contains("allow-unknown"), "{err}");
+    }
+
+    #[test]
+    fn cache_subcommands_validate_and_run() {
+        // Both need --cache DIR.
+        assert!(dispatch(&strs(&["cache", "stats"])).is_err());
+        assert!(dispatch(&strs(&["cache", "clear"])).is_err());
+        assert!(dispatch(&strs(&["cache", "compact"])).is_err());
+        assert!(dispatch(&strs(&["cache", "stats", "--bogus", "1"])).is_err());
+
+        let dir = std::env::temp_dir()
+            .join(format!("carq-cli-cache-test-{}", std::process::id()))
+            .display()
+            .to_string();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(dispatch(&strs(&["cache", "stats", "--cache", &dir])).is_ok());
+        assert!(dispatch(&strs(&["cache", "clear", "--cache", &dir])).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

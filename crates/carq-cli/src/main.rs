@@ -6,6 +6,8 @@
 //! carq-cli scenario run urban --speed_kmh 10,20,30 --n_cars 2,3 --rounds 3
 //! carq-cli sweep list
 //! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
+//! carq-cli sweep run --preset urban-platoon --cache ./sweep-cache   # resumable
+//! carq-cli cache stats --cache ./sweep-cache
 //! carq-cli table1 --rounds 30
 //! carq-cli fig reception --car 1
 //! ```

@@ -24,14 +24,31 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// FNV-1a hash of a label, used to turn stream names into seed material.
-fn fnv1a(label: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.as_bytes() {
+/// FNV-1a over raw bytes — the workspace's one *specified* hash.
+///
+/// Unlike `std`'s hashers, whose algorithm may change between releases,
+/// FNV-1a's output is pinned forever, which everything durable keys on:
+/// RNG stream labels here, schema fingerprints in `vanet-scenarios`, and
+/// journal checksums in `vanet-cache`. One shared implementation keeps
+/// those from drifting apart.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_chain(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Folds more bytes into an FNV-1a state — lets one hash span several
+/// buffers without concatenating them.
+pub fn fnv1a64_chain(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for b in bytes {
         hash ^= u64::from(*b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
     hash
+}
+
+/// FNV-1a hash of a label, used to turn stream names into seed material.
+fn fnv1a(label: &str) -> u64 {
+    fnv1a64(label.as_bytes())
 }
 
 /// A deterministic random stream identified by a master seed and a label.

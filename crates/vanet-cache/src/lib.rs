@@ -1,0 +1,62 @@
+//! # vanet-cache — the persistent round-report store behind resumable sweeps
+//!
+//! The `Scenario` purity contract (`run_round(round, seed)` is a pure
+//! function of the configuration, the round index and the seed) makes every
+//! round's [`vanet_stats::RoundReport`] *exactly* cacheable: given the same
+//! key, re-simulating is guaranteed to reproduce the stored bytes. This
+//! crate is that cache —
+//!
+//! * [`CacheKey`] — the content address of one round:
+//!   `(scenario name, schema fingerprint, canonical configuration, round,
+//!   round seed)`. The canonical configuration comes from
+//!   `ParamSchema::canonical_config` in `vanet-scenarios`: defaults
+//!   resolved, values rendered losslessly, round-neutral parameters (round
+//!   budgets, file sizes) excluded — so a widened grid, an extended
+//!   `--rounds`, or a reordered spec addresses the same entries.
+//! * [`SweepCache`] — a shared handle over an append-only journal file.
+//!   Lookups hit an in-memory index loaded at open; writes append a
+//!   checksummed record. Opening a journal whose tail was torn by a kill
+//!   mid-write drops (and truncates away) the torn record and keeps
+//!   everything before it — an interrupted sweep resumes instead of
+//!   restarting.
+//! * [`clear`] — removes a directory's journal, reporting the bytes freed.
+//!
+//! The sweep engine in `vanet-sweep` threads a `SweepCache` through its
+//! round dispatch: before each wave it partitions rounds into cached vs.
+//! missing, simulates only the delta, and writes the fresh reports back.
+//! Exports are byte-identical whether results came from cache or fresh
+//! simulation, at any thread count.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use vanet_cache::{CacheKey, SweepCache};
+//! use vanet_stats::{RoundReport, RoundResult};
+//!
+//! let dir = std::env::temp_dir().join(format!("vanet-cache-doc-{}", std::process::id()));
+//! let cache = SweepCache::open(&dir).unwrap();
+//!
+//! let key = CacheKey::new("urban", 0xFEED, "scenario=urban;n_cars=i3", 0, 0xBEEF);
+//! assert!(cache.get(&key).is_none());
+//!
+//! let report = RoundReport::new(0, 0xBEEF, RoundResult::default());
+//! cache.put(&key, &report).unwrap();
+//! assert_eq!(cache.get(&key), Some(report));
+//!
+//! // Reopening reads the journal back; clearing removes it.
+//! drop(cache);
+//! assert_eq!(SweepCache::open(&dir).unwrap().len(), 1);
+//! vanet_cache::clear(&dir).unwrap();
+//! assert!(SweepCache::open(&dir).unwrap().is_empty());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod key;
+pub mod store;
+
+pub use key::CacheKey;
+pub use store::{clear, CacheError, CacheStats, SweepCache};

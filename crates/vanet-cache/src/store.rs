@@ -1,0 +1,536 @@
+//! The on-disk store: an append-only journal plus an in-memory index.
+//!
+//! ## Journal format
+//!
+//! ```text
+//! magic   : b"VANETCACHE1\n"                         (12 bytes, format version)
+//! record  : u32 key_len | u32 payload_len | u64 checksum | key | payload
+//! ```
+//!
+//! All integers are little-endian; `checksum` is FNV-1a over `key` then
+//! `payload`; `key` is a [`CacheKey`] canonical line and `payload` a
+//! [`RoundReport`] in the `vanet_stats::codec` encoding.
+//!
+//! ## Crash tolerance
+//!
+//! Appends are single `write_all` calls, so a kill mid-write can only tear
+//! the **tail** of the file. [`SweepCache::open`] replays the journal from
+//! the start and stops at the first record that is incomplete, fails its
+//! checksum, or does not decode; the file is truncated back to the last
+//! good record, the loss is reported via [`CacheStats::recovered_bytes`],
+//! and the next append continues from there. Every record before the tear
+//! survives — an interrupted sweep resumes instead of restarting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use vanet_stats::RoundReport;
+
+use crate::key::{fnv1a64, fnv1a64_chain, CacheKey};
+
+/// The journal file kept inside a cache directory.
+const JOURNAL_FILE: &str = "rounds.journal";
+
+/// Format magic; bump the digit when the record or payload encoding changes.
+const MAGIC: &[u8; 12] = b"VANETCACHE1\n";
+
+/// `key_len | payload_len | checksum`.
+const RECORD_HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Why a cache operation failed. Carries the journal path so that errors
+/// surfacing through a sweep or the CLI are actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheError {
+    path: PathBuf,
+    message: String,
+}
+
+impl CacheError {
+    fn new(path: &Path, message: impl Into<String>) -> Self {
+        CacheError { path: path.to_path_buf(), message: message.into() }
+    }
+
+    fn io(path: &Path, action: &str, err: &std::io::Error) -> Self {
+        CacheError::new(path, format!("cannot {action}: {err}"))
+    }
+
+    /// The journal (or directory) the failure concerns.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round cache at `{}`: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A point-in-time summary of a cache, as shown by `carq-cli cache stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct round reports in the index.
+    pub entries: usize,
+    /// Journal size on disk, in bytes.
+    pub file_bytes: u64,
+    /// Bytes of torn tail dropped when the journal was opened (0 after a
+    /// clean shutdown).
+    pub recovered_bytes: u64,
+    /// Entries per scenario name, sorted by name.
+    pub scenarios: Vec<(String, usize)>,
+}
+
+struct Inner {
+    file: File,
+    index: BTreeMap<String, RoundReport>,
+    file_bytes: u64,
+    recovered_bytes: u64,
+}
+
+/// A shared, thread-safe handle on one cache directory.
+///
+/// Lookups are served from an in-memory index loaded at open; [`put`]
+/// appends to the journal and updates the index. A `&SweepCache` can be
+/// used from any number of threads (the sweep engine's workers share one).
+///
+/// Two *processes* may append to the same journal concurrently only if they
+/// write identical values per key — which the purity contract guarantees —
+/// but interleaved appends from distinct handles are not torn-safe; run one
+/// sweep per cache directory at a time.
+///
+/// [`put`]: SweepCache::put
+pub struct SweepCache {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for SweepCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        f.debug_struct("SweepCache")
+            .field("path", &self.path)
+            .field("entries", &inner.index.len())
+            .field("file_bytes", &inner.file_bytes)
+            .finish()
+    }
+}
+
+impl SweepCache {
+    /// Opens (creating if necessary) the cache in directory `dir` and
+    /// replays its journal into memory, truncating away a torn tail if the
+    /// previous writer was killed mid-append.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and a journal whose header is not a vanet-cache magic —
+    /// the open refuses to clobber a file it does not recognise.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SweepCache, CacheError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CacheError::io(dir, "create the cache directory", &e))?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| CacheError::io(&path, "open the journal", &e))?;
+
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf).map_err(|e| CacheError::io(&path, "read the journal", &e))?;
+
+        let mut recovered_bytes = 0u64;
+        if buf.is_empty() || (buf.len() < MAGIC.len() && MAGIC.starts_with(&buf)) {
+            // Fresh file, or a kill tore the header write itself: (re)write it.
+            recovered_bytes = buf.len() as u64;
+            file.set_len(0).map_err(|e| CacheError::io(&path, "reset the journal", &e))?;
+            file.seek(SeekFrom::Start(0)).map_err(|e| CacheError::io(&path, "seek", &e))?;
+            file.write_all(MAGIC).map_err(|e| CacheError::io(&path, "write the header", &e))?;
+            buf = MAGIC.to_vec();
+        } else if !buf.starts_with(MAGIC) {
+            return Err(CacheError::new(
+                &path,
+                "not a vanet-cache journal (unrecognised header); refusing to touch it",
+            ));
+        }
+
+        // Replay records up to the first torn/corrupt one.
+        let mut index = BTreeMap::new();
+        let mut pos = MAGIC.len();
+        let valid_len = loop {
+            if pos == buf.len() {
+                break pos;
+            }
+            let Some(record_end) = record_end(&buf, pos) else { break pos };
+            let key_len = read_u32(&buf, pos) as usize;
+            let key_bytes = &buf[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + key_len];
+            let payload = &buf[pos + RECORD_HEADER_LEN + key_len..record_end];
+            let (Ok(key), Ok(report)) =
+                (std::str::from_utf8(key_bytes), RoundReport::from_bytes(payload))
+            else {
+                break pos;
+            };
+            // Duplicate appends (e.g. two racing writers) are benign: the
+            // purity contract makes their payloads identical. Last wins.
+            index.insert(key.to_string(), report);
+            pos = record_end;
+        };
+        if valid_len < buf.len() {
+            recovered_bytes += (buf.len() - valid_len) as u64;
+            file.set_len(valid_len as u64)
+                .map_err(|e| CacheError::io(&path, "truncate the torn tail", &e))?;
+            file.seek(SeekFrom::Start(valid_len as u64))
+                .map_err(|e| CacheError::io(&path, "seek", &e))?;
+        }
+
+        Ok(SweepCache {
+            path,
+            inner: Mutex::new(Inner { file, index, file_bytes: valid_len as u64, recovered_bytes }),
+        })
+    }
+
+    /// The report cached under `key`, if any.
+    pub fn get(&self, key: &CacheKey) -> Option<RoundReport> {
+        self.inner.lock().expect("cache lock poisoned").index.get(key.as_str()).cloned()
+    }
+
+    /// Appends `report` under `key`. Returns `false` (writing nothing) if
+    /// the key is already cached — by the purity contract an existing entry
+    /// is identical, so the journal stays free of redundant records.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures while appending. The record is written with a single
+    /// `write_all`, so a kill mid-append leaves at worst a torn tail for
+    /// the next open to drop; a write *error* (e.g. a full disk) rolls the
+    /// file back to the last good record before returning, so later puts
+    /// cannot strand valid records behind a mid-file tear.
+    pub fn put(&self, key: &CacheKey, report: &RoundReport) -> Result<bool, CacheError> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.index.contains_key(key.as_str()) {
+            return Ok(false);
+        }
+        let key_bytes = key.as_str().as_bytes();
+        let payload = report.to_bytes();
+        let checksum = fnv1a64_chain(fnv1a64(key_bytes), &payload);
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + key_bytes.len() + payload.len());
+        record.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&checksum.to_le_bytes());
+        record.extend_from_slice(key_bytes);
+        record.extend_from_slice(&payload);
+        if let Err(e) = inner.file.write_all(&record) {
+            // A partial append would become a *mid-file* tear if later puts
+            // landed after it — and everything after a tear is dropped on
+            // the next open. Roll back to the last good record so the
+            // journal stays a valid prefix whatever happens next.
+            let good = inner.file_bytes;
+            let _ = inner.file.set_len(good);
+            let _ = inner.file.seek(SeekFrom::Start(good));
+            return Err(CacheError::io(&self.path, "append a record", &e));
+        }
+        inner.file_bytes += record.len() as u64;
+        inner.index.insert(key.as_str().to_string(), report.clone());
+        Ok(true)
+    }
+
+    /// Drops `key` from the **in-memory index only** (the journal is
+    /// append-only), returning whether it was present. Until this handle
+    /// re-`put`s the key, lookups through it miss; a fresh [`open`] sees the
+    /// original entry again. This exists for tests and tools that need to
+    /// simulate partial caches — it is not an on-disk delete (that is
+    /// [`clear`]).
+    ///
+    /// [`open`]: SweepCache::open
+    pub fn forget(&self, key: &CacheKey) -> bool {
+        self.inner.lock().expect("cache lock poisoned").index.remove(key.as_str()).is_some()
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").index.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical key lines currently indexed, in sorted order.
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .index
+            .keys()
+            .map(|k| CacheKey::from_canonical(k.clone()))
+            .collect()
+    }
+
+    /// A point-in-time summary: entry and byte counts, recovery info, and a
+    /// per-scenario breakdown.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let mut scenarios: BTreeMap<String, usize> = BTreeMap::new();
+        for key in inner.index.keys() {
+            let scenario = key.split('|').next().unwrap_or("").to_string();
+            *scenarios.entry(scenario).or_insert(0) += 1;
+        }
+        CacheStats {
+            entries: inner.index.len(),
+            file_bytes: inner.file_bytes,
+            recovered_bytes: inner.recovered_bytes,
+            scenarios: scenarios.into_iter().collect(),
+        }
+    }
+
+    /// The journal file this handle reads and appends.
+    pub fn journal_path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Removes the journal in `dir`, returning the bytes freed (0 if there was
+/// none). The directory itself is left in place.
+///
+/// # Errors
+///
+/// I/O failures other than the journal not existing.
+pub fn clear(dir: impl AsRef<Path>) -> Result<u64, CacheError> {
+    let path = dir.as_ref().join(JOURNAL_FILE);
+    match std::fs::metadata(&path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(CacheError::io(&path, "stat the journal", &e)),
+        Ok(meta) => {
+            std::fs::remove_file(&path)
+                .map_err(|e| CacheError::io(&path, "remove the journal", &e))?;
+            Ok(meta.len())
+        }
+    }
+}
+
+fn read_u32(buf: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(buf: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"))
+}
+
+/// Where the record starting at `pos` ends, or `None` if it is incomplete
+/// or fails its checksum (i.e. the journal is torn at `pos`).
+fn record_end(buf: &[u8], pos: usize) -> Option<usize> {
+    if buf.len() - pos < RECORD_HEADER_LEN {
+        return None;
+    }
+    let key_len = read_u32(buf, pos) as usize;
+    let payload_len = read_u32(buf, pos + 4) as usize;
+    let checksum = read_u64(buf, pos + 8);
+    let body_start = pos + RECORD_HEADER_LEN;
+    let end = body_start.checked_add(key_len)?.checked_add(payload_len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let key = &buf[body_start..body_start + key_len];
+    let payload = &buf[body_start + key_len..end];
+    if fnv1a64_chain(fnv1a64(key), payload) != checksum {
+        return None;
+    }
+    Some(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vanet_stats::RoundResult;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn key(i: u32) -> CacheKey {
+        CacheKey::new("fake", 0xF1, "scenario=fake;x=i1", i, u64::from(i) * 31 + 7)
+    }
+
+    fn report(i: u32) -> RoundReport {
+        RoundReport::new(i, u64::from(i) * 31 + 7, RoundResult::default())
+            .with_counter("value", f64::from(i) + 0.5)
+    }
+
+    #[test]
+    fn put_get_and_reopen() {
+        let dir = temp_dir("roundtrip");
+        let cache = SweepCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0)).is_none());
+        for i in 0..5 {
+            assert!(cache.put(&key(i), &report(i)).unwrap());
+        }
+        // Duplicate puts write nothing.
+        assert!(!cache.put(&key(2), &report(2)).unwrap());
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.get(&key(3)), Some(report(3)));
+        let bytes_before = cache.stats().file_bytes;
+        drop(cache);
+
+        let reopened = SweepCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 5);
+        assert_eq!(reopened.get(&key(3)), Some(report(3)));
+        let stats = reopened.stats();
+        assert_eq!(stats.entries, 5);
+        assert_eq!(stats.file_bytes, bytes_before);
+        assert_eq!(stats.recovered_bytes, 0);
+        assert_eq!(stats.scenarios, vec![("fake".to_string(), 5)]);
+        assert_eq!(reopened.keys().len(), 5);
+        assert!(format!("{reopened:?}").contains("entries"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = temp_dir("torn");
+        let cache = SweepCache::open(&dir).unwrap();
+        for i in 0..4 {
+            cache.put(&key(i), &report(i)).unwrap();
+        }
+        let path = cache.journal_path().to_path_buf();
+        let full_len = cache.stats().file_bytes;
+        drop(cache);
+
+        // Chop the last record mid-payload, as a kill mid-write would.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 7).unwrap();
+        drop(file);
+
+        let recovered = SweepCache::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 3, "the torn record is dropped");
+        assert!(recovered.get(&key(3)).is_none());
+        assert_eq!(recovered.get(&key(2)), Some(report(2)));
+        let stats = recovered.stats();
+        assert!(stats.recovered_bytes > 0);
+        assert!(stats.file_bytes < full_len - 7, "file truncated to the last good record");
+
+        // Appending after recovery works and survives another reopen.
+        recovered.put(&key(3), &report(3)).unwrap();
+        drop(recovered);
+        let again = SweepCache::open(&dir).unwrap();
+        assert_eq!(again.len(), 4);
+        assert_eq!(again.get(&key(3)), Some(report(3)));
+        assert_eq!(again.stats().recovered_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_checksum_cuts_the_journal_there() {
+        let dir = temp_dir("bitrot");
+        let cache = SweepCache::open(&dir).unwrap();
+        for i in 0..3 {
+            cache.put(&key(i), &report(i)).unwrap();
+        }
+        let path = cache.journal_path().to_path_buf();
+        drop(cache);
+
+        // Flip one byte in the middle record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovered = SweepCache::open(&dir).unwrap();
+        assert!(recovered.len() < 3, "everything from the corrupt record on is dropped");
+        assert_eq!(recovered.get(&key(0)), Some(report(0)));
+        assert!(recovered.stats().recovered_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), b"totally not a cache journal").unwrap();
+        let err = SweepCache::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("unrecognised header"), "{err}");
+        assert!(err.path().ends_with(JOURNAL_FILE));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_header_is_rewritten() {
+        let dir = temp_dir("torn-header");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), &MAGIC[..5]).unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().recovered_bytes, 5);
+        cache.put(&key(0), &report(0)).unwrap();
+        drop(cache);
+        assert_eq!(SweepCache::open(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forget_is_in_memory_only() {
+        let dir = temp_dir("forget");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.put(&key(0), &report(0)).unwrap();
+        assert!(cache.forget(&key(0)));
+        assert!(!cache.forget(&key(0)));
+        assert!(cache.get(&key(0)).is_none());
+        drop(cache);
+        // The journal still has it.
+        assert_eq!(SweepCache::open(&dir).unwrap().get(&key(0)), Some(report(0)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clear_removes_the_journal() {
+        let dir = temp_dir("clear");
+        assert_eq!(clear(&dir).unwrap(), 0, "clearing a missing journal is a no-op");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.put(&key(0), &report(0)).unwrap();
+        drop(cache);
+        assert!(clear(&dir).unwrap() > 0);
+        assert!(SweepCache::open(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_puts_from_many_threads() {
+        let dir = temp_dir("parallel");
+        let cache = SweepCache::open(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..25u32 {
+                        let n = t * 25 + i;
+                        cache.put(&key(n), &report(n)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+        drop(cache);
+        let reopened = SweepCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 100);
+        for n in [0u32, 37, 99] {
+            assert_eq!(reopened.get(&key(n)), Some(report(n)));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

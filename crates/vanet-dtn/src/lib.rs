@@ -20,6 +20,30 @@
 //! * [`epidemic`] — a summary-vector anti-entropy exchange in the style of
 //!   epidemic routing, used as an overhead baseline against which the
 //!   REQUEST-based recovery of C-ARQ is compared.
+//!
+//! ## Example
+//!
+//! The bookkeeping at the heart of the protocol: what a car holds, what it
+//! is missing, and the best any cooperative scheme could recover (the
+//! joint-reception "virtual car"):
+//!
+//! ```rust
+//! use vanet_dtn::{JointReceptionOracle, ReceptionMap, SeqNo};
+//! use vanet_mac::NodeId;
+//!
+//! // Car 1 heard packets 2,3,7 of its own flow; car 2 overheard 5 and 6.
+//! let own: ReceptionMap = [2u32, 3, 7].into_iter().map(SeqNo::new).collect();
+//! assert_eq!(own.missing(), vec![SeqNo::new(4), SeqNo::new(5), SeqNo::new(6)]);
+//!
+//! let mut oracle = JointReceptionOracle::new();
+//! oracle.observe_map(NodeId::new(1), &own);
+//! let overheard: ReceptionMap = [5u32, 6].into_iter().map(SeqNo::new).collect();
+//! oracle.observe_map(NodeId::new(2), &overheard);
+//! // Cooperation can recover 5 and 6, but nobody ever received 4.
+//! let joint = oracle.union();
+//! assert!(joint.contains(SeqNo::new(5)) && joint.contains(SeqNo::new(6)));
+//! assert!(!joint.contains(SeqNo::new(4)));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

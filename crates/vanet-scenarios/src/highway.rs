@@ -202,13 +202,17 @@ impl HighwayScenario {
                     "whether the platoon runs C-ARQ",
                     base.cooperation_enabled,
                 ),
+                // Round-neutral: one drive-by is independent of how many
+                // passes are averaged, so extending `--rounds` resumes from
+                // the cached prefix.
                 ParamSpec::int(
                     Param::Rounds,
                     "drive-by passes to average over",
                     u64::from(base.passes),
                     1,
                     10_000,
-                ),
+                )
+                .round_neutral(),
             ],
         );
         HighwayScenario { base, schema }

@@ -96,13 +96,18 @@ impl MultiApScenario {
         let schema = ParamSchema::new(
             "multi-ap",
             vec![
+                // Round-neutral: a visit simulates the AP streaming fresh
+                // blocks regardless of file size — the size only decides in
+                // `aggregate`/`is_settled` when the download is complete, so
+                // a file-size sweep shares its per-visit reports.
                 ParamSpec::int(
                     Param::FileBlocks,
                     "file size per car in blocks (one block per packet)",
                     u64::from(base.file_blocks),
                     1,
                     10_000_000,
-                ),
+                )
+                .round_neutral(),
                 ParamSpec::float(
                     Param::SpeedKmh,
                     "vehicle speed in km/h",
@@ -136,13 +141,16 @@ impl MultiApScenario {
                     "whether the platoon runs C-ARQ",
                     base.pass.cooperation_enabled,
                 ),
+                // Round-neutral: the budget only bounds how many visits
+                // may run.
                 ParamSpec::int(
                     Param::Rounds,
                     "AP-visit budget per download (safety bound)",
                     u64::from(base.max_passes),
                     1,
                     10_000,
-                ),
+                )
+                .round_neutral(),
             ],
         );
         MultiApScenario { base, schema }

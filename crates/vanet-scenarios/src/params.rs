@@ -100,6 +100,22 @@ impl ParamValue {
             _ => None,
         }
     }
+
+    /// A **lossless** rendering used in cache keys and seed derivation.
+    ///
+    /// Unlike [`fmt::Display`], which rounds floats to three decimals for
+    /// human-readable labels, this encoding round-trips every value exactly:
+    /// floats render as their IEEE-754 bit pattern, so `20.0` and
+    /// `20.0000001` never collapse onto one cache entry or seed.
+    pub fn canonical(&self) -> String {
+        match self {
+            ParamValue::Float(x) => format!("f{:016x}", x.to_bits()),
+            ParamValue::Int(x) => format!("i{x}"),
+            ParamValue::Bool(x) => format!("b{}", u8::from(*x)),
+            // Strategy renderings are already lossless (`all`, `first2`, …).
+            ParamValue::Selection(_) | ParamValue::Request(_) => self.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ParamValue {
@@ -203,6 +219,24 @@ mod tests {
             (Param::NCars, ParamValue::Int(3)),
         ]);
         assert_eq!(point.label(), "speed_kmh=20.000,n_cars=3");
+    }
+
+    #[test]
+    fn canonical_rendering_is_lossless() {
+        // Display collapses nearby floats; canonical must not.
+        let a = ParamValue::Float(20.0);
+        let b = ParamValue::Float(20.000_000_1);
+        assert_eq!(a.to_string(), b.to_string(), "Display rounds to 3 decimals");
+        assert_ne!(a.canonical(), b.canonical(), "canonical must distinguish them");
+        assert_eq!(a.canonical(), format!("f{:016x}", 20.0f64.to_bits()));
+        assert_eq!(ParamValue::Int(7).canonical(), "i7");
+        assert_eq!(ParamValue::Bool(true).canonical(), "b1");
+        assert_eq!(ParamValue::Bool(false).canonical(), "b0");
+        assert_eq!(
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }).canonical(),
+            "first2"
+        );
+        assert_eq!(ParamValue::Request(RequestStrategy::Batched).canonical(), "batched");
     }
 
     #[test]

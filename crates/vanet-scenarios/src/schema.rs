@@ -62,6 +62,11 @@ pub struct ParamSpec {
     pub min: Option<f64>,
     /// Inclusive numeric upper bound (`None` for non-numeric kinds).
     pub max: Option<f64>,
+    /// Whether the parameter is **round-neutral**: its value never
+    /// influences the report of an individual round, only how many rounds
+    /// run, when they settle early, or how they aggregate (see
+    /// [`ParamSpec::round_neutral`]).
+    pub round_neutral: bool,
 }
 
 impl ParamSpec {
@@ -74,6 +79,7 @@ impl ParamSpec {
             default: ParamValue::Float(default),
             min: Some(min),
             max: Some(max),
+            round_neutral: false,
         }
     }
 
@@ -86,6 +92,7 @@ impl ParamSpec {
             default: ParamValue::Int(default),
             min: Some(min as f64),
             max: Some(max as f64),
+            round_neutral: false,
         }
     }
 
@@ -98,6 +105,7 @@ impl ParamSpec {
             default: ParamValue::Bool(default),
             min: None,
             max: None,
+            round_neutral: false,
         }
     }
 
@@ -110,6 +118,7 @@ impl ParamSpec {
             default: ParamValue::Selection(default),
             min: None,
             max: None,
+            round_neutral: false,
         }
     }
 
@@ -122,7 +131,32 @@ impl ParamSpec {
             default: ParamValue::Request(default),
             min: None,
             max: None,
+            round_neutral: false,
         }
+    }
+
+    /// Marks the parameter as **round-neutral** (builder style): its value
+    /// never influences what [`ScenarioRun::run_round`] returns for an
+    /// individual round — only how many rounds run
+    /// ([`ScenarioRun::rounds`]), when they settle early
+    /// ([`ScenarioRun::is_settled`]), or how the reports aggregate.
+    ///
+    /// Round-neutral parameters are excluded from
+    /// [`ParamSchema::canonical_config`], which is what lets a `--rounds 60`
+    /// re-run reuse the cached rounds of a `--rounds 30` run, and lets the
+    /// multi-AP download share per-visit reports across file sizes.
+    ///
+    /// Marking a parameter that *does* affect individual rounds is a
+    /// scenario bug: cached reports would silently stand in for different
+    /// physics.
+    ///
+    /// [`ScenarioRun::run_round`]: crate::ScenarioRun::run_round
+    /// [`ScenarioRun::rounds`]: crate::ScenarioRun::rounds
+    /// [`ScenarioRun::is_settled`]: crate::ScenarioRun::is_settled
+    #[must_use]
+    pub fn round_neutral(mut self) -> Self {
+        self.round_neutral = true;
+        self
     }
 
     /// The `[min, max]` range rendered for listings, or `-` when the kind
@@ -135,9 +169,13 @@ impl ParamSpec {
         }
     }
 
-    /// Checks one assigned value against this spec.
-    pub fn check(&self, value: ParamValue) -> Result<(), ParamError> {
+    /// Checks one assigned value against this spec. `scenario` is the name
+    /// of the scenario doing the checking; it is carried into the error so
+    /// that CLI messages name the rejecting scenario, not just the
+    /// parameter.
+    pub fn check(&self, scenario: &'static str, value: ParamValue) -> Result<(), ParamError> {
         let kind_error = || ParamError::Type {
+            scenario,
             param: self.param,
             expected: self.kind,
             got: ParamKind::of(value),
@@ -155,24 +193,29 @@ impl ParamSpec {
         };
         if let Some(x) = numeric {
             if !x.is_finite() {
-                return Err(self.range_error(value));
+                return Err(self.range_error(scenario, value));
             }
             if let Some(min) = self.min {
                 if x < min {
-                    return Err(self.range_error(value));
+                    return Err(self.range_error(scenario, value));
                 }
             }
             if let Some(max) = self.max {
                 if x > max {
-                    return Err(self.range_error(value));
+                    return Err(self.range_error(scenario, value));
                 }
             }
         }
         Ok(())
     }
 
-    fn range_error(&self, value: ParamValue) -> ParamError {
-        ParamError::Range { param: self.param, value: value.to_string(), range: self.range_label() }
+    fn range_error(&self, scenario: &'static str, value: ParamValue) -> ParamError {
+        ParamError::Range {
+            scenario,
+            param: self.param,
+            value: value.to_string(),
+            range: self.range_label(),
+        }
     }
 }
 
@@ -198,7 +241,7 @@ impl ParamSchema {
                 "{scenario}: parameter {} declared twice",
                 spec.param
             );
-            if let Err(e) = spec.check(spec.default) {
+            if let Err(e) = spec.check(scenario, spec.default) {
                 panic!("{scenario}: default for {} violates its own spec: {e}", spec.param);
             }
         }
@@ -242,7 +285,7 @@ impl ParamSchema {
             return Err(ParamError::Unknown { scenario: self.scenario, params: unknown });
         }
         for (param, value) in point.assignments() {
-            self.spec(*param).expect("declared above").check(*value)?;
+            self.spec(*param).expect("declared above").check(self.scenario, *value)?;
         }
         Ok(())
     }
@@ -251,6 +294,73 @@ impl ParamSchema {
     /// — the `--allow-unknown` escape hatch.
     pub fn strip_unknown(&self, point: &SweepPoint) -> SweepPoint {
         point.without(&self.unknown_params(point))
+    }
+
+    /// The **canonical configuration** `point` resolves to: every declared
+    /// parameter with its assigned-or-default value in declaration order,
+    /// rendered losslessly ([`ParamValue::canonical`]) — except
+    /// [round-neutral](ParamSpec::round_neutral) parameters, which are
+    /// skipped.
+    ///
+    /// Two points with the same canonical configuration run **identical
+    /// physics** per round, however they were spelled: explicit defaults,
+    /// omitted defaults, extra unknown parameters (not declared here) and
+    /// differing round budgets all resolve to the same string. The sweep
+    /// engine derives per-point seeds from this string and the round cache
+    /// keys on it, so equal configurations share seeds, reports and cache
+    /// entries across sweeps, grid positions and spec edits.
+    pub fn canonical_config(&self, point: &SweepPoint) -> String {
+        let mut out = String::from("scenario=");
+        out.push_str(self.scenario);
+        for spec in &self.params {
+            if spec.round_neutral {
+                continue;
+            }
+            let value = point.get(spec.param).unwrap_or(spec.default);
+            out.push(';');
+            out.push_str(spec.param.key());
+            out.push('=');
+            out.push_str(&value.canonical());
+        }
+        out
+    }
+
+    /// A stable 64-bit fingerprint of the schema's *semantics*: the scenario
+    /// name plus every parameter's key, kind, default, range and
+    /// round-neutrality. Documentation strings are deliberately excluded —
+    /// rewording a parameter's help must not invalidate cached results.
+    ///
+    /// The round cache stores this next to every entry, so a schema change
+    /// (new parameter, changed default or range) reads as a cache miss
+    /// instead of silently replaying results computed under different
+    /// semantics.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::from(self.scenario);
+        for spec in &self.params {
+            text.push('\n');
+            text.push_str(spec.param.key());
+            text.push('|');
+            text.push_str(spec.kind.name());
+            if spec.round_neutral {
+                // A round-neutral parameter's *value* never reaches a
+                // round's physics, so its default and range are budgets,
+                // not semantics: `--rounds 60` re-instantiates the scenario
+                // with a different Rounds default and must keep hitting the
+                // rounds cached under `--rounds 30`.
+                text.push_str("|neutral");
+                continue;
+            }
+            text.push('|');
+            text.push_str(&spec.default.canonical());
+            text.push('|');
+            match (spec.min, spec.max) {
+                (Some(min), Some(max)) => {
+                    text.push_str(&format!("{:016x}..{:016x}", min.to_bits(), max.to_bits()));
+                }
+                _ => text.push('-'),
+            }
+        }
+        fnv1a64(text.as_bytes())
     }
 
     /// Renders the schema as the fixed-width table `carq-cli scenario
@@ -275,7 +385,14 @@ impl ParamSchema {
     }
 }
 
-/// Why a [`SweepPoint`] was rejected by a scenario's schema.
+// The stable hash behind `ParamSchema::fingerprint`: its output is
+// specified and never changes across releases, which an on-disk cache key
+// requires.
+use sim_core::fnv1a64;
+
+/// Why a [`SweepPoint`] was rejected by a scenario's schema. Every variant
+/// names the rejecting scenario, so a message bubbling out of a big sweep
+/// pinpoints its origin without a stack trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamError {
     /// The point assigns parameters the scenario does not consume.
@@ -287,6 +404,8 @@ pub enum ParamError {
     },
     /// A value has the wrong type.
     Type {
+        /// The rejecting scenario.
+        scenario: &'static str,
         /// The offending parameter.
         param: Param,
         /// The type the schema expects.
@@ -296,6 +415,8 @@ pub enum ParamError {
     },
     /// A numeric value is outside the accepted range (or not finite).
     Range {
+        /// The rejecting scenario.
+        scenario: &'static str,
         /// The offending parameter.
         param: Param,
         /// The rendered offending value.
@@ -303,6 +424,17 @@ pub enum ParamError {
         /// The rendered accepted range.
         range: String,
     },
+}
+
+impl ParamError {
+    /// The scenario that rejected the point.
+    pub fn scenario(&self) -> &'static str {
+        match self {
+            ParamError::Unknown { scenario, .. }
+            | ParamError::Type { scenario, .. }
+            | ParamError::Range { scenario, .. } => scenario,
+        }
+    }
 }
 
 impl fmt::Display for ParamError {
@@ -317,11 +449,19 @@ impl fmt::Display for ParamError {
                     names.join(", ")
                 )
             }
-            ParamError::Type { param, expected, got } => {
-                write!(f, "parameter `{param}` expects a {} value, got {got}", expected.name())
+            ParamError::Type { scenario, param, expected, got } => {
+                write!(
+                    f,
+                    "scenario `{scenario}`: parameter `{param}` expects a {} value, got {got}",
+                    expected.name()
+                )
             }
-            ParamError::Range { param, value, range } => {
-                write!(f, "parameter `{param}`: value {value} is outside the range {range}")
+            ParamError::Range { scenario, param, value, range } => {
+                write!(
+                    f,
+                    "scenario `{scenario}`: parameter `{param}`: value {value} is outside \
+                     the range {range}"
+                )
             }
         }
     }
@@ -383,6 +523,84 @@ mod tests {
         // The escape hatch strips exactly those parameters.
         let stripped = s.strip_unknown(&point);
         assert!(stripped.assignments().is_empty());
+    }
+
+    #[test]
+    fn canonical_config_resolves_defaults_and_skips_round_neutral() {
+        let s = ParamSchema::new(
+            "canon",
+            vec![
+                ParamSpec::float(Param::SpeedKmh, "speed", 20.0, 1.0, 200.0),
+                ParamSpec::int(Param::NCars, "cars", 3, 1, 32),
+                ParamSpec::int(Param::Rounds, "rounds", 5, 1, 100).round_neutral(),
+            ],
+        );
+        let explicit = SweepPoint::new(vec![
+            (Param::NCars, ParamValue::Int(3)),
+            (Param::SpeedKmh, ParamValue::Float(20.0)),
+            (Param::Rounds, ParamValue::Int(50)),
+        ]);
+        // Omitted defaults, explicit defaults, assignment order and the
+        // round budget all resolve to the same canonical configuration.
+        assert_eq!(s.canonical_config(&SweepPoint::empty()), s.canonical_config(&explicit));
+        let canon = s.canonical_config(&explicit);
+        assert!(canon.starts_with("scenario=canon;speed_kmh=f"), "{canon}");
+        assert!(canon.contains(";n_cars=i3"), "{canon}");
+        assert!(!canon.contains("rounds"), "round-neutral params must be skipped: {canon}");
+        // A genuinely different value changes it.
+        let faster = SweepPoint::new(vec![(Param::SpeedKmh, ParamValue::Float(30.0))]);
+        assert_ne!(s.canonical_config(&faster), canon);
+        // Parameters outside the schema are ignored.
+        let with_extra = SweepPoint::new(vec![(Param::FileBlocks, ParamValue::Int(9))]);
+        assert_eq!(s.canonical_config(&with_extra), s.canonical_config(&SweepPoint::empty()));
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantics_not_docs() {
+        let base = ParamSchema::new("fp", vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32)]);
+        let reworded =
+            ParamSchema::new("fp", vec![ParamSpec::int(Param::NCars, "platoon size", 3, 1, 32)]);
+        assert_eq!(base.fingerprint(), reworded.fingerprint(), "doc rewording must not matter");
+        let wider = ParamSchema::new("fp", vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 64)]);
+        assert_ne!(base.fingerprint(), wider.fingerprint(), "range change must matter");
+        let neutral = ParamSchema::new(
+            "fp",
+            vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32).round_neutral()],
+        );
+        assert_ne!(base.fingerprint(), neutral.fingerprint(), "neutrality change must matter");
+        let renamed = ParamSchema::new("fq", vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32)]);
+        assert_ne!(base.fingerprint(), renamed.fingerprint(), "scenario name must matter");
+        // Stable across calls (it keys an on-disk cache).
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        // A round-neutral parameter's default is a budget, not semantics:
+        // presets re-instantiate scenarios with the requested rounds as the
+        // schema default, and `--rounds 60` must keep hitting the rounds
+        // cached under `--rounds 30`.
+        let budget_30 = ParamSchema::new(
+            "fp",
+            vec![ParamSpec::int(Param::Rounds, "rounds", 30, 1, 100).round_neutral()],
+        );
+        let budget_60 = ParamSchema::new(
+            "fp",
+            vec![ParamSpec::int(Param::Rounds, "rounds", 60, 1, 100).round_neutral()],
+        );
+        assert_eq!(budget_30.fingerprint(), budget_60.fingerprint());
+    }
+
+    #[test]
+    fn errors_name_the_rejecting_scenario() {
+        let s = schema();
+        let err =
+            s.validate(&SweepPoint::new(vec![(Param::NCars, ParamValue::Float(2.5))])).unwrap_err();
+        assert_eq!(err.scenario(), "test");
+        assert!(err.to_string().contains("scenario `test`"), "{err}");
+        let err =
+            s.validate(&SweepPoint::new(vec![(Param::NCars, ParamValue::Int(0))])).unwrap_err();
+        assert_eq!(err.scenario(), "test");
+        assert!(err.to_string().contains("scenario `test`"), "{err}");
+        let err =
+            s.validate(&SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(1))])).unwrap_err();
+        assert_eq!(err.scenario(), "test");
     }
 
     #[test]

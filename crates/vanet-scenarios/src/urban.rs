@@ -180,13 +180,17 @@ impl UrbanScenario {
                     "whether the platoon runs C-ARQ",
                     base.cooperation_enabled,
                 ),
+                // Round-neutral: a lap's physics never depends on how
+                // many laps the experiment runs, so extending `--rounds`
+                // resumes from the cached prefix.
                 ParamSpec::int(
                     Param::Rounds,
                     "experiment rounds (laps); the paper uses 30",
                     u64::from(base.rounds),
                     1,
                     10_000,
-                ),
+                )
+                .round_neutral(),
             ],
         );
         UrbanScenario { base, schema }

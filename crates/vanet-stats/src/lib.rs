@@ -18,11 +18,43 @@
 //!   vs joint reception).
 //! * [`export`] — CSV and fixed-width text rendering used by the bench
 //!   harness to print paper-style tables and figure data.
+//! * [`codec`] — a stable binary encoding of [`RoundReport`]s, the wire
+//!   format the `vanet-cache` round cache persists.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use vanet_stats::{counter_total, CellValue, RecordTable, RoundReport, RoundResult};
+//!
+//! // Scenario rounds report named counters...
+//! let reports: Vec<RoundReport> = (0..3)
+//!     .map(|r| {
+//!         RoundReport::new(r, u64::from(r) ^ 0xBEEF, RoundResult::default())
+//!             .with_counter("requests_sent", f64::from(r))
+//!     })
+//!     .collect();
+//! assert_eq!(counter_total(&reports, "requests_sent"), 3.0);
+//!
+//! // ...reports round-trip through the cache codec byte for byte...
+//! let bytes = reports[1].to_bytes();
+//! assert_eq!(RoundReport::from_bytes(&bytes).unwrap(), reports[1]);
+//!
+//! // ...and aggregated metrics export through RecordTable.
+//! let mut table = RecordTable::new(vec!["round", "requests"]);
+//! for report in &reports {
+//!     table.push_row(vec![
+//!         CellValue::from(u64::from(report.round)),
+//!         CellValue::Float(report.counter("requests_sent").unwrap()),
+//!     ]);
+//! }
+//! assert!(table.to_csv().starts_with("round,requests\n0,0.000000\n"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod export;
 pub mod observation;
 pub mod report;
@@ -30,6 +62,7 @@ pub mod series;
 pub mod summary;
 pub mod table;
 
+pub use codec::CodecError;
 pub use export::{render_series_csv, render_table1, series_to_rows, CellValue, RecordTable};
 pub use observation::{FlowObservation, RoundResult};
 pub use report::{counter_total, round_results, PointSummary, RoundReport};

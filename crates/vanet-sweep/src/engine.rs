@@ -2,31 +2,36 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::RngCore as _;
 use sim_core::StreamRng;
-use vanet_scenarios::{run_rounds, ParamError, Scenario, ScenarioRun};
-use vanet_stats::{CellValue, PointSummary, RecordTable};
+use vanet_cache::{CacheKey, SweepCache};
+use vanet_scenarios::{round_seed, ParamError, Scenario, ScenarioRun};
+use vanet_stats::{CellValue, PointSummary, RecordTable, RoundReport};
 
 use crate::spec::{SweepPoint, SweepSpec};
 
-/// Derives the seed for point `index` of a sweep with `master_seed`.
+/// Derives the seed of the sweep point whose canonical configuration is
+/// `canonical_config` (see `ParamSchema::canonical_config`).
 ///
-/// The derivation goes through a dedicated [`StreamRng`] stream
-/// (`"sweep.point"`) and its per-index substream, so:
+/// The seed is a pure function of `(master_seed, canonical configuration)` —
+/// **not** of the point's position in the grid and not of the thread that
+/// executes it. Content addressing is what makes sweeps resumable: widening
+/// an axis, appending points, deleting half the spec or re-spelling a point
+/// with its defaults written out leaves every unchanged configuration with
+/// unchanged seeds, so its rounds reproduce exactly and the round cache
+/// hits. Two points that resolve to the same canonical configuration (for
+/// example a multi-AP download swept only over its round-neutral file size)
+/// deliberately share their seeds — their per-round physics is identical.
 ///
-/// * the seed depends **only** on `(master_seed, index)` — never on the
-///   thread that happens to execute the point, which makes sweep results
-///   byte-identical at any thread count;
-/// * points of the same sweep get uncorrelated seeds (substream mixing);
-/// * a sweep's seeds are uncorrelated with the per-round seeds the executor
-///   derives from the point seed ([`vanet_scenarios::round_seed`]), because
-///   the label namespaces differ. The full chain is
-///   `(master seed, point index, round) → round seed`.
-pub fn point_seed(master_seed: u64, index: usize) -> u64 {
-    StreamRng::derive(master_seed, "sweep.point").substream(index as u64).next_u64()
+/// The derivation goes through a dedicated [`StreamRng`] label namespace
+/// (`"sweep.point/"`), so point seeds stay uncorrelated with the per-round
+/// seeds derived from them ([`vanet_scenarios::round_seed`]). The full
+/// chain is `(master seed, canonical config, round) → round seed`.
+pub fn point_seed(master_seed: u64, canonical_config: &str) -> u64 {
+    StreamRng::derive(master_seed, format!("sweep.point/{canonical_config}")).next_u64()
 }
 
 /// Why a sweep could not run.
@@ -40,8 +45,15 @@ pub enum SweepError {
         point: usize,
         /// The point's `key=value` label.
         label: String,
-        /// The underlying schema error.
+        /// The underlying schema error (which names the scenario).
         source: ParamError,
+    },
+    /// The round cache failed while the sweep ran (write-back I/O error).
+    Cache {
+        /// The scenario whose sweep hit the failure.
+        scenario: String,
+        /// The rendered cache error, including the journal path.
+        message: String,
     },
 }
 
@@ -52,6 +64,9 @@ impl fmt::Display for SweepError {
             SweepError::Param { point, label, source } => {
                 write!(f, "point {point} ({label}): {source}")
             }
+            SweepError::Cache { scenario, message } => {
+                write!(f, "scenario `{scenario}`: {message}")
+            }
         }
     }
 }
@@ -60,7 +75,7 @@ impl std::error::Error for SweepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SweepError::Param { source, .. } => Some(source),
-            SweepError::EmptySweep => None,
+            SweepError::EmptySweep | SweepError::Cache { .. } => None,
         }
     }
 }
@@ -81,6 +96,7 @@ impl std::error::Error for SweepError {
 pub struct SweepEngine {
     threads: usize,
     allow_unknown: bool,
+    cache: Option<Arc<SweepCache>>,
 }
 
 impl SweepEngine {
@@ -92,7 +108,7 @@ impl SweepEngine {
         } else {
             threads
         };
-        SweepEngine { threads, allow_unknown: false }
+        SweepEngine { threads, allow_unknown: false, cache: None }
     }
 
     /// Silently drops sweep parameters the scenario's schema does not
@@ -101,6 +117,19 @@ impl SweepEngine {
     #[must_use]
     pub fn with_allow_unknown(mut self, allow: bool) -> Self {
         self.allow_unknown = allow;
+        self
+    }
+
+    /// Attaches a persistent round cache. Before each round wave the engine
+    /// partitions the wave into cached-vs-missing, simulates only the
+    /// missing rounds, and writes the fresh reports back wave by wave — so
+    /// re-running an identical spec simulates nothing, a widened grid or
+    /// raised round budget simulates only the delta, and a killed sweep
+    /// resumes, losing at most one in-flight wave per point. Exports
+    /// are byte-identical with and without the cache, at any thread count.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SweepCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -114,6 +143,11 @@ impl SweepEngine {
         self.allow_unknown
     }
 
+    /// The attached round cache, if any.
+    pub fn cache(&self) -> Option<&SweepCache> {
+        self.cache.as_deref()
+    }
+
     /// Runs every point of `spec` through `scenario` and collects the
     /// results in expansion order.
     ///
@@ -124,7 +158,9 @@ impl SweepEngine {
     /// # Errors
     ///
     /// [`SweepError::EmptySweep`] when the spec has no points;
-    /// [`SweepError::Param`] when a point fails schema validation.
+    /// [`SweepError::Param`] when a point fails schema validation;
+    /// [`SweepError::Cache`] when an attached cache fails to persist
+    /// results.
     ///
     /// # Panics
     ///
@@ -139,7 +175,15 @@ impl SweepEngine {
         if points.is_empty() {
             return Err(SweepError::EmptySweep);
         }
-        let seeds: Vec<u64> = (0..points.len()).map(|i| point_seed(spec.master_seed, i)).collect();
+        // Content-addressed seeds: a point's seed follows its canonical
+        // configuration, not its grid position, so spec edits never
+        // invalidate unchanged points (see `point_seed`).
+        let schema = scenario.schema();
+        let fingerprint = schema.fingerprint();
+        let canonicals: Vec<String> =
+            points.iter().map(|point| schema.canonical_config(point)).collect();
+        let seeds: Vec<u64> =
+            canonicals.iter().map(|canon| point_seed(spec.master_seed, canon)).collect();
 
         // Configure (and thereby validate) every point up front.
         let runs: Vec<Box<dyn ScenarioRun>> = points
@@ -170,6 +214,9 @@ impl SweepEngine {
 
         let started = Instant::now();
         let next = AtomicUsize::new(0);
+        let simulated_total = AtomicUsize::new(0);
+        let cached_total = AtomicUsize::new(0);
+        let cache_failure: Mutex<Option<String>> = Mutex::new(None);
         let slots: Vec<Mutex<Option<PointSummary>>> =
             points.iter().map(|_| Mutex::new(None)).collect();
 
@@ -178,12 +225,68 @@ impl SweepEngine {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(run) = runs.get(index) else { break };
-                    let reports = run_rounds(run.as_ref(), seeds[index], inner);
+                    let outcome = match &self.cache {
+                        // One executor for both paths: the uncached run is a
+                        // cached run whose lookups always miss, so the two
+                        // cannot drift apart and exports are byte-identical
+                        // by construction.
+                        None => run_rounds_cached(
+                            run.as_ref(),
+                            seeds[index],
+                            inner,
+                            &|_, _| None,
+                            &mut |_, _| Ok(()),
+                        ),
+                        Some(cache) => {
+                            let key = |round: u32, round_seed: u64| {
+                                CacheKey::new(
+                                    scenario.name(),
+                                    fingerprint,
+                                    &canonicals[index],
+                                    round,
+                                    round_seed,
+                                )
+                            };
+                            run_rounds_cached(
+                                run.as_ref(),
+                                seeds[index],
+                                inner,
+                                &|round, seed| cache.get(&key(round, seed)),
+                                // Fresh reports persist wave by wave, so a
+                                // kill mid-point loses at most one wave.
+                                // Results stand either way; a failed append
+                                // must still surface (a "resumable" sweep
+                                // that silently persisted nothing is worse
+                                // than an error).
+                                &mut |round, report| {
+                                    cache
+                                        .put(&key(round, report.seed), report)
+                                        .map(|_| ())
+                                        .map_err(|e| e.to_string())
+                                },
+                            )
+                        }
+                    };
+                    let (reports, fresh) = match outcome {
+                        Ok(outcome) => outcome,
+                        Err(message) => {
+                            let mut failure =
+                                cache_failure.lock().expect("cache failure slot poisoned");
+                            failure.get_or_insert(message);
+                            break;
+                        }
+                    };
+                    simulated_total.fetch_add(fresh, Ordering::Relaxed);
+                    cached_total.fetch_add(reports.len() - fresh, Ordering::Relaxed);
                     let summary = run.aggregate(&reports);
                     *slots[index].lock().expect("sweep slot poisoned") = Some(summary);
                 });
             }
         });
+
+        if let Some(message) = cache_failure.into_inner().expect("cache failure slot poisoned") {
+            return Err(SweepError::Cache { scenario: scenario.name().to_string(), message });
+        }
 
         let summaries: Vec<PointSummary> = slots
             .into_iter()
@@ -206,6 +309,8 @@ impl SweepEngine {
             master_seed: spec.master_seed,
             threads: self.threads,
             elapsed: started.elapsed(),
+            rounds_simulated: simulated_total.into_inner(),
+            rounds_cached: cached_total.into_inner(),
             points,
             seeds,
             summaries,
@@ -217,6 +322,71 @@ impl Default for SweepEngine {
     fn default() -> Self {
         SweepEngine::new(0)
     }
+}
+
+/// The engine's round executor, mirroring [`vanet_scenarios::run_rounds`]'s
+/// wave structure and settle checks: each wave is first partitioned through
+/// `lookup`, only the missing rounds simulate (in parallel when several
+/// miss), and every fresh report is handed to `store` before the next wave
+/// starts — so a killed sweep loses at most one wave of work per in-flight
+/// point. Returns the reports in round order plus the count of rounds that
+/// were actually simulated, or the first `store` error.
+///
+/// The engine runs its cache-less sweeps through this same function with an
+/// always-miss `lookup` (every round simulates, `store` is a no-op), which
+/// is what makes "exports are byte-identical with and without the cache"
+/// true by construction: because a cached report is — by the purity
+/// contract and the cache key — identical to what re-simulation would
+/// produce, hit/miss partitioning cannot change the report sequence.
+fn run_rounds_cached(
+    run: &dyn ScenarioRun,
+    base_seed: u64,
+    threads: usize,
+    lookup: &(dyn Fn(u32, u64) -> Option<RoundReport> + Sync),
+    store: &mut dyn FnMut(u32, &RoundReport) -> Result<(), String>,
+) -> Result<(Vec<RoundReport>, usize), String> {
+    let total = run.rounds();
+    let threads = threads.max(1) as u32;
+    let mut reports: Vec<RoundReport> = Vec::with_capacity(total as usize);
+    let mut fresh = 0usize;
+    let mut next = 0u32;
+    while next < total {
+        if !reports.is_empty() && run.is_settled(&reports) {
+            break;
+        }
+        let end = next.saturating_add(threads).min(total);
+        let mut wave: Vec<Option<RoundReport>> =
+            (next..end).map(|round| lookup(round, round_seed(base_seed, round))).collect();
+        let missing: Vec<u32> =
+            (next..end).filter(|round| wave[(round - next) as usize].is_none()).collect();
+        if missing.len() == 1 {
+            let round = missing[0];
+            wave[(round - next) as usize] =
+                Some(run.run_round(round, round_seed(base_seed, round)));
+        } else if !missing.is_empty() {
+            let simulated: Vec<(u32, RoundReport)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = missing
+                    .iter()
+                    .map(|&round| {
+                        scope.spawn(move || {
+                            (round, run.run_round(round, round_seed(base_seed, round)))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("round worker panicked")).collect()
+            });
+            for (round, report) in simulated {
+                wave[(round - next) as usize] = Some(report);
+            }
+        }
+        fresh += missing.len();
+        reports.extend(wave.into_iter().map(|slot| slot.expect("wave fully resolved")));
+        for round in missing {
+            store(round, &reports[round as usize])?;
+        }
+        next = end;
+    }
+    Ok((reports, fresh))
 }
 
 /// The outcome of a sweep: the expanded points, their derived seeds and
@@ -231,6 +401,15 @@ pub struct SweepResult {
     pub threads: usize,
     /// Wall-clock time of the whole sweep.
     pub elapsed: Duration,
+    /// Rounds that were actually simulated (i.e. `run_round` calls made).
+    /// A re-run of an identical spec against a warm cache reports 0 here.
+    pub rounds_simulated: usize,
+    /// Rounds served from the attached cache (always 0 without one).
+    ///
+    /// Like `elapsed` and `threads`, these two are provenance, not results:
+    /// they depend on cache state and deliberately stay out of
+    /// [`SweepResult::to_table`] so exports are reproducible byte for byte.
+    pub rounds_cached: usize,
     /// The points, in expansion order.
     pub points: Vec<SweepPoint>,
     /// The per-point seeds, aligned with `points`.
@@ -407,10 +586,36 @@ mod tests {
     }
 
     #[test]
-    fn point_seeds_depend_only_on_master_seed_and_index() {
-        assert_eq!(point_seed(1, 0), point_seed(1, 0));
-        assert_ne!(point_seed(1, 0), point_seed(1, 1));
-        assert_ne!(point_seed(1, 0), point_seed(2, 0));
+    fn point_seeds_depend_only_on_master_seed_and_canonical_config() {
+        let canon_a = "scenario=fake;speed_kmh=f4024000000000000";
+        let canon_b = "scenario=fake;speed_kmh=f4034000000000000";
+        assert_eq!(point_seed(1, canon_a), point_seed(1, canon_a));
+        assert_ne!(point_seed(1, canon_a), point_seed(1, canon_b));
+        assert_ne!(point_seed(1, canon_a), point_seed(2, canon_a));
+    }
+
+    #[test]
+    fn equal_configs_share_seeds_across_grid_positions() {
+        // The same configuration at a different position in a different
+        // spec keeps its seed — the property that makes widened and
+        // reordered grids resumable.
+        let scenario = FakeScenario::new();
+        let narrow = SweepSpec::new(5)
+            .axis(Param::SpeedKmh, vec![ParamValue::Float(10.0), ParamValue::Float(20.0)])
+            .axis(Param::NCars, vec![ParamValue::Int(1)]);
+        let widened = SweepSpec::new(5)
+            .axis(
+                Param::SpeedKmh,
+                vec![ParamValue::Float(5.0), ParamValue::Float(10.0), ParamValue::Float(20.0)],
+            )
+            .axis(Param::NCars, vec![ParamValue::Int(1), ParamValue::Int(2)]);
+        let a = SweepEngine::new(2).run(&scenario, &narrow).unwrap();
+        let b = SweepEngine::new(2).run(&scenario, &widened).unwrap();
+        for (i, point) in a.points.iter().enumerate() {
+            let pos = b.points.iter().position(|p| p == point).expect("widened keeps the point");
+            assert_eq!(b.seeds[pos], a.seeds[i], "seed moved for {}", point.label());
+            assert_eq!(b.summaries[pos], a.summaries[i], "results moved for {}", point.label());
+        }
     }
 
     #[test]
@@ -472,6 +677,103 @@ mod tests {
             last_row.contains(",99.000000,,"),
             "missing n_cars must export as empty: {last_row}"
         );
+    }
+
+    fn temp_cache(tag: &str) -> (std::path::PathBuf, Arc<SweepCache>) {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-sweep-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Arc::new(SweepCache::open(&dir).expect("cache opens"));
+        (dir, cache)
+    }
+
+    #[test]
+    fn warm_cache_re_run_simulates_nothing() {
+        let scenario = FakeScenario::new();
+        let spec = spec();
+        let reference = SweepEngine::new(2).run(&scenario, &spec).unwrap();
+        assert_eq!(reference.rounds_simulated, 12, "6 points x 2 rounds, no cache");
+        assert_eq!(reference.rounds_cached, 0);
+
+        let (dir, cache) = temp_cache("warm");
+        let cold = SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+        assert_eq!(cold.rounds_simulated, 12);
+        assert_eq!(cold.rounds_cached, 0);
+        assert_eq!(cold.to_csv(), reference.to_csv(), "cold cache must not change exports");
+        assert_eq!(cache.len(), 12);
+
+        // The acceptance bar: a second identical run makes zero run_round
+        // calls, with byte-identical exports — at 1 and 8 threads.
+        for threads in [1, 2, 8] {
+            let warm =
+                SweepEngine::new(threads).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+            assert_eq!(warm.rounds_simulated, 0, "warm run at {threads} threads simulated");
+            assert_eq!(warm.rounds_cached, 12);
+            assert_eq!(warm.to_csv(), reference.to_csv());
+            assert_eq!(warm.to_json(), reference.to_json());
+        }
+
+        // A reopened cache (fresh process) serves the same entries.
+        drop(cache);
+        let reopened = Arc::new(SweepCache::open(&dir).unwrap());
+        let resumed = SweepEngine::new(4).with_cache(reopened).run(&scenario, &spec).unwrap();
+        assert_eq!(resumed.rounds_simulated, 0);
+        assert_eq!(resumed.to_csv(), reference.to_csv());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn widened_grid_simulates_only_the_delta() {
+        let scenario = FakeScenario::new();
+        let (dir, cache) = temp_cache("widen");
+        let narrow = spec();
+        SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &narrow).unwrap();
+
+        // Widen the speed axis: 3 new points (x 2 rounds) on top of the 6.
+        let widened = SweepSpec::new(0xABCD)
+            .axis(
+                Param::SpeedKmh,
+                vec![ParamValue::Float(10.0), ParamValue::Float(20.0), ParamValue::Float(30.0)],
+            )
+            .axis(Param::NCars, vec![ParamValue::Int(1), ParamValue::Int(2), ParamValue::Int(3)]);
+        let delta = SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &widened).unwrap();
+        assert_eq!(delta.rounds_simulated, 6, "only the 3 new points simulate");
+        assert_eq!(delta.rounds_cached, 12);
+        let uncached = SweepEngine::new(1).run(&scenario, &widened).unwrap();
+        assert_eq!(delta.to_csv(), uncached.to_csv(), "resumed export equals a fresh one");
+
+        // Deleting points and re-running what remains is all hits too.
+        let shrunk = SweepSpec::new(0xABCD)
+            .axis(Param::SpeedKmh, vec![ParamValue::Float(30.0)])
+            .axis(Param::NCars, vec![ParamValue::Int(3), ParamValue::Int(1)]);
+        let shrunk_run =
+            SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &shrunk).unwrap();
+        assert_eq!(shrunk_run.rounds_simulated, 0, "reordered survivors still hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn half_populated_cache_fills_in_and_exports_identically() {
+        let scenario = FakeScenario::new();
+        let spec = spec();
+        let reference = SweepEngine::new(1).run(&scenario, &spec).unwrap();
+
+        let (dir, cache) = temp_cache("half");
+        SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+        // Evict every other entry from the in-memory index.
+        let evicted: Vec<_> = cache.keys().into_iter().step_by(2).collect();
+        for key in &evicted {
+            assert!(cache.forget(key));
+        }
+        let patched = SweepEngine::new(4).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+        assert_eq!(patched.rounds_simulated, evicted.len());
+        assert_eq!(patched.rounds_cached, 12 - evicted.len());
+        assert_eq!(patched.to_csv(), reference.to_csv());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

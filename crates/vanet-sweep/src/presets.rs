@@ -183,6 +183,39 @@ mod tests {
     }
 
     #[test]
+    fn preset_round_budgets_do_not_change_cache_identity() {
+        // Presets bake the requested round count into the scenario's base
+        // config (and thus the schema's Rounds default). That budget is
+        // round-neutral, so neither the schema fingerprint nor the
+        // canonical configurations may move — otherwise a `--rounds 60`
+        // re-run could never resume from a `--rounds 30` cache.
+        use crate::spec::SweepPoint;
+        for preset in all() {
+            let (short, spec) = preset.build(1, 30);
+            let (long, _) = preset.build(1, 60);
+            assert_eq!(
+                short.schema().fingerprint(),
+                long.schema().fingerprint(),
+                "{}: fingerprint must ignore the round budget",
+                preset.name
+            );
+            for point in spec.expand() {
+                assert_eq!(
+                    short.schema().canonical_config(&point),
+                    long.schema().canonical_config(&point),
+                    "{}: canonical config moved for {}",
+                    preset.name,
+                    point.label()
+                );
+            }
+            assert_eq!(
+                short.schema().canonical_config(&SweepPoint::empty()),
+                long.schema().canonical_config(&SweepPoint::empty()),
+            );
+        }
+    }
+
+    #[test]
     fn preset_debug_shows_name() {
         let preset = find("urban-platoon").unwrap();
         assert!(format!("{preset:?}").contains("urban-platoon"));

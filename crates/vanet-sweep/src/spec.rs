@@ -21,10 +21,11 @@ pub struct Axis {
 ///
 /// Expansion order is deterministic and independent of how the sweep is
 /// later executed: the grid is row-major with the **first** axis varying
-/// slowest, followed by the explicit points in declaration order. The
-/// per-point seed derivation (see [`crate::engine::point_seed`]) keys on the
-/// point's position in this expansion, which is what makes sweep results
-/// independent of thread count.
+/// slowest, followed by the explicit points in declaration order. The order
+/// decides only how results are *presented* (export rows) — each point's
+/// seed derives from its canonical configuration, not its position (see
+/// [`crate::engine::point_seed`]), so editing the grid never changes the
+/// results of the points that survive the edit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Master seed; every point derives its own seed from it.

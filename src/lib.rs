@@ -24,6 +24,13 @@
 //!   (parameter grids over any scenario, intra-point parallel rounds,
 //!   thread-count-independent results) that the `carq-cli` binary drives
 //!   from the command line.
+//! * [`cache`] — the persistent, crash-tolerant round-report store that
+//!   makes sweeps resumable: re-runs simulate only what the cache does not
+//!   already hold.
+//!
+//! `docs/ARCHITECTURE.md` maps how these crates fit together;
+//! `docs/REPRODUCING.md` maps each paper figure and table to the command
+//! that regenerates it.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +51,7 @@
 
 pub use carq as protocol;
 pub use sim_core as sim;
+pub use vanet_cache as cache;
 pub use vanet_dtn as dtn;
 pub use vanet_geo as geo;
 pub use vanet_mac as mac;

@@ -1,0 +1,251 @@
+//! Cache correctness, end to end through the umbrella crate: a sweep must
+//! export byte-identical CSV/JSON whether its rounds came from fresh
+//! simulation, a warm cache, a half-populated cache, or a journal that was
+//! torn by a kill mid-write — at any thread count — and resumed runs must
+//! simulate exactly the missing delta.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use carq_repro::cache::SweepCache;
+use carq_repro::scenarios::{
+    ParamError, ParamSchema, ParamSpec, Scenario, ScenarioRun, UrbanScenario,
+};
+use carq_repro::stats::{PointSummary, RoundReport, RoundResult};
+use carq_repro::sweep::{Param, ParamValue, SweepEngine, SweepPoint, SweepSpec};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "carq-cache-correctness-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A cheap pure scenario: each round's report is an arithmetic function of
+/// `(speed, cars, round, seed)`, so property tests can run hundreds of
+/// sweeps. The `rounds` parameter is round-neutral — exactly like the real
+/// scenarios — so budget extensions must resume from the cached prefix.
+struct CheapScenario {
+    schema: ParamSchema,
+}
+
+impl CheapScenario {
+    fn new() -> Self {
+        CheapScenario {
+            schema: ParamSchema::new(
+                "cheap",
+                vec![
+                    ParamSpec::float(Param::SpeedKmh, "speed", 1.0, 0.0, 1_000.0),
+                    ParamSpec::int(Param::NCars, "cars", 1, 1, 64),
+                    ParamSpec::int(Param::Rounds, "rounds", 4, 1, 64).round_neutral(),
+                ],
+            ),
+        }
+    }
+}
+
+struct CheapRun {
+    x: f64,
+    n: u64,
+    rounds: u32,
+}
+
+impl Scenario for CheapScenario {
+    fn name(&self) -> &'static str {
+        "cheap"
+    }
+
+    fn description(&self) -> &'static str {
+        "arithmetic stand-in for cache property tests"
+    }
+
+    fn schema(&self) -> &ParamSchema {
+        &self.schema
+    }
+
+    fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+        self.schema.validate(point)?;
+        Ok(Box::new(CheapRun {
+            x: point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap_or(1.0),
+            n: point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(1),
+            rounds: point.get(Param::Rounds).and_then(|v| v.as_u64()).unwrap_or(4) as u32,
+        }))
+    }
+}
+
+impl ScenarioRun for CheapRun {
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+        // Pure in (configuration, round, seed); independent of the budget.
+        let mix = (seed ^ u64::from(round).wrapping_mul(0x9E37_79B9)) % 1_000_003;
+        RoundReport::new(round, seed, RoundResult::default())
+            .with_counter("mix", mix as f64 * self.x + self.n as f64)
+    }
+
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+        // Position-weighted so any reordering or substitution of reports
+        // changes the exported metric.
+        let weighted: f64 = rounds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.counter("mix").map(|m| m * (i + 1) as f64))
+            .sum();
+        PointSummary { metrics: vec![("weighted_mix", weighted)] }
+    }
+}
+
+fn spec(speeds: &[u32], cars: &[u64], rounds: u64, master_seed: u64) -> SweepSpec {
+    SweepSpec::new(master_seed)
+        .axis(Param::SpeedKmh, speeds.iter().map(|s| ParamValue::Float(f64::from(*s))).collect())
+        .axis(Param::NCars, cars.iter().map(|c| ParamValue::Int(*c)).collect())
+        .axis(Param::Rounds, vec![ParamValue::Int(rounds)])
+}
+
+proptest! {
+    #[test]
+    fn cold_warm_and_half_populated_caches_export_identically(
+        speeds in proptest::collection::btree_set(1u32..50, 1..4),
+        cars in proptest::collection::btree_set(1u64..8, 1..3),
+        rounds in 1u64..6,
+        threads in 1usize..5,
+        evict_mask in 0u64..u64::MAX,
+    ) {
+        let speeds: Vec<u32> = speeds.into_iter().collect();
+        let cars: Vec<u64> = cars.into_iter().collect();
+        let scenario = CheapScenario::new();
+        let spec = spec(&speeds, &cars, rounds, 0xCAFE);
+        let total_rounds = speeds.len() * cars.len() * rounds as usize;
+
+        let reference = SweepEngine::new(threads).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(reference.rounds_simulated, total_rounds);
+
+        // Cold cache: everything simulates, exports unchanged.
+        let dir = temp_dir("proptest");
+        let cache = Arc::new(SweepCache::open(&dir).unwrap());
+        let cold = SweepEngine::new(threads).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(cold.rounds_simulated, total_rounds);
+        prop_assert_eq!(cold.to_csv(), reference.to_csv());
+        prop_assert_eq!(cold.to_json(), reference.to_json());
+
+        // Warm cache: nothing simulates, exports unchanged.
+        let warm = SweepEngine::new(threads).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(warm.rounds_simulated, 0);
+        prop_assert_eq!(warm.rounds_cached, total_rounds);
+        prop_assert_eq!(warm.to_csv(), reference.to_csv());
+
+        // Half-populated cache (randomly evicted entries): exactly the
+        // evicted rounds re-simulate, exports unchanged.
+        let mut evicted = 0usize;
+        for (i, key) in cache.keys().into_iter().enumerate() {
+            if evict_mask & (1 << (i % 64)) != 0 {
+                prop_assert!(cache.forget(&key));
+                evicted += 1;
+            }
+        }
+        let patched = SweepEngine::new(threads).with_cache(cache).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(patched.rounds_simulated, evicted);
+        prop_assert_eq!(patched.rounds_cached, total_rounds - evicted);
+        prop_assert_eq!(patched.to_csv(), reference.to_csv());
+        prop_assert_eq!(patched.to_json(), reference.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn kill_and_resume_recovers_a_torn_journal() {
+    let scenario = CheapScenario::new();
+    let spec = spec(&[10, 20], &[2], 3, 0xD00D);
+    let reference = SweepEngine::new(2).run(&scenario, &spec).unwrap();
+
+    let dir = temp_dir("torn");
+    let cache = Arc::new(SweepCache::open(&dir).unwrap());
+    let cold = SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+    assert_eq!(cold.rounds_simulated, 6);
+    let journal = cache.journal_path().to_path_buf();
+    let full_len = cache.stats().file_bytes;
+    drop(cache);
+
+    // Simulate a kill mid-append: chop the journal mid-record.
+    let file = std::fs::OpenOptions::new().write(true).open(&journal).unwrap();
+    file.set_len(full_len - 9).unwrap();
+    drop(file);
+
+    // Reopening drops exactly the torn trailing record...
+    let recovered = Arc::new(SweepCache::open(&dir).unwrap());
+    let stats = recovered.stats();
+    assert_eq!(stats.entries, 5, "one torn record dropped");
+    assert!(stats.recovered_bytes > 0);
+    assert!(stats.file_bytes < full_len - 9, "journal truncated to the last good record");
+
+    // ...and the resumed sweep re-simulates only that round, with exports
+    // byte-identical to the cache-less reference at several thread counts.
+    let resumed = SweepEngine::new(2).with_cache(recovered.clone()).run(&scenario, &spec).unwrap();
+    assert_eq!(resumed.rounds_simulated, 1);
+    assert_eq!(resumed.rounds_cached, 5);
+    assert_eq!(resumed.to_csv(), reference.to_csv());
+    for threads in [1, 8] {
+        let again =
+            SweepEngine::new(threads).with_cache(recovered.clone()).run(&scenario, &spec).unwrap();
+        assert_eq!(again.rounds_simulated, 0);
+        assert_eq!(again.to_csv(), reference.to_csv());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn raising_the_round_budget_resumes_from_the_cached_prefix() {
+    let scenario = CheapScenario::new();
+    let dir = temp_dir("budget");
+    let cache = Arc::new(SweepCache::open(&dir).unwrap());
+
+    let short = spec(&[10, 20], &[2], 2, 0xF00D);
+    let first = SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &short).unwrap();
+    assert_eq!(first.rounds_simulated, 4);
+
+    // `rounds` is round-neutral: extending the budget keeps the canonical
+    // configuration (and every round seed), so only rounds 2..5 simulate.
+    let long = spec(&[10, 20], &[2], 5, 0xF00D);
+    let extended = SweepEngine::new(2).with_cache(cache).run(&scenario, &long).unwrap();
+    assert_eq!(extended.rounds_simulated, 6, "two points x rounds 2..5");
+    assert_eq!(extended.rounds_cached, 4);
+    let reference = SweepEngine::new(1).run(&scenario, &long).unwrap();
+    assert_eq!(extended.to_csv(), reference.to_csv());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn urban_scenario_round_trips_through_the_cache() {
+    // The real simulator, once: a cached urban point must replay exactly.
+    let scenario = UrbanScenario::paper_testbed();
+    let spec = SweepSpec::new(0xBEEF)
+        .axis(Param::SpeedKmh, vec![ParamValue::Float(25.0)])
+        .axis(Param::NCars, vec![ParamValue::Int(2)])
+        .axis(Param::Rounds, vec![ParamValue::Int(2)]);
+    let reference = SweepEngine::new(2).run(&scenario, &spec).unwrap();
+
+    let dir = temp_dir("urban");
+    let cache = Arc::new(SweepCache::open(&dir).unwrap());
+    let cold = SweepEngine::new(2).with_cache(cache.clone()).run(&scenario, &spec).unwrap();
+    assert_eq!(cold.rounds_simulated, 2);
+    assert_eq!(cold.to_csv(), reference.to_csv());
+
+    // Warm, across a reopen (fresh process) and thread counts.
+    drop(cache);
+    let reopened = Arc::new(SweepCache::open(&dir).unwrap());
+    for threads in [1, 8] {
+        let warm =
+            SweepEngine::new(threads).with_cache(reopened.clone()).run(&scenario, &spec).unwrap();
+        assert_eq!(warm.rounds_simulated, 0, "warm urban run at {threads} threads");
+        assert_eq!(warm.to_csv(), reference.to_csv());
+        assert_eq!(warm.to_json(), reference.to_json());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -59,21 +59,53 @@ fn grid_expansion_ordering_is_stable() {
 }
 
 #[test]
-fn point_seeds_are_pure_functions_of_master_seed_and_index() {
-    for index in 0..32 {
-        assert_eq!(point_seed(7, index), point_seed(7, index));
+fn point_seeds_are_pure_functions_of_master_seed_and_canonical_config() {
+    let canon = |i: u32| format!("scenario=fake;n_cars=i{i}");
+    for i in 0..32 {
+        assert_eq!(point_seed(7, &canon(i)), point_seed(7, &canon(i)));
+        assert_ne!(point_seed(7, &canon(i)), point_seed(8, &canon(i)));
     }
-    let seeds: std::collections::BTreeSet<u64> = (0..32).map(|i| point_seed(7, i)).collect();
+    let seeds: std::collections::BTreeSet<u64> =
+        (0..32).map(|i| point_seed(7, &canon(i))).collect();
     assert_eq!(seeds.len(), 32, "per-point seeds must not collide in a small sweep");
 }
 
 #[test]
-fn round_seeds_chain_from_master_seed_point_index_and_round() {
-    // The full derivation chain is pure: master seed → point seed → round
-    // seed, with no dependence on execution order or thread placement.
+fn point_seeds_follow_the_configuration_not_the_grid_position() {
+    // The resumability property: the seed of an unchanged configuration
+    // survives any grid edit, because it never depended on the position in
+    // the expansion in the first place.
+    let scenario = UrbanScenario::paper_testbed();
+    let schema = scenario.schema();
+    let point = SweepPoint::new(vec![
+        (Param::SpeedKmh, ParamValue::Float(25.0)),
+        (Param::NCars, ParamValue::Int(2)),
+    ]);
+    let seed = point_seed(0xBEEF, &schema.canonical_config(&point));
+    // Spelled differently (defaults written out elsewhere, extra rounds
+    // budget), the configuration — and therefore the seed — is the same.
+    let spelled_out = SweepPoint::new(vec![
+        (Param::NCars, ParamValue::Int(2)),
+        (Param::SpeedKmh, ParamValue::Float(25.0)),
+        (Param::Rounds, ParamValue::Int(7)),
+    ]);
+    assert_eq!(seed, point_seed(0xBEEF, &schema.canonical_config(&spelled_out)));
+    // A real configuration change moves it.
+    let faster = SweepPoint::new(vec![
+        (Param::SpeedKmh, ParamValue::Float(30.0)),
+        (Param::NCars, ParamValue::Int(2)),
+    ]);
+    assert_ne!(seed, point_seed(0xBEEF, &schema.canonical_config(&faster)));
+}
+
+#[test]
+fn round_seeds_chain_from_master_seed_canonical_config_and_round() {
+    // The full derivation chain is pure: master seed → point seed (from the
+    // canonical configuration) → round seed, with no dependence on
+    // execution order or thread placement.
     let mut all = std::collections::BTreeSet::new();
-    for point in 0..4 {
-        let base = point_seed(0xBEEF, point);
+    for cars in 0..4 {
+        let base = point_seed(0xBEEF, &format!("scenario=fake;n_cars=i{cars}"));
         for round in 0..8 {
             assert_eq!(round_seed(base, round), round_seed(base, round));
             all.insert(round_seed(base, round));
