@@ -1,0 +1,99 @@
+//! P2: throughput of sharded fleet execution vs worker count.
+//!
+//! Shards a fixed urban preset across 1, 2 and 4 workers (each an
+//! in-process worker with its own shard journal — a faithful stand-in for
+//! the `carq-cli fleet run` worker processes, minus process start-up),
+//! merges the shard journals, and reports rounds simulated vs wall time
+//! per worker count — re-checking on the way that the merged cache serves
+//! the final pass with **zero** `run_round` calls and that its CSV is
+//! byte-identical to the unsharded single-process run (the fleet's core
+//! guarantee). On a single-core container the scaling is flat by
+//! construction (see ROADMAP); re-baseline on real multi-core hardware.
+//!
+//! Rounds per point default to 1 and can be raised with
+//! `CARQ_BENCH_ROUNDS` for a heavier, more realistic load.
+
+use std::sync::Arc;
+
+use bench::{print_footer, print_header};
+use vanet_fleet::{execute_shard, merge_into, ShardPlan, SweepCache};
+use vanet_sweep::{presets, SweepEngine};
+
+fn rounds_per_point() -> u32 {
+    std::env::var("CARQ_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|r| *r > 0)
+        .unwrap_or(1)
+}
+
+fn main() {
+    print_header("fleet_scaling", "sharded sweep throughput vs worker count");
+    let rounds = rounds_per_point();
+    let preset = "urban-platoon";
+    println!("preset       : {preset}, {rounds} round(s)/point (default 1, not the paper's 30)");
+
+    let (scenario, spec) = presets::find(preset).expect("catalogue preset").build(0x5eed, rounds);
+    let reference = SweepEngine::new(1).run(scenario.as_ref(), &spec).expect("monolithic run");
+    let reference_csv = reference.to_csv();
+    println!(
+        "monolithic   : {} point(s), {} round(s) in {:.2} s",
+        reference.len(),
+        reference.rounds_simulated,
+        reference.elapsed.as_secs_f64(),
+    );
+
+    let started = std::time::Instant::now();
+    let scratch = std::env::temp_dir().join(format!("carq-bench-fleet-{}", std::process::id()));
+    println!("{:>8} {:>10} {:>14} {:>10}", "workers", "simulated", "elapsed (s)", "rounds/s");
+    for workers in [1usize, 2, 4] {
+        std::fs::remove_dir_all(&scratch).ok();
+        let plan =
+            ShardPlan::for_preset(preset, 0x5eed, rounds, workers, None).expect("plan builds");
+        let wall = std::time::Instant::now();
+        // One thread per worker, mirroring `fleet run`'s process fan-out.
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .shards
+                .iter()
+                .map(|shard| {
+                    let dir = scratch.join(format!("w{}-{}", workers, shard.index));
+                    scope.spawn(move || execute_shard(shard, &dir, 1).expect("shard executes"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let simulated: usize = outcomes.iter().map(|o| o.rounds_simulated).sum();
+
+        let merged_dir = scratch.join(format!("w{workers}-merged"));
+        let merged = Arc::new(SweepCache::open(&merged_dir).expect("merged cache opens"));
+        let shard_dirs: Vec<_> = plan
+            .shards
+            .iter()
+            .map(|shard| scratch.join(format!("w{}-{}", workers, shard.index)))
+            .collect();
+        merge_into(&merged, &shard_dirs).expect("merge succeeds");
+        let final_pass = SweepEngine::new(1)
+            .with_cache(merged)
+            .run(scenario.as_ref(), &spec)
+            .expect("final pass runs");
+        let elapsed = wall.elapsed().as_secs_f64();
+
+        assert_eq!(final_pass.rounds_simulated, 0, "merged cache must cover the sweep");
+        assert_eq!(
+            final_pass.to_csv(),
+            reference_csv,
+            "fleet export must be byte-identical to the monolithic run"
+        );
+        println!(
+            "{:>8} {:>10} {:>14.2} {:>10.2}",
+            workers,
+            simulated,
+            elapsed,
+            if elapsed > 0.0 { simulated as f64 / elapsed } else { f64::INFINITY },
+        );
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    println!("determinism: merged exports identical to the monolithic run at every worker count");
+    print_footer(started.elapsed().as_secs_f64());
+}

@@ -1,8 +1,10 @@
 //! Subcommand implementations.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use vanet_cache::SweepCache;
+use vanet_fleet::{Shard, ShardPlan};
 use vanet_scenarios::{
     run_point, Param, ParamKind, ParamValue, Scenario, ScenarioRegistry, SweepPoint, UrbanScenario,
 };
@@ -70,9 +72,43 @@ USAGE:
                              resumes. Exports are byte-identical with and
                              without the cache.
 
+  carq-cli fleet shard --preset NAME --shards N --out-dir DIR
+      [--rounds N] [--seed S] [--round-chunk K]
+      Partition a preset sweep into N self-describing shard files
+      (shard-000.fleet, ...). Each file carries everything a worker on
+      any machine needs to reproduce its slice bit-for-bit; with
+      --round-chunk K, points heavier than K rounds split into round
+      ranges so even few-point sweeps spread across the fleet.
+
+  carq-cli fleet worker --shard FILE --cache DIR [--threads N]
+      Execute one shard file against its own shard journal in DIR.
+      Seeds are content-addressed, so the rounds a worker simulates are
+      byte-identical to the same rounds of a monolithic run; a killed
+      worker re-run resumes from its journal.
+
+  carq-cli fleet merge --cache DIR --from DIR1,DIR2,...
+      Union shard journals (cache directories or bare journal files,
+      e.g. shipped from other machines) into DIR. Records are
+      checksum-validated on ingest, duplicates are skipped, conflicting
+      keys resolve last-write-wins, and torn shard tails are dropped. A
+      warm sweep over the merged cache simulates nothing.
+
+  carq-cli fleet run --preset NAME --workers N [--rounds N] [COMMON]
+      [--round-chunk K]
+      The whole pipeline, locally: shard the preset, spawn N worker
+      processes, merge their journals, and export from the merged
+      cache. Exports are byte-identical to the single-process run.
+      With --cache DIR the merged journal persists there (and a re-run
+      resumes); without it a temporary directory is used and removed.
+
   carq-cli cache stats --cache DIR
       Show what a cache directory holds: entries per scenario, journal
-      size, bytes recovered from a torn tail.
+      size, bytes recovered from a torn tail, bytes a compaction would
+      reclaim. Lock-free: safe while a sweep is writing.
+
+  carq-cli cache compact --cache DIR
+      Rewrite the append-only journal from the live index, dropping
+      superseded records; prints the bytes reclaimed.
 
   carq-cli cache clear --cache DIR
       Remove a cache directory's journal.
@@ -121,11 +157,22 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 other.unwrap_or("")
             )),
         },
+        Some("fleet") => match args.get(1).map(String::as_str) {
+            Some("shard") => fleet_shard(&Options::parse(&args[2..])?),
+            Some("worker") => fleet_worker(&Options::parse(&args[2..])?),
+            Some("merge") => fleet_merge(&Options::parse(&args[2..])?),
+            Some("run") => fleet_run(&Options::parse(&args[2..])?),
+            other => Err(format!(
+                "unknown fleet subcommand `{}` (expected shard, worker, merge or run)",
+                other.unwrap_or("")
+            )),
+        },
         Some("cache") => match args.get(1).map(String::as_str) {
             Some("stats") => cache_stats(&Options::parse(&args[2..])?),
+            Some("compact") => cache_compact(&Options::parse(&args[2..])?),
             Some("clear") => cache_clear(&Options::parse(&args[2..])?),
             other => Err(format!(
-                "unknown cache subcommand `{}` (expected stats or clear)",
+                "unknown cache subcommand `{}` (expected stats, compact or clear)",
                 other.unwrap_or("")
             )),
         },
@@ -334,6 +381,289 @@ fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> R
     Ok(())
 }
 
+/// Parses the optional `--round-chunk K` flag shared by `fleet shard` and
+/// `fleet run`.
+fn parse_round_chunk(opts: &Options) -> Result<Option<u32>, String> {
+    match opts.get("round-chunk") {
+        None => Ok(None),
+        Some(raw) => {
+            let chunk: u32 =
+                raw.parse().map_err(|_| format!("--round-chunk: cannot parse `{raw}`"))?;
+            if chunk == 0 {
+                return Err("--round-chunk must be positive".into());
+            }
+            Ok(Some(chunk))
+        }
+    }
+}
+
+/// The shared front half of `fleet shard` and `fleet run`: required
+/// preset, shard/worker count from `count_flag`, seed, rounds and
+/// round-chunk, all validated, folded into a plan.
+fn fleet_plan(opts: &Options, count_flag: &str) -> Result<ShardPlan, String> {
+    let Some(preset) = opts.get("preset") else {
+        return Err("fleet needs --preset NAME (see `carq-cli sweep list`)".into());
+    };
+    let Some(count_raw) = opts.get(count_flag) else {
+        return Err(format!("fleet needs --{count_flag} N"));
+    };
+    let count: usize =
+        count_raw.parse().map_err(|_| format!("--{count_flag}: cannot parse `{count_raw}`"))?;
+    if count == 0 {
+        return Err(format!("--{count_flag} must be positive"));
+    }
+    let rounds: u32 = opts.get_parsed("rounds", DEFAULT_SWEEP_ROUNDS)?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let seed = parse_seed(opts)?;
+    ShardPlan::for_preset(preset, seed, rounds, count, parse_round_chunk(opts)?)
+        .map_err(|e| e.to_string())
+}
+
+/// The shard file name for shard `index` inside an out-dir.
+fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.fleet")
+}
+
+fn fleet_shard(opts: &Options) -> Result<(), String> {
+    let unknown =
+        opts.unknown_flags(&["preset", "shards", "rounds", "seed", "round-chunk", "out-dir"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let Some(out_dir) = opts.get("out-dir") else {
+        return Err("fleet shard needs --out-dir DIR".into());
+    };
+    let plan = fleet_plan(opts, "shards")?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    for shard in &plan.shards {
+        let path = Path::new(out_dir).join(shard_file_name(shard.index));
+        std::fs::write(&path, shard.encode())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "{}  {} unit(s), <= {} round(s)",
+            path.display(),
+            shard.units.len(),
+            shard.round_upper_bound(),
+        );
+    }
+    println!(
+        "planned {} shard(s) of `{}` ({} unit(s) total, master seed {:#x})",
+        plan.shards.len(),
+        plan.preset,
+        plan.total_units(),
+        plan.master_seed,
+    );
+    Ok(())
+}
+
+fn fleet_worker(opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&["shard", "cache", "threads"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let Some(shard_path) = opts.get("shard") else {
+        return Err("fleet worker needs --shard FILE".into());
+    };
+    let Some(cache_dir) = opts.get("cache") else {
+        return Err("fleet worker needs --cache DIR (its shard journal)".into());
+    };
+    let threads: usize = opts.get_parsed("threads", 1)?;
+    let text = std::fs::read_to_string(shard_path)
+        .map_err(|e| format!("cannot read {shard_path}: {e}"))?;
+    let shard = Shard::decode(&text).map_err(|e| format!("{shard_path}: {e}"))?;
+    let outcome =
+        vanet_fleet::execute_shard(&shard, cache_dir, threads).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet worker {}/{}: {} unit(s), {} round(s) simulated, {} resumed from its journal",
+        shard.index, shard.count, outcome.units, outcome.rounds_simulated, outcome.rounds_cached,
+    );
+    Ok(())
+}
+
+fn fleet_merge(opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&["cache", "from"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let Some(dest) = opts.get("cache") else {
+        return Err("fleet merge needs --cache DIR (the destination)".into());
+    };
+    let Some(from) = opts.get("from") else {
+        return Err("fleet merge needs --from DIR1,DIR2,... (shard caches or journal files)".into());
+    };
+    let sources: Vec<PathBuf> =
+        crate::cli::split_list(from)?.into_iter().map(PathBuf::from).collect();
+    let cache = SweepCache::open(dest).map_err(|e| e.to_string())?;
+    let report = vanet_cache::merge_into(&cache, &sources).map_err(|e| e.to_string())?;
+    print_merge_report(&report);
+    let stats = cache.stats();
+    println!(
+        "merged cache: {} round report(s), {} byte(s) in {dest}",
+        stats.entries, stats.file_bytes
+    );
+    Ok(())
+}
+
+fn print_merge_report(report: &vanet_cache::MergeReport) {
+    println!(
+        "merge: {} source(s): {} record(s) ingested, {} duplicate(s) skipped",
+        report.sources, report.records_ingested, report.records_duplicate,
+    );
+    if report.records_superseded > 0 {
+        println!(
+            "merge: {} conflicting record(s) superseded (last write wins) — the sources \
+             disagree; were they produced by different code versions?",
+            report.records_superseded,
+        );
+    }
+    if report.torn_bytes_dropped > 0 {
+        println!(
+            "merge: dropped {} torn trailing byte(s) from source journal(s)",
+            report.torn_bytes_dropped,
+        );
+    }
+}
+
+fn fleet_run(opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&[
+        "preset",
+        "workers",
+        "rounds",
+        "seed",
+        "threads",
+        "format",
+        "out",
+        "cache",
+        "round-chunk",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let format = opts.get("format").unwrap_or("csv");
+    if !matches!(format, "csv" | "json") {
+        return Err(format!("unknown format `{format}` (csv, json)"));
+    }
+    let plan = fleet_plan(opts, "workers")?;
+    let workers = plan.shards.len();
+
+    // The working directory: the user's --cache DIR (merged journal kept,
+    // re-runs resume) or a throwaway temp directory.
+    let (base, ephemeral) = match opts.get("cache") {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (std::env::temp_dir().join(format!("carq-fleet-{}", std::process::id())), true),
+    };
+    let shards_dir = base.join("shards");
+    std::fs::create_dir_all(&shards_dir)
+        .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
+
+    // Split the thread budget across the worker processes.
+    let threads: usize = opts.get_parsed("threads", 0)?;
+    let budget = if threads == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        threads
+    };
+    let per_worker = budget.div_ceil(workers).max(1);
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate carq-cli: {e}"))?;
+    eprintln!(
+        "fleet: {} worker process(es) x {} thread(s) over {} unit(s) of `{}`",
+        workers,
+        per_worker,
+        plan.total_units(),
+        plan.preset,
+    );
+    let mut children = Vec::new();
+    let mut shard_caches = Vec::new();
+    for shard in &plan.shards {
+        if shard.units.is_empty() {
+            continue; // more workers than units: nothing to spawn
+        }
+        let file = shards_dir.join(shard_file_name(shard.index));
+        std::fs::write(&file, shard.encode())
+            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+        let cache_dir = shards_dir.join(format!("cache-{:03}", shard.index));
+        let child = std::process::Command::new(&exe)
+            .arg("fleet")
+            .arg("worker")
+            .arg("--shard")
+            .arg(&file)
+            .arg("--cache")
+            .arg(&cache_dir)
+            .arg("--threads")
+            .arg(per_worker.to_string())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {}: {e}", shard.index))?;
+        children.push((shard.index, child));
+        shard_caches.push(cache_dir);
+    }
+    let mut failures = Vec::new();
+    for (index, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {index} exited with {status}")),
+            Err(e) => failures.push(format!("worker {index} could not be waited on: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        if ephemeral {
+            // A throwaway directory cannot be resumed (the next run gets a
+            // fresh one), so don't leak it — or promise a resume.
+            std::fs::remove_dir_all(&base).ok();
+            return Err(failures.join("; "));
+        }
+        return Err(format!(
+            "{} (shard journals are kept in {}; re-running `fleet run` with the same \
+             --cache resumes the finished work)",
+            failures.join("; "),
+            shards_dir.display(),
+        ));
+    }
+
+    // Merge the shard journals into the main cache, then export from it.
+    let cache = Arc::new(SweepCache::open(&base).map_err(|e| e.to_string())?);
+    let report = vanet_cache::merge_into(&cache, &shard_caches).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet: merged {} shard journal(s): {} record(s) ingested, {} duplicate(s), \
+         {} superseded, {} torn byte(s) dropped",
+        report.sources,
+        report.records_ingested,
+        report.records_duplicate,
+        report.records_superseded,
+        report.torn_bytes_dropped,
+    );
+
+    let preset = presets::find(&plan.preset).expect("plan came from the catalogue");
+    let (scenario, spec) = preset.build(plan.master_seed, plan.rounds);
+    let engine = SweepEngine::new(threads).with_cache(Arc::clone(&cache));
+    let result = engine.run(scenario.as_ref(), &spec).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet: final pass: {} round(s) simulated, {} served from the merged cache",
+        result.rounds_simulated, result.rounds_cached,
+    );
+
+    let rendered = if format == "json" { result.to_json() } else { result.to_csv() };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+
+    drop(engine);
+    drop(cache);
+    if ephemeral {
+        std::fs::remove_dir_all(&base).ok();
+    } else {
+        // The merged journal holds everything; the per-shard copies are
+        // now redundant.
+        std::fs::remove_dir_all(&shards_dir).ok();
+    }
+    Ok(())
+}
+
 /// Requires and returns the `--cache DIR` flag of a `cache` subcommand.
 fn cache_dir<'o>(opts: &'o Options, action: &str) -> Result<&'o str, String> {
     let unknown = opts.unknown_flags(&["cache"]);
@@ -345,16 +675,41 @@ fn cache_dir<'o>(opts: &'o Options, action: &str) -> Result<&'o str, String> {
 
 fn cache_stats(opts: &Options) -> Result<(), String> {
     let dir = cache_dir(opts, "stats")?;
-    let cache = SweepCache::open(dir).map_err(|e| e.to_string())?;
+    // Lock-free: stats must work while a sweep holds the writer lock.
+    let cache = SweepCache::open_read_only(dir).map_err(|e| e.to_string())?;
     let stats = cache.stats();
     println!("journal: {}", cache.journal_path().display());
     println!("entries: {} round report(s), {} byte(s)", stats.entries, stats.file_bytes);
     if stats.recovered_bytes > 0 {
-        println!("recovered: dropped a torn {}-byte tail on open", stats.recovered_bytes);
+        println!(
+            "torn tail: {} byte(s) ignored (the next writable open truncates them)",
+            stats.recovered_bytes
+        );
+    }
+    if stats.reclaimable_bytes() > 0 {
+        println!(
+            "compactable: {} byte(s) reclaimable by `carq-cli cache compact`",
+            stats.reclaimable_bytes()
+        );
     }
     for (scenario, count) in &stats.scenarios {
         println!("  {scenario:<12} {count} round(s)");
     }
+    Ok(())
+}
+
+fn cache_compact(opts: &Options) -> Result<(), String> {
+    let dir = cache_dir(opts, "compact")?;
+    let cache = SweepCache::open(dir).map_err(|e| e.to_string())?;
+    let before = cache.stats();
+    let reclaimed = cache.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {dir}: {} byte(s) reclaimed ({} -> {} bytes, {} record(s) live)",
+        reclaimed,
+        before.file_bytes,
+        cache.stats().file_bytes,
+        before.entries,
+    );
     Ok(())
 }
 
@@ -524,6 +879,112 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         assert!(dispatch(&strs(&["cache", "stats", "--cache", &dir])).is_ok());
         assert!(dispatch(&strs(&["cache", "clear", "--cache", &dir])).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_subcommands_validate_their_flags() {
+        assert!(dispatch(&strs(&["fleet"])).is_err());
+        assert!(dispatch(&strs(&["fleet", "dance"])).is_err());
+        // shard: preset, shards and out-dir are required and validated.
+        assert!(fleet_shard(&switch_opts(&[])).is_err());
+        assert!(fleet_shard(&switch_opts(&["--preset", "urban-platoon"])).is_err());
+        let err = fleet_shard(&switch_opts(&[
+            "--preset",
+            "no-such",
+            "--shards",
+            "2",
+            "--out-dir",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+        assert!(fleet_shard(&switch_opts(&[
+            "--preset",
+            "urban-platoon",
+            "--shards",
+            "0",
+            "--out-dir",
+            "/tmp/x",
+        ]))
+        .is_err());
+        assert!(fleet_shard(&switch_opts(&[
+            "--preset",
+            "urban-platoon",
+            "--shards",
+            "2",
+            "--out-dir",
+            "/tmp/x",
+            "--round-chunk",
+            "0",
+        ]))
+        .is_err());
+        assert!(fleet_shard(&switch_opts(&["--bogus", "1"])).is_err());
+        // worker: shard file and cache dir are required.
+        assert!(fleet_worker(&switch_opts(&[])).is_err());
+        assert!(fleet_worker(&switch_opts(&["--shard", "/no/such/file.fleet"])).is_err());
+        let err =
+            fleet_worker(&switch_opts(&["--shard", "/no/such/file.fleet", "--cache", "/tmp/x"]))
+                .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // merge: destination and sources are required.
+        assert!(fleet_merge(&switch_opts(&[])).is_err());
+        assert!(fleet_merge(&switch_opts(&["--cache", "/tmp/x"])).is_err());
+        assert!(fleet_merge(&switch_opts(&["--cache", "/tmp/x", "--from", "a,,b"])).is_err());
+        // run: workers required and positive, format validated.
+        assert!(fleet_run(&switch_opts(&["--preset", "urban-platoon"])).is_err());
+        assert!(fleet_run(&switch_opts(&["--preset", "urban-platoon", "--workers", "0",])).is_err());
+        assert!(fleet_run(&switch_opts(&[
+            "--preset",
+            "urban-platoon",
+            "--workers",
+            "2",
+            "--format",
+            "xml",
+        ]))
+        .is_err());
+        assert!(fleet_run(&switch_opts(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn fleet_shard_writes_decodable_shard_files() {
+        let dir =
+            std::env::temp_dir().join(format!("carq-cli-fleet-shard-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let out_dir = dir.display().to_string();
+        fleet_shard(&switch_opts(&[
+            "--preset",
+            "urban-platoon",
+            "--shards",
+            "3",
+            "--rounds",
+            "2",
+            "--out-dir",
+            &out_dir,
+        ]))
+        .unwrap();
+        let mut units = 0;
+        for i in 0..3 {
+            let text = std::fs::read_to_string(dir.join(shard_file_name(i))).unwrap();
+            let shard = Shard::decode(&text).unwrap();
+            assert_eq!(shard.index, i);
+            assert_eq!(shard.count, 3);
+            assert_eq!(shard.preset, "urban-platoon");
+            units += shard.units.len();
+        }
+        assert_eq!(units, 24, "the three files cover the 24-point grid");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_compact_runs_end_to_end() {
+        let dir = std::env::temp_dir()
+            .join(format!("carq-cli-cache-compact-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.display().to_string();
+        // Compacting an empty cache reclaims nothing but succeeds.
+        assert!(dispatch(&strs(&["cache", "compact", "--cache", &dir_str])).is_ok());
+        assert!(dispatch(&strs(&["cache", "stats", "--cache", &dir_str])).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

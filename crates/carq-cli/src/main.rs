@@ -7,7 +7,10 @@
 //! carq-cli sweep list
 //! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
 //! carq-cli sweep run --preset urban-platoon --cache ./sweep-cache   # resumable
+//! carq-cli fleet run --preset urban-platoon --workers 3             # multi-process
+//! carq-cli fleet merge --cache ./merged --from shard-a,shard-b      # cross-machine
 //! carq-cli cache stats --cache ./sweep-cache
+//! carq-cli cache compact --cache ./sweep-cache
 //! carq-cli table1 --rounds 30
 //! carq-cli fig reception --car 1
 //! ```

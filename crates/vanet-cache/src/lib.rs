@@ -18,7 +18,16 @@
 //!   checksummed record. Opening a journal whose tail was torn by a kill
 //!   mid-write drops (and truncates away) the torn record and keeps
 //!   everything before it — an interrupted sweep resumes instead of
-//!   restarting.
+//!   restarting. A writable open takes an advisory lockfile so a second
+//!   concurrent writer *process* on the same directory fails fast instead
+//!   of interleaving appends; [`SweepCache::open_read_only`] stays
+//!   lock-free. [`SweepCache::compact`] rewrites the journal from the live
+//!   index, reclaiming superseded and forgotten records.
+//! * [`merge_into`] — unions any set of shard journals (produced by
+//!   `vanet-fleet` workers, possibly on other machines) into one store:
+//!   records re-validated on ingest, duplicates skipped, conflicts
+//!   last-write-wins, torn shard tails dropped — summarised in a
+//!   [`MergeReport`].
 //! * [`clear`] — removes a directory's journal, reporting the bytes freed.
 //!
 //! The sweep engine in `vanet-sweep` threads a `SweepCache` through its
@@ -56,7 +65,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod key;
+pub mod merge;
 pub mod store;
 
 pub use key::CacheKey;
+pub use merge::{merge_into, MergeReport};
 pub use store::{clear, CacheError, CacheStats, SweepCache};

@@ -20,6 +20,27 @@
 //! good record, the loss is reported via [`CacheStats::recovered_bytes`],
 //! and the next append continues from there. Every record before the tear
 //! survives — an interrupted sweep resumes instead of restarting.
+//!
+//! ## Writer exclusion
+//!
+//! Appends from two *handles* on one journal are not torn-safe, so a
+//! writable open takes an advisory lockfile (`cache.lock`, holding the
+//! writer's pid). A second writer on the same directory fails fast with a
+//! clear [`CacheError`] instead of interleaving appends; a lockfile left
+//! behind by a crashed writer is detected (the pid is gone) and reclaimed.
+//! [`SweepCache::open_read_only`] stays lock-free: it never writes, never
+//! truncates a torn tail, and coexists with a live writer.
+//!
+//! ## Compaction
+//!
+//! The journal is append-only, so superseded records (last-write-wins
+//! ingests, entries dropped with [`forget`]) accumulate as dead bytes.
+//! [`SweepCache::compact`] rewrites the journal from the live index —
+//! written to a temporary file and atomically renamed into place — and
+//! returns the bytes reclaimed; [`CacheStats::live_bytes`] reports ahead of
+//! time how small a compaction would make the file.
+//!
+//! [`forget`]: SweepCache::forget
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -33,10 +54,13 @@ use vanet_stats::RoundReport;
 use crate::key::{fnv1a64, fnv1a64_chain, CacheKey};
 
 /// The journal file kept inside a cache directory.
-const JOURNAL_FILE: &str = "rounds.journal";
+pub(crate) const JOURNAL_FILE: &str = "rounds.journal";
+
+/// The advisory writer lockfile kept next to the journal.
+const LOCK_FILE: &str = "cache.lock";
 
 /// Format magic; bump the digit when the record or payload encoding changes.
-const MAGIC: &[u8; 12] = b"VANETCACHE1\n";
+pub(crate) const MAGIC: &[u8; 12] = b"VANETCACHE1\n";
 
 /// `key_len | payload_len | checksum`.
 const RECORD_HEADER_LEN: usize = 4 + 4 + 8;
@@ -50,11 +74,11 @@ pub struct CacheError {
 }
 
 impl CacheError {
-    fn new(path: &Path, message: impl Into<String>) -> Self {
+    pub(crate) fn new(path: &Path, message: impl Into<String>) -> Self {
         CacheError { path: path.to_path_buf(), message: message.into() }
     }
 
-    fn io(path: &Path, action: &str, err: &std::io::Error) -> Self {
+    pub(crate) fn io(path: &Path, action: &str, err: &std::io::Error) -> Self {
         CacheError::new(path, format!("cannot {action}: {err}"))
     }
 
@@ -80,17 +104,117 @@ pub struct CacheStats {
     /// Journal size on disk, in bytes.
     pub file_bytes: u64,
     /// Bytes of torn tail dropped when the journal was opened (0 after a
-    /// clean shutdown).
+    /// clean shutdown). A read-only open reports the torn bytes it skipped
+    /// without truncating them away.
     pub recovered_bytes: u64,
+    /// Bytes the journal would occupy after [`SweepCache::compact`]: the
+    /// header plus one record per live index entry. The difference
+    /// `file_bytes - live_bytes` is what a compaction reclaims.
+    pub live_bytes: u64,
     /// Entries per scenario name, sorted by name.
     pub scenarios: Vec<(String, usize)>,
 }
 
+impl CacheStats {
+    /// Bytes a [`SweepCache::compact`] would reclaim: dead superseded or
+    /// forgotten records beyond the live set.
+    pub fn reclaimable_bytes(&self) -> u64 {
+        self.file_bytes.saturating_sub(self.live_bytes)
+    }
+}
+
+/// One live index entry: the decoded report plus the size of its journal
+/// record (for live-byte accounting and compaction estimates).
+struct IndexEntry {
+    report: RoundReport,
+    record_len: u64,
+}
+
+/// Removes the advisory lockfile when the owning writer handle drops.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` names a live process. Advisory only: on platforms without
+/// a `/proc` to consult the answer is a conservative "yes".
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Takes the directory's advisory writer lock, reclaiming a lockfile whose
+/// recorded pid is no longer alive (a crashed writer).
+fn acquire_lock(dir: &Path, journal: &Path) -> Result<LockGuard, CacheError> {
+    let lock_path = dir.join(LOCK_FILE);
+    for attempt in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{}", std::process::id());
+                return Ok(LockGuard { path: lock_path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let stale =
+                    holder.is_some_and(|pid| pid != std::process::id() && !process_alive(pid));
+                if stale && attempt == 0 {
+                    // A crashed writer's leftover. Reclaim by *renaming* it
+                    // away — rename is atomic, so when several openers race
+                    // for the same stale lock exactly one wins the reclaim;
+                    // the losers retry `create_new` and lose to whichever
+                    // writer locked in the meantime, instead of deleting
+                    // that writer's fresh lock out from under it.
+                    let tomb = dir.join(format!("{LOCK_FILE}.stale.{}", std::process::id()));
+                    if std::fs::rename(&lock_path, &tomb).is_ok() {
+                        let _ = std::fs::remove_file(&tomb);
+                    }
+                    continue;
+                }
+                let who = holder.map(|pid| format!(" (pid {pid})")).unwrap_or_default();
+                return Err(CacheError::new(
+                    journal,
+                    format!(
+                        "another writer{who} holds this cache (lockfile `{}`); run one \
+                         sweep per cache directory at a time, or delete the lockfile if \
+                         that process is gone",
+                        lock_path.display()
+                    ),
+                ));
+            }
+            Err(e) => return Err(CacheError::io(&lock_path, "create the writer lockfile", &e)),
+        }
+    }
+    unreachable!("the second lock attempt either succeeds or returns the contention error")
+}
+
 struct Inner {
-    file: File,
-    index: BTreeMap<String, RoundReport>,
+    /// `None` for a read-only handle — lookups only, no appends.
+    file: Option<File>,
+    index: BTreeMap<String, IndexEntry>,
     file_bytes: u64,
     recovered_bytes: u64,
+}
+
+/// What [`SweepCache::ingest`] did with a merged record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IngestOutcome {
+    /// The key was new: one record appended.
+    Inserted,
+    /// The key was already present with an identical report: nothing written.
+    Duplicate,
+    /// The key was present with a *different* report: last-write-wins, the
+    /// new record appended and the index entry replaced.
+    Superseded,
 }
 
 /// A shared, thread-safe handle on one cache directory.
@@ -99,14 +223,20 @@ struct Inner {
 /// appends to the journal and updates the index. A `&SweepCache` can be
 /// used from any number of threads (the sweep engine's workers share one).
 ///
-/// Two *processes* may append to the same journal concurrently only if they
-/// write identical values per key — which the purity contract guarantees —
-/// but interleaved appends from distinct handles are not torn-safe; run one
-/// sweep per cache directory at a time.
+/// Across *processes*, a writable [`open`] takes an advisory lockfile so a
+/// second concurrent writer on the same directory fails fast instead of
+/// interleaving appends; shard the work across separate directories (see
+/// `vanet-fleet`) and merge the journals instead. [`open_read_only`] stays
+/// lock-free.
 ///
 /// [`put`]: SweepCache::put
+/// [`open`]: SweepCache::open
+/// [`open_read_only`]: SweepCache::open_read_only
 pub struct SweepCache {
     path: PathBuf,
+    /// Held for the handle's lifetime by a writable open; dropping the
+    /// handle releases the lockfile. Never read — it exists for its `Drop`.
+    _lock: Option<LockGuard>,
     inner: Mutex<Inner>,
 }
 
@@ -115,26 +245,70 @@ impl fmt::Debug for SweepCache {
         let inner = self.inner.lock().expect("cache lock poisoned");
         f.debug_struct("SweepCache")
             .field("path", &self.path)
+            .field("read_only", &inner.file.is_none())
             .field("entries", &inner.index.len())
             .field("file_bytes", &inner.file_bytes)
             .finish()
     }
 }
 
+/// Encodes one journal record: header, checksum, key, payload.
+fn encode_record(key: &str, report: &RoundReport) -> Vec<u8> {
+    let key_bytes = key.as_bytes();
+    let payload = report.to_bytes();
+    let checksum = fnv1a64_chain(fnv1a64(key_bytes), &payload);
+    let mut record = Vec::with_capacity(RECORD_HEADER_LEN + key_bytes.len() + payload.len());
+    record.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&checksum.to_le_bytes());
+    record.extend_from_slice(key_bytes);
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// Replays the records of a journal image (everything after the magic),
+/// handing each decoded `(key, report, record_len)` to `record`. Returns
+/// the length of the prefix that parsed cleanly — anything beyond it is a
+/// torn or corrupt tail.
+pub(crate) fn replay(buf: &[u8], mut record: impl FnMut(&str, RoundReport, u64)) -> usize {
+    let mut pos = MAGIC.len().min(buf.len());
+    loop {
+        if pos == buf.len() {
+            break pos;
+        }
+        let Some(record_end) = record_end(buf, pos) else { break pos };
+        let key_len = read_u32(buf, pos) as usize;
+        let key_bytes = &buf[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + key_len];
+        let payload = &buf[pos + RECORD_HEADER_LEN + key_len..record_end];
+        let (Ok(key), Ok(report)) =
+            (std::str::from_utf8(key_bytes), RoundReport::from_bytes(payload))
+        else {
+            break pos;
+        };
+        record(key, report, (record_end - pos) as u64);
+        pos = record_end;
+    }
+}
+
 impl SweepCache {
-    /// Opens (creating if necessary) the cache in directory `dir` and
-    /// replays its journal into memory, truncating away a torn tail if the
-    /// previous writer was killed mid-append.
+    /// Opens (creating if necessary) the cache in directory `dir` for
+    /// reading *and writing*: takes the directory's advisory writer lock,
+    /// replays the journal into memory, and truncates away a torn tail if
+    /// the previous writer was killed mid-append.
     ///
     /// # Errors
     ///
-    /// I/O failures, and a journal whose header is not a vanet-cache magic —
-    /// the open refuses to clobber a file it does not recognise.
+    /// I/O failures; a journal whose header is not a vanet-cache magic (the
+    /// open refuses to clobber a file it does not recognise); and a live
+    /// concurrent writer on the same directory — interleaved appends from
+    /// two processes are not torn-safe, so the second writer fails fast.
+    /// Use [`SweepCache::open_read_only`] for lock-free inspection.
     pub fn open(dir: impl AsRef<Path>) -> Result<SweepCache, CacheError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
             .map_err(|e| CacheError::io(dir, "create the cache directory", &e))?;
         let path = dir.join(JOURNAL_FILE);
+        let lock = acquire_lock(dir, &path)?;
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -161,27 +335,13 @@ impl SweepCache {
             ));
         }
 
-        // Replay records up to the first torn/corrupt one.
+        // Replay records up to the first torn/corrupt one. Duplicate keys
+        // (last-write-wins ingests) are benign: the last record wins, as it
+        // was the last written.
         let mut index = BTreeMap::new();
-        let mut pos = MAGIC.len();
-        let valid_len = loop {
-            if pos == buf.len() {
-                break pos;
-            }
-            let Some(record_end) = record_end(&buf, pos) else { break pos };
-            let key_len = read_u32(&buf, pos) as usize;
-            let key_bytes = &buf[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + key_len];
-            let payload = &buf[pos + RECORD_HEADER_LEN + key_len..record_end];
-            let (Ok(key), Ok(report)) =
-                (std::str::from_utf8(key_bytes), RoundReport::from_bytes(payload))
-            else {
-                break pos;
-            };
-            // Duplicate appends (e.g. two racing writers) are benign: the
-            // purity contract makes their payloads identical. Last wins.
-            index.insert(key.to_string(), report);
-            pos = record_end;
-        };
+        let valid_len = replay(&buf, |key, report, record_len| {
+            index.insert(key.to_string(), IndexEntry { report, record_len });
+        });
         if valid_len < buf.len() {
             recovered_bytes += (buf.len() - valid_len) as u64;
             file.set_len(valid_len as u64)
@@ -192,13 +352,82 @@ impl SweepCache {
 
         Ok(SweepCache {
             path,
-            inner: Mutex::new(Inner { file, index, file_bytes: valid_len as u64, recovered_bytes }),
+            _lock: Some(lock),
+            inner: Mutex::new(Inner {
+                file: Some(file),
+                index,
+                file_bytes: valid_len as u64,
+                recovered_bytes,
+            }),
         })
+    }
+
+    /// Opens the cache in `dir` **read-only and lock-free**: no lockfile is
+    /// taken (a live writer is left undisturbed), nothing is created, and a
+    /// torn tail is skipped in memory without truncating the file. A
+    /// missing journal opens as an empty cache. Writing through this handle
+    /// ([`put`], [`compact`]) is an error.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than the journal not existing, and an
+    /// unrecognised journal header.
+    ///
+    /// [`put`]: SweepCache::put
+    /// [`compact`]: SweepCache::compact
+    pub fn open_read_only(dir: impl AsRef<Path>) -> Result<SweepCache, CacheError> {
+        let path = dir.as_ref().join(JOURNAL_FILE);
+        let buf = match std::fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CacheError::io(&path, "read the journal", &e)),
+            Ok(bytes) => bytes,
+        };
+        let recovered_bytes;
+        let mut index = BTreeMap::new();
+        if buf.len() < MAGIC.len() {
+            if !MAGIC.starts_with(buf.as_slice()) {
+                return Err(CacheError::new(
+                    &path,
+                    "not a vanet-cache journal (unrecognised header); refusing to touch it",
+                ));
+            }
+            recovered_bytes = buf.len() as u64;
+        } else if !buf.starts_with(MAGIC) {
+            return Err(CacheError::new(
+                &path,
+                "not a vanet-cache journal (unrecognised header); refusing to touch it",
+            ));
+        } else {
+            let valid_len = replay(&buf, |key, report, record_len| {
+                index.insert(key.to_string(), IndexEntry { report, record_len });
+            });
+            recovered_bytes = (buf.len() - valid_len) as u64;
+        }
+        Ok(SweepCache {
+            path,
+            _lock: None,
+            inner: Mutex::new(Inner {
+                file: None,
+                index,
+                file_bytes: buf.len() as u64,
+                recovered_bytes,
+            }),
+        })
+    }
+
+    /// Whether this handle was opened with [`SweepCache::open_read_only`].
+    pub fn is_read_only(&self) -> bool {
+        self.inner.lock().expect("cache lock poisoned").file.is_none()
     }
 
     /// The report cached under `key`, if any.
     pub fn get(&self, key: &CacheKey) -> Option<RoundReport> {
-        self.inner.lock().expect("cache lock poisoned").index.get(key.as_str()).cloned()
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .index
+            .get(key.as_str())
+            .map(|entry| entry.report.clone())
     }
 
     /// Appends `report` under `key`. Returns `false` (writing nothing) if
@@ -207,48 +436,136 @@ impl SweepCache {
     ///
     /// # Errors
     ///
-    /// I/O failures while appending. The record is written with a single
-    /// `write_all`, so a kill mid-append leaves at worst a torn tail for
-    /// the next open to drop; a write *error* (e.g. a full disk) rolls the
-    /// file back to the last good record before returning, so later puts
-    /// cannot strand valid records behind a mid-file tear.
+    /// A read-only handle, and I/O failures while appending. The record is
+    /// written with a single `write_all`, so a kill mid-append leaves at
+    /// worst a torn tail for the next open to drop; a write *error* (e.g. a
+    /// full disk) rolls the file back to the last good record before
+    /// returning, so later puts cannot strand valid records behind a
+    /// mid-file tear.
     pub fn put(&self, key: &CacheKey, report: &RoundReport) -> Result<bool, CacheError> {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         if inner.index.contains_key(key.as_str()) {
             return Ok(false);
         }
-        let key_bytes = key.as_str().as_bytes();
-        let payload = report.to_bytes();
-        let checksum = fnv1a64_chain(fnv1a64(key_bytes), &payload);
-        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + key_bytes.len() + payload.len());
-        record.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&checksum.to_le_bytes());
-        record.extend_from_slice(key_bytes);
-        record.extend_from_slice(&payload);
-        if let Err(e) = inner.file.write_all(&record) {
+        self.append_record(&mut inner, key.as_str(), report.clone())?;
+        Ok(true)
+    }
+
+    /// Appends `report` under the raw canonical `key` with
+    /// **last-write-wins** semantics — the merge layer's ingest path. An
+    /// identical existing entry writes nothing; a *differing* one is
+    /// superseded (new record appended, index entry replaced; the old
+    /// record becomes dead bytes a [`compact`] reclaims).
+    ///
+    /// [`compact`]: SweepCache::compact
+    pub(crate) fn ingest(
+        &self,
+        key: &str,
+        report: RoundReport,
+    ) -> Result<IngestOutcome, CacheError> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let outcome = match inner.index.get(key) {
+            Some(existing) if existing.report == report => return Ok(IngestOutcome::Duplicate),
+            Some(_) => IngestOutcome::Superseded,
+            None => IngestOutcome::Inserted,
+        };
+        self.append_record(&mut inner, key, report)?;
+        Ok(outcome)
+    }
+
+    /// The shared append path of [`put`] and [`ingest`]: encodes, writes in
+    /// one `write_all` (rolling back to the last good record on error), and
+    /// updates the index.
+    ///
+    /// [`put`]: SweepCache::put
+    /// [`ingest`]: SweepCache::ingest
+    fn append_record(
+        &self,
+        inner: &mut Inner,
+        key: &str,
+        report: RoundReport,
+    ) -> Result<(), CacheError> {
+        let record = encode_record(key, &report);
+        let good = inner.file_bytes;
+        let Some(file) = inner.file.as_mut() else {
+            return Err(CacheError::new(&self.path, "opened read-only; cannot append"));
+        };
+        if let Err(e) = file.write_all(&record) {
             // A partial append would become a *mid-file* tear if later puts
             // landed after it — and everything after a tear is dropped on
             // the next open. Roll back to the last good record so the
             // journal stays a valid prefix whatever happens next.
-            let good = inner.file_bytes;
-            let _ = inner.file.set_len(good);
-            let _ = inner.file.seek(SeekFrom::Start(good));
+            let _ = file.set_len(good);
+            let _ = file.seek(SeekFrom::Start(good));
             return Err(CacheError::io(&self.path, "append a record", &e));
         }
         inner.file_bytes += record.len() as u64;
-        inner.index.insert(key.as_str().to_string(), report.clone());
-        Ok(true)
+        inner.index.insert(key.to_string(), IndexEntry { report, record_len: record.len() as u64 });
+        Ok(())
+    }
+
+    /// Rewrites the journal from the live index, dropping superseded
+    /// records and entries removed with [`forget`] — the append-only file's
+    /// garbage collection. The replacement is written to a temporary file
+    /// and atomically renamed over the journal, so a kill mid-compaction
+    /// leaves either the old journal or the new one, never a mix. Returns
+    /// the bytes reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// A read-only handle, and I/O failures while rewriting.
+    ///
+    /// [`forget`]: SweepCache::forget
+    pub fn compact(&self) -> Result<u64, CacheError> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.file.is_none() {
+            return Err(CacheError::new(&self.path, "opened read-only; cannot compact"));
+        }
+        let mut bytes = Vec::with_capacity(
+            MAGIC.len() + inner.index.values().map(|e| e.record_len as usize).sum::<usize>(),
+        );
+        bytes.extend_from_slice(MAGIC);
+        for (key, entry) in &inner.index {
+            bytes.extend_from_slice(&encode_record(key, &entry.report));
+        }
+        // Write the replacement through a handle we keep: after the atomic
+        // rename that same handle *is* the journal (the fd follows the
+        // inode), already positioned at the end for the next append. No
+        // fallible step remains after the swap, so an error can only leave
+        // the old journal fully in place — never a handle on an unlinked
+        // file that would silently swallow later puts.
+        let tmp = self.path.with_extension("journal.tmp");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| CacheError::io(&tmp, "create the compaction file", &e))?;
+        if let Err(e) = file.write_all(&bytes) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CacheError::io(&tmp, "write the compacted journal", &e));
+        }
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CacheError::io(&self.path, "swap in the compacted journal", &e));
+        }
+        let reclaimed = inner.file_bytes.saturating_sub(bytes.len() as u64);
+        inner.file = Some(file);
+        inner.file_bytes = bytes.len() as u64;
+        Ok(reclaimed)
     }
 
     /// Drops `key` from the **in-memory index only** (the journal is
     /// append-only), returning whether it was present. Until this handle
     /// re-`put`s the key, lookups through it miss; a fresh [`open`] sees the
-    /// original entry again. This exists for tests and tools that need to
+    /// original entry again — unless a [`compact`] rewrote the journal
+    /// without it first. This exists for tests and tools that need to
     /// simulate partial caches — it is not an on-disk delete (that is
-    /// [`clear`]).
+    /// [`clear`], or a `forget` made durable by `compact`).
     ///
     /// [`open`]: SweepCache::open
+    /// [`compact`]: SweepCache::compact
     pub fn forget(&self, key: &CacheKey) -> bool {
         self.inner.lock().expect("cache lock poisoned").index.remove(key.as_str()).is_some()
     }
@@ -283,10 +600,16 @@ impl SweepCache {
             let scenario = key.split('|').next().unwrap_or("").to_string();
             *scenarios.entry(scenario).or_insert(0) += 1;
         }
+        let live_bytes = if inner.index.is_empty() && inner.file_bytes == 0 {
+            0
+        } else {
+            MAGIC.len() as u64 + inner.index.values().map(|e| e.record_len).sum::<u64>()
+        };
         CacheStats {
             entries: inner.index.len(),
             file_bytes: inner.file_bytes,
             recovered_bytes: inner.recovered_bytes,
+            live_bytes,
             scenarios: scenarios.into_iter().collect(),
         }
     }
@@ -298,7 +621,9 @@ impl SweepCache {
 }
 
 /// Removes the journal in `dir`, returning the bytes freed (0 if there was
-/// none). The directory itself is left in place.
+/// none). The directory itself — and any writer lockfile in it — is left in
+/// place; clearing a directory another process is actively writing is a
+/// caller error the advisory lock does not police.
 ///
 /// # Errors
 ///
@@ -395,6 +720,8 @@ mod tests {
         assert_eq!(stats.entries, 5);
         assert_eq!(stats.file_bytes, bytes_before);
         assert_eq!(stats.recovered_bytes, 0);
+        assert_eq!(stats.live_bytes, bytes_before, "no dead bytes after plain puts");
+        assert_eq!(stats.reclaimable_bytes(), 0);
         assert_eq!(stats.scenarios, vec![("fake".to_string(), 5)]);
         assert_eq!(reopened.keys().len(), 5);
         assert!(format!("{reopened:?}").contains("entries"));
@@ -466,6 +793,8 @@ mod tests {
         let err = SweepCache::open(&dir).unwrap_err();
         assert!(err.to_string().contains("unrecognised header"), "{err}");
         assert!(err.path().ends_with(JOURNAL_FILE));
+        let err = SweepCache::open_read_only(&dir).unwrap_err();
+        assert!(err.to_string().contains("unrecognised header"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -531,6 +860,132 @@ mod tests {
         for n in [0u32, 37, 99] {
             assert_eq!(reopened.get(&key(n)), Some(report(n)));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_writer_fails_fast_until_the_first_drops() {
+        let dir = temp_dir("lock");
+        let first = SweepCache::open(&dir).unwrap();
+        let err = SweepCache::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("another writer"), "{err}");
+        assert!(err.to_string().contains("cache.lock"), "{err}");
+        // The failed open must not have stolen the lock...
+        first.put(&key(0), &report(0)).unwrap();
+        drop(first);
+        // ...and dropping the holder releases it.
+        let second = SweepCache::open(&dir).unwrap();
+        assert_eq!(second.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        if !cfg!(target_os = "linux") {
+            return; // liveness is only checkable via /proc
+        }
+        let dir = temp_dir("stale-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No real process has pid u32::MAX - 1 (far beyond pid_max).
+        std::fs::write(dir.join(LOCK_FILE), format!("{}\n", u32::MAX - 1)).unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.put(&key(0), &report(0)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_open_is_lock_free_and_rejects_writes() {
+        let dir = temp_dir("read-only");
+        let writer = SweepCache::open(&dir).unwrap();
+        writer.put(&key(0), &report(0)).unwrap();
+        // Coexists with the live writer...
+        let reader = SweepCache::open_read_only(&dir).unwrap();
+        assert!(reader.is_read_only());
+        assert!(!writer.is_read_only());
+        assert_eq!(reader.get(&key(0)), Some(report(0)));
+        // ...and refuses to mutate anything.
+        let err = reader.put(&key(1), &report(1)).unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{err}");
+        let err = reader.compact().unwrap_err();
+        assert!(err.to_string().contains("read-only"), "{err}");
+        drop(writer);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_only_open_skips_a_torn_tail_without_truncating() {
+        let dir = temp_dir("read-only-torn");
+        let cache = SweepCache::open(&dir).unwrap();
+        for i in 0..3 {
+            cache.put(&key(i), &report(i)).unwrap();
+        }
+        let path = cache.journal_path().to_path_buf();
+        let full_len = cache.stats().file_bytes;
+        drop(cache);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 5).unwrap();
+        drop(file);
+
+        let reader = SweepCache::open_read_only(&dir).unwrap();
+        assert_eq!(reader.len(), 2, "the torn record is skipped");
+        assert!(reader.stats().recovered_bytes > 0);
+        // The file itself was left exactly as found.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len - 5);
+        // A missing journal opens as an empty cache.
+        let empty = SweepCache::open_read_only(temp_dir("read-only-missing")).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.stats().file_bytes, 0);
+        assert_eq!(empty.stats().live_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_reclaims_forgotten_and_superseded_records() {
+        let dir = temp_dir("compact");
+        let cache = SweepCache::open(&dir).unwrap();
+        for i in 0..6 {
+            cache.put(&key(i), &report(i)).unwrap();
+        }
+        // Supersede one entry (last-write-wins ingest) and forget another.
+        cache.ingest(key(1).as_str(), report(41)).unwrap();
+        assert!(cache.forget(&key(4)));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 5);
+        assert!(stats.reclaimable_bytes() > 0, "dead bytes accumulated");
+
+        let reclaimed = cache.compact().unwrap();
+        assert_eq!(reclaimed, stats.reclaimable_bytes());
+        let after = cache.stats();
+        assert_eq!(after.entries, 5);
+        assert_eq!(after.file_bytes, stats.live_bytes);
+        assert_eq!(after.reclaimable_bytes(), 0);
+        // The handle keeps working after the swap...
+        cache.put(&key(7), &report(7)).unwrap();
+        assert_eq!(cache.get(&key(1)), Some(report(41)), "superseding value survives");
+        drop(cache);
+        // ...and a fresh open sees the compacted set: the forgotten key is
+        // gone for good, the superseded one holds its last value.
+        let reopened = SweepCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 6);
+        assert!(reopened.get(&key(4)).is_none(), "forget became durable");
+        assert_eq!(reopened.get(&key(1)), Some(report(41)));
+        assert_eq!(reopened.get(&key(7)), Some(report(7)));
+        assert_eq!(reopened.stats().recovered_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_distinguishes_insert_duplicate_and_supersede() {
+        let dir = temp_dir("ingest");
+        let cache = SweepCache::open(&dir).unwrap();
+        assert_eq!(cache.ingest(key(0).as_str(), report(0)).unwrap(), IngestOutcome::Inserted);
+        assert_eq!(cache.ingest(key(0).as_str(), report(0)).unwrap(), IngestOutcome::Duplicate);
+        assert_eq!(cache.ingest(key(0).as_str(), report(9)).unwrap(), IngestOutcome::Superseded);
+        assert_eq!(cache.get(&key(0)), Some(report(9)), "last write wins");
+        drop(cache);
+        // Replay preserves last-write-wins: the superseding record is later
+        // in the journal.
+        assert_eq!(SweepCache::open(&dir).unwrap().get(&key(0)), Some(report(9)));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,61 @@
+//! # vanet-fleet — sharded multi-process sweep execution
+//!
+//! The paper's evaluation is a grid of independent `(scenario,
+//! configuration, round)` simulations — embarrassingly parallel far beyond
+//! one process. This crate turns the single-process `SweepEngine` of
+//! `vanet-sweep` into a fleet:
+//!
+//! * [`ShardPlan`] — a deterministic partition of a preset sweep's
+//!   expanded points (and, with a round chunk, the round ranges inside
+//!   heavy points) into N strided [`Shard`]s. Each shard
+//!   [`encode`](Shard::encode)s to a self-describing text file a worker on
+//!   any machine can execute — preset, round budget, master seed, and
+//!   points in the lossless canonical value encoding.
+//! * [`execute_shard`] / [`execute_units`] — the worker: full-budget units
+//!   reuse `SweepEngine::with_cache` against the shard's own journal
+//!   (resuming if the worker was killed), round-range units run the purity
+//!   contract directly. Either way the journal records are byte-identical
+//!   to a monolithic run's, because every seed is content-addressed.
+//! * the merge half lives in `vanet-cache` ([`merge_into`], re-exported
+//!   here): union any set of shard
+//!   journals — local worker output or journals shipped from other
+//!   machines — into one store, validate every record on ingest, and let a
+//!   warm engine pass produce the export with **zero** `run_round` calls.
+//!
+//! `carq-cli fleet shard|worker|run|merge` drives this end to end;
+//! `fleet run --workers N` spawns N local worker processes and merges
+//! their journals automatically.
+//!
+//! ## Example
+//!
+//! Plan a preset across three workers and round-trip a shard through the
+//! on-disk format (execution and merging are exercised in the tests and
+//! the CLI — they run real simulations):
+//!
+//! ```rust
+//! use vanet_fleet::{Shard, ShardPlan};
+//!
+//! let plan = ShardPlan::for_preset("urban-platoon", 0xBEEF, 2, 3, None).unwrap();
+//! assert_eq!(plan.shards.len(), 3);
+//! assert_eq!(plan.total_units(), 24, "the 24-point grid is covered exactly");
+//!
+//! // Each shard is a self-describing work unit any machine can execute.
+//! let encoded = plan.shards[1].encode();
+//! assert!(encoded.starts_with("VANETFLEET1\n"));
+//! let decoded = Shard::decode(&encoded).unwrap();
+//! assert_eq!(decoded, plan.shards[1]);
+//! assert_eq!(decoded.scenario().unwrap().name(), "urban");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod plan;
+pub mod worker;
+
+pub use plan::{plan_units, stride_units, FleetError, Shard, ShardPlan, WorkUnit, SHARD_MAGIC};
+pub use worker::{execute_shard, execute_units, ShardOutcome};
+// The merge half of the fleet story, re-exported so downstream code can
+// shard, execute and merge from this crate alone.
+pub use vanet_cache::{merge_into, MergeReport, SweepCache};

@@ -1,0 +1,524 @@
+//! Deterministic shard plans and the self-describing shard-file format.
+//!
+//! A [`ShardPlan`] partitions a preset sweep's expanded points — and,
+//! optionally, the round ranges within each point — into work units and
+//! strides them across N [`Shard`]s. Each shard [`encode`](Shard::encode)s
+//! to a small text file that carries everything a worker on any machine
+//! needs to reproduce its slice of the sweep bit-for-bit: the preset name
+//! and round budget (to rebuild the scenario), the master seed, and each
+//! point's assignments in the lossless canonical value encoding
+//! (`ParamValue::canonical`). Because point and round seeds are
+//! content-addressed, no coordination beyond this file is needed — the
+//! rounds a worker simulates are exactly the rounds the monolithic sweep
+//! would have, whichever shard they landed in.
+
+use std::fmt;
+
+use vanet_scenarios::{Param, ParamValue, Scenario, SweepPoint};
+use vanet_sweep::{presets, SweepSpec};
+
+/// First line of every shard file; bump the digit when the format changes.
+pub const SHARD_MAGIC: &str = "VANETFLEET1";
+
+/// Why a fleet operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The named preset is not in the catalogue.
+    UnknownPreset(String),
+    /// A shard file failed to parse; `line` is 1-based.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An invalid plan request (zero shards, zero round chunk, …).
+    Invalid(String),
+    /// The shard's round cache failed.
+    Cache(String),
+    /// The sweep engine (or a point's schema validation) failed.
+    Sweep(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownPreset(name) => {
+                write!(f, "unknown preset `{name}` (see `carq-cli sweep list`)")
+            }
+            FleetError::Parse { line, message } => {
+                write!(f, "shard file line {line}: {message}")
+            }
+            FleetError::Invalid(message) => f.write_str(message),
+            FleetError::Cache(message) | FleetError::Sweep(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+fn parse_error(line: usize, message: impl Into<String>) -> FleetError {
+    FleetError::Parse { line, message: message.into() }
+}
+
+/// One unit of shard work: a point, either at its full round budget or
+/// restricted to a round range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkUnit {
+    /// The sweep point to run.
+    pub point: SweepPoint,
+    /// `None`: the point's whole round budget, executed through the sweep
+    /// engine (settle-aware, intra-point parallel). `Some((a, b))`: only
+    /// rounds `a..b`, executed directly against the purity contract — the
+    /// round-range sharding mode for sweeps whose cost sits in a few
+    /// round-heavy points rather than in many points.
+    pub round_range: Option<(u32, u32)>,
+}
+
+/// One worker's self-describing slice of a sharded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// The preset the sweep runs (workers rebuild the scenario from it).
+    pub preset: String,
+    /// The per-point round budget the preset was built with.
+    pub rounds: u32,
+    /// The sweep's master seed.
+    pub master_seed: u64,
+    /// This shard's index, `0..count`.
+    pub index: usize,
+    /// Total shards in the plan.
+    pub count: usize,
+    /// The work units assigned to this shard. May be empty when the plan
+    /// has more shards than units; executing an empty shard is a no-op.
+    pub units: Vec<WorkUnit>,
+}
+
+impl Shard {
+    /// Rebuilds the scenario this shard's preset runs, exactly as the
+    /// monolithic `sweep run` would instantiate it.
+    pub fn scenario(&self) -> Result<Box<dyn Scenario>, FleetError> {
+        let preset = presets::find(&self.preset)
+            .ok_or_else(|| FleetError::UnknownPreset(self.preset.clone()))?;
+        Ok(preset.build(self.master_seed, self.rounds).0)
+    }
+
+    /// Rounds this shard will touch at most (full-budget units count as
+    /// `rounds`; the multi-AP preset ignores the budget, so this is an
+    /// upper bound, not a promise).
+    pub fn round_upper_bound(&self) -> u64 {
+        self.units
+            .iter()
+            .map(|unit| match unit.round_range {
+                Some((a, b)) => u64::from(b.saturating_sub(a)),
+                None => u64::from(self.rounds),
+            })
+            .sum()
+    }
+
+    /// Serializes the shard to its text format (see [`Shard::decode`]).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SHARD_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("preset={}\n", self.preset));
+        out.push_str(&format!("rounds={}\n", self.rounds));
+        out.push_str(&format!("master_seed={:#018x}\n", self.master_seed));
+        out.push_str(&format!("shard={}/{}\n", self.index, self.count));
+        for unit in &self.units {
+            let assignments: Vec<String> = unit
+                .point
+                .assignments()
+                .iter()
+                .map(|(param, value)| format!("{}={}", param.key(), value.canonical()))
+                .collect();
+            out.push_str("point=");
+            out.push_str(&assignments.join(";"));
+            if let Some((a, b)) = unit.round_range {
+                out.push_str(&format!("@{a}..{b}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a shard file produced by [`Shard::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Parse`] naming the first offending line: wrong magic,
+    /// missing or duplicate headers, unknown parameters, or values that are
+    /// not canonical renderings.
+    pub fn decode(text: &str) -> Result<Shard, FleetError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, SHARD_MAGIC)) => {}
+            Some((_, other)) => {
+                return Err(parse_error(
+                    1,
+                    format!("not a vanet-fleet shard file (first line `{other}`)"),
+                ))
+            }
+            None => return Err(parse_error(1, "empty shard file")),
+        }
+        let mut preset: Option<String> = None;
+        let mut rounds: Option<u32> = None;
+        let mut master_seed: Option<u64> = None;
+        let mut shard: Option<(usize, usize)> = None;
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for (i, line) in lines {
+            let line_no = i + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let Some((field, value)) = line.split_once('=') else {
+                return Err(parse_error(line_no, format!("expected `field=value`, got `{line}`")));
+            };
+            match field {
+                "preset" => set_once(line_no, "preset", &mut preset, value.to_string())?,
+                "rounds" => {
+                    let parsed = value
+                        .parse()
+                        .map_err(|_| parse_error(line_no, format!("bad round count `{value}`")))?;
+                    set_once(line_no, "rounds", &mut rounds, parsed)?;
+                }
+                "master_seed" => {
+                    let hex = value.strip_prefix("0x").unwrap_or(value);
+                    let parsed = u64::from_str_radix(hex, 16)
+                        .map_err(|_| parse_error(line_no, format!("bad master seed `{value}`")))?;
+                    set_once(line_no, "master_seed", &mut master_seed, parsed)?;
+                }
+                "shard" => {
+                    let parsed = value
+                        .split_once('/')
+                        .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                        .filter(|(index, count): &(usize, usize)| index < count)
+                        .ok_or_else(|| {
+                            parse_error(line_no, format!("bad shard designator `{value}`"))
+                        })?;
+                    set_once(line_no, "shard", &mut shard, parsed)?;
+                }
+                "point" => units.push(parse_unit(line_no, value)?),
+                other => {
+                    return Err(parse_error(line_no, format!("unknown field `{other}`")));
+                }
+            }
+        }
+        let (index, count) =
+            shard.ok_or_else(|| parse_error(1, "missing `shard=INDEX/COUNT` header"))?;
+        Ok(Shard {
+            preset: preset.ok_or_else(|| parse_error(1, "missing `preset=` header"))?,
+            rounds: rounds.ok_or_else(|| parse_error(1, "missing `rounds=` header"))?,
+            master_seed: master_seed
+                .ok_or_else(|| parse_error(1, "missing `master_seed=` header"))?,
+            index,
+            count,
+            units,
+        })
+    }
+}
+
+fn set_once<T>(line: usize, field: &str, slot: &mut Option<T>, value: T) -> Result<(), FleetError> {
+    if slot.is_some() {
+        return Err(parse_error(line, format!("`{field}` given twice")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Parses one `point=` line body: `key=canonical;key=canonical[@a..b]`.
+fn parse_unit(line: usize, body: &str) -> Result<WorkUnit, FleetError> {
+    let (assignments_text, round_range) = match body.rsplit_once('@') {
+        None => (body, None),
+        Some((head, range)) => {
+            let parsed = range
+                .split_once("..")
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .filter(|(a, b): &(u32, u32)| a < b)
+                .ok_or_else(|| parse_error(line, format!("bad round range `@{range}`")))?;
+            (head, Some(parsed))
+        }
+    };
+    let mut assignments: Vec<(Param, ParamValue)> = Vec::new();
+    if !assignments_text.is_empty() {
+        for part in assignments_text.split(';') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(parse_error(line, format!("expected `param=value`, got `{part}`")));
+            };
+            let param = Param::from_key(key)
+                .ok_or_else(|| parse_error(line, format!("unknown parameter `{key}`")))?;
+            let value = ParamValue::parse_canonical(value).ok_or_else(|| {
+                parse_error(line, format!("`{value}` is not a canonical value for `{key}`"))
+            })?;
+            if assignments.iter().any(|(p, _)| *p == param) {
+                return Err(parse_error(line, format!("parameter `{key}` assigned twice")));
+            }
+            assignments.push((param, value));
+        }
+    }
+    Ok(WorkUnit { point: SweepPoint::new(assignments), round_range })
+}
+
+/// A complete plan: the shards that together cover one preset sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The preset being sharded.
+    pub preset: String,
+    /// The per-point round budget.
+    pub rounds: u32,
+    /// The sweep's master seed.
+    pub master_seed: u64,
+    /// The shards, indexed `0..count`. Together their units cover the
+    /// preset's expansion exactly once.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Plans `count` shards over the named preset at `master_seed` and
+    /// `rounds`. With `round_chunk = Some(k)`, every point whose budget
+    /// exceeds `k` rounds is split into `@a..b` round-range units of at
+    /// most `k` rounds each before striding — so even a one-point,
+    /// thousand-round sweep spreads across the fleet.
+    ///
+    /// # Errors
+    ///
+    /// An unknown preset, a zero shard count or round chunk, and points
+    /// that fail the scenario's schema (impossible for built-in presets).
+    pub fn for_preset(
+        preset_name: &str,
+        master_seed: u64,
+        rounds: u32,
+        count: usize,
+        round_chunk: Option<u32>,
+    ) -> Result<ShardPlan, FleetError> {
+        if count == 0 {
+            return Err(FleetError::Invalid("shard count must be positive".into()));
+        }
+        let preset = presets::find(preset_name)
+            .ok_or_else(|| FleetError::UnknownPreset(preset_name.to_string()))?;
+        let (scenario, spec) = preset.build(master_seed, rounds);
+        let units = plan_units(scenario.as_ref(), &spec, round_chunk)?;
+        let shards = stride_units(units, count)
+            .into_iter()
+            .enumerate()
+            .map(|(index, units)| Shard {
+                preset: preset.name.to_string(),
+                rounds,
+                master_seed,
+                index,
+                count,
+                units,
+            })
+            .collect();
+        Ok(ShardPlan { preset: preset.name.to_string(), rounds, master_seed, shards })
+    }
+
+    /// Total work units across all shards.
+    pub fn total_units(&self) -> usize {
+        self.shards.iter().map(|s| s.units.len()).sum()
+    }
+}
+
+/// Turns a spec's expansion into work units: one full-budget unit per
+/// point, or — with `round_chunk = Some(k)` — `@a..b` range units of at
+/// most `k` rounds for points whose budget exceeds `k`. Scenario-generic:
+/// the planner `configure`s each point to learn its budget, which also
+/// validates it against the schema before any worker starts.
+pub fn plan_units(
+    scenario: &dyn Scenario,
+    spec: &SweepSpec,
+    round_chunk: Option<u32>,
+) -> Result<Vec<WorkUnit>, FleetError> {
+    if round_chunk == Some(0) {
+        return Err(FleetError::Invalid("round chunk must be positive".into()));
+    }
+    let mut units = Vec::new();
+    for (index, point) in spec.enumerate_points() {
+        match round_chunk {
+            None => units.push(WorkUnit { point, round_range: None }),
+            Some(chunk) => {
+                let run = scenario.configure(&point).map_err(|e| {
+                    FleetError::Sweep(format!("point {index} ({}): {e}", point.label()))
+                })?;
+                let budget = run.rounds();
+                if budget <= chunk {
+                    units.push(WorkUnit { point, round_range: None });
+                } else {
+                    let mut start = 0;
+                    while start < budget {
+                        units.push(WorkUnit {
+                            point: point.clone(),
+                            round_range: Some((start, (start + chunk).min(budget))),
+                        });
+                        start += chunk;
+                    }
+                }
+            }
+        }
+    }
+    Ok(units)
+}
+
+/// Strides `units` across `count` buckets (unit `i` lands in bucket
+/// `i % count`), the same deterministic assignment as
+/// `SweepSpec::shard`. Trailing buckets may be empty.
+pub fn stride_units(units: Vec<WorkUnit>, count: usize) -> Vec<Vec<WorkUnit>> {
+    assert!(count > 0, "shard count must be positive");
+    let mut shards: Vec<Vec<WorkUnit>> = (0..count).map(|_| Vec::new()).collect();
+    for (i, unit) in units.into_iter().enumerate() {
+        shards[i % count].push(unit);
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_plans_cover_the_expansion_exactly() {
+        let plan = ShardPlan::for_preset("urban-platoon", 0xBEEF, 2, 3, None).unwrap();
+        assert_eq!(plan.shards.len(), 3);
+        assert_eq!(plan.total_units(), 24, "urban-platoon has 24 points");
+        // Interleave the shards back: every point exactly once, in order.
+        let (_, spec) = presets::find("urban-platoon").unwrap().build(0xBEEF, 2);
+        let points = spec.expand();
+        let mut restored = vec![None; points.len()];
+        for shard in &plan.shards {
+            assert_eq!(shard.preset, "urban-platoon");
+            assert_eq!(shard.count, 3);
+            for (offset, unit) in shard.units.iter().enumerate() {
+                assert_eq!(unit.round_range, None);
+                restored[shard.index + offset * 3] = Some(unit.point.clone());
+            }
+        }
+        let restored: Vec<SweepPoint> = restored.into_iter().map(Option::unwrap).collect();
+        assert_eq!(restored, points);
+        assert!(plan.shards[0].round_upper_bound() >= 8);
+    }
+
+    #[test]
+    fn striding_agrees_with_sweep_spec_shard() {
+        // `SweepSpec::shard` is the public spec-level partition API;
+        // `plan_units` + `stride_units` is the unit-level generalisation
+        // the planner uses (it also carries round ranges). Without
+        // chunking the two must assign every point to the same shard —
+        // this test pins the shared `i % count` invariant so the
+        // implementations cannot drift apart.
+        let preset = presets::find("urban-platoon").unwrap();
+        let (scenario, spec) = preset.build(0xA11CE, 2);
+        let units = plan_units(scenario.as_ref(), &spec, None).unwrap();
+        for count in 1..=5 {
+            let strided = stride_units(units.clone(), count);
+            for (index, shard_units) in strided.iter().enumerate() {
+                let via_spec: Vec<SweepPoint> = spec.shard(index, count).expand();
+                let via_units: Vec<SweepPoint> =
+                    shard_units.iter().map(|u| u.point.clone()).collect();
+                assert_eq!(via_units, via_spec, "shard {index}/{count} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn round_chunking_splits_heavy_points_into_ranges() {
+        let plan = ShardPlan::for_preset("urban-platoon", 1, 5, 4, Some(2)).unwrap();
+        // 24 points x ceil(5/2)=3 chunks each.
+        assert_eq!(plan.total_units(), 72);
+        let ranges: Vec<Option<(u32, u32)>> =
+            plan.shards.iter().flat_map(|s| &s.units).map(|u| u.round_range).collect();
+        assert!(ranges.iter().all(Option::is_some));
+        assert!(ranges.contains(&Some((0, 2))));
+        assert!(ranges.contains(&Some((4, 5))), "the tail chunk is short");
+        // A chunk at least as large as the budget plans full-budget units.
+        let full = ShardPlan::for_preset("urban-platoon", 1, 2, 4, Some(2)).unwrap();
+        assert!(full.shards.iter().flat_map(|s| &s.units).all(|u| u.round_range.is_none()));
+    }
+
+    #[test]
+    fn plan_rejects_bad_requests() {
+        assert!(matches!(
+            ShardPlan::for_preset("no-such", 1, 2, 3, None),
+            Err(FleetError::UnknownPreset(_))
+        ));
+        assert!(matches!(
+            ShardPlan::for_preset("urban-platoon", 1, 2, 0, None),
+            Err(FleetError::Invalid(_))
+        ));
+        assert!(matches!(
+            ShardPlan::for_preset("urban-platoon", 1, 2, 3, Some(0)),
+            Err(FleetError::Invalid(_))
+        ));
+        let err = FleetError::UnknownPreset("x".into());
+        assert!(err.to_string().contains("sweep list"));
+    }
+
+    #[test]
+    fn shard_files_round_trip() {
+        for chunk in [None, Some(2)] {
+            let plan = ShardPlan::for_preset("urban-platoon", 0x20081cdc, 3, 3, chunk).unwrap();
+            for shard in &plan.shards {
+                let encoded = shard.encode();
+                assert!(encoded.starts_with("VANETFLEET1\n"));
+                let decoded = Shard::decode(&encoded).unwrap();
+                assert_eq!(&decoded, shard, "round-trip with chunk {chunk:?}");
+            }
+        }
+        // Strategy-valued and boolean parameters round-trip too.
+        let plan = ShardPlan::for_preset("urban-strategies", 7, 2, 2, None).unwrap();
+        let decoded = Shard::decode(&plan.shards[1].encode()).unwrap();
+        assert_eq!(decoded, plan.shards[1]);
+        let plan = ShardPlan::for_preset("highway-speed-rate", 7, 2, 5, None).unwrap();
+        let decoded = Shard::decode(&plan.shards[4].encode()).unwrap();
+        assert_eq!(decoded, plan.shards[4]);
+    }
+
+    #[test]
+    fn empty_and_range_units_round_trip() {
+        let shard = Shard {
+            preset: "urban-platoon".into(),
+            rounds: 9,
+            master_seed: 42,
+            index: 1,
+            count: 8,
+            units: vec![
+                WorkUnit { point: SweepPoint::empty(), round_range: None },
+                WorkUnit { point: SweepPoint::empty(), round_range: Some((3, 9)) },
+            ],
+        };
+        assert_eq!(Shard::decode(&shard.encode()).unwrap(), shard);
+        let empty = Shard { units: Vec::new(), ..shard };
+        assert_eq!(Shard::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_files() {
+        let good =
+            ShardPlan::for_preset("urban-platoon", 1, 2, 2, None).unwrap().shards[0].encode();
+        let cases: Vec<(String, &str)> = vec![
+            (String::new(), "empty shard file"),
+            ("NOTAFLEETFILE\n".into(), "not a vanet-fleet shard file"),
+            (good.replace("preset=urban-platoon\n", ""), "missing `preset=`"),
+            (good.replace("rounds=2\n", "rounds=two\n"), "bad round count"),
+            (good.replace("shard=0/2\n", "shard=5/2\n"), "bad shard designator"),
+            (good.replace("shard=0/2\n", "shard=0/2\nshard=0/2\n"), "given twice"),
+            (good.clone() + "mystery=1\n", "unknown field"),
+            (good.clone() + "point=warp_factor=i9\n", "unknown parameter"),
+            (good.clone() + "point=n_cars=maybe\n", "not a canonical value"),
+            (good.clone() + "point=n_cars=i2;n_cars=i3\n", "assigned twice"),
+            (good.clone() + "point=n_cars=i2@5..5\n", "bad round range"),
+            (good + "gibberish\n", "expected `field=value`"),
+        ];
+        for (text, expected) in cases {
+            let err = Shard::decode(&text).unwrap_err();
+            assert!(err.to_string().contains(expected), "`{expected}` not in `{err}`");
+        }
+    }
+
+    #[test]
+    fn shard_rebuilds_its_scenario() {
+        let plan = ShardPlan::for_preset("multiap-blocks", 1, 2, 2, None).unwrap();
+        let scenario = plan.shards[0].scenario().unwrap();
+        assert_eq!(scenario.name(), "multi-ap");
+        let orphan = Shard { preset: "gone".into(), ..plan.shards[0].clone() };
+        assert!(matches!(orphan.scenario(), Err(FleetError::UnknownPreset(_))));
+    }
+}

@@ -1,0 +1,187 @@
+//! Executing one shard against its own shard journal.
+//!
+//! A worker is deliberately thin: full-budget units run through the very
+//! same [`SweepEngine::with_cache`] path a monolithic sweep uses (settle
+//! checks, intra-point round parallelism, wave-by-wave write-back
+//! included), and round-range units run the purity contract directly —
+//! `run_round(round, round_seed(point_seed, round))` — against the same
+//! content-addressed [`CacheKey`]s the engine would derive. Either way the
+//! records landing in the shard journal are byte-identical to the ones the
+//! unsharded sweep would have written, which is what makes
+//! [`merge_into`](vanet_cache::merge_into) + a final warm engine pass
+//! reproduce the monolithic export exactly.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use vanet_cache::{CacheKey, SweepCache};
+use vanet_scenarios::{round_seed, Scenario};
+use vanet_sweep::{point_seed, SweepEngine, SweepSpec};
+
+use crate::plan::{FleetError, Shard, WorkUnit};
+
+/// What a worker did with its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardOutcome {
+    /// Work units executed (full-budget points plus round ranges).
+    pub units: usize,
+    /// Rounds actually simulated (`run_round` calls made).
+    pub rounds_simulated: usize,
+    /// Rounds already present in the shard journal (a re-run of a killed
+    /// worker resumes instead of restarting).
+    pub rounds_cached: usize,
+}
+
+/// Executes `shard` against the journal in `cache_dir`, rebuilding the
+/// scenario from the shard's preset. `threads` drives the engine for
+/// full-budget units (0 = all cores); an empty shard is a successful
+/// no-op.
+///
+/// # Errors
+///
+/// An unknown preset, a cache that cannot be opened (including a live
+/// concurrent writer on the same directory), and engine or I/O failures.
+pub fn execute_shard(
+    shard: &Shard,
+    cache_dir: impl AsRef<Path>,
+    threads: usize,
+) -> Result<ShardOutcome, FleetError> {
+    let scenario = shard.scenario()?;
+    let cache =
+        Arc::new(SweepCache::open(cache_dir).map_err(|e| FleetError::Cache(e.to_string()))?);
+    execute_units(scenario.as_ref(), shard.master_seed, &shard.units, &cache, threads)
+}
+
+/// The scenario-generic execution core behind [`execute_shard`] (and the
+/// determinism test suite, which drives it with cheap synthetic
+/// scenarios). Results go into `cache` only — a shard has no export of its
+/// own; exports come from the merged cache.
+pub fn execute_units(
+    scenario: &dyn Scenario,
+    master_seed: u64,
+    units: &[WorkUnit],
+    cache: &Arc<SweepCache>,
+    threads: usize,
+) -> Result<ShardOutcome, FleetError> {
+    let mut outcome = ShardOutcome { units: units.len(), ..ShardOutcome::default() };
+
+    // Full-budget units run as one engine sweep: the engine's own
+    // cached-vs-missing partitioning makes a re-run of a killed worker
+    // resume from its shard journal.
+    let full: Vec<&WorkUnit> = units.iter().filter(|u| u.round_range.is_none()).collect();
+    if !full.is_empty() {
+        let mut spec = SweepSpec::new(master_seed);
+        for unit in full {
+            spec = spec.point(unit.point.clone());
+        }
+        let result = SweepEngine::new(threads)
+            .with_cache(Arc::clone(cache))
+            .run(scenario, &spec)
+            .map_err(|e| FleetError::Sweep(e.to_string()))?;
+        outcome.rounds_simulated += result.rounds_simulated;
+        outcome.rounds_cached += result.rounds_cached;
+    }
+
+    // Round-range units run the purity contract directly, one round at a
+    // time: `run_round` is a pure function of `(configuration, round,
+    // seed)`, so no wave machinery is needed to start mid-budget.
+    let schema = scenario.schema();
+    let fingerprint = schema.fingerprint();
+    for unit in units {
+        let Some((start, end)) = unit.round_range else { continue };
+        let run = scenario
+            .configure(&unit.point)
+            .map_err(|e| FleetError::Sweep(format!("{} : {e}", unit.point.label())))?;
+        let canonical = schema.canonical_config(&unit.point);
+        let base_seed = point_seed(master_seed, &canonical);
+        // A range can overshoot a budget that shrank since planning; clamp
+        // rather than simulate rounds the sweep will never ask for.
+        for round in start..end.min(run.rounds()) {
+            let seed = round_seed(base_seed, round);
+            let key = CacheKey::new(scenario.name(), fingerprint, &canonical, round, seed);
+            if cache.get(&key).is_some() {
+                outcome.rounds_cached += 1;
+                continue;
+            }
+            let report = run.run_round(round, seed);
+            cache.put(&key, &report).map_err(|e| FleetError::Cache(e.to_string()))?;
+            outcome.rounds_simulated += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardPlan;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vanet_sweep::presets;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-fleet-worker-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn sharded_urban_preset_merges_to_the_monolithic_export() {
+        // The whole pipeline at library level, against the real simulator:
+        // plan 3 shards, execute each into its own journal, merge, and
+        // check the warm engine pass reproduces the monolithic export with
+        // zero simulation.
+        let (scenario, spec) = presets::find("urban-platoon").unwrap().build(0xF1EE7, 1);
+        let reference = SweepEngine::new(2).run(scenario.as_ref(), &spec).unwrap();
+
+        let plan = ShardPlan::for_preset("urban-platoon", 0xF1EE7, 1, 3, None).unwrap();
+        let mut shard_dirs = Vec::new();
+        for shard in &plan.shards {
+            let dir = temp_dir(&format!("shard-{}", shard.index));
+            let outcome = execute_shard(shard, &dir, 2).unwrap();
+            assert_eq!(outcome.units, shard.units.len());
+            assert_eq!(outcome.rounds_simulated, shard.units.len(), "1 round per point");
+            assert_eq!(outcome.rounds_cached, 0);
+            // A killed-and-restarted worker resumes from its journal.
+            let again = execute_shard(shard, &dir, 2).unwrap();
+            assert_eq!(again.rounds_simulated, 0);
+            assert_eq!(again.rounds_cached, shard.units.len());
+            shard_dirs.push(dir);
+        }
+
+        let merged_dir = temp_dir("merged");
+        let merged = Arc::new(SweepCache::open(&merged_dir).unwrap());
+        let report = vanet_cache::merge_into(&merged, &shard_dirs).unwrap();
+        assert_eq!(report.records_ingested, 24);
+        assert_eq!(report.records_superseded, 0);
+
+        let warm = SweepEngine::new(4)
+            .with_cache(Arc::clone(&merged))
+            .run(scenario.as_ref(), &spec)
+            .unwrap();
+        assert_eq!(warm.rounds_simulated, 0, "the merged cache covers the whole sweep");
+        assert_eq!(warm.rounds_cached, 24);
+        assert_eq!(warm.to_csv(), reference.to_csv());
+        assert_eq!(warm.to_json(), reference.to_json());
+
+        for dir in shard_dirs.into_iter().chain([merged_dir]) {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_a_no_op() {
+        // 30 shards over 24 points leaves tail shards empty.
+        let plan = ShardPlan::for_preset("urban-platoon", 1, 1, 30, None).unwrap();
+        let empty = plan.shards.iter().find(|s| s.units.is_empty()).expect("an empty shard");
+        let dir = temp_dir("empty");
+        let outcome = execute_shard(empty, &dir, 1).unwrap();
+        assert_eq!(outcome, ShardOutcome::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

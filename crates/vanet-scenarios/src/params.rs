@@ -38,6 +38,25 @@ pub enum Param {
 }
 
 impl Param {
+    /// Every parameter, in the order the CLI and exports present them.
+    pub const ALL: [Param; 9] = [
+        Param::SpeedKmh,
+        Param::NCars,
+        Param::ApRatePps,
+        Param::PayloadBytes,
+        Param::Selection,
+        Param::Request,
+        Param::Cooperation,
+        Param::Rounds,
+        Param::FileBlocks,
+    ];
+
+    /// The parameter whose [`key`](Param::key) is `key` — the inverse used
+    /// when parsing shard files and other serialized points.
+    pub fn from_key(key: &str) -> Option<Param> {
+        Param::ALL.into_iter().find(|p| p.key() == key)
+    }
+
     /// The column name used in exports and the CLI.
     pub fn key(&self) -> &'static str {
         match self {
@@ -115,6 +134,41 @@ impl ParamValue {
             // Strategy renderings are already lossless (`all`, `first2`, …).
             ParamValue::Selection(_) | ParamValue::Request(_) => self.to_string(),
         }
+    }
+
+    /// Parses a [`canonical`](ParamValue::canonical) rendering back into a
+    /// value — the exact inverse, so serialized points (shard files, shipped
+    /// work units) round-trip bit-for-bit, floats included.
+    pub fn parse_canonical(text: &str) -> Option<ParamValue> {
+        match text {
+            "b0" => return Some(ParamValue::Bool(false)),
+            "b1" => return Some(ParamValue::Bool(true)),
+            "all" => return Some(ParamValue::Selection(SelectionStrategy::AllNeighbours)),
+            "per-packet" => return Some(ParamValue::Request(RequestStrategy::PerPacket)),
+            "batched" => return Some(ParamValue::Request(RequestStrategy::Batched)),
+            _ => {}
+        }
+        // The strategy spellings start with letters the typed prefixes also
+        // use (`first…` vs `f…` floats), so they must be tried first.
+        if let Some(k) = text.strip_prefix("first") {
+            let k: usize = k.parse().ok().filter(|k| *k > 0)?;
+            return Some(ParamValue::Selection(SelectionStrategy::FirstHeard { k }));
+        }
+        if let Some(k) = text.strip_prefix("strong") {
+            let k: usize = k.parse().ok().filter(|k| *k > 0)?;
+            return Some(ParamValue::Selection(SelectionStrategy::StrongestSignal { k }));
+        }
+        if let Some(hex) = text.strip_prefix('f') {
+            if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                let bits = u64::from_str_radix(hex, 16).ok()?;
+                return Some(ParamValue::Float(f64::from_bits(bits)));
+            }
+            return None;
+        }
+        if let Some(digits) = text.strip_prefix('i') {
+            return digits.parse().ok().map(ParamValue::Int);
+        }
+        None
     }
 }
 
@@ -237,6 +291,45 @@ mod tests {
             "first2"
         );
         assert_eq!(ParamValue::Request(RequestStrategy::Batched).canonical(), "batched");
+    }
+
+    #[test]
+    fn every_param_key_round_trips() {
+        for param in Param::ALL {
+            assert_eq!(Param::from_key(param.key()), Some(param), "{param}");
+        }
+        assert_eq!(Param::from_key("warp_factor"), None);
+        assert_eq!(Param::from_key(""), None);
+    }
+
+    #[test]
+    fn canonical_renderings_parse_back_bit_for_bit() {
+        let values = [
+            ParamValue::Float(20.0),
+            ParamValue::Float(20.000_000_1),
+            ParamValue::Float(-0.0),
+            ParamValue::Float(f64::MIN_POSITIVE),
+            ParamValue::Int(0),
+            ParamValue::Int(u64::MAX),
+            ParamValue::Bool(true),
+            ParamValue::Bool(false),
+            ParamValue::Selection(SelectionStrategy::AllNeighbours),
+            ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 }),
+            ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 7 }),
+            ParamValue::Request(RequestStrategy::PerPacket),
+            ParamValue::Request(RequestStrategy::Batched),
+        ];
+        for value in values {
+            let canonical = value.canonical();
+            assert_eq!(
+                ParamValue::parse_canonical(&canonical),
+                Some(value),
+                "round-trip of `{canonical}`"
+            );
+        }
+        for junk in ["", "x1", "f12", "fzzzzzzzzzzzzzzzz", "i", "i1.5", "first0", "strongk", "b2"] {
+            assert_eq!(ParamValue::parse_canonical(junk), None, "`{junk}` must not parse");
+        }
     }
 
     #[test]

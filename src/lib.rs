@@ -26,7 +26,12 @@
 //!   from the command line.
 //! * [`cache`] — the persistent, crash-tolerant round-report store that
 //!   makes sweeps resumable: re-runs simulate only what the cache does not
-//!   already hold.
+//!   already hold; shard journals merge into one store, and compaction
+//!   reclaims superseded records.
+//! * [`fleet`] — sharded multi-process sweep execution: deterministic
+//!   shard plans, self-describing shard files, worker execution against
+//!   per-shard journals, and merge-then-export orchestration
+//!   (`carq-cli fleet run --workers N`).
 //!
 //! `docs/ARCHITECTURE.md` maps how these crates fit together;
 //! `docs/REPRODUCING.md` maps each paper figure and table to the command
@@ -53,6 +58,7 @@ pub use carq as protocol;
 pub use sim_core as sim;
 pub use vanet_cache as cache;
 pub use vanet_dtn as dtn;
+pub use vanet_fleet as fleet;
 pub use vanet_geo as geo;
 pub use vanet_mac as mac;
 pub use vanet_radio as radio;

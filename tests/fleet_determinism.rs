@@ -1,0 +1,268 @@
+//! Fleet correctness, end to end through the umbrella crate: any partition
+//! of a sweep into 1..=8 shards — with or without round-range chunking,
+//! executed in any order, each against its own shard journal — must merge
+//! into a cache on which a warm engine pass simulates **zero** rounds and
+//! exports byte-identically to the monolithic single-process sweep; and a
+//! shard journal torn by a killed worker must merge its clean prefix, with
+//! the final sweep re-simulating exactly the lost rounds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use carq_repro::cache::{merge_into, SweepCache};
+use carq_repro::fleet::{execute_units, plan_units, stride_units, WorkUnit};
+use carq_repro::scenarios::{ParamError, ParamSchema, ParamSpec, Scenario, ScenarioRun};
+use carq_repro::stats::{PointSummary, RoundReport, RoundResult};
+use carq_repro::sweep::{Param, ParamValue, SweepEngine, SweepPoint, SweepSpec};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "carq-fleet-determinism-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A cheap pure scenario (mirroring `tests/cache_correctness.rs`): each
+/// round's report is an arithmetic function of `(speed, cars, round,
+/// seed)`, so property tests can run hundreds of sharded sweeps.
+struct CheapScenario {
+    schema: ParamSchema,
+}
+
+impl CheapScenario {
+    fn new() -> Self {
+        CheapScenario {
+            schema: ParamSchema::new(
+                "cheap",
+                vec![
+                    ParamSpec::float(Param::SpeedKmh, "speed", 1.0, 0.0, 1_000.0),
+                    ParamSpec::int(Param::NCars, "cars", 1, 1, 64),
+                    ParamSpec::int(Param::Rounds, "rounds", 4, 1, 64).round_neutral(),
+                ],
+            ),
+        }
+    }
+}
+
+struct CheapRun {
+    x: f64,
+    n: u64,
+    rounds: u32,
+}
+
+impl Scenario for CheapScenario {
+    fn name(&self) -> &'static str {
+        "cheap"
+    }
+
+    fn description(&self) -> &'static str {
+        "arithmetic stand-in for fleet property tests"
+    }
+
+    fn schema(&self) -> &ParamSchema {
+        &self.schema
+    }
+
+    fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+        self.schema.validate(point)?;
+        Ok(Box::new(CheapRun {
+            x: point.get(Param::SpeedKmh).and_then(|v| v.as_f64()).unwrap_or(1.0),
+            n: point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(1),
+            rounds: point.get(Param::Rounds).and_then(|v| v.as_u64()).unwrap_or(4) as u32,
+        }))
+    }
+}
+
+impl ScenarioRun for CheapRun {
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+        let mix = (seed ^ u64::from(round).wrapping_mul(0x9E37_79B9)) % 1_000_003;
+        RoundReport::new(round, seed, RoundResult::default())
+            .with_counter("mix", mix as f64 * self.x + self.n as f64)
+    }
+
+    fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+        // Position-weighted so any reordering or substitution of reports
+        // changes the exported metric.
+        let weighted: f64 = rounds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.counter("mix").map(|m| m * (i + 1) as f64))
+            .sum();
+        PointSummary { metrics: vec![("weighted_mix", weighted)] }
+    }
+}
+
+fn spec(speeds: &[u32], cars: &[u64], rounds: u64, master_seed: u64) -> SweepSpec {
+    SweepSpec::new(master_seed)
+        .axis(Param::SpeedKmh, speeds.iter().map(|s| ParamValue::Float(f64::from(*s))).collect())
+        .axis(Param::NCars, cars.iter().map(|c| ParamValue::Int(*c)).collect())
+        .axis(Param::Rounds, vec![ParamValue::Int(rounds)])
+}
+
+/// Deterministic Fisher-Yates driven by a caller seed — shards must merge
+/// identically whatever order the fleet happened to finish them in.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        // xorshift64
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Executes `shard_units` in `order_seed`-shuffled order, each shard into
+/// its own journal, and returns the shard cache directories (in the
+/// shuffled execution order, which the merge must not care about).
+fn run_shards(
+    scenario: &CheapScenario,
+    master_seed: u64,
+    shard_units: Vec<Vec<WorkUnit>>,
+    order_seed: u64,
+    tag: &str,
+) -> Vec<std::path::PathBuf> {
+    let mut order: Vec<usize> = (0..shard_units.len()).collect();
+    shuffle(&mut order, order_seed);
+    let mut dirs = Vec::new();
+    for shard_index in order {
+        let dir = temp_dir(&format!("{tag}-{shard_index}"));
+        let cache = Arc::new(SweepCache::open(&dir).unwrap());
+        execute_units(scenario, master_seed, &shard_units[shard_index], &cache, 2).unwrap();
+        dirs.push(dir);
+    }
+    dirs
+}
+
+proptest! {
+    #[test]
+    fn any_shard_partition_merges_to_the_monolithic_export(
+        speeds in proptest::collection::btree_set(1u32..40, 1..4),
+        cars in proptest::collection::btree_set(1u64..6, 1..3),
+        rounds in 1u64..6,
+        shards in 1usize..9,
+        chunk in 0u32..4,
+        order_seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+    ) {
+        let speeds: Vec<u32> = speeds.into_iter().collect();
+        let cars: Vec<u64> = cars.into_iter().collect();
+        let scenario = CheapScenario::new();
+        let spec = spec(&speeds, &cars, rounds, 0xF1EE7);
+        let total_rounds = speeds.len() * cars.len() * rounds as usize;
+        let reference = SweepEngine::new(threads).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(reference.rounds_simulated, total_rounds);
+
+        // Partition into work units (`chunk == 0` means whole points), run
+        // every shard in a shuffled order, then merge.
+        let round_chunk = (chunk > 0).then_some(chunk);
+        let units = plan_units(&scenario, &spec, round_chunk).unwrap();
+        let shard_units = stride_units(units, shards);
+        prop_assert_eq!(shard_units.len(), shards);
+        let shard_dirs =
+            run_shards(&scenario, spec.master_seed, shard_units, order_seed, "prop");
+
+        let merged_dir = temp_dir("prop-merged");
+        let merged = Arc::new(SweepCache::open(&merged_dir).unwrap());
+        let report = merge_into(&merged, &shard_dirs).unwrap();
+        // Shards cover every round exactly once and agree bit-for-bit.
+        prop_assert_eq!(report.records_ingested, total_rounds);
+        prop_assert_eq!(report.records_duplicate, 0);
+        prop_assert_eq!(report.records_superseded, 0);
+        prop_assert_eq!(report.torn_bytes_dropped, 0);
+
+        // The acceptance bar: a warm pass over the merged cache simulates
+        // nothing and exports byte-identically to the monolithic sweep.
+        let warm =
+            SweepEngine::new(threads).with_cache(merged).run(&scenario, &spec).unwrap();
+        prop_assert_eq!(warm.rounds_simulated, 0);
+        prop_assert_eq!(warm.rounds_cached, total_rounds);
+        prop_assert_eq!(warm.to_csv(), reference.to_csv());
+        prop_assert_eq!(warm.to_json(), reference.to_json());
+
+        for dir in shard_dirs.into_iter().chain([merged_dir]) {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn torn_shard_journal_merges_its_prefix_and_the_sweep_recovers() {
+    let scenario = CheapScenario::new();
+    let spec = spec(&[10, 20], &[2, 3], 3, 0xD0D0);
+    let reference = SweepEngine::new(1).run(&scenario, &spec).unwrap();
+
+    // Two shards; tear the second's journal mid-record, as a worker killed
+    // mid-append would leave it.
+    let units = plan_units(&scenario, &spec, None).unwrap();
+    let shard_units = stride_units(units, 2);
+    let shard_dirs = run_shards(&scenario, spec.master_seed, shard_units, 1, "torn");
+    let victim = shard_dirs[1].join("rounds.journal");
+    let len = std::fs::metadata(&victim).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+    file.set_len(len - 9).unwrap();
+    drop(file);
+
+    let merged_dir = temp_dir("torn-merged");
+    let merged = Arc::new(SweepCache::open(&merged_dir).unwrap());
+    let report = merge_into(&merged, &shard_dirs).unwrap();
+    assert!(report.torn_bytes_dropped > 0, "the tear must be reported");
+    assert_eq!(report.records_ingested, 11, "12 rounds minus the torn record");
+    assert_eq!(report.records_superseded, 0);
+
+    // The final sweep re-simulates exactly the torn-away round and still
+    // exports byte-identically — a lost worker costs its tail, not the run.
+    let recovered =
+        SweepEngine::new(2).with_cache(Arc::clone(&merged)).run(&scenario, &spec).unwrap();
+    assert_eq!(recovered.rounds_simulated, 1);
+    assert_eq!(recovered.rounds_cached, 11);
+    assert_eq!(recovered.to_csv(), reference.to_csv());
+
+    // After that healing pass the cache is complete again.
+    let warm = SweepEngine::new(4).with_cache(merged).run(&scenario, &spec).unwrap();
+    assert_eq!(warm.rounds_simulated, 0);
+    assert_eq!(warm.to_csv(), reference.to_csv());
+
+    for dir in shard_dirs.into_iter().chain([merged_dir]) {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn compaction_preserves_a_merged_fleet_cache() {
+    let scenario = CheapScenario::new();
+    let spec = spec(&[10, 20, 30], &[2], 2, 0xCACE);
+    let reference = SweepEngine::new(1).run(&scenario, &spec).unwrap();
+
+    let units = plan_units(&scenario, &spec, Some(1)).unwrap();
+    let shard_dirs = run_shards(&scenario, spec.master_seed, stride_units(units, 3), 2, "compact");
+    let merged_dir = temp_dir("compact-merged");
+    let merged = Arc::new(SweepCache::open(&merged_dir).unwrap());
+    merge_into(&merged, &shard_dirs).unwrap();
+
+    // Force dead bytes (an in-memory forget), compact them away, and check
+    // the journal still serves the whole sweep.
+    let evicted = merged.keys()[0].clone();
+    assert!(merged.forget(&evicted));
+    let reclaimed = merged.compact().unwrap();
+    assert!(reclaimed > 0, "the forgotten record must be reclaimed");
+    drop(merged);
+
+    let reopened = Arc::new(SweepCache::open(&merged_dir).unwrap());
+    assert_eq!(reopened.len(), 5, "compaction made the forget durable");
+    let healed = SweepEngine::new(2).with_cache(reopened).run(&scenario, &spec).unwrap();
+    assert_eq!(healed.rounds_simulated, 1, "only the compacted-away round re-simulates");
+    assert_eq!(healed.to_csv(), reference.to_csv());
+
+    for dir in shard_dirs.into_iter().chain([merged_dir]) {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
