@@ -11,7 +11,7 @@
 use bench::{bench_rounds, print_footer, print_header, run_urban};
 use carq::{CarqConfig, RequestStrategy};
 use vanet_scenarios::urban::UrbanConfig;
-use vanet_stats::{counter_total, round_results, table1};
+use vanet_stats::{counter_total, into_round_results, table1};
 
 fn run_with(strategy: RequestStrategy) -> (f64, f64, f64, f64, f64) {
     let carq = match strategy {
@@ -20,17 +20,13 @@ fn run_with(strategy: RequestStrategy) -> (f64, f64, f64, f64, f64) {
     };
     let config = UrbanConfig::paper_testbed().with_rounds(bench_rounds()).with_carq(carq);
     let (reports, elapsed) = run_urban(config);
-    let rows = table1(&round_results(&reports));
+    let requests = counter_total(&reports, "requests_sent");
+    let coop_sent = counter_total(&reports, "coop_data_sent");
+    let rows = table1(&into_round_results(reports));
     let mean_before =
         rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len().max(1) as f64;
     let mean_after = rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len().max(1) as f64;
-    (
-        mean_before,
-        mean_after,
-        counter_total(&reports, "requests_sent"),
-        counter_total(&reports, "coop_data_sent"),
-        elapsed,
-    )
+    (mean_before, mean_after, requests, coop_sent, elapsed)
 }
 
 fn main() {

@@ -12,7 +12,7 @@
 use bench::{bench_rounds, print_footer, print_header, run_urban};
 use vanet_dtn::ApSchedulingPolicy;
 use vanet_scenarios::urban::UrbanConfig;
-use vanet_stats::{round_results, table1};
+use vanet_stats::{into_round_results, table1};
 
 fn main() {
     print_header(
@@ -44,7 +44,7 @@ fn main() {
         config.cooperation_enabled = cooperation;
         let (reports, elapsed) = run_urban(config);
         total_elapsed += elapsed;
-        let rows = table1(&round_results(&reports));
+        let rows = table1(&into_round_results(reports));
         let tx = rows.iter().map(|r| r.tx_by_ap.mean).sum::<f64>() / rows.len().max(1) as f64;
         let before = rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len().max(1) as f64;
         let after = rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len().max(1) as f64;

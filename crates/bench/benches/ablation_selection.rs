@@ -9,7 +9,7 @@
 use bench::{bench_rounds, print_footer, print_header, run_urban};
 use carq::{CarqConfig, SelectionStrategy};
 use vanet_scenarios::urban::UrbanConfig;
-use vanet_stats::{counter_total, round_results, table1};
+use vanet_stats::{counter_total, into_round_results, table1};
 
 fn main() {
     print_header(
@@ -34,14 +34,12 @@ fn main() {
             UrbanConfig::paper_testbed().with_platoon_size(5).with_rounds(rounds).with_carq(carq);
         let (reports, elapsed) = run_urban(config);
         total_elapsed += elapsed;
-        let rows = table1(&round_results(&reports));
+        let suppressed = counter_total(&reports, "responses_suppressed");
+        let coop_sent = counter_total(&reports, "coop_data_sent");
+        let rows = table1(&into_round_results(reports));
         let before = rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len().max(1) as f64;
         let after = rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len().max(1) as f64;
-        let suppressed = counter_total(&reports, "responses_suppressed");
-        println!(
-            "{label:<18} {before:>13.1}% {after:>13.1}% {:>16.0} {suppressed:>18.0}",
-            counter_total(&reports, "coop_data_sent")
-        );
+        println!("{label:<18} {before:>13.1}% {after:>13.1}% {coop_sent:>16.0} {suppressed:>18.0}");
     }
     println!("\nexpected shape: recruiting every neighbour recovers the most packets but");
     println!("sends the most cooperative traffic; small cooperator sets trade a little");

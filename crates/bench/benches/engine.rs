@@ -92,7 +92,7 @@ fn bench_medium_broadcast(c: &mut Criterion) {
         b.iter(|| {
             t += SimDuration::from_millis(10);
             let frame = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, 0u32);
-            medium.transmit(t, frame, DataRate::Mbps1, &mut rng).deliveries.len()
+            medium.transmit(t, &frame, DataRate::Mbps1, &mut rng).deliveries.len()
         })
     });
 }

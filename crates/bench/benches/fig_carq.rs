@@ -10,7 +10,9 @@
 
 use bench::{print_footer, print_header, run_paper_testbed};
 use vanet_mac::NodeId;
-use vanet_stats::{joint_series, recovery_series, render_series_csv, round_results, SeriesPoint};
+use vanet_stats::{
+    into_round_results, joint_series, recovery_series, render_series_csv, SeriesPoint,
+};
 
 fn mean_probability(series: &[SeriesPoint]) -> f64 {
     if series.is_empty() {
@@ -22,7 +24,7 @@ fn mean_probability(series: &[SeriesPoint]) -> f64 {
 fn main() {
     print_header("fig_carq", "Figures 6-8 — reception with C-ARQ vs joint reception in car 1/2/3");
     let (reports, elapsed) = run_paper_testbed();
-    let results = round_results(&reports);
+    let results = into_round_results(reports);
     for (figure, car) in (6..=8).zip([NodeId::new(1), NodeId::new(2), NodeId::new(3)]) {
         let after = recovery_series(&results, car);
         let joint = joint_series(&results, car);

@@ -10,7 +10,7 @@
 
 use bench::{bench_rounds, print_footer, print_header, run_paper_testbed};
 use vanet_mac::NodeId;
-use vanet_stats::{reception_series, render_series_csv, round_results};
+use vanet_stats::{into_round_results, reception_series, render_series_csv};
 
 fn main() {
     print_header(
@@ -18,7 +18,7 @@ fn main() {
         "Figures 3-5 — probability of reception of packets addressed to each car",
     );
     let (reports, elapsed) = run_paper_testbed();
-    let results = round_results(&reports);
+    let results = into_round_results(reports);
     let cars = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
     for (figure, flow) in (3..=5).zip(cars) {
         println!("--- Figure {figure}: packets addressed to {flow} ---");

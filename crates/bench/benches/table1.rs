@@ -7,12 +7,12 @@
 //! car 3 121.4 / 34.7 (28.6 %) / 19.1 (15.7 %).
 
 use bench::{print_footer, print_header, run_paper_testbed};
-use vanet_stats::{render_table1, round_results, table1};
+use vanet_stats::{into_round_results, render_table1, table1};
 
 fn main() {
     print_header("table1", "Table 1 — packets received and lost in the three cars");
     let (reports, elapsed) = run_paper_testbed();
-    let rows = table1(&round_results(&reports));
+    let rows = table1(&into_round_results(reports));
     println!("{}", render_table1(&rows));
     println!("paper reference:");
     println!("  car 1: 130.4 tx, 30.5 lost before (23.4%), 13.7 lost after (10.5%)");

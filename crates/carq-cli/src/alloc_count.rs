@@ -1,0 +1,58 @@
+//! A counting wrapper around the system allocator.
+//!
+//! `carq-cli bench` reports heap allocations per workload: the binary's
+//! global allocator (see `main.rs`) bumps one relaxed atomic per
+//! `alloc`/`realloc`/`alloc_zeroed` call, and the harness reads the counter
+//! before and after a timed run. One uncontended atomic increment per
+//! allocation is noise next to the allocation itself, and the counter is
+//! monotone, so reading it concurrently never misattributes frees.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to [`System`], counting every allocating call.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total allocating calls (`alloc` + `realloc` + `alloc_zeroed`) since
+/// process start. Subtract two readings to attribute a region.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increases_on_allocation() {
+        let before = allocations();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let after = allocations();
+        assert!(after > before, "allocating a Vec must bump the counter");
+        drop(v);
+        assert!(allocations() >= after, "the counter never decreases");
+    }
+}

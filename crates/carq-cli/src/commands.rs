@@ -9,7 +9,7 @@ use vanet_scenarios::{
     run_point, Param, ParamKind, ParamValue, Scenario, ScenarioRegistry, SweepPoint, UrbanScenario,
 };
 use vanet_stats::{
-    joint_series, recovery_series, render_series_csv, render_table1, round_results, table1,
+    into_round_results, joint_series, recovery_series, render_series_csv, render_table1, table1,
     RoundResult,
 };
 use vanet_sweep::{presets, SweepEngine, SweepSpec};
@@ -116,6 +116,17 @@ USAGE:
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
 
+  carq-cli bench [--quick] [--repeat N] [--threads N] [--seed S]
+      [--out PATH] [--against PATH]
+      Time the table1, figure-series and preset-sweep workloads and
+      report rounds/sec, events/sec and heap allocations as JSON (the
+      repo's BENCH_*.json perf trajectory; schema and the recorded
+      pre-optimization baseline are documented in docs/PERFORMANCE.md).
+      --quick shrinks the workloads for CI smoke; --against FILE fails
+      if the table1 workload regressed >20% vs FILE's recorded rate
+      (CARQ_BENCH_NO_FAIL=1 downgrades that to a warning on runners
+      that are not comparable to the committed baseline).
+
   carq-cli fig reception|recovery [--car N] [--rounds N] [--seed S]
       Print the per-packet series behind Figures 3-5 (reception) or
       Figures 6-8 (recovery vs joint reception) as CSV.
@@ -177,6 +188,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             )),
         },
         Some("table1") => table1_cmd(&Options::parse(&args[1..])?),
+        Some("bench") => {
+            crate::bench::bench_cmd(&Options::parse_with_switches(&args[1..], &["quick"])?)
+        }
         Some("fig") => match args.get(1).map(String::as_str) {
             Some(kind @ ("reception" | "recovery")) => fig_cmd(kind, &Options::parse(&args[2..])?),
             other => Err(format!(
@@ -545,8 +559,7 @@ fn fleet_run(opts: &Options) -> Result<(), String> {
     if !matches!(format, "csv" | "json") {
         return Err(format!("unknown format `{format}` (csv, json)"));
     }
-    let plan = fleet_plan(opts, "workers")?;
-    let workers = plan.shards.len();
+    let mut plan = fleet_plan(opts, "workers")?;
 
     // The working directory: the user's --cache DIR (merged journal kept,
     // re-runs resume) or a throwaway temp directory.
@@ -554,23 +567,59 @@ fn fleet_run(opts: &Options) -> Result<(), String> {
         Some(dir) => (PathBuf::from(dir), false),
         None => (std::env::temp_dir().join(format!("carq-fleet-{}", std::process::id())), true),
     };
+
+    // Warm re-run pre-filter: drop every unit the merged journal already
+    // covers, so an identical `fleet run --cache DIR` spawns zero redundant
+    // workers (and zero redundant simulations). Read-only open: the journal
+    // may not exist yet, and workers must stay free to lock their own.
+    if !ephemeral {
+        if let Ok(cache) = SweepCache::open_read_only(&base) {
+            if !cache.is_empty() {
+                let preset = presets::find(&plan.preset).expect("plan came from the catalogue");
+                let (scenario, _) = preset.build(plan.master_seed, plan.rounds);
+                let mut covered_total = 0usize;
+                for shard in &mut plan.shards {
+                    let units = std::mem::take(&mut shard.units);
+                    let (remaining, covered) = vanet_fleet::split_covered_units(
+                        scenario.as_ref(),
+                        plan.master_seed,
+                        units,
+                        &cache,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    shard.units = remaining;
+                    covered_total += covered;
+                }
+                if covered_total > 0 {
+                    eprintln!(
+                        "fleet: {covered_total} unit(s) already covered by the merged cache, \
+                         {} left to run",
+                        plan.total_units(),
+                    );
+                }
+            }
+        }
+    }
     let shards_dir = base.join("shards");
     std::fs::create_dir_all(&shards_dir)
         .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
 
-    // Split the thread budget across the worker processes.
+    // Split the thread budget across the worker processes that will
+    // actually spawn (the warm-cache pre-filter may have emptied some
+    // shards — the survivors get the whole budget).
+    let to_spawn = plan.shards.iter().filter(|s| !s.units.is_empty()).count();
     let threads: usize = opts.get_parsed("threads", 0)?;
     let budget = if threads == 0 {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     } else {
         threads
     };
-    let per_worker = budget.div_ceil(workers).max(1);
+    let per_worker = budget.div_ceil(to_spawn.max(1)).max(1);
 
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate carq-cli: {e}"))?;
     eprintln!(
         "fleet: {} worker process(es) x {} thread(s) over {} unit(s) of `{}`",
-        workers,
+        to_spawn,
         per_worker,
         plan.total_units(),
         plan.preset,
@@ -720,7 +769,7 @@ fn cache_clear(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_seed(opts: &Options) -> Result<u64, String> {
+pub(crate) fn parse_seed(opts: &Options) -> Result<u64, String> {
     match opts.get("seed") {
         None => Ok(DEFAULT_SEED),
         Some(raw) => {
@@ -748,7 +797,7 @@ fn urban_rounds(opts: &Options, default_rounds: u32) -> Result<Vec<RoundResult>,
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     let (reports, _) =
         run_point(&scenario, &point, parse_seed(opts)?, threads).map_err(|e| e.to_string())?;
-    Ok(round_results(&reports))
+    Ok(into_round_results(reports))
 }
 
 fn table1_cmd(opts: &Options) -> Result<(), String> {

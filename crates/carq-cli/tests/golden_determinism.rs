@@ -1,0 +1,113 @@
+//! Determinism regression suite for the hot-path optimization.
+//!
+//! `tests/golden/` (repo root) holds exports recorded from the
+//! pre-optimization tree (commit `de0003f`) — see its README for the exact
+//! recording commands. The optimized hot path (scratch buffers, shared
+//! frames, the dense node table, the link-state memo) must reproduce every
+//! one of them byte for byte, at any thread count. A legitimate
+//! semantics-changing PR re-records the snapshots and says so in its
+//! description.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = golden_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Runs the real binary and returns stdout, panicking on failure.
+fn run_stdout(args: &[&str]) -> Vec<u8> {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_carq-cli")).args(args).output().expect("carq-cli spawns");
+    assert!(
+        out.status.success(),
+        "carq-cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_matches_golden(actual: &[u8], name: &str, context: &str) {
+    let expected = golden(name);
+    assert!(
+        actual == expected.as_slice(),
+        "{context} diverged from tests/golden/{name} ({} vs {} bytes):\n--- golden\n{}\n--- got\n{}",
+        expected.len(),
+        actual.len(),
+        String::from_utf8_lossy(&expected[..expected.len().min(600)]),
+        String::from_utf8_lossy(&actual[..actual.len().min(600)]),
+    );
+}
+
+#[test]
+fn table1_matches_the_pre_optimization_golden() {
+    let out = run_stdout(&["table1", "--rounds", "3"]);
+    assert_matches_golden(&out, "table1_r3.txt", "table1 --rounds 3");
+}
+
+#[test]
+fn figure_series_match_the_pre_optimization_goldens() {
+    let reception = run_stdout(&["fig", "reception", "--car", "1", "--rounds", "2"]);
+    assert_matches_golden(&reception, "fig_reception_car1_r2.csv", "fig reception");
+    let recovery = run_stdout(&["fig", "recovery", "--car", "2", "--rounds", "2"]);
+    assert_matches_golden(&recovery, "fig_recovery_car2_r2.csv", "fig recovery");
+}
+
+#[test]
+fn sweep_exports_match_the_goldens_at_any_thread_count() {
+    for threads in ["1", "3"] {
+        let csv = run_stdout(&[
+            "sweep",
+            "run",
+            "--preset",
+            "urban-platoon",
+            "--rounds",
+            "1",
+            "--threads",
+            threads,
+            "--seed",
+            "0xbeef",
+        ]);
+        assert_matches_golden(
+            &csv,
+            "urban_platoon_r1.csv",
+            &format!("sweep run at {threads} thread(s)"),
+        );
+    }
+    let json = run_stdout(&[
+        "sweep",
+        "run",
+        "--preset",
+        "urban-platoon",
+        "--rounds",
+        "1",
+        "--threads",
+        "2",
+        "--seed",
+        "0xbeef",
+        "--format",
+        "json",
+    ]);
+    assert_matches_golden(&json, "urban_platoon_r1.json", "sweep run JSON export");
+}
+
+#[test]
+fn highway_scenario_export_matches_the_golden() {
+    let csv = run_stdout(&[
+        "scenario",
+        "run",
+        "highway",
+        "--speed_kmh",
+        "80,120",
+        "--rounds",
+        "2",
+        "--threads",
+        "1",
+    ]);
+    assert_matches_golden(&csv, "highway_speed_r2.csv", "scenario run highway");
+}

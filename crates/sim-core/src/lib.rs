@@ -61,6 +61,6 @@ pub mod trace;
 
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::{fnv1a64, fnv1a64_chain, RngDirectory, SeedableStream, StreamRng};
-pub use sim::{Model, RunOutcome, Scheduler, Simulation};
+pub use sim::{Model, RunOutcome, RunStats, Scheduler, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{NullSink, TraceEvent, TraceLevel, TraceRecord, TraceSink, VecSink};

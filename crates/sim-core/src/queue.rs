@@ -81,6 +81,12 @@ impl<E> EventQueue<E> {
         EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
     }
 
+    /// Grows the queue's capacity to at least `capacity` events, keeping
+    /// everything already scheduled.
+    pub fn reserve_total(&mut self, capacity: usize) {
+        self.heap.reserve(capacity.saturating_sub(self.heap.len()));
+    }
+
     /// Schedules `event` to fire at `time`. Returns the sequence number that
     /// identifies this insertion.
     pub fn push(&mut self, time: SimTime, event: E) -> u64 {

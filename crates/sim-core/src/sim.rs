@@ -1,6 +1,8 @@
 //! The simulation driver: the [`Model`] trait, the [`Scheduler`] handle that
 //! models use to schedule follow-up events, and the [`Simulation`] run loop.
 
+use std::time::{Duration, Instant};
+
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -36,8 +38,11 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    fn new(now: SimTime) -> Self {
-        Scheduler { now, pending: Vec::new() }
+    /// Builds a scheduler around an existing (cleared) buffer, so the run
+    /// loop can reuse one allocation across every dispatched event.
+    fn with_buffer(now: SimTime, pending: Vec<(SimTime, E)>) -> Self {
+        debug_assert!(pending.is_empty(), "scratch buffer must start empty");
+        Scheduler { now, pending }
     }
 
     /// The current simulation time.
@@ -81,6 +86,28 @@ pub enum RunOutcome {
     EventBudgetExhausted,
 }
 
+/// Wall-clock throughput of a finished [`Simulation::run`] call — the
+/// engine-level perf probe behind `carq-cli bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Events processed by the run.
+    pub events: u64,
+    /// Wall-clock time the run took.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// A discrete-event simulation: an event queue plus a [`Model`].
 ///
 /// # Examples
@@ -114,19 +141,38 @@ pub struct Simulation<M: Model> {
     horizon: Option<SimTime>,
     max_events: Option<u64>,
     processed: u64,
+    /// Scratch buffer lent to each event's [`Scheduler`], reused across the
+    /// whole run so dispatching an event never allocates.
+    scratch: Vec<(SimTime, M::Event)>,
+    last_run: RunStats,
 }
+
+/// Default pre-sizing of the event queue: the simulations reproduced here
+/// keep hundreds of frames, timers and position ticks in flight, so starting
+/// at a real capacity avoids the first several heap regrowths of every round.
+const DEFAULT_QUEUE_CAPACITY: usize = 1_024;
 
 impl<M: Model> Simulation<M> {
     /// Creates a simulation around `model` starting at time zero.
     pub fn new(model: M) -> Self {
         Simulation {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(DEFAULT_QUEUE_CAPACITY),
             now: SimTime::ZERO,
             horizon: None,
             max_events: None,
             processed: 0,
+            scratch: Vec::new(),
+            last_run: RunStats::default(),
         }
+    }
+
+    /// Pre-sizes the event queue for an expected number of in-flight events
+    /// (the default is [`DEFAULT_QUEUE_CAPACITY`](Self::new)). Events
+    /// already scheduled are kept.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue.reserve_total(capacity);
+        self
     }
 
     /// Stops the run once simulated time would exceed `horizon`.
@@ -201,11 +247,13 @@ impl<M: Model> Simulation<M> {
         let ev = self.queue.pop().expect("peeked, must exist");
         debug_assert!(ev.time >= self.now, "event queue must never move time backwards");
         self.now = ev.time;
-        let mut scheduler = Scheduler::new(self.now);
+        let mut scheduler = Scheduler::with_buffer(self.now, std::mem::take(&mut self.scratch));
         self.model.handle(self.now, ev.event, &mut scheduler);
-        for (t, e) in scheduler.pending {
+        let mut pending = scheduler.pending;
+        for (t, e) in pending.drain(..) {
             self.queue.push(t, e);
         }
+        self.scratch = pending;
         self.processed += 1;
         Ok(self.now)
     }
@@ -213,6 +261,8 @@ impl<M: Model> Simulation<M> {
     /// Runs until the queue drains, the horizon is reached or the event budget
     /// is exhausted, and reports which of those happened.
     pub fn run(&mut self) -> RunOutcome {
+        let started = Instant::now();
+        let processed_before = self.processed;
         loop {
             match self.step() {
                 Ok(_) => {}
@@ -224,11 +274,22 @@ impl<M: Model> Simulation<M> {
                             self.now = self.now.max(h);
                         }
                     }
+                    self.last_run = RunStats {
+                        events: self.processed - processed_before,
+                        wall: started.elapsed(),
+                    };
                     self.model.on_finish(self.now);
                     return outcome;
                 }
             }
         }
+    }
+
+    /// Throughput of the most recent [`Simulation::run`] call (zeroed until
+    /// the first run finishes). Wall-clock provenance only — never feeds back
+    /// into simulation results.
+    pub fn last_run_stats(&self) -> RunStats {
+        self.last_run
     }
 }
 
@@ -337,6 +398,22 @@ mod tests {
     fn step_reports_drained_queue() {
         let mut sim = Simulation::new(Recorder::default());
         assert_eq!(sim.step(), Err(RunOutcome::QueueDrained));
+    }
+
+    #[test]
+    fn run_stats_probe_counts_the_runs_events() {
+        let mut sim = Simulation::new(Recorder::default()).with_queue_capacity(8);
+        assert_eq!(sim.last_run_stats(), RunStats::default());
+        sim.schedule_at(SimTime::from_secs(5), 100);
+        sim.run();
+        let stats = sim.last_run_stats();
+        assert_eq!(stats.events, 3, "100 plus its two follow-ups");
+        assert!(stats.events_per_sec() > 0.0);
+        // A second run only counts its own events.
+        sim.schedule_at(SimTime::from_secs(10), 1);
+        sim.run();
+        assert_eq!(sim.last_run_stats().events, 1);
+        assert_eq!(RunStats { events: 5, wall: Duration::ZERO }.events_per_sec(), f64::INFINITY);
     }
 
     #[test]

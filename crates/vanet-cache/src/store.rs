@@ -420,6 +420,13 @@ impl SweepCache {
         self.inner.lock().expect("cache lock poisoned").file.is_none()
     }
 
+    /// Whether `key` is cached, without cloning the stored report — the
+    /// cheap membership probe coverage checks (e.g. fleet warm-run
+    /// pre-filtering) use.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().expect("cache lock poisoned").index.contains_key(key.as_str())
+    }
+
     /// The report cached under `key`, if any.
     pub fn get(&self, key: &CacheKey) -> Option<RoundReport> {
         self.inner

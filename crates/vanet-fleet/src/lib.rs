@@ -55,7 +55,7 @@ pub mod plan;
 pub mod worker;
 
 pub use plan::{plan_units, stride_units, FleetError, Shard, ShardPlan, WorkUnit, SHARD_MAGIC};
-pub use worker::{execute_shard, execute_units, ShardOutcome};
+pub use worker::{execute_shard, execute_units, split_covered_units, ShardOutcome};
 // The merge half of the fleet story, re-exported so downstream code can
 // shard, execute and merge from this crate alone.
 pub use vanet_cache::{merge_into, MergeReport, SweepCache};

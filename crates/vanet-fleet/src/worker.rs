@@ -99,7 +99,7 @@ pub fn execute_units(
         for round in start..end.min(run.rounds()) {
             let seed = round_seed(base_seed, round);
             let key = CacheKey::new(scenario.name(), fingerprint, &canonical, round, seed);
-            if cache.get(&key).is_some() {
+            if cache.contains(&key) {
                 outcome.rounds_cached += 1;
                 continue;
             }
@@ -109,6 +109,91 @@ pub fn execute_units(
         }
     }
     Ok(outcome)
+}
+
+/// Partitions `units` into the ones `cache` already fully covers and the
+/// ones still needing work, for warm-re-run pre-filtering: a `fleet run`
+/// whose merged cache already holds every round of a unit spawns no worker
+/// for it. A full-budget unit is covered when every round of its budget is
+/// cached **or** a cached prefix already satisfies
+/// [`ScenarioRun::is_settled`](vanet_scenarios::ScenarioRun::is_settled);
+/// a round-range unit is covered when every round of its (budget-clamped)
+/// range is cached.
+///
+/// The settle check here is per-round while the engine's is per-wave, so
+/// with a multi-threaded final pass a settle-capable (multi-AP) unit marked
+/// covered can still see the engine simulate a few rounds past the settle
+/// point — the same overshoot caveat fleet execution already documents;
+/// exports are unaffected either way.
+///
+/// # Errors
+///
+/// [`FleetError::Sweep`] when a unit's point fails the scenario's schema.
+pub fn split_covered_units(
+    scenario: &dyn Scenario,
+    master_seed: u64,
+    units: Vec<WorkUnit>,
+    cache: &SweepCache,
+) -> Result<(Vec<WorkUnit>, usize), FleetError> {
+    let schema = scenario.schema();
+    let fingerprint = schema.fingerprint();
+    let mut remaining = Vec::new();
+    let mut covered = 0usize;
+    for unit in units {
+        let run = scenario
+            .configure(&unit.point)
+            .map_err(|e| FleetError::Sweep(format!("{} : {e}", unit.point.label())))?;
+        let canonical = schema.canonical_config(&unit.point);
+        let base_seed = point_seed(master_seed, &canonical);
+        let key = |round: u32| {
+            CacheKey::new(
+                scenario.name(),
+                fingerprint,
+                &canonical,
+                round,
+                round_seed(base_seed, round),
+            )
+        };
+        let is_covered = match unit.round_range {
+            Some((start, end)) => {
+                (start..end.min(run.rounds())).all(|round| cache.contains(&key(round)))
+            }
+            None => {
+                // Clone-free fast path for the common warm case: every
+                // budgeted round cached means covered, whether or not the
+                // run would have settled earlier.
+                if (0..run.rounds()).all(|round| cache.contains(&key(round))) {
+                    true
+                } else {
+                    // A round is missing, but the unit may still be covered
+                    // if the run settles before reaching it — replay the
+                    // cached prefix (this is the only path that clones
+                    // reports out of the journal).
+                    let mut reports = Vec::new();
+                    let mut all_cached = true;
+                    for round in 0..run.rounds() {
+                        if !reports.is_empty() && run.is_settled(&reports) {
+                            break;
+                        }
+                        match cache.get(&key(round)) {
+                            Some(report) => reports.push(report),
+                            None => {
+                                all_cached = false;
+                                break;
+                            }
+                        }
+                    }
+                    all_cached
+                }
+            }
+        };
+        if is_covered {
+            covered += 1;
+        } else {
+            remaining.push(unit);
+        }
+    }
+    Ok((remaining, covered))
 }
 
 #[cfg(test)]
@@ -172,6 +257,44 @@ mod tests {
         for dir in shard_dirs.into_iter().chain([merged_dir]) {
             std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    #[test]
+    fn covered_units_are_pre_filtered_for_warm_re_runs() {
+        let plan = ShardPlan::for_preset("urban-platoon", 0xC0FFEE, 2, 2, None).unwrap();
+        let scenario = plan.shards[0].scenario().unwrap();
+        let dir = temp_dir("covered");
+        let cache = Arc::new(SweepCache::open(&dir).unwrap());
+
+        // Cold cache: nothing is covered.
+        let units: Vec<WorkUnit> =
+            plan.shards.iter().flat_map(|s| s.units.iter().cloned()).collect();
+        let (remaining, covered) =
+            split_covered_units(scenario.as_ref(), 0xC0FFEE, units.clone(), &cache).unwrap();
+        assert_eq!(covered, 0);
+        assert_eq!(remaining.len(), 24);
+
+        // Execute shard 0, leaving shard 1's units missing.
+        execute_units(scenario.as_ref(), 0xC0FFEE, &plan.shards[0].units, &cache, 1).unwrap();
+        let (remaining, covered) =
+            split_covered_units(scenario.as_ref(), 0xC0FFEE, units.clone(), &cache).unwrap();
+        assert_eq!(covered, plan.shards[0].units.len());
+        assert_eq!(remaining, plan.shards[1].units);
+
+        // A fully warm cache covers everything, including round-range units.
+        execute_units(scenario.as_ref(), 0xC0FFEE, &plan.shards[1].units, &cache, 1).unwrap();
+        let (remaining, covered) =
+            split_covered_units(scenario.as_ref(), 0xC0FFEE, units, &cache).unwrap();
+        assert_eq!((remaining.len(), covered), (0, 24));
+        let ranged = ShardPlan::for_preset("urban-platoon", 0xC0FFEE, 2, 2, Some(1)).unwrap();
+        let range_units: Vec<WorkUnit> =
+            ranged.shards.iter().flat_map(|s| s.units.iter().cloned()).collect();
+        assert!(range_units.iter().all(|u| u.round_range.is_some()));
+        let (remaining, covered) =
+            split_covered_units(scenario.as_ref(), 0xC0FFEE, range_units, &cache).unwrap();
+        assert_eq!((remaining.len(), covered), (0, 48), "24 points x 2 one-round ranges");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

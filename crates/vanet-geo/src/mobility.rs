@@ -14,6 +14,8 @@
 //!   much it bunches up behind the leader at corners.
 //! * [`StaticPosition`] — a fixed node (the AP).
 
+use std::cell::Cell;
+
 use serde::{Deserialize, Serialize};
 use sim_core::{SimTime, StreamRng};
 
@@ -137,6 +139,19 @@ pub struct PathMobility {
     start_time: SimTime,
     corner_speed_factor: f64,
     corner_influence_m: f64,
+    /// Corner arc-length positions, precomputed from `path` so the
+    /// integration's inner loop never allocates.
+    corners: Vec<f64>,
+    /// Integration memo: `(full 0.1 s steps integrated, distance after
+    /// them)`. The distance after `k` full steps is a pure prefix of the
+    /// reference computation — the same float operations in the same order
+    /// whatever the query time — so a (typically monotone) caller pays each
+    /// step once instead of re-integrating from zero on every query, with
+    /// bit-identical results. Interior-mutable because
+    /// [`MobilityModel::position_at`] takes `&self`; reset whenever a
+    /// builder changes the speed profile.
+    #[serde(skip)]
+    progress: Cell<(u64, f64)>,
 }
 
 impl PathMobility {
@@ -148,6 +163,7 @@ impl PathMobility {
     /// Panics if `speed_ms` is not strictly positive.
     pub fn new(path: Polyline, speed_ms: f64) -> Self {
         assert!(speed_ms > 0.0, "speed must be positive");
+        let corners = path.corner_distances();
         PathMobility {
             path,
             nominal_speed: speed_ms,
@@ -155,6 +171,8 @@ impl PathMobility {
             start_time: SimTime::ZERO,
             corner_speed_factor: 1.0,
             corner_influence_m: 15.0,
+            corners,
+            progress: Cell::new((0, 0.0)),
         }
     }
 
@@ -162,6 +180,7 @@ impl PathMobility {
     /// place it before the start — useful for platoon followers).
     pub fn with_start_offset(mut self, offset_m: f64) -> Self {
         self.start_offset_m = offset_m;
+        self.progress = Cell::new((0, self.start_offset_m));
         self
     }
 
@@ -176,6 +195,7 @@ impl PathMobility {
     pub fn with_corner_slowdown(mut self, factor: f64, influence_m: f64) -> Self {
         self.corner_speed_factor = factor.clamp(0.05, 1.0);
         self.corner_influence_m = influence_m.max(0.0);
+        self.progress = Cell::new((0, self.start_offset_m));
         self
     }
 
@@ -191,22 +211,47 @@ impl PathMobility {
 
     /// Travelled distance along the path at time `t`, taking corner
     /// slow-down into account.
+    ///
+    /// Integrates distance in small steps so that the speed reduction near
+    /// corners produces the characteristic bunching of the platoon. A 100 ms
+    /// step at ~6 m/s is a 0.6 m resolution — plenty for street geometry.
+    /// The reference computation is `remaining = elapsed; while remaining >
+    /// 0 { dt = remaining.min(0.1); dist += speed(dist) * dt; remaining -=
+    /// dt }`: every step but the last advances by exactly 0.1 s, so the
+    /// distance after `k` full steps does not depend on the query time and
+    /// the memoized prefix in `self.progress` continues where the previous
+    /// query stopped — bit-identical to integrating from scratch.
     pub fn distance_at(&self, t: SimTime) -> f64 {
         let elapsed = t.saturating_since(self.start_time).as_secs_f64();
         if self.corner_speed_factor >= 0.999 || self.corner_influence_m <= 0.0 {
             return self.start_offset_m + self.nominal_speed * elapsed;
         }
-        // Integrate distance in small steps so that the speed reduction near
-        // corners produces the characteristic bunching of the platoon. A 100 ms
-        // step at ~6 m/s is a 0.6 m resolution — plenty for street geometry.
         let step = 0.1;
+        // Replicate the reference countdown without evaluating the speed
+        // profile: full steps subtract exactly `step`, reproducing the
+        // trailing fractional `dt` bit for bit.
         let mut remaining = elapsed;
-        let mut dist = self.start_offset_m;
-        while remaining > 0.0 {
-            let dt = remaining.min(step);
-            let speed = self.effective_speed_at_distance(dist);
-            dist += speed * dt;
-            remaining -= dt;
+        let mut full_steps: u64 = 0;
+        while remaining > step {
+            remaining -= step;
+            full_steps += 1;
+        }
+        let (stored_steps, stored_dist) = self.progress.get();
+        // A query before the memoized point (e.g. a `speed_at` probe)
+        // replays from the start and keeps the longer stored prefix.
+        let (done, mut dist) = if stored_steps <= full_steps {
+            (stored_steps, stored_dist)
+        } else {
+            (0, self.start_offset_m)
+        };
+        for _ in done..full_steps {
+            dist += self.effective_speed_at_distance(dist) * step;
+        }
+        if full_steps >= stored_steps {
+            self.progress.set((full_steps, dist));
+        }
+        if remaining > 0.0 {
+            dist += self.effective_speed_at_distance(dist) * remaining;
         }
         dist
     }
@@ -214,7 +259,7 @@ impl PathMobility {
     fn effective_speed_at_distance(&self, dist: f64) -> f64 {
         let total = self.path.length();
         let d = if self.path.is_closed() { dist.rem_euclid(total) } else { dist.clamp(0.0, total) };
-        let near_corner = self.path.corner_distances().iter().any(|c| {
+        let near_corner = self.corners.iter().any(|c| {
             circular_distance(d, *c, total, self.path.is_closed()) < self.corner_influence_m
         });
         if near_corner {
@@ -424,6 +469,32 @@ mod tests {
     #[should_panic(expected = "speed must be positive")]
     fn zero_speed_rejected() {
         let _ = PathMobility::new(line(), 0.0);
+    }
+
+    #[test]
+    fn memoized_distance_is_bit_identical_to_fresh_integration() {
+        let square = Polyline::closed(vec![
+            Point::new(0.0, 0.0),
+            Point::new(120.0, 0.0),
+            Point::new(120.0, 80.0),
+            Point::new(0.0, 80.0),
+        ]);
+        let warm = PathMobility::new(square.clone(), 7.0)
+            .with_start_offset(-12.5)
+            .with_corner_slowdown(0.45, 15.0);
+        // Monotone queries (the hot path), then probes jumping backwards.
+        let times: Vec<f64> =
+            (0..400).map(|i| i as f64 * 0.1).chain([3.05, 0.31, 17.7, 39.99]).collect();
+        for t in times {
+            let t = SimTime::from_secs_f64(t);
+            // A fresh instance integrates from scratch; the warm one uses
+            // its memo. Results must match to the last bit.
+            let fresh = PathMobility::new(square.clone(), 7.0)
+                .with_start_offset(-12.5)
+                .with_corner_slowdown(0.45, 15.0);
+            assert_eq!(warm.distance_at(t), fresh.distance_at(t), "at {t:?}");
+            assert_eq!(warm.position_at(t), fresh.position_at(t), "at {t:?}");
+        }
     }
 
     proptest! {

@@ -160,8 +160,7 @@ impl Polyline {
     /// vertices are excluded.
     pub fn corner_distances(&self) -> Vec<f64> {
         let n = self.vertices.len();
-        let range: Box<dyn Iterator<Item = usize>> =
-            if self.closed { Box::new(0..n) } else { Box::new(1..n - 1) };
+        let range = if self.closed { 0..n } else { 1..n - 1 };
         range.map(|i| self.cumulative[i]).collect()
     }
 

@@ -36,7 +36,7 @@
 //!
 //! let mut rng = StreamRng::derive(7, "mac");
 //! let frame = Frame::new(ap, Destination::Broadcast, 1_000, "payload");
-//! let result = medium.transmit(SimTime::ZERO, frame, DataRate::Mbps1, &mut rng);
+//! let result = medium.transmit(SimTime::ZERO, &frame, DataRate::Mbps1, &mut rng);
 //! assert_eq!(result.deliveries.len(), 1); // one other node registered
 //! ```
 
@@ -52,4 +52,6 @@ pub mod medium;
 pub use address::{Destination, NodeId};
 pub use csma::CsmaBackoff;
 pub use frame::Frame;
-pub use medium::{Delivery, DeliveryOutcome, Medium, MediumConfig, RadioClass, TransmissionResult};
+pub use medium::{
+    Delivery, DeliveryOutcome, Medium, MediumConfig, RadioClass, Transmission, TransmissionResult,
+};

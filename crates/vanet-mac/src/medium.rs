@@ -18,12 +18,10 @@
 //! street-scale scenarios reproduced here and documented as a simulator
 //! simplification in `DESIGN.md`.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime, StreamRng};
 use vanet_geo::Point;
-use vanet_radio::{ChannelModel, DataRate, FrameTiming, RadioChannel, RadioConfig};
+use vanet_radio::{ChannelModel, DataRate, FrameTiming, LinkState, RadioChannel, RadioConfig};
 
 use crate::address::NodeId;
 use crate::frame::Frame;
@@ -116,35 +114,48 @@ impl DeliveryOutcome {
 }
 
 /// The verdict for one receiver of one transmission.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Delivery<P> {
+///
+/// The verdict does **not** carry the frame: one transmission reaches every
+/// receiver with the same bits, so the caller keeps a single (shared) copy of
+/// the frame and pairs it with these plain-data verdicts — what makes the
+/// per-receiver loop of [`Medium::transmit_into`] allocation- and clone-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
     /// The receiving node.
     pub node: NodeId,
     /// When the frame ends (receptions are delivered at frame end).
     pub at: SimTime,
     /// Whether and why the frame was (not) received.
     pub outcome: DeliveryOutcome,
-    /// The frame as seen by this receiver.
-    pub frame: Frame<P>,
     /// Realised SNR at this receiver in dB.
     pub snr_db: f64,
 }
 
-/// The result of submitting one transmission to the medium.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TransmissionResult<P> {
-    /// Per-receiver verdicts (one entry per registered node other than the
-    /// transmitter).
-    pub deliveries: Vec<Delivery<P>>,
+/// Timing of one submitted transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
     /// When the transmission ends.
     pub ends_at: SimTime,
     /// The frame airtime.
     pub airtime: SimDuration,
 }
 
-impl<P> TransmissionResult<P> {
+/// The result of submitting one transmission through the allocating
+/// convenience wrapper [`Medium::transmit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionResult {
+    /// Per-receiver verdicts (one entry per registered node other than the
+    /// transmitter).
+    pub deliveries: Vec<Delivery>,
+    /// When the transmission ends.
+    pub ends_at: SimTime,
+    /// The frame airtime.
+    pub airtime: SimDuration,
+}
+
+impl TransmissionResult {
     /// Iterates over the receivers that actually got the frame.
-    pub fn received(&self) -> impl Iterator<Item = &Delivery<P>> {
+    pub fn received(&self) -> impl Iterator<Item = &Delivery> {
         self.deliveries.iter().filter(|d| d.outcome.is_received())
     }
 }
@@ -162,13 +173,17 @@ pub struct MediumStats {
     pub deliveries_lost_collision: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct NodeEntry {
     class: RadioClass,
     position: Point,
+    /// Registration-order index into the pair cache — dense in the number
+    /// of *registered* nodes, so sparse or large raw ids cost nothing
+    /// beyond their `slots` entry.
+    compact_slot: u32,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct ActiveTx {
     src: NodeId,
     src_pos: Point,
@@ -176,15 +191,58 @@ struct ActiveTx {
     end: SimTime,
 }
 
+/// One slot of the dense per-pair link cache: the deterministic
+/// [`LinkState`] of a (transmitter, receiver) pair, valid while the medium's
+/// position epoch has not advanced past `epoch`.
+#[derive(Debug, Clone, Copy)]
+struct LinkCacheEntry {
+    /// Position epoch the state was computed at; 0 is never current.
+    epoch: u64,
+    state: LinkState,
+}
+
+impl LinkCacheEntry {
+    const INVALID: LinkCacheEntry = LinkCacheEntry {
+        epoch: 0,
+        state: LinkState {
+            budget: vanet_radio::LinkBudget {
+                distance_m: 0.0,
+                path_loss_db: 0.0,
+                rx_power_dbm: 0.0,
+                snr_db: 0.0,
+            },
+            shadowing_db: 0.0,
+        },
+    };
+}
+
 /// The shared broadcast medium.
+///
+/// Node state lives in a dense slot table indexed by the raw [`NodeId`]
+/// value (scenario ids are small consecutive integers), and the
+/// deterministic part of every link — path loss, obstacle blockage,
+/// shadowing — is memoized per (tx, rx) pair for as long as no node moves
+/// (positions only change at mobility ticks). Only the per-frame fast-fading
+/// and reception draws touch the RNG, in exactly the order the unmemoized
+/// path would, so results are bit-identical with the cache on.
 #[derive(Debug)]
 pub struct Medium {
     config: MediumConfig,
     ap_vehicle: RadioChannel,
     vehicle_vehicle: RadioChannel,
-    nodes: BTreeMap<NodeId, NodeEntry>,
+    /// Dense node table indexed by `NodeId::index()`.
+    slots: Vec<Option<NodeEntry>>,
+    /// Registered ids in ascending order — the deterministic receiver order.
+    ids: Vec<NodeId>,
     active: Vec<ActiveTx>,
     stats: MediumStats,
+    /// Bumped whenever any registered node actually moves; cache entries
+    /// from older epochs are lazily recomputed.
+    position_epoch: u64,
+    /// Dense pair cache over *registered* nodes, built lazily at the first
+    /// link query after a registration: `n = ids.len()` and the slot of a
+    /// (tx, rx) pair is `tx.compact_slot * n + rx.compact_slot`.
+    link_cache: Vec<LinkCacheEntry>,
 }
 
 impl Medium {
@@ -196,21 +254,48 @@ impl Medium {
             config,
             ap_vehicle,
             vehicle_vehicle,
-            nodes: BTreeMap::new(),
+            slots: Vec::new(),
+            ids: Vec::new(),
             active: Vec::new(),
             stats: MediumStats::default(),
+            position_epoch: 1,
+            link_cache: Vec::new(),
         }
     }
+
+    /// The largest raw [`NodeId`] value the dense node table accepts. Node
+    /// state is stored dense in the raw id (scenario ids are small
+    /// consecutive integers), so the bound keeps a stray huge id from
+    /// allocating gigabytes; remap ids densely if a scenario ever needs
+    /// more.
+    pub const MAX_NODE_ID: u32 = 65_535;
 
     /// Registers a node. Its position defaults to the origin until
     /// [`Medium::update_position`] is called.
     ///
     /// # Panics
     ///
-    /// Panics if the node is already registered.
+    /// Panics if the node is already registered, or if the raw id exceeds
+    /// [`Medium::MAX_NODE_ID`] (node state is dense in the raw id).
     pub fn register_node(&mut self, id: NodeId, class: RadioClass) {
-        let previous = self.nodes.insert(id, NodeEntry { class, position: Point::ORIGIN });
-        assert!(previous.is_none(), "node {id} registered twice");
+        let idx = id.index();
+        assert!(
+            idx <= Self::MAX_NODE_ID as usize,
+            "node id {id} exceeds Medium::MAX_NODE_ID ({}); use dense ids",
+            Self::MAX_NODE_ID
+        );
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(self.slots[idx].is_none(), "node {id} registered twice");
+        let compact_slot = u32::try_from(self.ids.len()).expect("node count fits u32");
+        self.slots[idx] = Some(NodeEntry { class, position: Point::ORIGIN, compact_slot });
+        let pos = self.ids.binary_search(&id).expect_err("slot was empty");
+        self.ids.insert(pos, id);
+        // The pair cache is rebuilt lazily at the next link query (see
+        // `link_state_cached`), so registering N nodes costs O(N) total
+        // instead of re-zeroing an n^2 table per registration.
+        self.link_cache.clear();
     }
 
     /// Updates the position of a registered node.
@@ -219,22 +304,37 @@ impl Medium {
     ///
     /// Panics if the node is not registered.
     pub fn update_position(&mut self, id: NodeId, position: Point) {
-        self.nodes.get_mut(&id).unwrap_or_else(|| panic!("unknown node {id}")).position = position;
+        let entry = self
+            .slots
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .unwrap_or_else(|| panic!("unknown node {id}"));
+        if entry.position != position {
+            entry.position = position;
+            // Any cached pair may involve this node; one epoch bump lazily
+            // invalidates the whole cache. Stationary updates (APs re-pushed
+            // every tick) keep the cache warm.
+            self.position_epoch += 1;
+        }
+    }
+
+    fn entry(&self, id: NodeId) -> Option<NodeEntry> {
+        self.slots.get(id.index()).copied().flatten()
     }
 
     /// The current position of a node, if registered.
     pub fn position_of(&self, id: NodeId) -> Option<Point> {
-        self.nodes.get(&id).map(|n| n.position)
+        self.entry(id).map(|n| n.position)
     }
 
     /// The radio class of a node, if registered.
     pub fn class_of(&self, id: NodeId) -> Option<RadioClass> {
-        self.nodes.get(&id).map(|n| n.class)
+        self.entry(id).map(|n| n.class)
     }
 
     /// Registered node ids, in ascending order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.ids.clone()
     }
 
     /// Aggregate statistics since construction.
@@ -273,35 +373,75 @@ impl Medium {
         }
     }
 
-    /// Submits a transmission starting at `now` and returns the per-receiver
-    /// verdicts. The caller is responsible for scheduling the deliveries as
-    /// events at their `at` timestamps.
+    /// The memoized deterministic link state of the (src, rx) pair at the
+    /// nodes' current positions.
+    /// Largest node count the O(n^2) pair cache is kept for (1024 nodes =
+    /// 1M entries, ~50 MB). Beyond it every link is computed directly —
+    /// bit-identical, just without the memo — instead of letting the cache
+    /// grow quadratically into gigabytes.
+    const MAX_CACHED_NODES: usize = 1_024;
+
+    fn link_state_cached(&mut self, src: NodeId, rx: NodeId) -> LinkState {
+        let s = self.slots[src.index()].expect("link endpoints are registered");
+        let r = self.slots[rx.index()].expect("link endpoints are registered");
+        let n = self.ids.len();
+        if n > Self::MAX_CACHED_NODES {
+            self.link_cache = Vec::new();
+            return self.channel_for(s.class, r.class).link_state(s.position, r.position);
+        }
+        if self.link_cache.len() != n * n {
+            // First link query since a registration: (re)build the pair
+            // cache at the current node count, lazily and exactly once.
+            self.link_cache.clear();
+            self.link_cache.resize(n * n, LinkCacheEntry::INVALID);
+        }
+        let idx = s.compact_slot as usize * n + r.compact_slot as usize;
+        let cached = self.link_cache[idx];
+        if cached.epoch == self.position_epoch {
+            return cached.state;
+        }
+        let state = self.channel_for(s.class, r.class).link_state(s.position, r.position);
+        self.link_cache[idx] = LinkCacheEntry { epoch: self.position_epoch, state };
+        state
+    }
+
+    /// Submits a transmission starting at `now`, writing the per-receiver
+    /// verdicts into `deliveries` (cleared first — pass the same scratch
+    /// buffer every time and the hot path never allocates). The caller keeps
+    /// the frame and is responsible for scheduling the deliveries as events
+    /// at their `at` timestamps.
     ///
     /// # Panics
     ///
     /// Panics if the transmitting node is not registered.
-    pub fn transmit<P: Clone>(
+    pub fn transmit_into<P>(
         &mut self,
         now: SimTime,
-        frame: Frame<P>,
+        frame: &Frame<P>,
         rate: DataRate,
         rng: &mut StreamRng,
-    ) -> TransmissionResult<P> {
-        let src_entry = self
-            .nodes
-            .get(&frame.src)
-            .unwrap_or_else(|| panic!("transmitter {} not registered", frame.src))
-            .clone();
+        deliveries: &mut Vec<Delivery>,
+    ) -> Transmission {
+        let src = frame.src;
+        let src_entry =
+            self.entry(src).unwrap_or_else(|| panic!("transmitter {src} not registered"));
         self.prune_active(now);
         let airtime = self.config.timing.airtime(frame.total_bits(), rate);
         let ends_at = now + airtime;
 
-        let mut deliveries = Vec::with_capacity(self.nodes.len().saturating_sub(1));
-        for (&rx_id, rx_entry) in self.nodes.iter().filter(|(id, _)| **id != frame.src) {
-            let channel = self.channel_for(src_entry.class, rx_entry.class);
-            let verdict = channel.sample_reception(
-                src_entry.position,
-                rx_entry.position,
+        deliveries.clear();
+        deliveries.reserve(self.ids.len().saturating_sub(1));
+        // Index loop (not iterator) so the cache lookups can borrow mutably;
+        // `ids` is ascending, preserving the deterministic receiver order.
+        for i in 0..self.ids.len() {
+            let rx_id = self.ids[i];
+            if rx_id == src {
+                continue;
+            }
+            let state = self.link_state_cached(src, rx_id);
+            let rx_class = self.slots[rx_id.index()].expect("registered").class;
+            let verdict = self.channel_for(src_entry.class, rx_class).sample_from_state(
+                &state,
                 frame.total_bits(),
                 rate,
                 rng,
@@ -311,9 +451,7 @@ impl Medium {
             } else {
                 DeliveryOutcome::LostChannel
             };
-            if outcome == DeliveryOutcome::Received
-                && self.collides_at(rx_id, rx_entry.position, &frame, now)
-            {
+            if outcome == DeliveryOutcome::Received && self.collides_at(rx_id, src, now) {
                 outcome = DeliveryOutcome::LostCollision;
             }
             match outcome {
@@ -321,36 +459,59 @@ impl Medium {
                 DeliveryOutcome::LostChannel => self.stats.deliveries_lost_channel += 1,
                 DeliveryOutcome::LostCollision => self.stats.deliveries_lost_collision += 1,
             }
-            deliveries.push(Delivery {
-                node: rx_id,
-                at: ends_at,
-                outcome,
-                frame: frame.clone(),
-                snr_db: verdict.snr_db,
-            });
+            deliveries.push(Delivery { node: rx_id, at: ends_at, outcome, snr_db: verdict.snr_db });
         }
 
         self.active.push(ActiveTx {
-            src: frame.src,
+            src,
             src_pos: src_entry.position,
             src_class: src_entry.class,
             end: ends_at,
         });
         self.stats.frames_sent += 1;
-        TransmissionResult { deliveries, ends_at, airtime }
+        Transmission { ends_at, airtime }
+    }
+
+    /// Allocating convenience wrapper around [`Medium::transmit_into`] for
+    /// tests and one-off callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmitting node is not registered.
+    pub fn transmit<P>(
+        &mut self,
+        now: SimTime,
+        frame: &Frame<P>,
+        rate: DataRate,
+        rng: &mut StreamRng,
+    ) -> TransmissionResult {
+        let mut deliveries = Vec::new();
+        let tx = self.transmit_into(now, frame, rate, rng, &mut deliveries);
+        TransmissionResult { deliveries, ends_at: tx.ends_at, airtime: tx.airtime }
     }
 
     /// Whether an already-active foreign transmission is audible at the
     /// receiver and therefore corrupts the new frame.
-    fn collides_at<P>(&self, rx_id: NodeId, rx_pos: Point, frame: &Frame<P>, now: SimTime) -> bool {
-        self.active.iter().any(|tx| {
-            if tx.src == frame.src || tx.src == rx_id || tx.end <= now {
-                return false;
+    fn collides_at(&mut self, rx_id: NodeId, src: NodeId, now: SimTime) -> bool {
+        for i in 0..self.active.len() {
+            let tx = self.active[i];
+            if tx.src == src || tx.src == rx_id || tx.end <= now {
+                continue;
             }
-            let rx_class = self.nodes[&rx_id].class;
-            let channel = self.channel_for(tx.src_class, rx_class);
-            channel.link_budget(tx.src_pos, rx_pos).snr_db >= self.config.carrier_sense_snr_db
-        })
+            // The pair cache holds the interferer's budget at its *current*
+            // position; an interferer that moved mid-flight (a mobility tick
+            // landed during its airtime) is computed directly.
+            let snr_db = if self.slots[tx.src.index()].expect("registered").position == tx.src_pos {
+                self.link_state_cached(tx.src, rx_id).budget.snr_db
+            } else {
+                let rx = self.slots[rx_id.index()].expect("registered");
+                self.channel_for(tx.src_class, rx.class).link_budget(tx.src_pos, rx.position).snr_db
+            };
+            if snr_db >= self.config.carrier_sense_snr_db {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -358,6 +519,7 @@ impl Medium {
 mod tests {
     use super::*;
     use crate::address::Destination;
+    use std::collections::BTreeMap;
 
     fn ideal_medium_with_nodes(n_vehicles: u32) -> Medium {
         let mut medium = Medium::new(MediumConfig::ideal());
@@ -375,7 +537,7 @@ mod tests {
         let mut medium = ideal_medium_with_nodes(3);
         let mut rng = StreamRng::derive(1, "m");
         let frame = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, "hello");
-        let result = medium.transmit(SimTime::ZERO, frame, DataRate::Mbps1, &mut rng);
+        let result = medium.transmit(SimTime::ZERO, &frame, DataRate::Mbps1, &mut rng);
         assert_eq!(result.deliveries.len(), 3);
         assert_eq!(result.received().count(), 3);
         assert!(result.airtime > SimDuration::from_millis(8));
@@ -396,7 +558,7 @@ mod tests {
             let frame = Frame::new(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 1_000, i);
             let result = medium.transmit(
                 SimTime::from_millis(i as u64 * 200),
-                frame,
+                &frame,
                 DataRate::Mbps1,
                 &mut rng,
             );
@@ -413,10 +575,10 @@ mod tests {
         let mut rng = StreamRng::derive(3, "m");
         // Vehicle 1 talks first; the AP transmits while that frame is on the air.
         let f1 = Frame::new(NodeId::new(1), Destination::Broadcast, 1_000, "first");
-        let r1 = medium.transmit(SimTime::ZERO, f1, DataRate::Mbps1, &mut rng);
+        let r1 = medium.transmit(SimTime::ZERO, &f1, DataRate::Mbps1, &mut rng);
         assert!(r1.ends_at > SimTime::from_millis(8));
         let f2 = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, "second");
-        let r2 = medium.transmit(SimTime::from_millis(2), f2, DataRate::Mbps1, &mut rng);
+        let r2 = medium.transmit(SimTime::from_millis(2), &f2, DataRate::Mbps1, &mut rng);
         // Receivers 2 and 3 hear both → collision; node 1 is itself the first
         // transmitter, so its copy of the second frame is also corrupted? No:
         // node 1 is the *source* of the interfering frame, which is excluded
@@ -434,11 +596,11 @@ mod tests {
         let mut medium = ideal_medium_with_nodes(2);
         let mut rng = StreamRng::derive(4, "m");
         let f1 = Frame::new(NodeId::new(1), Destination::Broadcast, 1_000, "first");
-        let r1 = medium.transmit(SimTime::ZERO, f1, DataRate::Mbps1, &mut rng);
+        let r1 = medium.transmit(SimTime::ZERO, &f1, DataRate::Mbps1, &mut rng);
         let f2 = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, "second");
         let r2 = medium.transmit(
             r1.ends_at + SimDuration::from_micros(50),
-            f2,
+            &f2,
             DataRate::Mbps1,
             &mut rng,
         );
@@ -451,7 +613,7 @@ mod tests {
         let mut rng = StreamRng::derive(5, "m");
         assert!(!medium.is_busy(SimTime::ZERO));
         let frame = Frame::new(NodeId::new(0), Destination::Broadcast, 1_000, ());
-        let result = medium.transmit(SimTime::ZERO, frame, DataRate::Mbps1, &mut rng);
+        let result = medium.transmit(SimTime::ZERO, &frame, DataRate::Mbps1, &mut rng);
         assert!(medium.is_busy(SimTime::from_millis(1)));
         assert_eq!(medium.busy_until(SimTime::from_millis(1)), result.ends_at);
         assert!(!medium.is_busy(result.ends_at + SimDuration::from_micros(1)));
@@ -468,6 +630,136 @@ mod tests {
         assert_eq!(medium.position_of(NodeId::new(9)), None);
     }
 
+    /// The pre-optimization reference semantics of `transmit`: clone the
+    /// frame per receiver, recompute the full link budget (path loss,
+    /// obstacles, shadowing) for every sample and every collision check.
+    /// `Medium::transmit` must reproduce its delivery sequence exactly.
+    mod reference {
+        use super::*;
+
+        pub struct RefMedium {
+            pub config: MediumConfig,
+            pub ap_vehicle: RadioChannel,
+            pub vehicle_vehicle: RadioChannel,
+            pub nodes: BTreeMap<NodeId, (RadioClass, Point)>,
+            pub active: Vec<(NodeId, Point, RadioClass, SimTime)>,
+        }
+
+        impl RefMedium {
+            pub fn new(config: MediumConfig) -> Self {
+                RefMedium {
+                    ap_vehicle: RadioChannel::new(config.ap_vehicle.clone()),
+                    vehicle_vehicle: RadioChannel::new(config.vehicle_vehicle.clone()),
+                    config,
+                    nodes: BTreeMap::new(),
+                    active: Vec::new(),
+                }
+            }
+
+            fn channel_for(&self, a: RadioClass, b: RadioClass) -> &RadioChannel {
+                if a == RadioClass::AccessPoint || b == RadioClass::AccessPoint {
+                    &self.ap_vehicle
+                } else {
+                    &self.vehicle_vehicle
+                }
+            }
+
+            pub fn transmit<P: Clone>(
+                &mut self,
+                now: SimTime,
+                frame: Frame<P>,
+                rate: DataRate,
+                rng: &mut StreamRng,
+            ) -> Vec<(NodeId, SimTime, DeliveryOutcome, Frame<P>, f64)> {
+                let (src_class, src_pos) = self.nodes[&frame.src];
+                self.active.retain(|(_, _, _, end)| *end > now);
+                let airtime = self.config.timing.airtime(frame.total_bits(), rate);
+                let ends_at = now + airtime;
+                let mut deliveries = Vec::new();
+                for (&rx_id, &(rx_class, rx_pos)) in
+                    self.nodes.iter().filter(|(id, _)| **id != frame.src)
+                {
+                    let channel = self.channel_for(src_class, rx_class);
+                    let verdict =
+                        channel.sample_reception(src_pos, rx_pos, frame.total_bits(), rate, rng);
+                    let mut outcome = if verdict.received {
+                        DeliveryOutcome::Received
+                    } else {
+                        DeliveryOutcome::LostChannel
+                    };
+                    if outcome == DeliveryOutcome::Received {
+                        let collides = self.active.iter().any(|&(a_src, a_pos, a_class, end)| {
+                            if a_src == frame.src || a_src == rx_id || end <= now {
+                                return false;
+                            }
+                            self.channel_for(a_class, rx_class).link_budget(a_pos, rx_pos).snr_db
+                                >= self.config.carrier_sense_snr_db
+                        });
+                        if collides {
+                            outcome = DeliveryOutcome::LostCollision;
+                        }
+                    }
+                    deliveries.push((rx_id, ends_at, outcome, frame.clone(), verdict.snr_db));
+                }
+                self.active.push((frame.src, src_pos, src_class, ends_at));
+                deliveries
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The shared-payload, cache-memoized `transmit` produces delivery
+        /// sequences identical to the clone-per-receiver reference
+        /// implementation — across random topologies, mobility ticks and
+        /// overlapping transmission schedules on one shared RNG stream.
+        #[test]
+        fn prop_transmit_matches_clone_per_receiver_reference(
+            seed in 0u64..500,
+            n_nodes in 2usize..6,
+            steps in proptest::collection::vec((0u64..40, 0u32..6, 0.0f64..400.0), 1..25),
+        ) {
+            let config = MediumConfig::urban_testbed();
+            let mut fast = Medium::new(config.clone());
+            let mut reference = reference::RefMedium::new(config);
+            for i in 0..n_nodes {
+                let class =
+                    if i == 0 { RadioClass::AccessPoint } else { RadioClass::Vehicle };
+                fast.register_node(NodeId::new(i as u32), class);
+                reference
+                    .nodes
+                    .insert(NodeId::new(i as u32), (class, Point::ORIGIN));
+            }
+            let mut rng_fast = StreamRng::derive(seed, "prop-medium");
+            let mut rng_ref = StreamRng::derive(seed, "prop-medium");
+            let mut now = SimTime::ZERO;
+            for (advance_ms, src_raw, x) in steps {
+                now += SimDuration::from_millis(advance_ms);
+                // Move every node (a mobility tick), invalidating the cache.
+                for i in 0..n_nodes {
+                    let pos = Point::new(x + i as f64 * 17.0, (i as f64) * 3.0);
+                    fast.update_position(NodeId::new(i as u32), pos);
+                    reference.nodes.get_mut(&NodeId::new(i as u32)).unwrap().1 = pos;
+                }
+                let src = NodeId::new(src_raw % n_nodes as u32);
+                let frame = Frame::new(src, Destination::Broadcast, 500, src_raw);
+                let got = fast.transmit(now, &frame, DataRate::Mbps1, &mut rng_fast);
+                let want = reference.transmit(now, frame.clone(), DataRate::Mbps1, &mut rng_ref);
+                proptest::prop_assert_eq!(got.deliveries.len(), want.len());
+                for (d, (node, at, outcome, w_frame, snr)) in
+                    got.deliveries.iter().zip(&want)
+                {
+                    proptest::prop_assert_eq!(d.node, *node);
+                    proptest::prop_assert_eq!(d.at, *at);
+                    proptest::prop_assert_eq!(d.outcome, *outcome);
+                    proptest::prop_assert_eq!(d.snr_db, *snr);
+                    // The shared frame the caller keeps is what the
+                    // reference delivered to every receiver.
+                    proptest::prop_assert_eq!(&frame, w_frame);
+                }
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_registration_panics() {
@@ -482,6 +774,6 @@ mod tests {
         let mut medium = Medium::new(MediumConfig::ideal());
         let mut rng = StreamRng::derive(6, "m");
         let frame = Frame::new(NodeId::new(42), Destination::Broadcast, 10, ());
-        let _ = medium.transmit(SimTime::ZERO, frame, DataRate::Mbps1, &mut rng);
+        let _ = medium.transmit(SimTime::ZERO, &frame, DataRate::Mbps1, &mut rng);
     }
 }

@@ -37,6 +37,22 @@ pub struct LinkBudget {
     pub snr_db: f64,
 }
 
+/// The full deterministic part of a link: the median [`LinkBudget`] plus the
+/// (deterministic, spatially correlated) shadowing realisation at this
+/// (tx, rx) pair. Positions only change at mobility ticks, so callers that
+/// sample many frames between ticks can compute this once per pair and reuse
+/// it via [`RadioChannel::sample_from_state`] — only the fast-fading draw and
+/// the reception Bernoulli stay per-frame, which keeps RNG consumption and
+/// results bit-identical to calling
+/// [`ChannelModel::sample_reception`] every time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkState {
+    /// The median link budget (path loss, obstacles, noise).
+    pub budget: LinkBudget,
+    /// The shadowing realisation (dB) at this position pair.
+    pub shadowing_db: f64,
+}
+
 /// The outcome of sampling one frame transmission over a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReceptionVerdict {
@@ -311,6 +327,32 @@ impl RadioChannel {
         let probe = Point::new(rx.x + 0.37 * tx.x - 0.21 * tx.y, rx.y + 0.29 * tx.y + 0.17 * tx.x);
         self.config.shadowing_sigma_db * self.field.value_at(probe)
     }
+
+    /// Computes the deterministic part of the link from `tx` to `rx` —
+    /// everything [`ChannelModel::sample_reception`] derives from positions
+    /// alone. Cacheable while neither endpoint moves.
+    pub fn link_state(&self, tx: Point, rx: Point) -> LinkState {
+        LinkState { budget: self.link_budget(tx, rx), shadowing_db: self.shadowing_db(tx, rx) }
+    }
+
+    /// Samples one frame over a precomputed [`LinkState`]. Draws exactly the
+    /// random variates [`ChannelModel::sample_reception`] would (fast fading,
+    /// then the reception Bernoulli), in the same order, so interleaving
+    /// cached and uncached sampling on one RNG stream is bit-identical.
+    pub fn sample_from_state(
+        &self,
+        state: &LinkState,
+        bits: u64,
+        rate: DataRate,
+        rng: &mut StreamRng,
+    ) -> ReceptionVerdict {
+        let fading = self.config.fading.sample_db(rng);
+        let snr_db = state.budget.snr_db + state.shadowing_db + fading;
+        let per = packet_error_rate(snr_db, bits, rate);
+        let success_probability = 1.0 - per;
+        let received = rng.chance(success_probability);
+        ReceptionVerdict { received, success_probability, snr_db }
+    }
 }
 
 impl ChannelModel for RadioChannel {
@@ -335,14 +377,7 @@ impl ChannelModel for RadioChannel {
         rate: DataRate,
         rng: &mut StreamRng,
     ) -> ReceptionVerdict {
-        let budget = self.link_budget(tx, rx);
-        let shadow = self.shadowing_db(tx, rx);
-        let fading = self.config.fading.sample_db(rng);
-        let snr_db = budget.snr_db + shadow + fading;
-        let per = packet_error_rate(snr_db, bits, rate);
-        let success_probability = 1.0 - per;
-        let received = rng.chance(success_probability);
-        ReceptionVerdict { received, success_probability, snr_db }
+        self.sample_from_state(&self.link_state(tx, rx), bits, rate, rng)
     }
 }
 
@@ -518,6 +553,24 @@ mod tests {
         let var = sum_sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.15, "mean {mean}");
         assert!((var - 1.0).abs() < 0.35, "variance {var}");
+    }
+
+    #[test]
+    fn cached_link_state_sampling_is_bit_identical() {
+        let ch = RadioChannel::new(RadioConfig::urban_2_4ghz());
+        let tx = Point::ORIGIN;
+        let rx = Point::new(73.0, 12.0);
+        let state = ch.link_state(tx, rx);
+        assert_eq!(state.budget, ch.link_budget(tx, rx));
+        // Two identical RNG streams: one sampling from the cached state, one
+        // through the full per-call path. Every verdict must match exactly.
+        let mut cached_rng = StreamRng::derive(99, "state");
+        let mut direct_rng = StreamRng::derive(99, "state");
+        for _ in 0..200 {
+            let cached = ch.sample_from_state(&state, 8_000, DataRate::Mbps1, &mut cached_rng);
+            let direct = ch.sample_reception(tx, rx, 8_000, DataRate::Mbps1, &mut direct_rng);
+            assert_eq!(cached, direct);
+        }
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod pathloss;
 pub mod per;
 
 pub use channel::{
-    ChannelModel, EmpiricalProfile, LinkBudget, RadioChannel, RadioConfig, ReceptionVerdict,
+    ChannelModel, EmpiricalProfile, LinkBudget, LinkState, RadioChannel, RadioConfig,
+    ReceptionVerdict,
 };
 pub use datarate::{DataRate, FrameTiming};
 pub use fading::{FadingKind, FadingModel, NoFading, RayleighFading, RicianFading, Shadowing};

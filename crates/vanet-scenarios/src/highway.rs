@@ -15,7 +15,7 @@
 use rand::Rng;
 use sim_core::{SimDuration, SimTime, Simulation, StreamRng};
 use vanet_dtn::{AccessPointApp, ApConfig};
-use vanet_geo::{highway_segment, kmh_to_ms, DriverProfile, PlatoonMobility};
+use vanet_geo::{highway_segment, kmh_to_ms, DriverProfile, PlatoonMobility, RoadLayout};
 use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::DataRate;
 use vanet_stats::{PointSummary, RoundReport};
@@ -92,56 +92,96 @@ impl HighwayConfig {
     }
 }
 
+/// Per-run invariants of a drive-by pass, hoisted out of the per-round hot
+/// path and shared by the highway scenario and the multi-AP download: the
+/// road layout, the configuration templates and the platoon roster never
+/// change between passes — only the per-pass seeds do.
+#[derive(Debug, Clone)]
+pub(crate) struct PassInvariants {
+    layout: RoadLayout,
+    medium_template: MediumConfig,
+    carq: CarqConfig,
+    drivers: Vec<DriverProfile>,
+    car_ids: Vec<NodeId>,
+    speed_ms: f64,
+    horizon: SimTime,
+}
+
+impl PassInvariants {
+    pub(crate) fn of(cfg: &HighwayConfig) -> Self {
+        let layout = highway_segment(cfg.road_length_m, cfg.road_length_m);
+        let speed_ms = kmh_to_ms(cfg.speed_kmh);
+        // Simulate until the last car has cleared the road plus a margin for
+        // the Cooperative-ARQ phase.
+        let travel_secs = cfg.road_length_m / speed_ms + 20.0;
+        PassInvariants {
+            layout,
+            medium_template: MediumConfig::highway(),
+            carq: CarqConfig::paper_prototype().with_ap_timeout(SimDuration::from_secs(3)),
+            drivers: vec![DriverProfile::experienced(); cfg.n_cars],
+            car_ids: (1..=cfg.n_cars as u32).map(NodeId::new).collect(),
+            speed_ms,
+            horizon: SimTime::from_secs_f64(travel_secs),
+        }
+    }
+}
+
 /// Simulates one drive-by pass of `cfg`, seeding all randomness from `seed`.
 /// Shared by the highway scenario (one pass per round) and the multi-AP
-/// download (one pass per AP visit).
-pub(crate) fn simulate_pass(cfg: &HighwayConfig, round: u32, seed: u64) -> RoundReport {
-    let layout = highway_segment(cfg.road_length_m, cfg.road_length_m);
-    let speed = kmh_to_ms(cfg.speed_kmh);
-
+/// download (one pass per AP visit). `inv` must be [`PassInvariants::of`]
+/// the same `cfg`.
+pub(crate) fn simulate_pass(
+    cfg: &HighwayConfig,
+    inv: &PassInvariants,
+    round: u32,
+    seed: u64,
+) -> RoundReport {
     let pass_rng = StreamRng::derive(seed, "highway-pass");
     let mut mobility_rng = pass_rng.substream(1);
     let shadow_seed = pass_rng.substream(2).gen::<u64>();
     let model_seed = pass_rng.substream(3).gen::<u64>();
 
-    let mut medium = MediumConfig::highway();
-    medium.ap_vehicle = medium.ap_vehicle.clone().with_shadowing_seed(shadow_seed);
+    let mut medium = inv.medium_template.clone();
+    medium.ap_vehicle.shadowing_seed = shadow_seed;
 
     let model_config = ModelConfig {
         medium,
         data_rate: cfg.data_rate,
-        carq: CarqConfig::paper_prototype().with_ap_timeout(SimDuration::from_secs(3)),
+        carq: inv.carq.clone(),
         position_update_interval: SimDuration::from_millis(50),
         seed: model_seed,
         cooperation_enabled: cfg.cooperation_enabled,
     };
     let mut model = VanetModel::new(model_config);
 
-    let car_ids: Vec<NodeId> = (1..=cfg.n_cars as u32).map(NodeId::new).collect();
     let ap_config = ApConfig {
-        cars: car_ids.clone(),
+        cars: inv.car_ids.clone(),
         packets_per_second_per_car: cfg.ap_rate_pps,
         payload_bytes: cfg.payload_bytes,
         policy: vanet_dtn::ApSchedulingPolicy::FreshDataOnly,
     };
-    model.add_access_point(NodeId::new(0), layout.access_points[0], AccessPointApp::new(ap_config));
+    model.add_access_point(
+        NodeId::new(0),
+        inv.layout.access_points[0],
+        AccessPointApp::new(ap_config),
+    );
 
-    let drivers = vec![DriverProfile::experienced(); cfg.n_cars];
-    let platoon = PlatoonMobility::new(layout.path.clone(), speed, &drivers, &mut mobility_rng);
-    for (i, id) in car_ids.iter().enumerate() {
+    let platoon = PlatoonMobility::new(
+        inv.layout.path.clone(),
+        inv.speed_ms,
+        &inv.drivers,
+        &mut mobility_rng,
+    );
+    for (i, id) in inv.car_ids.iter().enumerate() {
         model.add_car(*id, platoon.member(i).clone());
     }
 
-    // Simulate until the last car has cleared the road plus a margin for
-    // the Cooperative-ARQ phase.
-    let travel_secs = cfg.road_length_m / speed + 20.0;
-    let mut sim = Simulation::new(model)
-        .with_horizon(SimTime::from_secs_f64(travel_secs))
-        .with_event_budget(5_000_000);
+    let mut sim = Simulation::new(model).with_horizon(inv.horizon).with_event_budget(5_000_000);
     for (t, ev) in sim.model().initial_events() {
         sim.schedule_at(t, ev);
     }
     sim.run();
+    let events = sim.processed_events();
     let model = sim.into_model();
 
     let node_stats = model.node_stats();
@@ -154,6 +194,7 @@ pub(crate) fn simulate_pass(cfg: &HighwayConfig, round: u32, seed: u64) -> Round
         .with_counter("recovered_via_coop", sum(|s| s.recovered_via_coop))
         .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
         .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
+        .with_counter("sim_events", events as f64)
 }
 
 /// The highway drive-thru as a registry-discoverable [`Scenario`].
@@ -284,6 +325,7 @@ impl Scenario for HighwayScenario {
 #[derive(Debug, Clone)]
 pub struct HighwayRun {
     config: HighwayConfig,
+    invariants: PassInvariants,
 }
 
 impl HighwayRun {
@@ -300,7 +342,8 @@ impl HighwayRun {
         assert!(config.passes >= 1, "at least one pass required");
         assert!(config.speed_kmh > 0.0, "speed must be positive");
         assert!(config.ap_rate_pps > 0.0, "rate must be positive");
-        HighwayRun { config }
+        let invariants = PassInvariants::of(&config);
+        HighwayRun { config, invariants }
     }
 
     /// The configuration in use.
@@ -315,7 +358,7 @@ impl ScenarioRun for HighwayRun {
     }
 
     fn run_round(&self, round: u32, seed: u64) -> RoundReport {
-        simulate_pass(&self.config, round, seed)
+        simulate_pass(&self.config, &self.invariants, round, seed)
     }
 
     fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {

@@ -9,6 +9,7 @@
 //! testbed captured with tcpdump on every laptop).
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use carq::{Action, CarqConfig, CarqMessage, CarqNode, CarqNodeStats, TimerKind};
 use sim_core::{Model, Scheduler, SimDuration, SimTime, StreamRng};
@@ -76,12 +77,15 @@ pub enum VanetEvent {
         /// The logical destination.
         dst: Destination,
     },
-    /// A frame reaches a receiver.
+    /// A frame reaches a receiver. The frame is shared (one transmission
+    /// reaches every receiver with the same bits), so fanning one broadcast
+    /// out to N receivers clones an `Rc`, not the payload.
     FrameDelivery {
         /// The receiving node.
         to: NodeId,
-        /// The received frame.
-        frame: Frame<CarqMessage>,
+        /// The received frame, shared between all receivers of the
+        /// transmission.
+        frame: Rc<Frame<CarqMessage>>,
         /// Realised SNR of the reception in dB.
         snr_db: f64,
     },
@@ -131,6 +135,9 @@ pub struct VanetModel {
     /// Promiscuous reception record: which observer received which sequence
     /// numbers of which flow. `(flow destination, observer) → receptions`.
     promiscuous: BTreeMap<(NodeId, NodeId), ReceptionMap>,
+    /// Reusable per-transmission delivery buffer: the medium writes every
+    /// transmission's verdicts into this one allocation.
+    delivery_scratch: Vec<Delivery>,
 }
 
 impl VanetModel {
@@ -146,6 +153,7 @@ impl VanetModel {
             rng,
             csma: CsmaBackoff::default(),
             promiscuous: BTreeMap::new(),
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -265,12 +273,14 @@ impl VanetModel {
         }
     }
 
-    fn deliver(
+    /// Schedules the received entries of the delivery scratch buffer,
+    /// sharing `frame` between all of them.
+    fn deliver_scratch(
         &mut self,
-        deliveries: Vec<Delivery<CarqMessage>>,
+        frame: &Rc<Frame<CarqMessage>>,
         scheduler: &mut Scheduler<VanetEvent>,
     ) {
-        for delivery in deliveries {
+        for delivery in &self.delivery_scratch {
             if !delivery.outcome.is_received() {
                 continue;
             }
@@ -278,7 +288,7 @@ impl VanetModel {
                 delivery.at,
                 VanetEvent::FrameDelivery {
                     to: delivery.node,
-                    frame: delivery.frame,
+                    frame: Rc::clone(frame),
                     snr_db: delivery.snr_db,
                 },
             );
@@ -301,7 +311,15 @@ impl VanetModel {
             packet.payload_bytes,
             CarqMessage::Data(packet),
         );
-        let result = self.medium.transmit(now, frame, self.config.data_rate, &mut self.rng);
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.medium.transmit_into(
+            now,
+            &frame,
+            self.config.data_rate,
+            &mut self.rng,
+            &mut deliveries,
+        );
+        self.delivery_scratch = deliveries;
         // Idealised loss feedback for the AP-side retransmission baseline: the
         // AP learns about a loss if the destination was close enough to have
         // NACKed it (median SNR above the carrier-sense floor).
@@ -309,14 +327,15 @@ impl VanetModel {
             self.aps[ap_index].app.config().policy,
             ApSchedulingPolicy::RetransmitUnacked { .. }
         ) {
-            if let Some(delivery) = result.deliveries.iter().find(|d| d.node == packet.destination)
+            if let Some(delivery) =
+                self.delivery_scratch.iter().find(|d| d.node == packet.destination)
             {
                 if !delivery.outcome.is_received() && delivery.snr_db > -5.0 {
                     self.aps[ap_index].app.report_missing(packet.destination, packet.seq);
                 }
             }
         }
-        self.deliver(result.deliveries, scheduler);
+        self.deliver_scratch(&Rc::new(frame), scheduler);
         scheduler.schedule_in(interval, VanetEvent::ApTransmit { ap_index });
     }
 
@@ -338,15 +357,23 @@ impl VanetModel {
         }
         let payload_bytes = message.encoded_bytes();
         let frame = Frame::new(node, dst, payload_bytes, message);
-        let result = self.medium.transmit(now, frame, self.config.data_rate, &mut self.rng);
-        self.deliver(result.deliveries, scheduler);
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.medium.transmit_into(
+            now,
+            &frame,
+            self.config.data_rate,
+            &mut self.rng,
+            &mut deliveries,
+        );
+        self.delivery_scratch = deliveries;
+        self.deliver_scratch(&Rc::new(frame), scheduler);
     }
 
     fn handle_frame_delivery(
         &mut self,
         now: SimTime,
         to: NodeId,
-        frame: Frame<CarqMessage>,
+        frame: &Frame<CarqMessage>,
         snr_db: f64,
         scheduler: &mut Scheduler<VanetEvent>,
     ) {
@@ -374,7 +401,7 @@ impl VanetModel {
             // promiscuous record above is the ground truth for the baseline.
             return;
         }
-        let actions = self.cars[idx].protocol.handle_frame(now, &frame, snr_db);
+        let actions = self.cars[idx].protocol.handle_frame(now, frame, snr_db);
         self.process_actions(to, actions, scheduler);
     }
 
@@ -411,7 +438,7 @@ impl Model for VanetModel {
                 self.handle_car_transmit(now, node, message, dst, scheduler)
             }
             VanetEvent::FrameDelivery { to, frame, snr_db } => {
-                self.handle_frame_delivery(now, to, frame, snr_db, scheduler)
+                self.handle_frame_delivery(now, to, &frame, snr_db, scheduler)
             }
             VanetEvent::CarqTimer { node, kind } => {
                 if !self.config.cooperation_enabled {

@@ -20,7 +20,7 @@
 use vanet_mac::NodeId;
 use vanet_stats::{mean, PointSummary, RoundReport};
 
-use crate::highway::{simulate_pass, HighwayConfig};
+use crate::highway::{simulate_pass, HighwayConfig, PassInvariants};
 use crate::params::{Param, SweepPoint};
 use crate::scenario::{Scenario, ScenarioRun};
 use crate::schema::{ParamError, ParamSchema, ParamSpec};
@@ -207,6 +207,7 @@ impl Scenario for MultiApScenario {
 #[derive(Debug, Clone)]
 pub struct MultiApRun {
     config: MultiApConfig,
+    invariants: PassInvariants,
 }
 
 impl MultiApRun {
@@ -224,7 +225,8 @@ impl MultiApRun {
         assert!(config.pass.n_cars >= 1, "at least one car required");
         assert!(config.pass.speed_kmh > 0.0, "speed must be positive");
         assert!(config.pass.ap_rate_pps > 0.0, "rate must be positive");
-        MultiApRun { config }
+        let invariants = PassInvariants::of(&config.pass);
+        MultiApRun { config, invariants }
     }
 
     /// The configuration in use.
@@ -281,7 +283,7 @@ impl ScenarioRun for MultiApRun {
     }
 
     fn run_round(&self, round: u32, seed: u64) -> RoundReport {
-        simulate_pass(&self.config.pass, round, seed)
+        simulate_pass(&self.config.pass, &self.invariants, round, seed)
     }
 
     fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {

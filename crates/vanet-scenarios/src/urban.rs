@@ -17,7 +17,7 @@ use sim_core::{RunOutcome, SimTime, Simulation, StreamRng};
 use vanet_dtn::{AccessPointApp, ApConfig, ApSchedulingPolicy};
 use vanet_geo::{
     kmh_to_ms, urban_testbed_block, urban_testbed_loop, DriverProfile, PathMobility,
-    PlatoonMobility,
+    PlatoonMobility, RoadLayout,
 };
 use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::{Building, DataRate, ObstacleMap};
@@ -258,11 +258,50 @@ impl Scenario for UrbanScenario {
     }
 }
 
+/// Per-run invariants hoisted out of the per-round hot path: the testbed
+/// layout, the obstacle map and the medium configuration template never vary
+/// between rounds — only the per-round shadowing seeds do — so they are
+/// built once per configured run instead of once per lap.
+#[derive(Debug, Clone)]
+struct UrbanInvariants {
+    layout: RoadLayout,
+    /// The configured medium with the city-block obstacle map already
+    /// applied to both channels; rounds only stamp their shadowing seeds.
+    medium_template: vanet_mac::MediumConfig,
+    car_ids: Vec<NodeId>,
+    speed_ms: f64,
+    horizon: SimTime,
+}
+
+impl UrbanInvariants {
+    fn of(config: &UrbanConfig) -> Self {
+        let layout = urban_testbed_loop();
+        let speed_ms = kmh_to_ms(config.speed_kmh);
+        // The city block enclosed by the loop heavily shadows every link that
+        // has to cross it, confining AP coverage to the southern street.
+        let (block_min, block_max) = urban_testbed_block();
+        let obstacles =
+            ObstacleMap::from_buildings(vec![Building::new(block_min, block_max, 30.0)]);
+        let mut medium_template = config.medium.clone();
+        medium_template.ap_vehicle.obstacles = obstacles.clone();
+        medium_template.vehicle_vehicle.obstacles = obstacles;
+        let lap_seconds = layout.lap_length() / speed_ms;
+        UrbanInvariants {
+            layout,
+            medium_template,
+            car_ids: (1..=config.n_cars as u32).map(NodeId::new).collect(),
+            speed_ms,
+            horizon: SimTime::from_secs_f64(lap_seconds * config.lap_fraction),
+        }
+    }
+}
+
 /// One configured urban experiment: [`ScenarioRun::run_round`] simulates one
 /// lap.
 #[derive(Debug, Clone)]
 pub struct UrbanRun {
     config: UrbanConfig,
+    invariants: UrbanInvariants,
 }
 
 impl UrbanRun {
@@ -283,7 +322,8 @@ impl UrbanRun {
         if let Err(msg) = config.carq.validate() {
             panic!("invalid protocol configuration: {msg}");
         }
-        UrbanRun { config }
+        let invariants = UrbanInvariants::of(&config);
+        UrbanRun { config, invariants }
     }
 
     /// The configuration in use.
@@ -301,8 +341,7 @@ impl ScenarioRun for UrbanRun {
     /// shadowing landscape, every sampling stream — derives from `seed`.
     fn run_round(&self, round: u32, seed: u64) -> RoundReport {
         let cfg = &self.config;
-        let layout = urban_testbed_loop();
-        let speed = kmh_to_ms(cfg.speed_kmh);
+        let inv = &self.invariants;
 
         let round_rng = StreamRng::derive(seed, "urban-round");
         let mut mobility_rng = round_rng.substream(1);
@@ -310,23 +349,12 @@ impl ScenarioRun for UrbanRun {
         let shadow_seed_b = round_rng.substream(3).gen::<u64>();
         let model_seed = round_rng.substream(4).gen::<u64>();
 
-        // The city block enclosed by the loop heavily shadows every link that
-        // has to cross it, confining AP coverage to the southern street.
-        let (block_min, block_max) = urban_testbed_block();
-        let obstacles =
-            ObstacleMap::from_buildings(vec![Building::new(block_min, block_max, 30.0)]);
-
-        let mut medium = cfg.medium.clone();
-        medium.ap_vehicle = medium
-            .ap_vehicle
-            .clone()
-            .with_shadowing_seed(shadow_seed_a)
-            .with_obstacles(obstacles.clone());
-        medium.vehicle_vehicle = medium
-            .vehicle_vehicle
-            .clone()
-            .with_shadowing_seed(shadow_seed_b)
-            .with_obstacles(obstacles);
+        // The layout, obstacle map and channel parameters are invariant
+        // across rounds (see `UrbanInvariants`); only the shadowing
+        // landscape is re-seeded per lap.
+        let mut medium = inv.medium_template.clone();
+        medium.ap_vehicle.shadowing_seed = shadow_seed_a;
+        medium.vehicle_vehicle.shadowing_seed = shadow_seed_b;
 
         let model_config = ModelConfig {
             medium,
@@ -340,38 +368,36 @@ impl ScenarioRun for UrbanRun {
 
         // Cars are numbered 1..=n, the AP is node 0, matching the paper's
         // car 1 / car 2 / car 3 naming.
-        let car_ids: Vec<NodeId> = (1..=cfg.n_cars as u32).map(NodeId::new).collect();
         let ap_config = ApConfig {
-            cars: car_ids.clone(),
+            cars: inv.car_ids.clone(),
             packets_per_second_per_car: cfg.ap_rate_pps,
             payload_bytes: cfg.payload_bytes,
             policy: cfg.ap_policy,
         };
         model.add_access_point(
             NodeId::new(0),
-            layout.access_points[0],
+            inv.layout.access_points[0],
             AccessPointApp::new(ap_config),
         );
 
         let platoon = PlatoonMobility::new(
-            layout.path.clone(),
-            speed,
+            inv.layout.path.clone(),
+            inv.speed_ms,
             &cfg.drivers[..cfg.n_cars],
             &mut mobility_rng,
         );
-        for (i, id) in car_ids.iter().enumerate() {
+        for (i, id) in inv.car_ids.iter().enumerate() {
             let mobility: PathMobility = platoon.member(i).clone();
             model.add_car(*id, mobility);
         }
 
-        let lap_seconds = layout.lap_length() / speed;
-        let horizon = SimTime::from_secs_f64(lap_seconds * cfg.lap_fraction);
-        let mut sim = Simulation::new(model).with_horizon(horizon).with_event_budget(5_000_000);
+        let mut sim = Simulation::new(model).with_horizon(inv.horizon).with_event_budget(5_000_000);
         for (t, ev) in sim.model().initial_events() {
             sim.schedule_at(t, ev);
         }
         let outcome = sim.run();
         debug_assert_ne!(outcome, RunOutcome::EventBudgetExhausted, "runaway event loop");
+        let events = sim.processed_events();
         let model = sim.into_model();
 
         let node_stats = model.node_stats();
@@ -384,6 +410,7 @@ impl ScenarioRun for UrbanRun {
             .with_counter("recovered_via_coop", sum(|s| s.recovered_via_coop))
             .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
             .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
+            .with_counter("sim_events", events as f64)
     }
 
     fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {

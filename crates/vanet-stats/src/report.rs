@@ -52,14 +52,31 @@ impl RoundReport {
 }
 
 /// Sums the counter `name` over all `reports` (absent counters count as 0).
+///
+/// Every round of one scenario reports the same counter names in the same
+/// order, so the position resolved from the first report indexes the rest
+/// directly; the per-report linear scan only happens for reports that
+/// (unusually) deviate from the first one's layout.
 pub fn counter_total(reports: &[RoundReport], name: &str) -> f64 {
-    reports.iter().filter_map(|r| r.counter(name)).sum()
+    let Some(first) = reports.first() else { return 0.0 };
+    let Some(pos) = first.counters.iter().position(|(n, _)| *n == name) else {
+        // Not in the first report; fall back to scanning each (mixed layouts).
+        return reports.iter().filter_map(|r| r.counter(name)).sum();
+    };
+    reports
+        .iter()
+        .filter_map(|r| match r.counters.get(pos) {
+            Some((n, v)) if *n == name => Some(*v),
+            _ => r.counter(name),
+        })
+        .sum()
 }
 
-/// Clones the per-round [`RoundResult`]s out of `reports`, in report order —
-/// the shape the Table-1 and figure-series generators consume.
-pub fn round_results(reports: &[RoundReport]) -> Vec<RoundResult> {
-    reports.iter().map(|r| r.result.clone()).collect()
+/// Moves the per-round [`RoundResult`]s out of `reports`, in report order —
+/// the shape the Table-1 and figure-series generators consume. Takes
+/// ownership so no per-round observation maps are cloned.
+pub fn into_round_results(reports: Vec<RoundReport>) -> Vec<RoundResult> {
+    reports.into_iter().map(|r| r.result).collect()
 }
 
 /// The metric row one sweep point produced: ordered `(name, value)` pairs.
@@ -108,7 +125,31 @@ mod tests {
             .collect();
         assert_eq!(counter_total(&reports, "requests_sent"), 6.0);
         assert_eq!(counter_total(&reports, "absent"), 0.0);
-        assert_eq!(round_results(&reports).len(), 4);
+        assert_eq!(into_round_results(reports).len(), 4);
+    }
+
+    #[test]
+    fn counter_total_handles_mixed_counter_layouts() {
+        // Reports whose counter order differs from the first one's (or that
+        // miss a counter) must still sum correctly via the fallback path.
+        let reports = vec![
+            RoundReport::new(0, 0, RoundResult::default())
+                .with_counter("a", 1.0)
+                .with_counter("b", 10.0),
+            RoundReport::new(1, 1, RoundResult::default())
+                .with_counter("b", 20.0)
+                .with_counter("a", 2.0),
+            RoundReport::new(2, 2, RoundResult::default()).with_counter("b", 30.0),
+        ];
+        assert_eq!(counter_total(&reports, "a"), 3.0);
+        assert_eq!(counter_total(&reports, "b"), 60.0);
+        // A counter absent from the first report still totals the rest.
+        let reports = vec![
+            RoundReport::new(0, 0, RoundResult::default()),
+            RoundReport::new(1, 1, RoundResult::default()).with_counter("late", 5.0),
+        ];
+        assert_eq!(counter_total(&reports, "late"), 5.0);
+        assert_eq!(counter_total(&[], "a"), 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 
 use carq_repro::scenarios::{run_rounds, Param, ParamValue, ScenarioRegistry, SweepPoint};
-use carq_repro::stats::{counter_total, render_table1, round_results, table1};
+use carq_repro::stats::{counter_total, into_round_results, render_table1, table1};
 
 fn main() {
     // Scenarios are discoverable by name; `carq-cli scenario list` shows
@@ -27,7 +27,9 @@ fn main() {
     // worker threads here, byte-identical results at any count.
     let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 4);
 
-    let rows = table1(&round_results(&reports));
+    let requests = counter_total(&reports, "requests_sent");
+    let coop_frames = counter_total(&reports, "coop_data_sent");
+    let rows = table1(&into_round_results(reports));
     println!();
     println!("{}", render_table1(&rows));
     for row in &rows {
@@ -38,8 +40,6 @@ fn main() {
         );
     }
     println!(
-        "\nProtocol traffic: {} REQUEST frames, {} cooperative retransmissions",
-        counter_total(&reports, "requests_sent"),
-        counter_total(&reports, "coop_data_sent")
+        "\nProtocol traffic: {requests} REQUEST frames, {coop_frames} cooperative retransmissions"
     );
 }

@@ -11,8 +11,8 @@
 use carq_repro::mac::NodeId;
 use carq_repro::scenarios::{run_rounds, Param, ParamValue, Scenario, SweepPoint, UrbanScenario};
 use carq_repro::stats::{
-    joint_series, reception_series, recovery_series, render_series_csv, render_table1,
-    round_results, table1,
+    into_round_results, joint_series, reception_series, recovery_series, render_series_csv,
+    render_table1, table1,
 };
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let run = scenario.configure(&point).expect("schema-valid point");
     println!("Urban testbed: {} rounds, 3 cars, 20 km/h, 5 pkt/s/car @ 1 Mbps", rounds);
     let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 0);
-    let results = round_results(&reports);
+    let results = into_round_results(reports);
 
     // ----- Table 1 -------------------------------------------------------
     println!("\n=== Table 1: packets received and lost per car ===");

@@ -47,7 +47,7 @@
 //! let point = SweepPoint::new(vec![(Param::Rounds, ParamValue::Int(5))]);
 //! let run = urban.configure(&point).expect("schema-valid point");
 //! let reports = run_rounds(run.as_ref(), 0x2008_1cdc, 4);
-//! let table = carq_repro::stats::table1(&carq_repro::stats::round_results(&reports));
+//! let table = carq_repro::stats::table1(&carq_repro::stats::into_round_results(reports));
 //! println!("{}", carq_repro::stats::render_table1(&table));
 //! ```
 

@@ -11,7 +11,7 @@ use carq_repro::scenarios::highway::HighwayScenario;
 use carq_repro::scenarios::multi_ap::{MultiApConfig, MultiApScenario};
 use carq_repro::scenarios::urban::{UrbanConfig, UrbanRun};
 use carq_repro::scenarios::{run_point, run_rounds, Param, ParamValue, SweepPoint};
-use carq_repro::stats::{round_results, table1, PointSummary};
+use carq_repro::stats::{into_round_results, table1, PointSummary};
 
 /// The AP-side retransmission baseline trades fresh-data goodput for loss
 /// reduction: it must lose less than the no-retransmission baseline but send
@@ -26,7 +26,7 @@ fn ap_retransmissions_trade_goodput_for_reliability() {
     let base = UrbanConfig::paper_testbed().with_rounds(rounds).without_cooperation();
     let summary = |config: UrbanConfig| {
         let run = UrbanRun::new(config);
-        let rows = table1(&round_results(&run_rounds(&run, seed, 2)));
+        let rows = table1(&into_round_results(run_rounds(&run, seed, 2)));
         let tx = rows.iter().map(|r| r.tx_by_ap.mean).sum::<f64>() / rows.len() as f64;
         let loss = rows.iter().map(|r| r.loss_pct_before).sum::<f64>() / rows.len() as f64;
         (tx, loss)

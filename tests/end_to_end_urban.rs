@@ -6,7 +6,7 @@
 use carq_repro::mac::NodeId;
 use carq_repro::scenarios::{run_rounds, Param, ParamValue, Scenario, SweepPoint, UrbanScenario};
 use carq_repro::stats::{
-    counter_total, joint_series, reception_series, recovery_series, round_results, table1,
+    counter_total, into_round_results, joint_series, reception_series, recovery_series, table1,
     RoundReport, RoundResult, SeriesPoint,
 };
 
@@ -29,7 +29,7 @@ fn reports_for(rounds: u64, seed: u64, extra: Vec<(Param, ParamValue)>) -> Vec<R
 /// A small but representative experiment (6 rounds instead of 30) used by
 /// most assertions below.
 fn small_experiment() -> Vec<RoundResult> {
-    round_results(&reports_for(6, 2024, vec![]))
+    into_round_results(reports_for(6, 2024, vec![]))
 }
 
 #[test]
@@ -143,8 +143,8 @@ fn no_cooperation_baseline_matches_direct_reception() {
 
 #[test]
 fn larger_platoons_recover_at_least_as_well() {
-    let three = round_results(&reports_for(3, 5, vec![]));
-    let five = round_results(&reports_for(3, 5, vec![(Param::NCars, ParamValue::Int(5))]));
+    let three = into_round_results(reports_for(3, 5, vec![]));
+    let five = into_round_results(reports_for(3, 5, vec![(Param::NCars, ParamValue::Int(5))]));
     let mean_after = |result: &[RoundResult]| {
         let rows = table1(result);
         rows.iter().map(|r| r.loss_pct_after).sum::<f64>() / rows.len() as f64
