@@ -38,6 +38,40 @@ pub const NO_FAIL_ENV: &str = "CARQ_BENCH_NO_FAIL";
 /// for the `--against` gate to pass: >20 % regressions fail.
 const REGRESSION_FLOOR: f64 = 0.8;
 
+/// Multiple of the committed `table1` allocations/round the current run may
+/// reach before the `--against` gate fails. Tracing is compiled out of the
+/// default path, so per-round allocations must stay at the committed
+/// baseline; the headroom only absorbs the fixed per-repetition setup cost,
+/// which a smaller `--quick` workload amortizes over fewer rounds.
+const ALLOCATION_CEILING: f64 = 1.25;
+
+/// Version of this measurement harness, recorded in every bench JSON so a
+/// trajectory reader knows which fields to expect and whether two files
+/// were produced by comparable code. Bump when workloads, sampling or the
+/// schema change.
+const HARNESS_VERSION: u32 = 2;
+
+/// The git revision the binary was benchmarked at (short hash, with a
+/// `-dirty` suffix when the tree had uncommitted changes), or `"unknown"`
+/// outside a git checkout.
+fn git_revision() -> String {
+    let output = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let Some(revision) = output(&["rev-parse", "--short", "HEAD"]) else {
+        return "unknown".into();
+    };
+    match output(&["status", "--porcelain"]) {
+        Some(status) if !status.is_empty() => format!("{revision}-dirty"),
+        _ => revision,
+    }
+}
+
 /// The pre-PR-5 measurement this PR's speedup is judged against, captured at
 /// commit `de0003f` (the last tree before the hot-path optimization) on the
 /// same single-core container that recorded the first `BENCH_5.json`:
@@ -193,6 +227,7 @@ fn render_json(
     quick: bool,
     threads: usize,
     seed: u64,
+    revision: &str,
 ) -> String {
     fn float_list(values: impl Iterator<Item = f64>) -> String {
         values.map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
@@ -204,6 +239,10 @@ fn render_json(
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"seed\": \"{seed:#x}\",");
+    // Top level only: `extract_table1_number` scopes to the first workload
+    // object, so new fields must never land inside `workloads`.
+    let _ = writeln!(out, "  \"harness_version\": {HARNESS_VERSION},");
+    let _ = writeln!(out, "  \"git_revision\": \"{revision}\",");
     out.push_str("  \"workloads\": [\n");
     for (i, w) in reports.iter().enumerate() {
         out.push_str("    {\n");
@@ -309,15 +348,40 @@ fn check_against(path: &str, committed: &str, current: &WorkloadReport) -> Resul
             );
         }
     }
-    if ratio >= REGRESSION_FLOOR {
-        return Ok(());
+    if ratio < REGRESSION_FLOOR {
+        tolerate_or_fail(format!(
+            "table1 regressed >{:.0} %: {current_rps:.2} rounds/s vs committed {baseline_rps:.2} \
+             (floor {:.2})",
+            (1.0 - REGRESSION_FLOOR) * 100.0,
+            baseline_rps * REGRESSION_FLOOR,
+        ))?;
     }
-    let message = format!(
-        "table1 regressed >{:.0} %: {current_rps:.2} rounds/s vs committed {baseline_rps:.2} \
-         (floor {:.2})",
-        (1.0 - REGRESSION_FLOOR) * 100.0,
-        baseline_rps * REGRESSION_FLOOR,
-    );
+    // The allocation gate: tracing monomorphizes away when disabled, so
+    // per-round allocations must stay at the committed baseline — a count
+    // above the ceiling means something put work back on the hot path.
+    // Deterministic counts make this gate immune to runner speed, so it
+    // holds even where the rate gate needs CARQ_BENCH_NO_FAIL.
+    if let Some(baseline_alloc) = extract_table1_number(committed, "allocations_per_round") {
+        let current_alloc = current.min_allocations() as f64 / current.rounds.max(1) as f64;
+        eprintln!(
+            "bench: table1 {current_alloc:.1} alloc/round vs committed {baseline_alloc:.1} \
+             (ceiling {:.1})",
+            baseline_alloc * ALLOCATION_CEILING,
+        );
+        if current_alloc > baseline_alloc * ALLOCATION_CEILING {
+            tolerate_or_fail(format!(
+                "table1 allocations grew >{:.0} %: {current_alloc:.1} alloc/round vs committed \
+                 {baseline_alloc:.1} (ceiling {:.1})",
+                (ALLOCATION_CEILING - 1.0) * 100.0,
+                baseline_alloc * ALLOCATION_CEILING,
+            ))?;
+        }
+    }
+    Ok(())
+}
+
+/// Downgrades a failed gate to a warning when [`NO_FAIL_ENV`] is set.
+fn tolerate_or_fail(message: String) -> Result<(), String> {
     if std::env::var_os(NO_FAIL_ENV).is_some_and(|v| !v.is_empty()) {
         eprintln!("bench: WARNING: {message} — tolerated because {NO_FAIL_ENV} is set");
         Ok(())
@@ -403,7 +467,7 @@ pub fn bench_cmd(opts: &Options) -> Result<(), String> {
         .get("out")
         .and_then(|p| std::path::Path::new(p).file_stem().and_then(|s| s.to_str()))
         .unwrap_or("bench");
-    let rendered = render_json(&reports, label, quick, threads, seed);
+    let rendered = render_json(&reports, label, quick, threads, seed, &git_revision());
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -444,13 +508,31 @@ mod tests {
 
     #[test]
     fn rendered_json_round_trips_the_table1_rate() {
-        let json = render_json(&[report(30, vec![0.25])], "BENCH_5", false, 1, 0xbeef);
+        let json = render_json(&[report(30, vec![0.25])], "BENCH_5", false, 1, 0xbeef, "abc1234");
         assert!(json.contains("\"bench\": \"BENCH_5\""));
         assert_eq!(extract_table1_rounds_per_sec(&json), Some(120.0));
         assert!(json.contains("\"seed\": \"0xbeef\""));
         assert!(json.contains("\"table1_rounds_per_sec_mean\""));
         // The speedup field compares against the recorded pre-PR baseline.
         assert!(json.contains("\"table1_speedup_vs_baseline\""));
+        // Provenance lands at the top level, outside the workload objects.
+        assert!(json.contains(&format!("\"harness_version\": {HARNESS_VERSION}")));
+        assert!(json.contains("\"git_revision\": \"abc1234\""));
+        assert_eq!(extract_table1_number(&json, "harness_version"), None);
+    }
+
+    #[test]
+    fn allocation_gate_flags_growth_but_tolerates_the_baseline() {
+        let committed = render_json(&[report(30, vec![0.25])], "BENCH_5", false, 1, 1, "x");
+        // Same allocations as committed: both gates pass.
+        let current = report(30, vec![0.25]);
+        assert!(check_against("BENCH_5.json", &committed, &current).is_ok());
+        // Blowing past the allocation ceiling fails even though the rate is
+        // unchanged.
+        let mut bloated = report(30, vec![0.25]);
+        bloated.allocations = vec![1_000_000];
+        let err = check_against("BENCH_5.json", &committed, &bloated).unwrap_err();
+        assert!(err.contains("allocations grew"), "{err}");
     }
 
     #[test]

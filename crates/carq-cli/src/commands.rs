@@ -116,6 +116,15 @@ USAGE:
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
 
+  carq-cli verify --scenario NAME [--rounds N] [--seed S]
+      Replay a scenario's rounds with event tracing enabled and check the
+      recorded stream against the protocol invariants: no overlapping
+      transmissions per node, packet conservation, monotone timestamps,
+      bounded retransmissions, link-cache consistency, and traced-vs-
+      untraced report equality. --rounds caps how many rounds are checked
+      (default: the scenario's full budget). Exits non-zero on any
+      violation. The invariant catalogue is in docs/OBSERVABILITY.md.
+
   carq-cli bench [--quick] [--repeat N] [--threads N] [--seed S]
       [--out PATH] [--against PATH]
       Time the table1, figure-series and preset-sweep workloads and
@@ -188,6 +197,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             )),
         },
         Some("table1") => table1_cmd(&Options::parse(&args[1..])?),
+        Some("verify") => crate::verify::verify_cmd(&Options::parse(&args[1..])?),
         Some("bench") => {
             crate::bench::bench_cmd(&Options::parse_with_switches(&args[1..], &["quick"])?)
         }

@@ -21,6 +21,7 @@ mod alloc_count;
 mod bench;
 mod cli;
 mod commands;
+mod verify;
 
 /// Every allocation in the binary goes through the counting wrapper so
 /// `carq-cli bench` can report allocations per workload (one relaxed atomic

@@ -1,0 +1,194 @@
+//! `carq-cli verify` — replay a scenario with tracing enabled and check
+//! the recorded event stream against the protocol invariants.
+//!
+//! Each verified round runs twice: once through
+//! [`ScenarioRun::run_round_traced`] to collect the structured
+//! [`TraceRecord`] stream, and once through the plain `run_round` to prove
+//! the purity contract (tracing is observation-only — both reports must be
+//! identical). The trace then goes through [`vanet_trace::verify()`]'s
+//! invariant pass (no overlapping transmissions, packet conservation,
+//! monotone timestamps, bounded retransmissions, cache-audit consistency),
+//! and the per-round counters in the report are cross-checked against the
+//! record stream itself — a mutated counter or a silently dropped record
+//! shows up as a mismatch. The invariant catalogue is documented in
+//! `docs/OBSERVABILITY.md`.
+
+use vanet_scenarios::{round_seed, ScenarioRegistry, ScenarioRun, SweepPoint};
+use vanet_stats::RoundReport;
+use vanet_trace::TraceRecord;
+
+use crate::cli::Options;
+use crate::commands::parse_seed;
+
+/// One failed check, tagged with the round it happened in.
+struct Finding {
+    round: u32,
+    invariant: String,
+    detail: String,
+}
+
+/// Cross-checks a round's counters against its own trace: the counters are
+/// folded from the same code paths that emit the records, so any exact
+/// count that disagrees means one side lied. The request/coop counts are
+/// only bounded from above — the simulation horizon can cut a scheduled
+/// transmission after its counter already advanced.
+fn cross_check(round: u32, report: &RoundReport, records: &[TraceRecord], out: &mut Vec<Finding>) {
+    let count = |pred: fn(&TraceRecord) -> bool| records.iter().filter(|r| pred(r)).count() as u64;
+    let counter = |name: &str| report.counter(name).unwrap_or(0.0) as u64;
+    let mut exact = |name: &str, traced: u64| {
+        if counter(name) != traced {
+            out.push(Finding {
+                round,
+                invariant: format!("counter_{name}"),
+                detail: format!(
+                    "counter {name} is {} but the trace holds {traced} matching record(s)",
+                    counter(name)
+                ),
+            });
+        }
+    };
+    exact("sim_events", count(|r| matches!(r, TraceRecord::EventDispatched { .. })));
+    exact("medium_frames_sent", count(|r| matches!(r, TraceRecord::TxStart { .. })));
+    exact("csma_deferrals", count(|r| matches!(r, TraceRecord::CsmaDeferred { .. })));
+    let evicted: u64 = records
+        .iter()
+        .map(|r| match r {
+            TraceRecord::BufferStore { evicted, .. } => u64::from(*evicted),
+            _ => 0,
+        })
+        .sum();
+    exact("buffer_evictions", evicted);
+    let mut at_most = |name: &str, traced: u64| {
+        if traced > counter(name) {
+            out.push(Finding {
+                round,
+                invariant: format!("counter_{name}"),
+                detail: format!(
+                    "trace holds {traced} matching record(s) but counter {name} is only {}",
+                    counter(name)
+                ),
+            });
+        }
+    };
+    at_most("requests_sent", count(|r| matches!(r, TraceRecord::ArqRequest { .. })));
+    at_most("coop_data_sent", count(|r| matches!(r, TraceRecord::CoopRetransmit { .. })));
+}
+
+/// Verifies the first `rounds` rounds of `run`, returning the total record
+/// count and every finding. Exposed for the CLI tests.
+fn verify_rounds(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> (usize, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut records_total = 0usize;
+    for round in 0..rounds {
+        let round_seed = round_seed(seed, round);
+        let (report, records) = run.run_round_traced(round, round_seed);
+        records_total += records.len();
+        if run.run_round(round, round_seed) != report {
+            findings.push(Finding {
+                round,
+                invariant: "trace_purity".into(),
+                detail: "traced and untraced reports differ — tracing perturbed the run".into(),
+            });
+        }
+        for violation in vanet_trace::verify(&records).violations {
+            findings.push(Finding {
+                round,
+                invariant: violation.invariant.to_string(),
+                detail: violation.detail,
+            });
+        }
+        cross_check(round, &report, &records, &mut findings);
+    }
+    (records_total, findings)
+}
+
+/// `carq-cli verify --scenario NAME [--rounds N] [--seed S]`.
+pub fn verify_cmd(opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&["scenario", "rounds", "seed"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let registry = ScenarioRegistry::builtin();
+    let Some(name) = opts.get("scenario") else {
+        return Err(format!(
+            "verify needs --scenario NAME (known: {})",
+            registry.names().join(", ")
+        ));
+    };
+    let scenario = registry.get(name).ok_or_else(|| {
+        format!("unknown scenario `{name}` (known: {})", registry.names().join(", "))
+    })?;
+    let run = scenario.configure(&SweepPoint::empty()).map_err(|e| e.to_string())?;
+    let rounds: u32 = opts.get_parsed("rounds", run.rounds())?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let rounds = rounds.min(run.rounds());
+    let seed = parse_seed(opts)?;
+    eprintln!("verify: {name}: {rounds} round(s), base configuration, seed {seed:#x}");
+    let (records_total, findings) = verify_rounds(run.as_ref(), seed, rounds);
+    for finding in &findings {
+        eprintln!(
+            "verify: round {}: {} violated: {}",
+            finding.round, finding.invariant, finding.detail
+        );
+    }
+    if findings.is_empty() {
+        println!(
+            "verify: {name}: {rounds} round(s), {records_total} trace record(s), \
+             all invariants hold"
+        );
+        Ok(())
+    } else {
+        Err(format!("{name}: {} invariant violation(s) across {rounds} round(s)", findings.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(items: &[&str]) -> Options {
+        let strings: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        Options::parse(&strings).unwrap()
+    }
+
+    #[test]
+    fn verify_validates_its_flags() {
+        let err = verify_cmd(&opts(&[])).unwrap_err();
+        assert!(err.contains("--scenario"), "{err}");
+        assert!(err.contains("urban"), "the error lists the known names: {err}");
+        assert!(verify_cmd(&opts(&["--scenario", "mars"])).is_err());
+        assert!(verify_cmd(&opts(&["--bogus", "1"])).is_err());
+        assert!(verify_cmd(&opts(&["--scenario", "urban", "--rounds", "0"])).is_err());
+        assert!(verify_cmd(&opts(&["--scenario", "urban", "--seed", "nope"])).is_err());
+    }
+
+    #[test]
+    fn urban_round_passes_every_invariant() {
+        assert!(verify_cmd(&opts(&["--scenario", "urban", "--rounds", "1"])).is_ok());
+    }
+
+    #[test]
+    fn counter_cross_check_catches_a_mutated_report() {
+        // A seeded mutation: claim one more simulated event than the trace
+        // holds. The cross-check must flag it.
+        let report = RoundReport::new(0, 1, vanet_stats::RoundResult::default())
+            .with_counter("sim_events", 1.0);
+        let mut findings = Vec::new();
+        cross_check(0, &report, &[], &mut findings);
+        assert!(findings.iter().any(|f| f.invariant == "counter_sim_events"), "not caught");
+        // And an undercounted request stream.
+        let records = [TraceRecord::ArqRequest {
+            at: sim_core::SimTime::from_nanos(5),
+            node: 1,
+            seqs: 2,
+            cooperators: 1,
+        }];
+        let report = RoundReport::new(0, 1, vanet_stats::RoundResult::default())
+            .with_counter("sim_events", 0.0);
+        let mut findings = Vec::new();
+        cross_check(0, &report, &records, &mut findings);
+        assert!(findings.iter().any(|f| f.invariant == "counter_requests_sent"), "not caught");
+    }
+}

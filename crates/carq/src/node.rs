@@ -97,6 +97,9 @@ pub struct CarqNodeStats {
     pub responses_suppressed: u64,
     /// Duplicate data receptions ignored (already held).
     pub duplicates_ignored: u64,
+    /// Buffered packets evicted to respect the cooperation-buffer capacity
+    /// (buffer drops).
+    pub buffer_evictions: u64,
 }
 
 /// The Cooperative-ARQ protocol instance running in one vehicle.
@@ -300,8 +303,12 @@ impl CarqNode {
         } else if self.cooperatees.cooperates_for(packet.destination) {
             // Promiscuous buffering on behalf of the cars that listed us as a
             // cooperator (§3.2).
-            if self.coop_buffer.store(packet) {
+            let outcome = self.coop_buffer.store_with_eviction(packet);
+            if outcome.stored {
                 self.stats.packets_buffered_for_peers += 1;
+            }
+            if outcome.evicted.is_some() {
+                self.stats.buffer_evictions += 1;
             }
         }
         actions
@@ -382,8 +389,14 @@ impl CarqNode {
         if self.pending_responses.remove(&key) {
             self.stats.responses_suppressed += 1;
         }
-        if self.cooperatees.cooperates_for(packet.destination) && self.coop_buffer.store(packet) {
-            self.stats.packets_buffered_for_peers += 1;
+        if self.cooperatees.cooperates_for(packet.destination) {
+            let outcome = self.coop_buffer.store_with_eviction(packet);
+            if outcome.stored {
+                self.stats.packets_buffered_for_peers += 1;
+            }
+            if outcome.evicted.is_some() {
+                self.stats.buffer_evictions += 1;
+            }
         }
         Vec::new()
     }

@@ -17,8 +17,9 @@
 //! * [`rng`] — deterministic, named RNG streams derived from a master seed,
 //!   so that independent subsystems (channel fading, mobility jitter,
 //!   protocol backoff) draw from independent but reproducible streams.
-//! * [`trace`] — a light-weight structured trace sink used by the statistics
-//!   crate to reconstruct per-packet reception series.
+//!
+//! Structured event tracing lives one crate up in `vanet-trace`; the engine
+//! only exposes the [`Model::on_dispatch`] observation hook it plugs into.
 //!
 //! ## Example
 //!
@@ -57,10 +58,8 @@ pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
-pub mod trace;
 
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::{fnv1a64, fnv1a64_chain, RngDirectory, SeedableStream, StreamRng};
 pub use sim::{Model, RunOutcome, RunStats, Scheduler, Simulation};
 pub use time::{SimDuration, SimTime};
-pub use trace::{NullSink, TraceEvent, TraceLevel, TraceRecord, TraceSink, VecSink};

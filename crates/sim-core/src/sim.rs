@@ -19,6 +19,16 @@ pub trait Model {
     /// Handles a single event occurring at `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
 
+    /// Observation hook: called right before [`Model::handle`] for every
+    /// dispatched event, with the number of events still queued behind it.
+    /// The default does nothing and optimizes away; instrumented models (the
+    /// tracing seam in `vanet-trace`) override it to record dispatches. Must
+    /// not affect model behaviour.
+    #[inline(always)]
+    fn on_dispatch(&mut self, now: SimTime, queue_depth: usize) {
+        let _ = (now, queue_depth);
+    }
+
     /// Called once when the run loop stops (either the queue drained, the
     /// horizon was reached or the event budget was exhausted). The default
     /// does nothing.
@@ -247,6 +257,7 @@ impl<M: Model> Simulation<M> {
         let ev = self.queue.pop().expect("peeked, must exist");
         debug_assert!(ev.time >= self.now, "event queue must never move time backwards");
         self.now = ev.time;
+        self.model.on_dispatch(self.now, self.queue.len());
         let mut scheduler = Scheduler::with_buffer(self.now, std::mem::take(&mut self.scratch));
         self.model.handle(self.now, ev.event, &mut scheduler);
         let mut pending = scheduler.pending;
@@ -301,6 +312,7 @@ mod tests {
     #[derive(Default)]
     struct Recorder {
         seen: Vec<(SimTime, u32)>,
+        dispatches: Vec<(SimTime, usize)>,
         finish_time: Option<SimTime>,
     }
 
@@ -314,6 +326,9 @@ mod tests {
                 sched.schedule_in(SimDuration::from_secs(1), 102);
                 assert_eq!(sched.pending_len(), 2);
             }
+        }
+        fn on_dispatch(&mut self, now: SimTime, queue_depth: usize) {
+            self.dispatches.push((now, queue_depth));
         }
         fn on_finish(&mut self, now: SimTime) {
             self.finish_time = Some(now);
@@ -392,6 +407,18 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(10), true);
         sim.run();
         assert_eq!(sim.model().fired, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+    }
+
+    #[test]
+    fn on_dispatch_sees_every_event_with_the_remaining_depth() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_secs(1), 1);
+        sim.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(sim.run(), RunOutcome::QueueDrained);
+        assert_eq!(
+            sim.model().dispatches,
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(2), 0)]
+        );
     }
 
     #[test]

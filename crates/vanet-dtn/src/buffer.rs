@@ -124,6 +124,16 @@ impl Extend<SeqNo> for ReceptionMap {
     }
 }
 
+/// What one [`CoopBuffer::store_with_eviction`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutcome {
+    /// Whether the packet was newly inserted (not already buffered).
+    pub stored: bool,
+    /// The sequence number evicted to make room, if the peer's flow was at
+    /// capacity.
+    pub evicted: Option<SeqNo>,
+}
+
 /// The packets a node buffers on behalf of other cars (its "cooperatees").
 ///
 /// Capacity is bounded per peer; when full, the oldest buffered packet for
@@ -151,17 +161,26 @@ impl CoopBuffer {
     /// Stores a packet overheard for `packet.destination`. Returns `true` if
     /// the packet was newly inserted (not already buffered).
     pub fn store(&mut self, packet: DataPacket) -> bool {
+        self.store_with_eviction(packet).stored
+    }
+
+    /// [`CoopBuffer::store`] reporting what happened, so callers can count
+    /// buffer drops: whether the packet was newly inserted and which
+    /// sequence number (if any) was evicted to make room.
+    pub fn store_with_eviction(&mut self, packet: DataPacket) -> StoreOutcome {
         let per_peer = self.buffered.entry(packet.destination).or_default();
         if per_peer.contains_key(&packet.seq) {
-            return false;
+            return StoreOutcome { stored: false, evicted: None };
         }
+        let mut evicted = None;
         if per_peer.len() >= self.capacity_per_peer {
             // Evict the oldest (lowest) sequence number.
             let oldest = *per_peer.keys().next().expect("non-empty by len check");
             per_peer.remove(&oldest);
+            evicted = Some(oldest);
         }
         per_peer.insert(packet.seq, packet);
-        true
+        StoreOutcome { stored: true, evicted }
     }
 
     /// Looks up a buffered packet for `peer` with sequence number `seq`.
@@ -284,6 +303,34 @@ mod tests {
         assert_eq!(buf.buffered_for(NodeId::new(1)), 3);
         let seqs: Vec<u32> = buf.seqs_for(NodeId::new(1)).into_iter().map(SeqNo::value).collect();
         assert_eq!(seqs, vec![2, 3, 4], "oldest packets evicted first");
+    }
+
+    #[test]
+    fn store_with_eviction_reports_what_happened() {
+        let mut buf = CoopBuffer::new(2);
+        assert_eq!(
+            buf.store_with_eviction(pkt(1, 3)),
+            StoreOutcome { stored: true, evicted: None }
+        );
+        assert_eq!(
+            buf.store_with_eviction(pkt(1, 3)),
+            StoreOutcome { stored: false, evicted: None },
+            "duplicates are rejected without evicting"
+        );
+        assert_eq!(
+            buf.store_with_eviction(pkt(1, 4)),
+            StoreOutcome { stored: true, evicted: None }
+        );
+        assert_eq!(
+            buf.store_with_eviction(pkt(1, 5)),
+            StoreOutcome { stored: true, evicted: Some(SeqNo::new(3)) },
+            "the oldest packet makes room"
+        );
+        // Another peer's flow has its own capacity.
+        assert_eq!(
+            buf.store_with_eviction(pkt(2, 9)),
+            StoreOutcome { stored: true, evicted: None }
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod oracle;
 pub mod packet;
 
 pub use ap::{AccessPointApp, ApConfig, ApSchedulingPolicy, ScheduledPacket};
-pub use buffer::{CoopBuffer, ReceptionMap};
+pub use buffer::{CoopBuffer, ReceptionMap, StoreOutcome};
 pub use epidemic::{AntiEntropySession, ExchangePlan, SummaryVector};
 pub use oracle::JointReceptionOracle;
 pub use packet::{DataPacket, SeqNo};

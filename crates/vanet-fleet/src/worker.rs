@@ -120,11 +120,10 @@ pub fn execute_units(
 /// a round-range unit is covered when every round of its (budget-clamped)
 /// range is cached.
 ///
-/// The settle check here is per-round while the engine's is per-wave, so
-/// with a multi-threaded final pass a settle-capable (multi-AP) unit marked
-/// covered can still see the engine simulate a few rounds past the settle
-/// point — the same overshoot caveat fleet execution already documents;
-/// exports are unaffected either way.
+/// The settle check here matches the engine's cached-prefix check: both are
+/// per-round, so a settle-capable (multi-AP) unit marked covered has its
+/// final pass served entirely from cache, stopping exactly at the settle
+/// point with zero rounds simulated — no overshoot, no wasted work.
 ///
 /// # Errors
 ///

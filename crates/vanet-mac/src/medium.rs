@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime, StreamRng};
 use vanet_geo::Point;
 use vanet_radio::{ChannelModel, DataRate, FrameTiming, LinkState, RadioChannel, RadioConfig};
+use vanet_trace::{NoTrace, TraceRecord, TraceSink};
 
 use crate::address::NodeId;
 use crate::frame::Frame;
@@ -243,6 +244,12 @@ pub struct Medium {
     /// link query after a registration: `n = ids.len()` and the slot of a
     /// (tx, rx) pair is `tx.compact_slot * n + rx.compact_slot`.
     link_cache: Vec<LinkCacheEntry>,
+    /// Cache hits seen by traced transmissions — drives the sampled cache
+    /// audits. Only ever touched when a tracing sink is enabled.
+    audit_counter: u64,
+    /// Testing knob (see [`Medium::debug_skip_epoch_bump`]): deliberately
+    /// leaves the pair cache stale on position changes.
+    skip_epoch_bump: bool,
 }
 
 impl Medium {
@@ -260,6 +267,8 @@ impl Medium {
             stats: MediumStats::default(),
             position_epoch: 1,
             link_cache: Vec::new(),
+            audit_counter: 0,
+            skip_epoch_bump: false,
         }
     }
 
@@ -314,8 +323,19 @@ impl Medium {
             // Any cached pair may involve this node; one epoch bump lazily
             // invalidates the whole cache. Stationary updates (APs re-pushed
             // every tick) keep the cache warm.
-            self.position_epoch += 1;
+            if !self.skip_epoch_bump {
+                self.position_epoch += 1;
+            }
         }
+    }
+
+    /// Fault-injection knob for the invariant test suite: when set, position
+    /// changes no longer bump the cache epoch, so the pair cache serves
+    /// stale link states — exactly the bug class the sampled cache audits
+    /// (and `carq-cli verify`) must catch. Never set outside tests.
+    #[doc(hidden)]
+    pub fn debug_skip_epoch_bump(&mut self, skip: bool) {
+        self.skip_epoch_bump = skip;
     }
 
     fn entry(&self, id: NodeId) -> Option<NodeEntry> {
@@ -381,13 +401,16 @@ impl Medium {
     /// grow quadratically into gigabytes.
     const MAX_CACHED_NODES: usize = 1_024;
 
-    fn link_state_cached(&mut self, src: NodeId, rx: NodeId) -> LinkState {
+    /// Returns the link state plus whether it was served from the pair
+    /// cache (`true`) or computed from scratch (`false`) — the hit flag
+    /// feeds the traced cached-vs-sampled budget split.
+    fn link_state_cached(&mut self, src: NodeId, rx: NodeId) -> (LinkState, bool) {
         let s = self.slots[src.index()].expect("link endpoints are registered");
         let r = self.slots[rx.index()].expect("link endpoints are registered");
         let n = self.ids.len();
         if n > Self::MAX_CACHED_NODES {
             self.link_cache = Vec::new();
-            return self.channel_for(s.class, r.class).link_state(s.position, r.position);
+            return (self.channel_for(s.class, r.class).link_state(s.position, r.position), false);
         }
         if self.link_cache.len() != n * n {
             // First link query since a registration: (re)build the pair
@@ -398,11 +421,20 @@ impl Medium {
         let idx = s.compact_slot as usize * n + r.compact_slot as usize;
         let cached = self.link_cache[idx];
         if cached.epoch == self.position_epoch {
-            return cached.state;
+            return (cached.state, true);
         }
         let state = self.channel_for(s.class, r.class).link_state(s.position, r.position);
         self.link_cache[idx] = LinkCacheEntry { epoch: self.position_epoch, state };
-        state
+        (state, false)
+    }
+
+    /// The link state computed from scratch at the nodes' current positions,
+    /// bypassing the pair cache. RNG-free, so the sampled cache audits can
+    /// recompute mid-transmission without disturbing any draw.
+    fn link_state_direct(&self, src: NodeId, rx: NodeId) -> LinkState {
+        let s = self.slots[src.index()].expect("link endpoints are registered");
+        let r = self.slots[rx.index()].expect("link endpoints are registered");
+        self.channel_for(s.class, r.class).link_state(s.position, r.position)
     }
 
     /// Submits a transmission starting at `now`, writing the per-receiver
@@ -422,12 +454,52 @@ impl Medium {
         rng: &mut StreamRng,
         deliveries: &mut Vec<Delivery>,
     ) -> Transmission {
+        self.transmit_into_traced(now, frame, rate, rng, deliveries, &mut NoTrace)
+    }
+
+    /// Every how many *traced* cache hits the pair cache is audited: the
+    /// cached link state is recomputed from scratch and compared, emitting a
+    /// [`TraceRecord::CacheAudit`]. Small enough that even short verify runs
+    /// sample plenty of links; irrelevant (and unpaid) when tracing is off.
+    const CACHE_AUDIT_INTERVAL: u64 = 16;
+
+    /// [`Medium::transmit_into`] with a tracing seam: emits a
+    /// [`TraceRecord::TxStart`], one [`TraceRecord::Delivery`] per receiver
+    /// carrying the cached-vs-sampled link split, and sampled
+    /// [`TraceRecord::CacheAudit`]s that recompute a cached link state from
+    /// scratch (RNG-free) and compare.
+    ///
+    /// With the default [`NoTrace`] sink every emission block is guarded by
+    /// the compile-time-`false` `S::ENABLED` and this monomorphizes to
+    /// exactly the untraced hot path — same draws, same results, no
+    /// allocation. The bench harness gates that claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmitting node is not registered.
+    pub fn transmit_into_traced<P, S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        frame: &Frame<P>,
+        rate: DataRate,
+        rng: &mut StreamRng,
+        deliveries: &mut Vec<Delivery>,
+        sink: &mut S,
+    ) -> Transmission {
         let src = frame.src;
         let src_entry =
             self.entry(src).unwrap_or_else(|| panic!("transmitter {src} not registered"));
         self.prune_active(now);
         let airtime = self.config.timing.airtime(frame.total_bits(), rate);
         let ends_at = now + airtime;
+        if S::ENABLED {
+            sink.record(TraceRecord::TxStart {
+                at: now,
+                until: ends_at,
+                node: src.as_u32(),
+                bits: u32::try_from(frame.total_bits()).unwrap_or(u32::MAX),
+            });
+        }
 
         deliveries.clear();
         deliveries.reserve(self.ids.len().saturating_sub(1));
@@ -438,7 +510,19 @@ impl Medium {
             if rx_id == src {
                 continue;
             }
-            let state = self.link_state_cached(src, rx_id);
+            let (state, cached) = self.link_state_cached(src, rx_id);
+            if S::ENABLED && cached {
+                self.audit_counter += 1;
+                if self.audit_counter.is_multiple_of(Self::CACHE_AUDIT_INTERVAL) {
+                    let recomputed = self.link_state_direct(src, rx_id);
+                    sink.record(TraceRecord::CacheAudit {
+                        at: now,
+                        tx: src.as_u32(),
+                        rx: rx_id.as_u32(),
+                        ok: recomputed == state,
+                    });
+                }
+            }
             let rx_class = self.slots[rx_id.index()].expect("registered").class;
             let verdict = self.channel_for(src_entry.class, rx_class).sample_from_state(
                 &state,
@@ -458,6 +542,16 @@ impl Medium {
                 DeliveryOutcome::Received => self.stats.deliveries_ok += 1,
                 DeliveryOutcome::LostChannel => self.stats.deliveries_lost_channel += 1,
                 DeliveryOutcome::LostCollision => self.stats.deliveries_lost_collision += 1,
+            }
+            if S::ENABLED {
+                sink.record(TraceRecord::Delivery {
+                    at: now,
+                    tx: src.as_u32(),
+                    rx: rx_id.as_u32(),
+                    received: outcome.is_received(),
+                    cached,
+                    snr_db: verdict.snr_db,
+                });
             }
             deliveries.push(Delivery { node: rx_id, at: ends_at, outcome, snr_db: verdict.snr_db });
         }
@@ -502,7 +596,7 @@ impl Medium {
             // position; an interferer that moved mid-flight (a mobility tick
             // landed during its airtime) is computed directly.
             let snr_db = if self.slots[tx.src.index()].expect("registered").position == tx.src_pos {
-                self.link_state_cached(tx.src, rx_id).budget.snr_db
+                self.link_state_cached(tx.src, rx_id).0.budget.snr_db
             } else {
                 let rx = self.slots[rx_id.index()].expect("registered");
                 self.channel_for(tx.src_class, rx.class).link_budget(tx.src_pos, rx.position).snr_db
@@ -758,6 +852,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_transmission_matches_untraced_and_records_the_split() {
+        use vanet_trace::VecSink;
+        let build = || {
+            let mut medium = Medium::new(MediumConfig::urban_testbed());
+            medium.register_node(NodeId::new(0), RadioClass::AccessPoint);
+            medium.register_node(NodeId::new(1), RadioClass::Vehicle);
+            medium.register_node(NodeId::new(2), RadioClass::Vehicle);
+            medium.update_position(NodeId::new(0), Point::new(0.0, 18.0));
+            medium.update_position(NodeId::new(1), Point::new(30.0, 0.0));
+            medium.update_position(NodeId::new(2), Point::new(55.0, 0.0));
+            medium
+        };
+        let mut plain = build();
+        let mut traced = build();
+        let mut rng_plain = StreamRng::derive(11, "m");
+        let mut rng_traced = StreamRng::derive(11, "m");
+        let mut sink = VecSink::new();
+        let mut scratch = Vec::new();
+        for i in 0..40u64 {
+            let frame = Frame::new(NodeId::new(0), Destination::Broadcast, 500, i);
+            let now = SimTime::from_millis(i * 100);
+            let want = plain.transmit(now, &frame, DataRate::Mbps1, &mut rng_plain);
+            let tx = traced.transmit_into_traced(
+                now,
+                &frame,
+                DataRate::Mbps1,
+                &mut rng_traced,
+                &mut scratch,
+                &mut sink,
+            );
+            assert_eq!(tx.ends_at, want.ends_at, "tracing must not change results");
+            assert_eq!(scratch, want.deliveries);
+        }
+        let records = sink.records();
+        let tx_starts = records.iter().filter(|r| r.kind() == "tx_start").count();
+        let deliveries = records.iter().filter(|r| r.kind() == "delivery").count();
+        let audits = records.iter().filter(|r| r.kind() == "cache_audit").count();
+        assert_eq!(tx_starts, 40);
+        assert_eq!(deliveries, 80, "two receivers per frame");
+        // Nodes never moved, so after the first frame every link is a cache
+        // hit; 78 hits sample at least one audit, and all must pass.
+        assert!(audits >= 1, "expected sampled cache audits");
+        assert!(records.iter().all(|r| !matches!(r, TraceRecord::CacheAudit { ok: false, .. })));
+    }
+
+    #[test]
+    fn skipping_the_epoch_bump_is_caught_by_a_cache_audit() {
+        use vanet_trace::VecSink;
+        let mut medium = Medium::new(MediumConfig::urban_testbed());
+        medium.register_node(NodeId::new(0), RadioClass::AccessPoint);
+        medium.register_node(NodeId::new(1), RadioClass::Vehicle);
+        medium.update_position(NodeId::new(0), Point::new(0.0, 18.0));
+        medium.update_position(NodeId::new(1), Point::new(30.0, 0.0));
+        let mut rng = StreamRng::derive(12, "m");
+        let mut sink = VecSink::new();
+        let mut scratch = Vec::new();
+        let mut send = |medium: &mut Medium, sink: &mut VecSink, rng: &mut StreamRng, i: u64| {
+            let frame = Frame::new(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 500, i);
+            medium.transmit_into_traced(
+                SimTime::from_millis(i * 100),
+                &frame,
+                DataRate::Mbps1,
+                rng,
+                &mut scratch,
+                sink,
+            );
+        };
+        // Warm the cache, then inject the bug: the vehicle moves far away
+        // but the epoch is not bumped, so the cache keeps serving the
+        // 30-metre link state.
+        send(&mut medium, &mut sink, &mut rng, 0);
+        medium.debug_skip_epoch_bump(true);
+        medium.update_position(NodeId::new(1), Point::new(400.0, 0.0));
+        for i in 1..=Medium::CACHE_AUDIT_INTERVAL {
+            send(&mut medium, &mut sink, &mut rng, i);
+        }
+        assert!(
+            sink.records().iter().any(|r| matches!(r, TraceRecord::CacheAudit { ok: false, .. })),
+            "a stale cache must fail a sampled audit"
+        );
+        // ...and the invariant checker turns the failed audit into a
+        // cache_consistency violation — the seeded mutation is caught
+        // end-to-end, not just recorded.
+        let report = vanet_trace::verify(sink.records());
+        assert!(!report.is_ok(), "the mutation must fail verification");
+        assert!(
+            report.violations.iter().all(|v| v.invariant == "cache_consistency"),
+            "only the cache invariant should trip: {:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use vanet_geo::{highway_segment, kmh_to_ms, DriverProfile, PlatoonMobility, Road
 use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::DataRate;
 use vanet_stats::{PointSummary, RoundReport};
+use vanet_trace::{NoTrace, TraceRecord, TraceSink, VecSink};
 
 use crate::model::{ModelConfig, VanetModel};
 use crate::params::{Param, SweepPoint};
@@ -136,6 +137,30 @@ pub(crate) fn simulate_pass(
     round: u32,
     seed: u64,
 ) -> RoundReport {
+    simulate_pass_sink(cfg, inv, round, seed, &mut NoTrace)
+}
+
+/// [`simulate_pass`] with tracing enabled, collecting the emitted records.
+pub(crate) fn simulate_pass_traced(
+    cfg: &HighwayConfig,
+    inv: &PassInvariants,
+    round: u32,
+    seed: u64,
+) -> (RoundReport, Vec<TraceRecord>) {
+    let mut sink = VecSink::new();
+    let report = simulate_pass_sink(cfg, inv, round, seed, &mut sink);
+    (report, sink.into_records())
+}
+
+/// The pass body, generic over the trace sink so the traced and untraced
+/// paths share one implementation (and cannot drift apart).
+fn simulate_pass_sink<S: TraceSink>(
+    cfg: &HighwayConfig,
+    inv: &PassInvariants,
+    round: u32,
+    seed: u64,
+    sink: &mut S,
+) -> RoundReport {
     let pass_rng = StreamRng::derive(seed, "highway-pass");
     let mut mobility_rng = pass_rng.substream(1);
     let shadow_seed = pass_rng.substream(2).gen::<u64>();
@@ -152,7 +177,7 @@ pub(crate) fn simulate_pass(
         seed: model_seed,
         cooperation_enabled: cfg.cooperation_enabled,
     };
-    let mut model = VanetModel::new(model_config);
+    let mut model = VanetModel::with_sink(model_config, sink);
 
     let ap_config = ApConfig {
         cars: inv.car_ids.clone(),
@@ -195,6 +220,12 @@ pub(crate) fn simulate_pass(
         .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
         .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
         .with_counter("sim_events", events as f64)
+        .with_counter("csma_deferrals", model.csma_deferrals() as f64)
+        .with_counter(
+            "arq_retransmissions",
+            model.ap_retransmissions_queued() as f64 + sum(|s| s.coop_data_sent),
+        )
+        .with_counter("buffer_evictions", sum(|s| s.buffer_evictions))
 }
 
 /// The highway drive-thru as a registry-discoverable [`Scenario`].
@@ -359,6 +390,10 @@ impl ScenarioRun for HighwayRun {
 
     fn run_round(&self, round: u32, seed: u64) -> RoundReport {
         simulate_pass(&self.config, &self.invariants, round, seed)
+    }
+
+    fn run_round_traced(&self, round: u32, seed: u64) -> (RoundReport, Vec<TraceRecord>) {
+        simulate_pass_traced(&self.config, &self.invariants, round, seed)
     }
 
     fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {

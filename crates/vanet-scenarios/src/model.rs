@@ -20,6 +20,7 @@ use vanet_mac::{
 };
 use vanet_radio::DataRate;
 use vanet_stats::{FlowObservation, RoundResult};
+use vanet_trace::{NoTrace, TraceRecord, TraceSink};
 
 /// Static configuration of one simulated round.
 #[derive(Debug, Clone)]
@@ -124,25 +125,47 @@ pub struct NodeStatsSnapshot {
 }
 
 /// The complete simulation model for one round.
+///
+/// Generic over its [`TraceSink`]: the default [`NoTrace`] monomorphizes
+/// every emission site away (the benchmarked hot path), while
+/// [`VanetModel::with_sink`] instruments the same model — same RNG draws,
+/// same results — with structured records for `carq-cli verify` and the
+/// trace tooling.
 #[derive(Debug)]
-pub struct VanetModel {
+pub struct VanetModel<S: TraceSink = NoTrace> {
     config: ModelConfig,
     medium: Medium,
     aps: Vec<AccessPoint>,
     cars: Vec<Car>,
     rng: StreamRng,
     csma: CsmaBackoff,
+    sink: S,
     /// Promiscuous reception record: which observer received which sequence
     /// numbers of which flow. `(flow destination, observer) → receptions`.
     promiscuous: BTreeMap<(NodeId, NodeId), ReceptionMap>,
     /// Reusable per-transmission delivery buffer: the medium writes every
     /// transmission's verdicts into this one allocation.
     delivery_scratch: Vec<Delivery>,
+    /// Transmissions deferred by carrier sensing (always counted; surfaced
+    /// as the `csma_deferrals` round counter).
+    csma_deferrals: u64,
+    /// AP-side retransmissions queued after idealised loss feedback (always
+    /// counted; part of the `arq_retransmissions` round counter).
+    ap_retransmissions_queued: u64,
 }
 
-impl VanetModel {
-    /// Creates an empty model (no nodes yet).
+impl VanetModel<NoTrace> {
+    /// Creates an empty model (no nodes yet) with tracing disabled.
     pub fn new(config: ModelConfig) -> Self {
+        VanetModel::with_sink(config, NoTrace)
+    }
+}
+
+impl<S: TraceSink> VanetModel<S> {
+    /// Creates an empty model emitting trace records into `sink`. Pass
+    /// `&mut VecSink` (or any other sink by mutable borrow) to keep
+    /// ownership of the collected records.
+    pub fn with_sink(config: ModelConfig, sink: S) -> Self {
         let medium = Medium::new(config.medium.clone());
         let rng = StreamRng::derive(config.seed, "vanet-model");
         VanetModel {
@@ -152,8 +175,11 @@ impl VanetModel {
             cars: Vec::new(),
             rng,
             csma: CsmaBackoff::default(),
+            sink,
             promiscuous: BTreeMap::new(),
             delivery_scratch: Vec::new(),
+            csma_deferrals: 0,
+            ap_retransmissions_queued: 0,
         }
     }
 
@@ -214,6 +240,16 @@ impl VanetModel {
             .iter()
             .map(|c| NodeStatsSnapshot { node: c.id, stats: c.protocol.stats() })
             .collect()
+    }
+
+    /// How many transmissions carrier sensing deferred this round.
+    pub fn csma_deferrals(&self) -> u64 {
+        self.csma_deferrals
+    }
+
+    /// How many AP-side retransmissions were queued after loss feedback.
+    pub fn ap_retransmissions_queued(&self) -> u64 {
+        self.ap_retransmissions_queued
     }
 
     /// Builds the per-flow observations of the finished round.
@@ -312,12 +348,13 @@ impl VanetModel {
             CarqMessage::Data(packet),
         );
         let mut deliveries = std::mem::take(&mut self.delivery_scratch);
-        self.medium.transmit_into(
+        self.medium.transmit_into_traced(
             now,
             &frame,
             self.config.data_rate,
             &mut self.rng,
             &mut deliveries,
+            &mut self.sink,
         );
         self.delivery_scratch = deliveries;
         // Idealised loss feedback for the AP-side retransmission baseline: the
@@ -332,6 +369,15 @@ impl VanetModel {
             {
                 if !delivery.outcome.is_received() && delivery.snr_db > -5.0 {
                     self.aps[ap_index].app.report_missing(packet.destination, packet.seq);
+                    self.ap_retransmissions_queued += 1;
+                    if S::ENABLED {
+                        self.sink.record(TraceRecord::ApRetransmitQueued {
+                            at: now,
+                            ap: ap_id.as_u32(),
+                            destination: packet.destination.as_u32(),
+                            seq: packet.seq.value(),
+                        });
+                    }
                 }
             }
         }
@@ -352,18 +398,47 @@ impl VanetModel {
         if busy_until > now {
             let timing = *self.medium.timing();
             let retry_at = self.csma.next_opportunity(now, busy_until, &timing, &mut self.rng);
+            self.csma_deferrals += 1;
+            // Emitted *after* the backoff draw, so tracing never reorders it.
+            if S::ENABLED {
+                self.sink.record(TraceRecord::CsmaDeferred {
+                    at: now,
+                    node: node.as_u32(),
+                    until: retry_at,
+                });
+            }
             scheduler.schedule_at(retry_at, VanetEvent::CarTransmit { node, message, dst });
             return;
+        }
+        // The ARQ decision records are emitted at actual transmission time
+        // (after carrier sensing cleared), so REQUESTs always precede the
+        // COOP-DATA they trigger in the trace.
+        if S::ENABLED {
+            match &message {
+                CarqMessage::Request(request) => self.sink.record(TraceRecord::ArqRequest {
+                    at: now,
+                    node: node.as_u32(),
+                    seqs: u32::try_from(request.seqs.len()).unwrap_or(u32::MAX),
+                    cooperators: request.cooperator_count,
+                }),
+                CarqMessage::CoopData(_) => self.sink.record(TraceRecord::CoopRetransmit {
+                    at: now,
+                    node: node.as_u32(),
+                    seqs: 1,
+                }),
+                CarqMessage::Data(_) | CarqMessage::Hello(_) => {}
+            }
         }
         let payload_bytes = message.encoded_bytes();
         let frame = Frame::new(node, dst, payload_bytes, message);
         let mut deliveries = std::mem::take(&mut self.delivery_scratch);
-        self.medium.transmit_into(
+        self.medium.transmit_into_traced(
             now,
             &frame,
             self.config.data_rate,
             &mut self.rng,
             &mut deliveries,
+            &mut self.sink,
         );
         self.delivery_scratch = deliveries;
         self.deliver_scratch(&Rc::new(frame), scheduler);
@@ -401,8 +476,27 @@ impl VanetModel {
             // promiscuous record above is the ground truth for the baseline.
             return;
         }
-        let actions = self.cars[idx].protocol.handle_frame(now, frame, snr_db);
-        self.process_actions(to, actions, scheduler);
+        if S::ENABLED {
+            // Cooperation-buffer activity is observed as a counter delta
+            // around the protocol handler — no protocol code path changes.
+            let before = self.cars[idx].protocol.stats();
+            let actions = self.cars[idx].protocol.handle_frame(now, frame, snr_db);
+            let after = self.cars[idx].protocol.stats();
+            let stored = after.packets_buffered_for_peers - before.packets_buffered_for_peers;
+            let evicted = after.buffer_evictions - before.buffer_evictions;
+            if stored > 0 || evicted > 0 {
+                self.sink.record(TraceRecord::BufferStore {
+                    at: now,
+                    node: to.as_u32(),
+                    stored: u32::try_from(stored).unwrap_or(u32::MAX),
+                    evicted: u32::try_from(evicted).unwrap_or(u32::MAX),
+                });
+            }
+            self.process_actions(to, actions, scheduler);
+        } else {
+            let actions = self.cars[idx].protocol.handle_frame(now, frame, snr_db);
+            self.process_actions(to, actions, scheduler);
+        }
     }
 
     fn handle_position_update(&mut self, now: SimTime, scheduler: &mut Scheduler<VanetEvent>) {
@@ -416,8 +510,17 @@ impl VanetModel {
     }
 }
 
-impl Model for VanetModel {
+impl<S: TraceSink> Model for VanetModel<S> {
     type Event = VanetEvent;
+
+    fn on_dispatch(&mut self, now: SimTime, queue_depth: usize) {
+        if S::ENABLED {
+            self.sink.record(TraceRecord::EventDispatched {
+                at: now,
+                queue_depth: u32::try_from(queue_depth).unwrap_or(u32::MAX),
+            });
+        }
+    }
 
     fn handle(&mut self, now: SimTime, event: VanetEvent, scheduler: &mut Scheduler<VanetEvent>) {
         match event {

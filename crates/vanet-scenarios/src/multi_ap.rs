@@ -19,8 +19,9 @@
 
 use vanet_mac::NodeId;
 use vanet_stats::{mean, PointSummary, RoundReport};
+use vanet_trace::TraceRecord;
 
-use crate::highway::{simulate_pass, HighwayConfig, PassInvariants};
+use crate::highway::{simulate_pass, simulate_pass_traced, HighwayConfig, PassInvariants};
 use crate::params::{Param, SweepPoint};
 use crate::scenario::{Scenario, ScenarioRun};
 use crate::schema::{ParamError, ParamSchema, ParamSpec};
@@ -284,6 +285,10 @@ impl ScenarioRun for MultiApRun {
 
     fn run_round(&self, round: u32, seed: u64) -> RoundReport {
         simulate_pass(&self.config.pass, &self.invariants, round, seed)
+    }
+
+    fn run_round_traced(&self, round: u32, seed: u64) -> (RoundReport, Vec<TraceRecord>) {
+        simulate_pass_traced(&self.config.pass, &self.invariants, round, seed)
     }
 
     fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {

@@ -21,6 +21,7 @@
 use rand::RngCore as _;
 use sim_core::StreamRng;
 use vanet_stats::{PointSummary, RoundReport};
+use vanet_trace::TraceRecord;
 
 use crate::params::SweepPoint;
 use crate::schema::{ParamError, ParamSchema};
@@ -67,6 +68,19 @@ pub trait ScenarioRun: Send + Sync {
     fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {
         let _ = rounds_so_far;
         false
+    }
+
+    /// Runs round `round` with structured tracing enabled, returning the
+    /// report together with the emitted [`TraceRecord`]s — the seam behind
+    /// `carq-cli verify` and the trace tooling.
+    ///
+    /// Tracing must be observation-only: the report must equal what
+    /// [`ScenarioRun::run_round`] returns for the same `(round, seed)` bit
+    /// for bit, and the records must be a pure function of the same inputs.
+    /// The default (for runs without an instrumented path) returns the
+    /// untraced report and an empty trace.
+    fn run_round_traced(&self, round: u32, seed: u64) -> (RoundReport, Vec<TraceRecord>) {
+        (self.run_round(round, seed), Vec::new())
     }
 }
 

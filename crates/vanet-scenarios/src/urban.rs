@@ -22,6 +22,7 @@ use vanet_geo::{
 use vanet_mac::{MediumConfig, NodeId};
 use vanet_radio::{Building, DataRate, ObstacleMap};
 use vanet_stats::{mean, PointSummary, RoundReport};
+use vanet_trace::{NoTrace, TraceRecord, TraceSink, VecSink};
 
 use crate::model::{ModelConfig, VanetModel};
 use crate::params::{Param, ParamValue, SweepPoint};
@@ -330,16 +331,12 @@ impl UrbanRun {
     pub fn config(&self) -> &UrbanConfig {
         &self.config
     }
-}
 
-impl ScenarioRun for UrbanRun {
-    fn rounds(&self) -> u32 {
-        self.config.rounds
-    }
-
-    /// Runs a single round (lap). All randomness — mobility realisation,
-    /// shadowing landscape, every sampling stream — derives from `seed`.
-    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+    /// The round body, generic over the trace sink: `run_round` instantiates
+    /// it with [`NoTrace`] (compiling the tracing away), `run_round_traced`
+    /// with a recording sink. One body, so the traced and untraced paths
+    /// cannot drift apart.
+    fn run_round_sink<S: TraceSink>(&self, round: u32, seed: u64, sink: &mut S) -> RoundReport {
         let cfg = &self.config;
         let inv = &self.invariants;
 
@@ -364,7 +361,7 @@ impl ScenarioRun for UrbanRun {
             seed: model_seed,
             cooperation_enabled: cfg.cooperation_enabled,
         };
-        let mut model = VanetModel::new(model_config);
+        let mut model = VanetModel::with_sink(model_config, sink);
 
         // Cars are numbered 1..=n, the AP is node 0, matching the paper's
         // car 1 / car 2 / car 3 naming.
@@ -411,6 +408,30 @@ impl ScenarioRun for UrbanRun {
             .with_counter("responses_suppressed", sum(|s| s.responses_suppressed))
             .with_counter("medium_frames_sent", model.medium_stats().frames_sent as f64)
             .with_counter("sim_events", events as f64)
+            .with_counter("csma_deferrals", model.csma_deferrals() as f64)
+            .with_counter(
+                "arq_retransmissions",
+                model.ap_retransmissions_queued() as f64 + sum(|s| s.coop_data_sent),
+            )
+            .with_counter("buffer_evictions", sum(|s| s.buffer_evictions))
+    }
+}
+
+impl ScenarioRun for UrbanRun {
+    fn rounds(&self) -> u32 {
+        self.config.rounds
+    }
+
+    /// Runs a single round (lap). All randomness — mobility realisation,
+    /// shadowing landscape, every sampling stream — derives from `seed`.
+    fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+        self.run_round_sink(round, seed, &mut NoTrace)
+    }
+
+    fn run_round_traced(&self, round: u32, seed: u64) -> (RoundReport, Vec<TraceRecord>) {
+        let mut sink = VecSink::new();
+        let report = self.run_round_sink(round, seed, &mut sink);
+        (report, sink.into_records())
     }
 
     fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {

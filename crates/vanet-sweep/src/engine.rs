@@ -332,6 +332,14 @@ impl Default for SweepEngine {
 /// point. Returns the reports in round order plus the count of rounds that
 /// were actually simulated, or the first `store` error.
 ///
+/// Cached rounds cost no simulation, so the executor first drains the
+/// cached prefix one round at a time with a settle check between rounds.
+/// A settle-capable run served entirely from cache (a fleet's final pass
+/// over covered units, say) therefore stops *exactly* at its settle point
+/// instead of overshooting by up to a wave of cached reports; only once a
+/// round misses does the wave machinery — and its coarser between-wave
+/// settle granularity, the price of parallelism — take over.
+///
 /// The engine runs its cache-less sweeps through this same function with an
 /// always-miss `lookup` (every round simulates, `store` is a no-op), which
 /// is what makes "exports are byte-identical with and without the cache"
@@ -350,6 +358,20 @@ fn run_rounds_cached(
     let mut reports: Vec<RoundReport> = Vec::with_capacity(total as usize);
     let mut fresh = 0usize;
     let mut next = 0u32;
+    // Serve the cached prefix round by round so settle checks run at the
+    // finest possible granularity while no simulation is pending.
+    while next < total {
+        if !reports.is_empty() && run.is_settled(&reports) {
+            return Ok((reports, fresh));
+        }
+        match lookup(next, round_seed(base_seed, next)) {
+            Some(report) => {
+                reports.push(report);
+                next += 1;
+            }
+            None => break,
+        }
+    }
     while next < total {
         if !reports.is_empty() && run.is_settled(&reports) {
             break;
@@ -848,6 +870,73 @@ mod tests {
         fn aggregate(&self, _rounds: &[RoundReport]) -> PointSummary {
             PointSummary { metrics: vec![(if self.n == 1 { "a" } else { "b" }, 0.0)] }
         }
+    }
+
+    /// A settle-capable run: done once three reports are in.
+    struct SettlingRun {
+        simulated: AtomicUsize,
+    }
+
+    impl ScenarioRun for SettlingRun {
+        fn rounds(&self) -> u32 {
+            40
+        }
+
+        fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+                .with_counter("value", 1.0)
+        }
+
+        fn aggregate(&self, rounds: &[RoundReport]) -> PointSummary {
+            let total: f64 = rounds.iter().take(3).filter_map(|r| r.counter("value")).sum();
+            PointSummary { metrics: vec![("total", total)] }
+        }
+
+        fn is_settled(&self, rounds_so_far: &[RoundReport]) -> bool {
+            rounds_so_far.len() >= 3
+        }
+    }
+
+    #[test]
+    fn fully_cached_settling_run_stops_exactly_at_the_settle_point() {
+        let run = SettlingRun { simulated: AtomicUsize::new(0) };
+        let lookup = |round: u32, seed: u64| {
+            Some(
+                RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+                    .with_counter("value", 1.0),
+            )
+        };
+        let mut stored = 0usize;
+        let (reports, fresh) = run_rounds_cached(&run, 7, 8, &lookup, &mut |_, _| {
+            stored += 1;
+            Ok(())
+        })
+        .unwrap();
+        // Previously a fully cached wave overshot to 8 reports; now the
+        // cached prefix honours the settle point exactly.
+        assert_eq!(reports.len(), 3, "cached prefix must not overshoot the settle point");
+        assert_eq!(fresh, 0);
+        assert_eq!(run.simulated.load(Ordering::Relaxed), 0);
+        assert_eq!(stored, 0, "cached rounds are never re-stored");
+    }
+
+    #[test]
+    fn partially_cached_settling_run_keeps_the_summary() {
+        // Cache covers only round 0: the prefix serves it, then the wave
+        // machinery simulates from round 1 and may overshoot by at most one
+        // wave — which `aggregate` ignores by contract.
+        let run = SettlingRun { simulated: AtomicUsize::new(0) };
+        let lookup = |round: u32, seed: u64| {
+            (round == 0).then(|| {
+                RoundReport::new(round, seed, vanet_stats::RoundResult::default())
+                    .with_counter("value", 1.0)
+            })
+        };
+        let (reports, fresh) = run_rounds_cached(&run, 7, 4, &lookup, &mut |_, _| Ok(())).unwrap();
+        assert!((3..=5).contains(&reports.len()), "got {} reports", reports.len());
+        assert_eq!(fresh, reports.len() - 1);
+        assert_eq!(run.aggregate(&reports).metrics, vec![("total", 3.0)]);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The structured trace records the stack emits.
+//!
+//! Records are plain `Copy` data — no strings, no heap — so that a traced
+//! run's only extra cost is pushing fixed-size values into the sink.
+//! Node identities are raw `u32`s (the numeric value of a
+//! `vanet_mac::NodeId`): this crate sits below the MAC layer in the crate
+//! graph and must not depend upward.
+
+use sim_core::SimTime;
+
+/// One structured trace record. Emission order is chronological: every
+/// record is emitted while the simulation clock reads its `at` field, which
+/// is what the monotone-timestamp invariant checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceRecord {
+    /// The scheduler dispatched one event to the model.
+    EventDispatched {
+        /// The simulation clock at dispatch.
+        at: SimTime,
+        /// Events still queued after popping this one.
+        queue_depth: u32,
+    },
+    /// A frame started transmitting on the shared medium.
+    TxStart {
+        /// Start of the airtime.
+        at: SimTime,
+        /// End of the airtime (`at` + frame airtime at the PHY rate).
+        until: SimTime,
+        /// The transmitting node.
+        node: u32,
+        /// Frame size on air in bits.
+        bits: u32,
+    },
+    /// The per-receiver reception verdict of one transmission.
+    Delivery {
+        /// Start of the transmission this verdict belongs to.
+        at: SimTime,
+        /// The transmitting node.
+        tx: u32,
+        /// The receiving node.
+        rx: u32,
+        /// Whether the frame was received (channel success and no
+        /// collision).
+        received: bool,
+        /// Whether the deterministic link state (path loss, obstacles,
+        /// shadowing realisation) was served from the per-link cache
+        /// (`true`) or computed from scratch (`false`) — the
+        /// cached-vs-sampled budget split.
+        cached: bool,
+        /// The signal-to-noise ratio the verdict sampled at.
+        snr_db: f64,
+    },
+    /// A sampled consistency audit of the per-link state cache: the cached
+    /// `LinkState` was recomputed from scratch and compared.
+    CacheAudit {
+        /// When the audited transmission started.
+        at: SimTime,
+        /// The transmitting node of the audited link.
+        tx: u32,
+        /// The receiving node of the audited link.
+        rx: u32,
+        /// Whether the recomputed state equals the cached one.
+        ok: bool,
+    },
+    /// Carrier sensing found the medium busy and deferred a transmission.
+    CsmaDeferred {
+        /// When the node wanted to transmit.
+        at: SimTime,
+        /// The deferring node.
+        node: u32,
+        /// The retry opportunity it rescheduled to.
+        until: SimTime,
+    },
+    /// A car put a Cooperative-ARQ REQUEST on the air.
+    ArqRequest {
+        /// Transmission time.
+        at: SimTime,
+        /// The requesting car.
+        node: u32,
+        /// Sequence numbers asked for in this request.
+        seqs: u32,
+        /// The cooperator count announced in the request (bounds how many
+        /// COOP-DATA responses the request may legitimately trigger).
+        cooperators: u32,
+    },
+    /// A cooperating car retransmitted buffered data (COOP-DATA).
+    CoopRetransmit {
+        /// Transmission time.
+        at: SimTime,
+        /// The cooperating car.
+        node: u32,
+        /// Packets carried by this retransmission.
+        seqs: u32,
+    },
+    /// The AP queued a retransmission for a frame a car missed while in
+    /// coverage (the AP-side ARQ decision).
+    ApRetransmitQueued {
+        /// When the miss was observed.
+        at: SimTime,
+        /// The access point.
+        ap: u32,
+        /// The car the frame was for.
+        destination: u32,
+        /// The sequence number queued again.
+        seq: u32,
+    },
+    /// Cooperation-buffer activity at one node while handling one frame.
+    BufferStore {
+        /// When the frame was handled.
+        at: SimTime,
+        /// The buffering node.
+        node: u32,
+        /// Packets newly stored for peers.
+        stored: u32,
+        /// Packets evicted to make room (buffer drop).
+        evicted: u32,
+    },
+}
+
+impl TraceRecord {
+    /// The simulation instant the record was emitted at.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceRecord::EventDispatched { at, .. }
+            | TraceRecord::TxStart { at, .. }
+            | TraceRecord::Delivery { at, .. }
+            | TraceRecord::CacheAudit { at, .. }
+            | TraceRecord::CsmaDeferred { at, .. }
+            | TraceRecord::ArqRequest { at, .. }
+            | TraceRecord::CoopRetransmit { at, .. }
+            | TraceRecord::ApRetransmitQueued { at, .. }
+            | TraceRecord::BufferStore { at, .. } => at,
+        }
+    }
+
+    /// The record kind as a stable snake_case name (the JSONL `type`
+    /// field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceRecord::EventDispatched { .. } => "event_dispatched",
+            TraceRecord::TxStart { .. } => "tx_start",
+            TraceRecord::Delivery { .. } => "delivery",
+            TraceRecord::CacheAudit { .. } => "cache_audit",
+            TraceRecord::CsmaDeferred { .. } => "csma_deferred",
+            TraceRecord::ArqRequest { .. } => "arq_request",
+            TraceRecord::CoopRetransmit { .. } => "coop_retransmit",
+            TraceRecord::ApRetransmitQueued { .. } => "ap_retransmit_queued",
+            TraceRecord::BufferStore { .. } => "buffer_store",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_and_kind_cover_every_variant() {
+        let t = SimTime::from_millis(3);
+        let u = SimTime::from_millis(4);
+        let records = [
+            TraceRecord::EventDispatched { at: t, queue_depth: 2 },
+            TraceRecord::TxStart { at: t, until: u, node: 1, bits: 800 },
+            TraceRecord::Delivery {
+                at: t,
+                tx: 1,
+                rx: 2,
+                received: true,
+                cached: false,
+                snr_db: 3.0,
+            },
+            TraceRecord::CacheAudit { at: t, tx: 1, rx: 2, ok: true },
+            TraceRecord::CsmaDeferred { at: t, node: 1, until: u },
+            TraceRecord::ArqRequest { at: t, node: 1, seqs: 4, cooperators: 2 },
+            TraceRecord::CoopRetransmit { at: t, node: 2, seqs: 1 },
+            TraceRecord::ApRetransmitQueued { at: t, ap: 0, destination: 1, seq: 9 },
+            TraceRecord::BufferStore { at: t, node: 3, stored: 1, evicted: 0 },
+        ];
+        let mut kinds = std::collections::BTreeSet::new();
+        for record in records {
+            assert_eq!(record.at(), t);
+            kinds.insert(record.kind());
+        }
+        assert_eq!(kinds.len(), records.len(), "kinds are distinct");
+    }
+}

@@ -1,0 +1,219 @@
+//! Trace sinks: where records go, and the zero-cost disabled default.
+//!
+//! The whole stack is generic over one [`TraceSink`] type parameter whose
+//! associated `const ENABLED` gates every emission site:
+//!
+//! ```rust,ignore
+//! if S::ENABLED {
+//!     sink.record(TraceRecord::TxStart { .. });
+//! }
+//! ```
+//!
+//! With [`NoTrace`] (the default everywhere) `S::ENABLED` is a
+//! compile-time `false`, so the branch, the record construction and the
+//! call all monomorphize away — the disabled path compiles to exactly the
+//! untraced code. The bench harness guards this: the disabled-trace
+//! allocation count and table1 rounds/s are gated against the committed
+//! baseline.
+
+use std::collections::VecDeque;
+
+use crate::record::TraceRecord;
+
+/// A destination for trace records.
+///
+/// Implementors with `ENABLED = true` receive every record; the stack
+/// checks `Self::ENABLED` *before* constructing a record, so an
+/// `ENABLED = false` sink costs nothing at all.
+pub trait TraceSink {
+    /// Whether emission sites should construct and deliver records.
+    const ENABLED: bool;
+
+    /// Records one trace entry. Never called when [`Self::ENABLED`] is
+    /// honoured by the call site and `false`.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// Forwarding through a mutable borrow keeps the owning scope in control
+/// of the collected records while the model runs generically.
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, record: TraceRecord) {
+        (**self).record(record);
+    }
+}
+
+/// The disabled sink: `ENABLED = false`, a no-op `record`. This is the
+/// default sink of every model and scenario — the hot path the benchmarks
+/// measure runs with it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _record: TraceRecord) {}
+}
+
+/// Collects every record in memory, in emission order. The sink behind
+/// `run_round_traced`, `carq-cli verify` and the trace-determinism tests.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct VecSink {
+    records: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// All records collected so far, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink and returns the records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` records and
+/// drops the oldest, for always-on flight-recorder use where a full trace
+/// would not fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a ring sink needs room for at least one record");
+        RingSink { capacity, records: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Consumes the ring and returns the retained records, oldest first.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records.into_iter().collect()
+    }
+
+    /// How many records were evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained records (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    fn dispatch(i: u64) -> TraceRecord {
+        TraceRecord::EventDispatched { at: SimTime::from_nanos(i), queue_depth: 0 }
+    }
+
+    #[test]
+    fn no_trace_is_disabled_and_discards() {
+        const { assert!(!NoTrace::ENABLED) };
+        let mut sink = NoTrace;
+        sink.record(dispatch(1));
+    }
+
+    fn feed<S: TraceSink>(mut sink: S) {
+        if S::ENABLED {
+            sink.record(dispatch(1));
+            sink.record(dispatch(2));
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards_to_the_owner() {
+        const { assert!(<&mut VecSink as TraceSink>::ENABLED) };
+        let mut sink = VecSink::new();
+        feed(&mut sink);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.into_records().len(), 2);
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_records() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(dispatch(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<SimTime> = ring.records().map(TraceRecord::at).collect();
+        assert_eq!(
+            kept,
+            vec![SimTime::from_nanos(2), SimTime::from_nanos(3), SimTime::from_nanos(4)]
+        );
+        assert_eq!(ring.into_records().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_capacity_ring_rejected() {
+        let _ = RingSink::new(0);
+    }
+}

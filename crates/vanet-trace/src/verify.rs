@@ -1,0 +1,270 @@
+//! The post-run invariant pass behind `carq-cli verify`.
+//!
+//! [`verify`] walks a trace once and checks structural properties that must
+//! hold for *any* correct run, independent of scenario or seed:
+//!
+//! 1. **Monotone timestamps** — records are emitted in chronological order.
+//! 2. **No overlapping transmissions per node** — a node's `TxStart`
+//!    airtimes `[at, until)` never overlap (half-duplex radios).
+//! 3. **Packet conservation** — every `Delivery` verdict belongs to a
+//!    transmission that actually started: its `(tx, at)` pair must match an
+//!    earlier `TxStart`.
+//! 4. **Retransmission bounds** — cooperative retransmissions only happen
+//!    in response to requests: the packets carried by `CoopRetransmit`
+//!    records never exceed what the observed `ArqRequest`s could trigger
+//!    (requested packets × announced cooperators), and no `CoopRetransmit`
+//!    appears before any request at all.
+//! 5. **Cache consistency** — every sampled `CacheAudit` found the cached
+//!    link state equal to a from-scratch recomputation.
+//!
+//! Violations carry enough detail to localise the bug; the pass itself is
+//! pure and allocation-light so it can run inside proptests.
+
+use std::collections::{HashMap, HashSet};
+
+use sim_core::SimTime;
+
+use crate::record::TraceRecord;
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The stable name of the violated invariant (e.g.
+    /// `"monotone_timestamps"`).
+    pub invariant: &'static str,
+    /// A human-readable description of the specific failure.
+    pub detail: String,
+}
+
+/// The outcome of an invariant pass over one trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InvariantReport {
+    /// Number of trace records examined.
+    pub checked: usize,
+    /// Every violation found, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    /// Whether the trace satisfied every invariant.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn violation(report: &mut InvariantReport, invariant: &'static str, detail: String) {
+    report.violations.push(Violation { invariant, detail });
+}
+
+/// Runs every invariant over `records` (a full trace in emission order) and
+/// reports all violations found.
+pub fn verify(records: &[TraceRecord]) -> InvariantReport {
+    let mut report = InvariantReport { checked: records.len(), violations: Vec::new() };
+
+    let mut last_at = SimTime::ZERO;
+    // Per-node end of the latest airtime, for overlap checks. Transmissions
+    // arrive in chronological order (invariant 1), so one high-water mark
+    // per node suffices.
+    let mut busy_until: HashMap<u32, (SimTime, SimTime)> = HashMap::new();
+    // (tx node, start time) of every transmission, for conservation.
+    let mut started: HashSet<(u32, u64)> = HashSet::new();
+    let mut requested_capacity: u64 = 0;
+    let mut any_request = false;
+    let mut coop_seqs: u64 = 0;
+    let mut first_unrequested_coop: Option<(u32, SimTime)> = None;
+
+    for (index, record) in records.iter().enumerate() {
+        let at = record.at();
+        if at < last_at {
+            violation(
+                &mut report,
+                "monotone_timestamps",
+                format!(
+                    "record {index} ({}) at {at:?} precedes the previous record's {last_at:?}",
+                    record.kind()
+                ),
+            );
+        }
+        last_at = last_at.max(at);
+
+        match *record {
+            TraceRecord::TxStart { at, until, node, .. } => {
+                if until < at {
+                    violation(
+                        &mut report,
+                        "tx_overlap",
+                        format!(
+                            "node {node} transmission at {at:?} ends before it starts ({until:?})"
+                        ),
+                    );
+                } else if let Some(&(prev_at, prev_until)) = busy_until.get(&node) {
+                    if at < prev_until {
+                        violation(
+                            &mut report,
+                            "tx_overlap",
+                            format!(
+                                "node {node} starts transmitting at {at:?} while its transmission \
+                                 from {prev_at:?} is still on air until {prev_until:?}"
+                            ),
+                        );
+                    }
+                }
+                busy_until.insert(node, (at, until));
+                started.insert((node, at.as_nanos()));
+            }
+            TraceRecord::Delivery { at, tx, rx, .. } => {
+                if !started.contains(&(tx, at.as_nanos())) {
+                    violation(
+                        &mut report,
+                        "packet_conservation",
+                        format!(
+                            "delivery verdict at {at:?} for link {tx} -> {rx} has no matching \
+                             transmission start"
+                        ),
+                    );
+                }
+            }
+            TraceRecord::CacheAudit { at, tx, rx, ok } => {
+                if !ok {
+                    violation(
+                        &mut report,
+                        "cache_consistency",
+                        format!(
+                            "cached link state for {tx} -> {rx} at {at:?} differs from a \
+                             from-scratch recomputation"
+                        ),
+                    );
+                }
+            }
+            TraceRecord::ArqRequest { seqs, cooperators, .. } => {
+                any_request = true;
+                requested_capacity += u64::from(seqs) * u64::from(cooperators.max(1));
+            }
+            TraceRecord::CoopRetransmit { at, node, seqs } => {
+                coop_seqs += u64::from(seqs);
+                if !any_request && first_unrequested_coop.is_none() {
+                    first_unrequested_coop = Some((node, at));
+                }
+            }
+            TraceRecord::EventDispatched { .. }
+            | TraceRecord::CsmaDeferred { .. }
+            | TraceRecord::ApRetransmitQueued { .. }
+            | TraceRecord::BufferStore { .. } => {}
+        }
+    }
+
+    if let Some((node, at)) = first_unrequested_coop {
+        violation(
+            &mut report,
+            "retransmission_bounds",
+            format!("node {node} sent COOP-DATA at {at:?} before any ARQ request was on the air"),
+        );
+    }
+    if coop_seqs > requested_capacity {
+        violation(
+            &mut report,
+            "retransmission_bounds",
+            format!(
+                "cooperative retransmissions carried {coop_seqs} packet(s) but the observed \
+                 requests could trigger at most {requested_capacity}"
+            ),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn tx(at: u64, until: u64, node: u32) -> TraceRecord {
+        TraceRecord::TxStart { at: t(at), until: t(until), node, bits: 800 }
+    }
+
+    fn delivery(at: u64, tx: u32, rx: u32) -> TraceRecord {
+        TraceRecord::Delivery { at: t(at), tx, rx, received: true, cached: false, snr_db: 10.0 }
+    }
+
+    fn invariants(records: &[TraceRecord]) -> Vec<&'static str> {
+        verify(records).violations.iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn a_clean_trace_passes_every_invariant() {
+        let records = [
+            TraceRecord::EventDispatched { at: t(0), queue_depth: 1 },
+            tx(0, 10, 0),
+            delivery(0, 0, 1),
+            TraceRecord::CacheAudit { at: t(0), tx: 0, rx: 1, ok: true },
+            TraceRecord::ArqRequest { at: t(20), node: 1, seqs: 2, cooperators: 2 },
+            tx(20, 24, 1),
+            TraceRecord::CoopRetransmit { at: t(30), node: 2, seqs: 2 },
+            tx(30, 40, 2),
+            TraceRecord::BufferStore { at: t(40), node: 3, stored: 1, evicted: 0 },
+        ];
+        let report = verify(&records);
+        assert!(report.is_ok(), "unexpected violations: {:?}", report.violations);
+        assert_eq!(report.checked, records.len());
+        // An empty trace is trivially consistent.
+        assert!(verify(&[]).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_flagged() {
+        let records = [tx(10, 12, 0), TraceRecord::EventDispatched { at: t(5), queue_depth: 0 }];
+        assert_eq!(invariants(&records), vec!["monotone_timestamps"]);
+    }
+
+    #[test]
+    fn overlapping_transmissions_on_one_node_are_flagged() {
+        // Node 0 starts again mid-airtime; node 1 interleaving is fine.
+        let records = [tx(0, 10, 0), tx(2, 6, 1), tx(8, 14, 0)];
+        assert_eq!(invariants(&records), vec!["tx_overlap"]);
+        // Back-to-back (end == next start) is allowed.
+        assert!(verify(&[tx(0, 10, 0), tx(10, 20, 0)]).is_ok());
+        // An airtime that ends before it starts is structurally broken.
+        assert_eq!(invariants(&[tx(10, 4, 0)]), vec!["tx_overlap"]);
+    }
+
+    #[test]
+    fn orphan_deliveries_violate_conservation() {
+        // Right node, wrong start time — and no transmission at all.
+        let records = [tx(0, 10, 0), delivery(5, 0, 1)];
+        assert_eq!(invariants(&records), vec!["packet_conservation"]);
+    }
+
+    #[test]
+    fn failed_cache_audits_are_flagged() {
+        let records = [tx(0, 10, 0), TraceRecord::CacheAudit { at: t(0), tx: 0, rx: 1, ok: false }];
+        assert_eq!(invariants(&records), vec!["cache_consistency"]);
+    }
+
+    #[test]
+    fn retransmissions_must_be_requested_and_bounded() {
+        // COOP-DATA with no request anywhere in the trace.
+        let unrequested = [TraceRecord::CoopRetransmit { at: t(0), node: 2, seqs: 1 }];
+        assert_eq!(
+            invariants(&unrequested),
+            vec!["retransmission_bounds", "retransmission_bounds"],
+            "unrequested coop data violates both the ordering and the capacity bound"
+        );
+        // Requests for 2 packets with 1 announced cooperator cap capacity at 2.
+        let over = [
+            TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 2, cooperators: 1 },
+            TraceRecord::CoopRetransmit { at: t(5), node: 2, seqs: 2 },
+            TraceRecord::CoopRetransmit { at: t(9), node: 3, seqs: 1 },
+        ];
+        assert_eq!(invariants(&over), vec!["retransmission_bounds"]);
+        // A request announcing zero cooperators still permits one response.
+        let zero_coop = [
+            TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 1, cooperators: 0 },
+            TraceRecord::CoopRetransmit { at: t(5), node: 2, seqs: 1 },
+        ];
+        assert!(verify(&zero_coop).is_ok());
+    }
+}

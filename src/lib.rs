@@ -32,6 +32,11 @@
 //!   shard plans, self-describing shard files, worker execution against
 //!   per-shard journals, and merge-then-export orchestration
 //!   (`carq-cli fleet run --workers N`).
+//! * [`trace`] — zero-cost structured event tracing and the invariant
+//!   checker behind `carq-cli verify`: typed trace records, pluggable
+//!   sinks that monomorphize away when disabled, a compact binary trace
+//!   codec with JSONL export, and the protocol-invariant verification
+//!   pass (see `docs/OBSERVABILITY.md`).
 //!
 //! `docs/ARCHITECTURE.md` maps how these crates fit together;
 //! `docs/REPRODUCING.md` maps each paper figure and table to the command
@@ -65,3 +70,4 @@ pub use vanet_radio as radio;
 pub use vanet_scenarios as scenarios;
 pub use vanet_stats as stats;
 pub use vanet_sweep as sweep;
+pub use vanet_trace as trace;
