@@ -31,9 +31,11 @@ USAGE:
   carq-cli scenario list
       Show every registered scenario.
 
-  carq-cli scenario describe NAME
+  carq-cli scenario describe NAME|FILE
       Show a scenario's typed parameter schema: every parameter it
-      consumes, with type, default, range and documentation.
+      consumes, with type, default, range and documentation. FILE may be
+      a generated scenario file from `carq-cli gen emit`; its identity
+      and regenerated world are shown alongside the runtime schema.
 
   carq-cli scenario run NAME [--PARAM V1,V2,...]... [COMMON] [--allow-unknown]
       Run a scenario, sweeping any of its schema parameters. Each
@@ -101,6 +103,49 @@ USAGE:
       With --cache DIR the merged journal persists there (and a re-run
       resumes); without it a temporary directory is used and removed.
 
+  carq-cli gen list
+      Show the scenario generator catalogue.
+
+  carq-cli gen describe NAME
+      Show a generator's typed world-parameter schema.
+
+  carq-cli gen emit NAME [--PARAM V]... [--seed S] [--out FILE]
+      Generate one scenario and write its self-describing VANETGEN1
+      identity file (stdout without --out). The file stores only
+      (generator, canonical params, gen seed); any machine regenerates
+      the exact same world from it, bit for bit.
+
+  carq-cli gen inspect FILE
+      Decode a VANETGEN1 file, regenerate its world and show the
+      identity, world summary and runtime schema. `scenario describe`,
+      `verify --scenario` and `trace --scenario` accept these files
+      anywhere a scenario name is accepted.
+
+  carq-cli campaign plan --generator NAME [--PARAM V1,V2,...]...
+      [--replicas R] [--shards N] [--rounds N] [--seed S] --out-dir DIR
+      Expand a generator grid (axes x seed replicas) into a population
+      of scenario identities and partition them into self-describing
+      VANETCAMP1 shard files any set of machines can execute.
+
+  carq-cli campaign worker --shard FILE --cache DIR [--threads N]
+      Execute one campaign shard against its own journal in DIR,
+      regenerating every scenario from its identity; a killed worker
+      re-run resumes from the journal.
+
+  carq-cli campaign run --generator NAME [--PARAM V1,V2,...]...
+      [--replicas R] --workers N [--rounds N] [COMMON]
+      The whole campaign pipeline, locally: expand the grid, spawn N
+      worker processes, merge their journals, and render the campaign
+      table (one row per generated scenario: name, gen seed, world
+      parameters, metrics). Exports are byte-identical at any worker
+      count; with --cache DIR a warm re-run simulates nothing.
+
+  carq-cli trace --scenario NAME|FILE [--round R] [--seed S] --out FILE
+      Run one traced round and export the structured event stream:
+      compact binary CARQTRC1 by default, JSONL when FILE ends in
+      .jsonl. The invariant catalogue the records feed is in
+      docs/OBSERVABILITY.md.
+
   carq-cli cache stats --cache DIR
       Show what a cache directory holds: entries per scenario, journal
       size, bytes recovered from a torn tail, bytes a compaction would
@@ -116,7 +161,7 @@ USAGE:
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
 
-  carq-cli verify --scenario NAME [--rounds N] [--seed S]
+  carq-cli verify --scenario NAME|FILE [--rounds N] [--seed S]
       Replay a scenario's rounds with event tracing enabled and check the
       recorded stream against the protocol invariants: no overlapping
       transmissions per node, packet conservation, monotone timestamps,
@@ -187,6 +232,37 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
                 other.unwrap_or("")
             )),
         },
+        Some("gen") => match args.get(1).map(String::as_str) {
+            Some("list") => crate::gen_cmd::gen_list(),
+            Some("describe") => match args.get(2) {
+                Some(name) => crate::gen_cmd::gen_describe(name),
+                None => Err("gen describe needs a generator name (see `carq-cli gen list`)".into()),
+            },
+            Some("emit") => match args.get(2) {
+                Some(name) if !name.starts_with("--") => {
+                    crate::gen_cmd::gen_emit(name, &Options::parse(&args[3..])?)
+                }
+                _ => Err("gen emit needs a generator name (see `carq-cli gen list`)".into()),
+            },
+            Some("inspect") => match args.get(2) {
+                Some(path) => crate::gen_cmd::gen_inspect(path),
+                None => Err("gen inspect needs a scenario file".into()),
+            },
+            other => Err(format!(
+                "unknown gen subcommand `{}` (expected list, describe, emit or inspect)",
+                other.unwrap_or("")
+            )),
+        },
+        Some("campaign") => match args.get(1).map(String::as_str) {
+            Some("plan") => crate::campaign::campaign_plan(&Options::parse(&args[2..])?),
+            Some("worker") => crate::campaign::campaign_worker(&Options::parse(&args[2..])?),
+            Some("run") => crate::campaign::campaign_run(&Options::parse(&args[2..])?),
+            other => Err(format!(
+                "unknown campaign subcommand `{}` (expected plan, worker or run)",
+                other.unwrap_or("")
+            )),
+        },
+        Some("trace") => crate::trace::trace_cmd(&Options::parse(&args[1..])?),
         Some("cache") => match args.get(1).map(String::as_str) {
             Some("stats") => cache_stats(&Options::parse(&args[2..])?),
             Some("compact") => cache_compact(&Options::parse(&args[2..])?),
@@ -235,7 +311,14 @@ fn lookup<'r>(registry: &'r ScenarioRegistry, name: &str) -> Result<&'r dyn Scen
 
 fn scenario_describe(name: &str) -> Result<(), String> {
     let registry = ScenarioRegistry::builtin();
-    let scenario = lookup(&registry, name)?;
+    // A generated scenario file resolves too; its richer rendering (identity,
+    // regenerated world, runtime schema) lives with `gen inspect`.
+    let source = crate::gen_cmd::resolve_scenario(&registry, name)?;
+    if let crate::gen_cmd::ScenarioSource::Generated(ref generated) = source {
+        crate::gen_cmd::print_generated(generated);
+        return Ok(());
+    }
+    let scenario = source.scenario(&registry);
     println!("{} — {}", scenario.name(), scenario.description());
     println!();
     print!("{}", scenario.schema().render());

@@ -1,0 +1,270 @@
+//! `carq-cli gen` — list, describe, emit and inspect generated scenarios.
+//!
+//! A generated scenario is fully determined by its identity `(generator,
+//! canonical params, gen seed)`; the `VANETGEN1` files `gen emit` writes
+//! store only that identity and regenerate the world bit-for-bit on load.
+//! The shared [`resolve_scenario`] helper lets `scenario describe`,
+//! `verify` and `trace` accept either a registered scenario name or a
+//! path to such a file.
+
+use std::path::Path;
+
+use vanet_gen::{GenValue, GeneratedScenario, Generator};
+use vanet_scenarios::{Scenario, ScenarioRegistry};
+
+use crate::cli::Options;
+use crate::commands::parse_seed;
+
+/// A scenario reference resolved by [`resolve_scenario`]: a registered
+/// name, or a generated scenario decoded from a `VANETGEN1` file.
+#[derive(Debug)]
+pub enum ScenarioSource {
+    /// A name the registry knows.
+    Registered(String),
+    /// A generated scenario loaded (and regenerated) from a file.
+    Generated(Box<GeneratedScenario>),
+}
+
+impl ScenarioSource {
+    /// The scenario itself; `registry` must be the registry the reference
+    /// was resolved against.
+    pub fn scenario<'a>(&'a self, registry: &'a ScenarioRegistry) -> &'a dyn Scenario {
+        match self {
+            ScenarioSource::Registered(name) => {
+                registry.get(name).expect("resolve_scenario validated the name")
+            }
+            ScenarioSource::Generated(scenario) => &**scenario,
+        }
+    }
+}
+
+/// Resolves a scenario reference for `scenario describe`, `verify` and
+/// `trace`: a registered name wins; anything else is read as a `VANETGEN1`
+/// scenario file (see `carq-cli gen emit`).
+pub fn resolve_scenario(
+    registry: &ScenarioRegistry,
+    reference: &str,
+) -> Result<ScenarioSource, String> {
+    if registry.get(reference).is_some() {
+        return Ok(ScenarioSource::Registered(reference.to_string()));
+    }
+    if Path::new(reference).is_file() {
+        let text = std::fs::read_to_string(reference)
+            .map_err(|e| format!("cannot read {reference}: {e}"))?;
+        let scenario = vanet_gen::decode(&text).map_err(|e| format!("{reference}: {e}"))?;
+        return Ok(ScenarioSource::Generated(Box::new(scenario)));
+    }
+    Err(format!(
+        "unknown scenario `{reference}` (known: {}; a `carq-cli gen emit` scenario \
+         file path also works)",
+        registry.names().join(", ")
+    ))
+}
+
+fn lookup_generator(name: &str) -> Result<Generator, String> {
+    vanet_gen::generators::find(name)
+        .ok_or_else(|| format!("unknown generator `{name}` (see `carq-cli gen list`)"))
+}
+
+/// `carq-cli gen list`.
+pub fn gen_list() -> Result<(), String> {
+    println!("{:<14} {:>7}  description", "generator", "params");
+    for generator in vanet_gen::generators::all() {
+        println!(
+            "{:<14} {:>7}  {}",
+            generator.name,
+            generator.schema().params().len(),
+            generator.description
+        );
+    }
+    println!("\nrun `carq-cli gen describe NAME` for a generator's parameter schema");
+    Ok(())
+}
+
+/// `carq-cli gen describe NAME`.
+pub fn gen_describe(name: &str) -> Result<(), String> {
+    let generator = lookup_generator(name)?;
+    println!("{} — {}", generator.name, generator.description);
+    println!();
+    for spec in generator.schema().params() {
+        println!(
+            "  --{:<18} {:<28} default {}",
+            spec.key(),
+            spec.render_kind(),
+            spec.default_value()
+        );
+        println!("      {}", spec.doc());
+    }
+    println!();
+    println!(
+        "emit a world with `carq-cli gen emit {} --PARAM value ... --out world.gen`; \
+         sweep populations with `carq-cli campaign run --generator {}`",
+        generator.name, generator.name
+    );
+    Ok(())
+}
+
+/// Parses the single-valued generator-parameter flags of `gen emit` into
+/// schema assignments.
+fn parse_assignments(
+    generator: &Generator,
+    opts: &Options,
+) -> Result<Vec<(String, GenValue)>, String> {
+    let mut assignments = Vec::new();
+    for spec in generator.schema().params() {
+        if let Some(raw) = opts.get(spec.key()) {
+            let value = generator
+                .schema()
+                .parse_value(spec.key(), raw)
+                .map_err(|e| format!("--{}: {e}", spec.key()))?;
+            assignments.push((spec.key().to_string(), value));
+        }
+    }
+    Ok(assignments)
+}
+
+/// `carq-cli gen emit NAME [--PARAM V]... [--seed S] [--out FILE]`.
+pub fn gen_emit(name: &str, opts: &Options) -> Result<(), String> {
+    let generator = lookup_generator(name)?;
+    let mut known: Vec<&str> = vec!["seed", "out"];
+    known.extend(generator.schema().params().iter().map(|s| s.key()));
+    let unknown = opts.unknown_flags(&known);
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown flags: --{} (see `carq-cli gen describe {}`)",
+            unknown.join(", --"),
+            generator.name
+        ));
+    }
+    let assignments = parse_assignments(&generator, opts)?;
+    let scenario = vanet_gen::instantiate_with(&generator, &assignments, parse_seed(opts)?)
+        .map_err(|e| e.to_string())?;
+    let text = vanet_gen::encode(scenario.identity());
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("{path}: {}", scenario.name());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `carq-cli gen inspect FILE` — decode a scenario file and show what it
+/// regenerates to.
+pub fn gen_inspect(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = vanet_gen::decode(&text).map_err(|e| format!("{path}: {e}"))?;
+    print_generated(&scenario);
+    Ok(())
+}
+
+/// The shared rendering of a generated scenario (`gen inspect`, and
+/// `scenario describe` given a scenario file): identity, regenerated world
+/// summary, and the runtime sweep schema.
+pub fn print_generated(scenario: &GeneratedScenario) {
+    let identity = scenario.identity();
+    let blueprint = scenario.blueprint();
+    println!("{} — {}", scenario.name(), scenario.description());
+    println!();
+    println!("  identity  {}", identity.canonical());
+    println!(
+        "  world     {} car(s), {} AP(s), {} default round(s)",
+        blueprint.cars.len(),
+        blueprint.ap_positions.len(),
+        blueprint.rounds_default
+    );
+    println!();
+    print!("{}", scenario.schema().render());
+    println!();
+    println!(
+        "replay it with `carq-cli verify --scenario FILE` or export a round's event \
+         stream with `carq-cli trace --scenario FILE`"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "carq-cli-gen-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn opts(items: &[&str]) -> Options {
+        let strings: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        Options::parse(&strings).unwrap()
+    }
+
+    #[test]
+    fn listings_and_describe_succeed() {
+        assert!(gen_list().is_ok());
+        assert!(gen_describe("highway-flow").is_ok());
+        assert!(gen_describe("grid-city").is_ok());
+        let err = gen_describe("mars").unwrap_err();
+        assert!(err.contains("gen list"), "{err}");
+    }
+
+    #[test]
+    fn emit_validates_its_flags() {
+        assert!(gen_emit("mars", &opts(&[])).is_err());
+        let err = gen_emit("highway-flow", &opts(&["--bogus", "1"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // Schema errors surface with the flag name.
+        let err = gen_emit("highway-flow", &opts(&["--n_cars", "zero"])).unwrap_err();
+        assert!(err.contains("--n_cars"), "{err}");
+        assert!(gen_emit("highway-flow", &opts(&["--seed", "nope"])).is_err());
+    }
+
+    #[test]
+    fn emitted_files_are_deterministic_and_inspectable() {
+        let path = temp_file("emit");
+        let path_str = path.display().to_string();
+        let flags =
+            ["--n_cars", "3", "--road_length_m", "400", "--seed", "0xAB", "--out", &path_str];
+        gen_emit("highway-flow", &opts(&flags)).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.starts_with("VANETGEN1\n"), "{first}");
+        // Emitting the same identity again is byte-identical.
+        gen_emit("highway-flow", &opts(&flags)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        assert!(gen_inspect(&path_str).is_ok());
+        std::fs::remove_file(&path).ok();
+        assert!(gen_inspect(&path_str).is_err(), "a missing file is reported");
+    }
+
+    #[test]
+    fn scenario_references_resolve_names_and_files() {
+        let registry = ScenarioRegistry::builtin();
+        assert!(matches!(
+            resolve_scenario(&registry, "urban").unwrap(),
+            ScenarioSource::Registered(_)
+        ));
+        let err = resolve_scenario(&registry, "no-such-scenario").unwrap_err();
+        assert!(err.contains("urban"), "lists the known names: {err}");
+
+        let path = temp_file("resolve");
+        let path_str = path.display().to_string();
+        gen_emit("platoon-merge", &opts(&["--out", &path_str])).unwrap();
+        let source = resolve_scenario(&registry, &path_str).unwrap();
+        let ScenarioSource::Generated(ref scenario) = source else {
+            panic!("a scenario file resolves to a generated scenario");
+        };
+        assert!(scenario.name().starts_with("gen/platoon-merge/"), "{}", scenario.name());
+        // The resolved handle exposes the Scenario API.
+        assert_eq!(source.scenario(&registry).name(), scenario.name());
+
+        // A corrupt file is a decode error naming the file.
+        std::fs::write(&path, "VANETGEN9\n").unwrap();
+        let err = resolve_scenario(&registry, &path_str).unwrap_err();
+        assert!(err.contains(&path_str), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,6 +4,10 @@
 //! carq-cli scenario list
 //! carq-cli scenario describe urban
 //! carq-cli scenario run urban --speed_kmh 10,20,30 --n_cars 2,3 --rounds 3
+//! carq-cli gen list
+//! carq-cli gen emit highway-flow --n_cars 4 --out world.gen
+//! carq-cli campaign run --generator grid-city --n_cars 2,4 --replicas 8 --workers 3
+//! carq-cli trace --scenario urban --round 0 --out round0.jsonl
 //! carq-cli sweep list
 //! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
 //! carq-cli sweep run --preset urban-platoon --cache ./sweep-cache   # resumable
@@ -19,8 +23,11 @@ use std::process::ExitCode;
 
 mod alloc_count;
 mod bench;
+mod campaign;
 mod cli;
 mod commands;
+mod gen_cmd;
+mod trace;
 mod verify;
 
 /// Every allocation in the binary goes through the counting wrapper so

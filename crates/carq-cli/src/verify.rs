@@ -109,15 +109,16 @@ pub fn verify_cmd(opts: &Options) -> Result<(), String> {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
     let registry = ScenarioRegistry::builtin();
-    let Some(name) = opts.get("scenario") else {
+    let Some(reference) = opts.get("scenario") else {
         return Err(format!(
-            "verify needs --scenario NAME (known: {})",
+            "verify needs --scenario NAME (known: {}) or a generated scenario file",
             registry.names().join(", ")
         ));
     };
-    let scenario = registry.get(name).ok_or_else(|| {
-        format!("unknown scenario `{name}` (known: {})", registry.names().join(", "))
-    })?;
+    // Registered names and `carq-cli gen emit` scenario files both resolve.
+    let source = crate::gen_cmd::resolve_scenario(&registry, reference)?;
+    let scenario = source.scenario(&registry);
+    let name = scenario.name();
     let run = scenario.configure(&SweepPoint::empty()).map_err(|e| e.to_string())?;
     let rounds: u32 = opts.get_parsed("rounds", run.rounds())?;
     if rounds == 0 {
@@ -167,6 +168,20 @@ mod tests {
     #[test]
     fn urban_round_passes_every_invariant() {
         assert!(verify_cmd(&opts(&["--scenario", "urban", "--rounds", "1"])).is_ok());
+    }
+
+    #[test]
+    fn generated_scenario_files_verify_too() {
+        let path = std::env::temp_dir()
+            .join(format!("carq-cli-verify-gen-test-{}.gen", std::process::id()));
+        let path_str = path.display().to_string();
+        crate::gen_cmd::gen_emit(
+            "platoon-merge",
+            &opts(&["--feeder_m", "100", "--tail_m", "100", "--out", &path_str]),
+        )
+        .unwrap();
+        assert!(verify_cmd(&opts(&["--scenario", &path_str, "--rounds", "1"])).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

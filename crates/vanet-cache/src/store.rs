@@ -111,7 +111,10 @@ pub struct CacheStats {
     /// header plus one record per live index entry. The difference
     /// `file_bytes - live_bytes` is what a compaction reclaims.
     pub live_bytes: u64,
-    /// Entries per scenario name, sorted by name.
+    /// Entries per scenario name, sorted by name. Generated scenarios
+    /// (`gen/<generator>/<id16>`) roll up under their generator
+    /// (`gen/<generator>`): a campaign populates thousands of one-off
+    /// scenario names, and per-name rows would drown the breakdown.
     pub scenarios: Vec<(String, usize)>,
 }
 
@@ -604,8 +607,14 @@ impl SweepCache {
         let inner = self.inner.lock().expect("cache lock poisoned");
         let mut scenarios: BTreeMap<String, usize> = BTreeMap::new();
         for key in inner.index.keys() {
-            let scenario = key.split('|').next().unwrap_or("").to_string();
-            *scenarios.entry(scenario).or_insert(0) += 1;
+            let scenario = key.split('|').next().unwrap_or("");
+            // Roll generated scenarios (`gen/<generator>/<id16>`) up under
+            // their generator so campaign-sized caches stay readable.
+            let group = match scenario.strip_prefix("gen/").and_then(|rest| rest.split_once('/')) {
+                Some((generator, _)) => format!("gen/{generator}"),
+                None => scenario.to_string(),
+            };
+            *scenarios.entry(group).or_insert(0) += 1;
         }
         let live_bytes = if inner.index.is_empty() && inner.file_bytes == 0 {
             0
@@ -732,6 +741,36 @@ mod tests {
         assert_eq!(stats.scenarios, vec![("fake".to_string(), 5)]);
         assert_eq!(reopened.keys().len(), 5);
         assert!(format!("{reopened:?}").contains("entries"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_roll_generated_scenarios_up_by_generator() {
+        let dir = temp_dir("gen-rollup");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.put(&key(0), &report(0)).unwrap();
+        // Generated scenario names vary per identity; the stats breakdown
+        // groups them by generator so campaign caches stay readable.
+        for (i, name) in [
+            "gen/grid-city/0011223344556677",
+            "gen/grid-city/8899aabbccddeeff",
+            "gen/highway-flow/0123456789abcdef",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let k = CacheKey::new(name, 0xF2, &format!("scenario={name};rounds=i1"), 0, i as u64);
+            cache.put(&k, &report(0)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.scenarios,
+            vec![
+                ("fake".to_string(), 1),
+                ("gen/grid-city".to_string(), 2),
+                ("gen/highway-flow".to_string(), 1),
+            ]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,9 +51,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod plan;
 pub mod worker;
 
+pub use campaign::{
+    campaign_table, execute_campaign_shard, split_covered_scenarios, CampaignPlan, CampaignResult,
+    CampaignShard, CAMPAIGN_MAGIC,
+};
 pub use plan::{plan_units, stride_units, FleetError, Shard, ShardPlan, WorkUnit, SHARD_MAGIC};
 pub use worker::{execute_shard, execute_units, split_covered_units, ShardOutcome};
 // The merge half of the fleet story, re-exported so downstream code can

@@ -1,0 +1,70 @@
+//! The [`Blueprint`]: a generated world, fully realised and frozen.
+//!
+//! Generators do all their sampling at *generation* time — street-graph
+//! walks, per-car speed jitter, AP placement — and freeze the result into a
+//! `Blueprint` of plain polylines and positions. The per-round simulation
+//! then consumes the blueprint deterministically, which keeps the
+//! `ScenarioRun::run_round(round, seed)` purity contract intact: two
+//! scenarios with the same `(generator, params, seed)` identity carry
+//! byte-identical blueprints, and a round's randomness (shadowing, protocol
+//! jitter) still derives entirely from the round seed.
+
+use sim_core::SimTime;
+use vanet_geo::{Point, Polyline};
+use vanet_mac::MediumConfig;
+
+/// One car's frozen trajectory plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarPlan {
+    /// The road the car follows.
+    pub path: Polyline,
+    /// Cruise speed in m/s (already jittered, if the generator jitters).
+    pub speed_ms: f64,
+    /// Signed starting offset along the path in metres (negative: the car
+    /// enters the path after a delay, platoon-follower style).
+    pub start_offset_m: f64,
+    /// When the car starts moving.
+    pub start_time: SimTime,
+}
+
+/// A generated world: everything a round needs except the round seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blueprint {
+    /// The cars, in platoon/flow order.
+    pub cars: Vec<CarPlan>,
+    /// Fixed access-point positions.
+    pub ap_positions: Vec<Point>,
+    /// The medium template (obstacles applied; rounds stamp shadowing
+    /// seeds).
+    pub medium: MediumConfig,
+    /// AP sending rate per car in packets per second.
+    pub ap_rate_pps: f64,
+    /// Data payload per packet in bytes.
+    pub payload_bytes: u32,
+    /// Simulation horizon of one round.
+    pub horizon: SimTime,
+    /// Default round budget of the scenario's runtime schema.
+    pub rounds_default: u32,
+}
+
+impl Blueprint {
+    /// Sanity-checks the generated world; generator bugs should fail here,
+    /// loudly, not as a wedged simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty world, non-positive speeds, empty paths, a
+    /// non-positive horizon or rate, or a zero round budget.
+    pub fn validate(&self) {
+        assert!(!self.cars.is_empty(), "a generated scenario needs at least one car");
+        assert!(!self.ap_positions.is_empty(), "a generated scenario needs at least one AP");
+        for (i, car) in self.cars.iter().enumerate() {
+            assert!(car.speed_ms > 0.0, "car {i} has non-positive speed {}", car.speed_ms);
+            assert!(car.path.length() > 0.0, "car {i} has a degenerate path");
+        }
+        assert!(self.ap_rate_pps > 0.0, "AP rate must be positive");
+        assert!(self.payload_bytes >= 1, "payload must be at least one byte");
+        assert!(self.horizon > SimTime::ZERO, "the round horizon must be positive");
+        assert!(self.rounds_default >= 1, "the default round budget must be positive");
+    }
+}

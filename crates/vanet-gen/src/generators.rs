@@ -1,0 +1,512 @@
+//! The generator catalogue: named, schema-checked world builders.
+//!
+//! Each [`Generator`] couples a [`GenSchema`] with a pure build function
+//! `(resolved params, gen seed) → Blueprint`. All sampling happens inside
+//! the build function from streams derived off the gen seed, so the same
+//! `(generator, params, seed)` triple always freezes the same world — the
+//! property `carq-cli gen` and the campaign layer rely on to regenerate any
+//! scenario from its identity alone.
+
+use rand::Rng;
+use sim_core::{SimTime, StreamRng};
+use vanet_geo::{kmh_to_ms, Point, Polyline};
+use vanet_mac::MediumConfig;
+use vanet_radio::{Building, ObstacleMap};
+
+use crate::blueprint::{Blueprint, CarPlan};
+use crate::params::{GenParamSpec, GenSchema, ResolvedParams};
+
+/// A named scenario generator.
+#[derive(Clone)]
+pub struct Generator {
+    /// The catalogue name (`grid-city`, `highway-flow`, `platoon-merge`).
+    pub name: &'static str,
+    /// One-line description for `carq-cli gen list`.
+    pub description: &'static str,
+    schema: GenSchema,
+    build: fn(&ResolvedParams, u64) -> Blueprint,
+}
+
+impl std::fmt::Debug for Generator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generator").field("name", &self.name).finish()
+    }
+}
+
+impl Generator {
+    /// The generator's parameter schema.
+    pub fn schema(&self) -> &GenSchema {
+        &self.schema
+    }
+
+    /// Freezes the world for `params` at `seed`. The result is a pure
+    /// function of the inputs ([`Blueprint`]-level determinism is pinned by
+    /// tests and the emit-twice CI check).
+    pub fn blueprint(&self, params: &ResolvedParams, seed: u64) -> Blueprint {
+        let blueprint = (self.build)(params, seed);
+        blueprint.validate();
+        blueprint
+    }
+}
+
+/// Lookup is forgiving about separators and case, mirroring the scenario
+/// registry (`grid-city`, `grid_city` and `GridCity` all resolve).
+fn normalize(name: &str) -> String {
+    name.chars().filter(|c| *c != '-' && *c != '_').flat_map(char::to_lowercase).collect()
+}
+
+/// Every generator in the catalogue, in presentation order.
+pub fn all() -> Vec<Generator> {
+    vec![grid_city(), highway_flow(), platoon_merge()]
+}
+
+/// Finds a generator by name (separator- and case-insensitive).
+pub fn find(name: &str) -> Option<Generator> {
+    let wanted = normalize(name);
+    all().into_iter().find(|g| normalize(g.name) == wanted)
+}
+
+/// Shared load/traffic parameters every generator exposes.
+fn load_specs(default_rate: f64) -> Vec<GenParamSpec> {
+    vec![
+        GenParamSpec::float(
+            "ap_rate_pps",
+            "AP sending rate per car (packets/s)",
+            default_rate,
+            0.1,
+            50.0,
+        ),
+        GenParamSpec::int("payload_bytes", "payload per data packet in bytes", 300, 1, 65_535),
+        GenParamSpec::int("rounds", "default round budget of the generated scenario", 2, 1, 1_000),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// grid-city: a street grid with random-waypoint walks and placed APs.
+// ---------------------------------------------------------------------------
+
+fn grid_city() -> Generator {
+    let mut specs = vec![
+        GenParamSpec::int("blocks_x", "city blocks along x", 2, 1, 6),
+        GenParamSpec::int("blocks_y", "city blocks along y", 2, 1, 6),
+        GenParamSpec::float("block_m", "block edge length in metres", 80.0, 40.0, 400.0),
+        GenParamSpec::int("n_cars", "cars walking the street graph", 2, 1, 8),
+        GenParamSpec::float("speed_kmh", "car cruise speed in km/h", 25.0, 5.0, 100.0),
+        GenParamSpec::float("walk_m", "random-waypoint walk length per car", 300.0, 100.0, 5_000.0),
+        GenParamSpec::choice(
+            "ap_placement",
+            "where the APs stand on the grid",
+            "center",
+            &["center", "corner", "perimeter"],
+        ),
+        GenParamSpec::int("n_aps", "number of access points", 1, 1, 4),
+    ];
+    specs.extend(load_specs(5.0));
+    Generator {
+        name: "grid-city",
+        description: "street-grid city: random-waypoint walks past strategically placed APs, \
+                      buildings shadowing every cross-block link",
+        schema: GenSchema::new("grid-city", specs),
+        build: build_grid_city,
+    }
+}
+
+/// One random-waypoint walk over the grid's intersections, frozen as an
+/// open polyline of at least `walk_m` metres. The walk never immediately
+/// backtracks unless it is cornered.
+fn grid_walk(
+    blocks_x: u64,
+    blocks_y: u64,
+    block_m: f64,
+    walk_m: f64,
+    rng: &mut StreamRng,
+) -> Polyline {
+    let nx = blocks_x as i64;
+    let ny = blocks_y as i64;
+    let mut at = (rng.gen_range(0..nx + 1), rng.gen_range(0..ny + 1));
+    let mut came_from: Option<(i64, i64)> = None;
+    let mut vertices = vec![Point::new(at.0 as f64 * block_m, at.1 as f64 * block_m)];
+    let mut walked = 0.0;
+    while walked < walk_m {
+        let candidates: Vec<(i64, i64)> = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+            .iter()
+            .map(|(dx, dy)| (at.0 + dx, at.1 + dy))
+            .filter(|(x, y)| (0..=nx).contains(x) && (0..=ny).contains(y))
+            .filter(|next| Some(*next) != came_from)
+            .collect();
+        let next = candidates[rng.gen_range(0..candidates.len())];
+        came_from = Some(at);
+        at = next;
+        vertices.push(Point::new(at.0 as f64 * block_m, at.1 as f64 * block_m));
+        walked += block_m;
+    }
+    Polyline::open(vertices)
+}
+
+fn build_grid_city(params: &ResolvedParams, seed: u64) -> Blueprint {
+    let blocks_x = params.u64("blocks_x");
+    let blocks_y = params.u64("blocks_y");
+    let block_m = params.f64("block_m");
+    let n_cars = params.u64("n_cars") as usize;
+    let speed_ms = kmh_to_ms(params.f64("speed_kmh"));
+    let walk_m = params.f64("walk_m");
+    let n_aps = params.u64("n_aps") as usize;
+    let width = blocks_x as f64 * block_m;
+    let height = blocks_y as f64 * block_m;
+
+    // Every block's interior is a building that shadows cross-block links,
+    // the same urban geometry trick as the hand-written testbed; the inset
+    // keeps the streets themselves clear.
+    let inset = (block_m * 0.08).min(8.0);
+    let buildings: Vec<Building> = (0..blocks_x)
+        .flat_map(|i| {
+            (0..blocks_y).map(move |j| {
+                let min = Point::new(i as f64 * block_m + inset, j as f64 * block_m + inset);
+                let max =
+                    Point::new((i + 1) as f64 * block_m - inset, (j + 1) as f64 * block_m - inset);
+                Building::new(min, max, 30.0)
+            })
+        })
+        .collect();
+    let obstacles = ObstacleMap::from_buildings(buildings);
+    let mut medium = MediumConfig::urban_testbed();
+    medium.ap_vehicle.obstacles = obstacles.clone();
+    medium.vehicle_vehicle.obstacles = obstacles;
+
+    let ap_positions: Vec<Point> = match params.choice("ap_placement") {
+        // Spread along the middle horizontal street, snapped to
+        // intersections so the APs stand on the street grid.
+        "center" => {
+            let mid_y = blocks_y.div_ceil(2) as f64 * block_m;
+            (0..n_aps)
+                .map(|i| {
+                    let frac = (i + 1) as f64 / (n_aps + 1) as f64;
+                    let snapped = (frac * blocks_x as f64).round() * block_m;
+                    Point::new(snapped.clamp(0.0, width), mid_y)
+                })
+                .collect()
+        }
+        "corner" => {
+            let corners = [
+                Point::new(0.0, 0.0),
+                Point::new(width, height),
+                Point::new(width, 0.0),
+                Point::new(0.0, height),
+            ];
+            (0..n_aps).map(|i| corners[i % corners.len()]).collect()
+        }
+        "perimeter" => {
+            let perimeter = Polyline::closed(vec![
+                Point::new(0.0, 0.0),
+                Point::new(width, 0.0),
+                Point::new(width, height),
+                Point::new(0.0, height),
+            ]);
+            let length = perimeter.length();
+            (0..n_aps).map(|i| perimeter.point_at(length * i as f64 / n_aps as f64)).collect()
+        }
+        other => unreachable!("schema admits no placement `{other}`"),
+    };
+
+    let rng = StreamRng::derive(seed, "gen/grid-city");
+    let cars = (0..n_cars)
+        .map(|i| {
+            let mut walk_rng = rng.substream(i as u64 + 1);
+            CarPlan {
+                path: grid_walk(blocks_x, blocks_y, block_m, walk_m, &mut walk_rng),
+                speed_ms,
+                start_offset_m: 0.0,
+                start_time: SimTime::ZERO,
+            }
+        })
+        .collect();
+
+    Blueprint {
+        cars,
+        ap_positions,
+        medium,
+        ap_rate_pps: params.f64("ap_rate_pps"),
+        payload_bytes: params.u64("payload_bytes").min(65_535) as u32,
+        horizon: SimTime::from_secs_f64(walk_m / speed_ms + 10.0),
+        rounds_default: params.u64("rounds").min(1_000) as u32,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// highway-flow: a linear highway with (optionally) bidirectional traffic.
+// ---------------------------------------------------------------------------
+
+fn highway_flow() -> Generator {
+    let mut specs = vec![
+        GenParamSpec::float("road_length_m", "highway segment length", 600.0, 200.0, 10_000.0),
+        GenParamSpec::int("n_cars", "cars per direction", 2, 1, 8),
+        GenParamSpec::bool("bidirectional", "run an opposing flow on the second lane", true),
+        GenParamSpec::float("speed_kmh", "nominal cruise speed in km/h", 80.0, 20.0, 200.0),
+        GenParamSpec::float(
+            "speed_jitter",
+            "per-car speed jitter as a fraction of nominal",
+            0.05,
+            0.0,
+            0.3,
+        ),
+        GenParamSpec::float("headway_m", "gap between successive cars", 25.0, 5.0, 100.0),
+        GenParamSpec::float(
+            "ap_spacing_m",
+            "distance between roadside APs",
+            400.0,
+            100.0,
+            10_000.0,
+        ),
+    ];
+    specs.extend(load_specs(5.0));
+    Generator {
+        name: "highway-flow",
+        description: "linear highway: platooned flows (optionally bidirectional, the paper's \
+                      opposite-direction cooperation) past roadside APs",
+        schema: GenSchema::new("highway-flow", specs),
+        build: build_highway_flow,
+    }
+}
+
+fn build_highway_flow(params: &ResolvedParams, seed: u64) -> Blueprint {
+    let length = params.f64("road_length_m");
+    let n_cars = params.u64("n_cars") as usize;
+    let bidirectional = params.bool("bidirectional");
+    let speed_ms = kmh_to_ms(params.f64("speed_kmh"));
+    let jitter = params.f64("speed_jitter");
+    let headway = params.f64("headway_m");
+    let spacing = params.f64("ap_spacing_m");
+
+    let forward = Polyline::open(vec![Point::new(0.0, 0.0), Point::new(length, 0.0)]);
+    let reverse = Polyline::open(vec![Point::new(length, 4.0), Point::new(0.0, 4.0)]);
+
+    let rng = StreamRng::derive(seed, "gen/highway-flow");
+    let mut cars = Vec::new();
+    let directions: &[Polyline] = if bidirectional { &[forward, reverse] } else { &[forward] };
+    for (d, path) in directions.iter().enumerate() {
+        for i in 0..n_cars {
+            let mut car_rng = rng.substream((d * n_cars + i) as u64 + 1);
+            let factor = 1.0 + jitter * (car_rng.gen_range(-1.0..1.0));
+            cars.push(CarPlan {
+                path: path.clone(),
+                speed_ms: speed_ms * factor,
+                start_offset_m: -(i as f64) * headway,
+                start_time: SimTime::ZERO,
+            });
+        }
+    }
+
+    // Roadside APs every `spacing` metres, starting half a gap in, standing
+    // 10 m off the carriageway.
+    let mut ap_positions = Vec::new();
+    let mut x = spacing / 2.0;
+    while x < length && ap_positions.len() < 16 {
+        ap_positions.push(Point::new(x, 10.0));
+        x += spacing;
+    }
+    if ap_positions.is_empty() {
+        ap_positions.push(Point::new(length / 2.0, 10.0));
+    }
+
+    // The slowest jittered car still has to clear the segment plus its
+    // platoon offset before the horizon cuts the pass.
+    let slowest = speed_ms * (1.0 - jitter).max(0.1);
+    let horizon = (length + n_cars as f64 * headway) / slowest + 15.0;
+    Blueprint {
+        cars,
+        ap_positions,
+        medium: MediumConfig::highway(),
+        ap_rate_pps: params.f64("ap_rate_pps"),
+        payload_bytes: params.u64("payload_bytes").min(65_535) as u32,
+        horizon: SimTime::from_secs_f64(horizon),
+        rounds_default: params.u64("rounds").min(1_000) as u32,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// platoon-merge: two feeder roads joining into a shared tail at an AP.
+// ---------------------------------------------------------------------------
+
+fn platoon_merge() -> Generator {
+    let mut specs = vec![
+        GenParamSpec::float(
+            "feeder_m",
+            "feeder road length before the merge",
+            300.0,
+            100.0,
+            2_000.0,
+        ),
+        GenParamSpec::float("tail_m", "shared road length after the merge", 400.0, 100.0, 3_000.0),
+        GenParamSpec::int("n_main", "cars on the main feeder", 2, 1, 6),
+        GenParamSpec::int("n_ramp", "cars on the merging ramp", 1, 1, 6),
+        GenParamSpec::float("speed_kmh", "cruise speed in km/h", 50.0, 10.0, 150.0),
+        GenParamSpec::float("headway_m", "gap between successive cars", 20.0, 5.0, 100.0),
+        GenParamSpec::float(
+            "merge_gap_s",
+            "how long after the main platoon the ramp flow starts",
+            2.0,
+            0.0,
+            30.0,
+        ),
+    ];
+    specs.extend(load_specs(5.0));
+    Generator {
+        name: "platoon-merge",
+        description: "two platoons merging onto a shared road at an AP: cooperation across \
+                      freshly merged neighbours",
+        schema: GenSchema::new("platoon-merge", specs),
+        build: build_platoon_merge,
+    }
+}
+
+fn build_platoon_merge(params: &ResolvedParams, _seed: u64) -> Blueprint {
+    let feeder = params.f64("feeder_m");
+    let tail = params.f64("tail_m");
+    let n_main = params.u64("n_main") as usize;
+    let n_ramp = params.u64("n_ramp") as usize;
+    let speed_ms = kmh_to_ms(params.f64("speed_kmh"));
+    let headway = params.f64("headway_m");
+    let merge_gap = params.f64("merge_gap_s");
+
+    let main_path =
+        Polyline::open(vec![Point::new(-feeder, 0.0), Point::new(0.0, 0.0), Point::new(tail, 0.0)]);
+    // The ramp approaches at ~30 degrees and joins the same tail.
+    let ramp_path = Polyline::open(vec![
+        Point::new(-0.866 * feeder, -0.5 * feeder),
+        Point::new(0.0, 0.0),
+        Point::new(tail, 0.0),
+    ]);
+
+    let mut cars = Vec::new();
+    for i in 0..n_main {
+        cars.push(CarPlan {
+            path: main_path.clone(),
+            speed_ms,
+            start_offset_m: -(i as f64) * headway,
+            start_time: SimTime::ZERO,
+        });
+    }
+    for i in 0..n_ramp {
+        cars.push(CarPlan {
+            path: ramp_path.clone(),
+            speed_ms,
+            start_offset_m: -(i as f64) * headway,
+            start_time: SimTime::from_secs_f64(merge_gap),
+        });
+    }
+
+    let horizon =
+        (feeder + tail + (n_main.max(n_ramp) as f64) * headway) / speed_ms + merge_gap + 15.0;
+    Blueprint {
+        cars,
+        ap_positions: vec![Point::new(0.0, 12.0)],
+        medium: MediumConfig::highway(),
+        ap_rate_pps: params.f64("ap_rate_pps"),
+        payload_bytes: params.u64("payload_bytes").min(65_535) as u32,
+        horizon: SimTime::from_secs_f64(horizon),
+        rounds_default: params.u64("rounds").min(1_000) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_lists_three_generators_with_schemas() {
+        let generators = all();
+        let names: Vec<&str> = generators.iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["grid-city", "highway-flow", "platoon-merge"]);
+        for g in &generators {
+            assert!(!g.description.is_empty());
+            assert_eq!(g.schema().generator(), g.name);
+            assert!(g.schema().params().len() >= 5, "{} schema too small", g.name);
+        }
+    }
+
+    #[test]
+    fn lookup_ignores_separators_and_case() {
+        for alias in ["grid-city", "grid_city", "GRIDCITY"] {
+            assert_eq!(find(alias).map(|g| g.name), Some("grid-city"), "{alias}");
+        }
+        assert!(find("mars-rover").is_none());
+    }
+
+    #[test]
+    fn blueprints_are_pure_functions_of_params_and_seed() {
+        for g in all() {
+            let params = g.schema().resolve(&[]).unwrap();
+            let a = g.blueprint(&params, 42);
+            let b = g.blueprint(&params, 42);
+            assert_eq!(a.cars.len(), b.cars.len(), "{}", g.name);
+            for (ca, cb) in a.cars.iter().zip(&b.cars) {
+                assert_eq!(ca.path.vertices(), cb.path.vertices(), "{}", g.name);
+                assert_eq!(ca.speed_ms, cb.speed_ms, "{}", g.name);
+                assert_eq!(ca.start_offset_m, cb.start_offset_m, "{}", g.name);
+                assert_eq!(ca.start_time, cb.start_time, "{}", g.name);
+            }
+            assert_eq!(a.ap_positions, b.ap_positions, "{}", g.name);
+            assert_eq!(a.horizon, b.horizon, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn grid_city_seed_varies_the_walks() {
+        let g = find("grid-city").unwrap();
+        let params = g.schema().resolve(&[]).unwrap();
+        let a = g.blueprint(&params, 1);
+        let b = g.blueprint(&params, 2);
+        assert_ne!(
+            a.cars[0].path.vertices(),
+            b.cars[0].path.vertices(),
+            "different seeds must walk different streets"
+        );
+        // Walks stay on the street grid and reach the requested length.
+        let block = params.f64("block_m");
+        for v in a.cars[0].path.vertices() {
+            assert!((v.x / block).fract().abs() < 1e-9, "off-grid vertex {v:?}");
+            assert!((v.y / block).fract().abs() < 1e-9, "off-grid vertex {v:?}");
+        }
+        assert!(a.cars[0].path.length() >= params.f64("walk_m"));
+    }
+
+    #[test]
+    fn highway_flow_respects_direction_and_ap_spacing() {
+        let g = find("highway-flow").unwrap();
+        let one_way = g
+            .schema()
+            .resolve(&[
+                ("bidirectional".to_string(), crate::GenValue::Bool(false)),
+                ("road_length_m".to_string(), crate::GenValue::Float(1_000.0)),
+                ("ap_spacing_m".to_string(), crate::GenValue::Float(250.0)),
+            ])
+            .unwrap();
+        let bp = g.blueprint(&one_way, 7);
+        assert_eq!(bp.cars.len(), 2, "one direction only");
+        assert_eq!(bp.ap_positions.len(), 4, "1000 m at 250 m spacing");
+        let two_way = g
+            .schema()
+            .resolve(&[("bidirectional".to_string(), crate::GenValue::Bool(true))])
+            .unwrap();
+        let bp = g.blueprint(&two_way, 7);
+        assert_eq!(bp.cars.len(), 4, "both directions");
+        // The reverse flow drives the opposite way.
+        let first = bp.cars[0].path.vertices();
+        let last = bp.cars[3].path.vertices();
+        assert!(first[0].x < first[1].x && last[0].x > last[1].x);
+    }
+
+    #[test]
+    fn platoon_merge_staggers_the_ramp_flow() {
+        let g = find("platoon-merge").unwrap();
+        let params = g.schema().resolve(&[]).unwrap();
+        let bp = g.blueprint(&params, 3);
+        assert_eq!(bp.cars.len(), 3, "2 main + 1 ramp by default");
+        assert_eq!(bp.cars[0].start_time, SimTime::ZERO);
+        assert!(bp.cars[2].start_time > SimTime::ZERO, "ramp starts later");
+        // Both flows end on the same tail.
+        let main_end = *bp.cars[0].path.vertices().last().unwrap();
+        let ramp_end = *bp.cars[2].path.vertices().last().unwrap();
+        assert_eq!(main_end, ramp_end);
+    }
+}

@@ -1,0 +1,646 @@
+//! The generator parameter vocabulary: [`GenValue`], [`GenParamSpec`] and
+//! [`GenSchema`].
+//!
+//! Generator parameters are deliberately *not* the runtime [`Param`]
+//! vocabulary of `vanet-scenarios`: that enum is closed over the knobs a
+//! configured experiment sweeps (speed, rate, cooperation, …), while
+//! generator parameters describe *world construction* — street-grid
+//! dimensions, AP placement strategies, merge geometry. They live in their
+//! own string-keyed, schema-checked namespace with the same lossless
+//! canonical encoding discipline, because the canonical rendering of the
+//! generator parameters is one third of a generated scenario's identity
+//! (see [`GenIdentity`](crate::GenIdentity)).
+//!
+//! [`Param`]: vanet_scenarios::Param
+
+use std::fmt;
+
+/// Why a generation request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The named generator is not in the catalogue.
+    UnknownGenerator(String),
+    /// The generator's schema does not declare this parameter.
+    Unknown {
+        /// The generator whose schema rejected the parameter.
+        generator: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// The same parameter was assigned twice.
+    Duplicate {
+        /// The generator whose schema rejected the assignment.
+        generator: &'static str,
+        /// The duplicated key.
+        key: &'static str,
+    },
+    /// The assigned value has the wrong kind for the parameter.
+    Type {
+        /// The generator whose schema rejected the value.
+        generator: &'static str,
+        /// The mistyped parameter.
+        key: &'static str,
+        /// What the schema expected (e.g. `"float"`, `"one of center, …"`).
+        expected: String,
+    },
+    /// The assigned value is outside the parameter's declared range.
+    Range {
+        /// The generator whose schema rejected the value.
+        generator: &'static str,
+        /// The out-of-range parameter.
+        key: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A value failed to parse at all.
+    BadValue {
+        /// The generator whose schema rejected the text.
+        generator: &'static str,
+        /// The parameter the text was meant for.
+        key: String,
+        /// The unparseable text.
+        text: String,
+    },
+    /// A `VANETGEN1` scenario file failed to parse; `line` is 1-based.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::UnknownGenerator(name) => {
+                write!(f, "unknown generator `{name}` (see `carq-cli gen list`)")
+            }
+            GenError::Unknown { generator, key } => {
+                write!(f, "generator `{generator}` has no parameter `{key}`")
+            }
+            GenError::Duplicate { generator, key } => {
+                write!(f, "generator `{generator}`: parameter `{key}` assigned twice")
+            }
+            GenError::Type { generator, key, expected } => {
+                write!(f, "generator `{generator}`: parameter `{key}` expects {expected}")
+            }
+            GenError::Range { generator, key, detail } => {
+                write!(f, "generator `{generator}`: parameter `{key}` {detail}")
+            }
+            GenError::BadValue { generator, key, text } => {
+                write!(f, "generator `{generator}`: `{text}` is not a valid value for `{key}`")
+            }
+            GenError::Parse { line, message } => {
+                write!(f, "scenario file line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// One value of a generator parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenValue {
+    /// A real-valued parameter (lengths, speeds, rates).
+    Float(f64),
+    /// An integral parameter (counts).
+    Int(u64),
+    /// An on/off parameter.
+    Bool(bool),
+    /// A named strategy drawn from a closed choice list; the `&'static str`
+    /// is always one of the owning spec's [`GenParamSpec::choices`].
+    Choice(&'static str),
+}
+
+impl GenValue {
+    /// A **lossless** rendering used in scenario identities, `VANETGEN1`
+    /// files and campaign shard files — the same discipline as
+    /// `ParamValue::canonical` in `vanet-scenarios`: floats render as their
+    /// IEEE-754 bit pattern so nearby values never collapse onto one
+    /// identity.
+    pub fn canonical(&self) -> String {
+        match self {
+            GenValue::Float(x) => format!("f{:016x}", x.to_bits()),
+            GenValue::Int(x) => format!("i{x}"),
+            GenValue::Bool(x) => format!("b{}", u8::from(*x)),
+            GenValue::Choice(name) => (*name).to_string(),
+        }
+    }
+
+    /// The float behind this value, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            GenValue::Float(x) => Some(*x),
+            GenValue::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer behind this value, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            GenValue::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            GenValue::Bool(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The choice name behind this value, if a choice.
+    pub fn as_choice(&self) -> Option<&'static str> {
+        match self {
+            GenValue::Choice(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GenValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Fixed decimals keep rendered listings byte-stable.
+            GenValue::Float(x) => write!(f, "{x:.3}"),
+            GenValue::Int(x) => write!(f, "{x}"),
+            GenValue::Bool(x) => write!(f, "{x}"),
+            GenValue::Choice(name) => f.write_str(name),
+        }
+    }
+}
+
+/// The declared shape of one generator parameter.
+#[derive(Debug, Clone)]
+pub struct GenParamSpec {
+    key: &'static str,
+    doc: &'static str,
+    default: GenValue,
+    /// Inclusive numeric range for float/int parameters (unused otherwise).
+    min: f64,
+    max: f64,
+    /// The closed vocabulary for choice parameters (empty otherwise).
+    choices: &'static [&'static str],
+}
+
+impl GenParamSpec {
+    /// A real-valued parameter with an inclusive range.
+    pub fn float(key: &'static str, doc: &'static str, default: f64, min: f64, max: f64) -> Self {
+        GenParamSpec { key, doc, default: GenValue::Float(default), min, max, choices: &[] }
+    }
+
+    /// An integral parameter with an inclusive range.
+    pub fn int(key: &'static str, doc: &'static str, default: u64, min: u64, max: u64) -> Self {
+        GenParamSpec {
+            key,
+            doc,
+            default: GenValue::Int(default),
+            min: min as f64,
+            max: max as f64,
+            choices: &[],
+        }
+    }
+
+    /// An on/off parameter.
+    pub fn bool(key: &'static str, doc: &'static str, default: bool) -> Self {
+        GenParamSpec {
+            key,
+            doc,
+            default: GenValue::Bool(default),
+            min: 0.0,
+            max: 1.0,
+            choices: &[],
+        }
+    }
+
+    /// A strategy parameter over a closed choice list. The default must be
+    /// one of the choices (checked by [`GenSchema::new`]).
+    pub fn choice(
+        key: &'static str,
+        doc: &'static str,
+        default: &'static str,
+        choices: &'static [&'static str],
+    ) -> Self {
+        GenParamSpec { key, doc, default: GenValue::Choice(default), min: 0.0, max: 0.0, choices }
+    }
+
+    /// The parameter's key.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+
+    /// One-line description.
+    pub fn doc(&self) -> &'static str {
+        self.doc
+    }
+
+    /// The default value used when a request does not assign the parameter.
+    pub fn default_value(&self) -> GenValue {
+        self.default
+    }
+
+    /// The choice vocabulary (empty unless this is a choice parameter).
+    pub fn choices(&self) -> &'static [&'static str] {
+        self.choices
+    }
+
+    /// Human-readable kind + range description for listings.
+    pub fn render_kind(&self) -> String {
+        match self.default {
+            GenValue::Float(_) => format!("float in [{}, {}]", self.min, self.max),
+            GenValue::Int(_) => format!("int in [{}, {}]", self.min as u64, self.max as u64),
+            GenValue::Bool(_) => "bool".to_string(),
+            GenValue::Choice(_) => format!("one of {}", self.choices.join(", ")),
+        }
+    }
+
+    /// Checks `value` against this spec's kind and range.
+    fn check(&self, generator: &'static str, value: GenValue) -> Result<GenValue, GenError> {
+        let type_error = || GenError::Type {
+            generator,
+            key: self.key,
+            expected: match self.default {
+                GenValue::Float(_) => "a float".to_string(),
+                GenValue::Int(_) => "an integer".to_string(),
+                GenValue::Bool(_) => "a boolean".to_string(),
+                GenValue::Choice(_) => format!("one of {}", self.choices.join(", ")),
+            },
+        };
+        match (self.default, value) {
+            (GenValue::Float(_), GenValue::Float(x)) => {
+                if !x.is_finite() || x < self.min || x > self.max {
+                    return Err(GenError::Range {
+                        generator,
+                        key: self.key,
+                        detail: format!("must be in [{}, {}], got {x}", self.min, self.max),
+                    });
+                }
+                Ok(value)
+            }
+            // Integers are accepted where floats are expected (`speed=20`).
+            (GenValue::Float(_), GenValue::Int(x)) => {
+                self.check(generator, GenValue::Float(x as f64))
+            }
+            (GenValue::Int(_), GenValue::Int(x)) => {
+                if (x as f64) < self.min || (x as f64) > self.max {
+                    return Err(GenError::Range {
+                        generator,
+                        key: self.key,
+                        detail: format!(
+                            "must be in [{}, {}], got {x}",
+                            self.min as u64, self.max as u64
+                        ),
+                    });
+                }
+                Ok(value)
+            }
+            (GenValue::Bool(_), GenValue::Bool(_)) => Ok(value),
+            (GenValue::Choice(_), GenValue::Choice(name)) => {
+                // Canonicalize onto the spec's own `&'static str` so equal
+                // choices are pointer-stable regardless of parse origin.
+                let interned = self.choices.iter().find(|c| **c == name).ok_or_else(type_error)?;
+                Ok(GenValue::Choice(interned))
+            }
+            _ => Err(type_error()),
+        }
+    }
+
+    /// Parses a value in *human* form: `2.5`, `3`, `on`/`off`, or a choice
+    /// word — the spelling CLI users type.
+    fn parse_human(&self, generator: &'static str, text: &str) -> Result<GenValue, GenError> {
+        let bad = || GenError::BadValue { generator, key: self.key.to_string(), text: text.into() };
+        match self.default {
+            GenValue::Float(_) => text.parse().map(GenValue::Float).map_err(|_| bad()),
+            GenValue::Int(_) => text.parse().map(GenValue::Int).map_err(|_| bad()),
+            GenValue::Bool(_) => match text {
+                "on" | "true" | "1" => Ok(GenValue::Bool(true)),
+                "off" | "false" | "0" => Ok(GenValue::Bool(false)),
+                _ => Err(bad()),
+            },
+            GenValue::Choice(_) => self
+                .choices
+                .iter()
+                .find(|c| **c == text)
+                .map(|c| GenValue::Choice(c))
+                .ok_or_else(bad),
+        }
+    }
+
+    /// Parses a [`GenValue::canonical`] rendering back — the exact inverse,
+    /// so identities serialized into `VANETGEN1` and campaign shard files
+    /// round-trip bit-for-bit.
+    fn parse_canonical(&self, generator: &'static str, text: &str) -> Result<GenValue, GenError> {
+        let bad = || GenError::BadValue { generator, key: self.key.to_string(), text: text.into() };
+        match text {
+            "b0" => return self.check(generator, GenValue::Bool(false)),
+            "b1" => return self.check(generator, GenValue::Bool(true)),
+            _ => {}
+        }
+        if let Some(hex) = text.strip_prefix('f') {
+            if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                let bits = u64::from_str_radix(hex, 16).map_err(|_| bad())?;
+                return self.check(generator, GenValue::Float(f64::from_bits(bits)));
+            }
+        }
+        if let Some(digits) = text.strip_prefix('i') {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                let x: u64 = digits.parse().map_err(|_| bad())?;
+                return self.check(generator, GenValue::Int(x));
+            }
+        }
+        // Anything else can only be a choice word.
+        if matches!(self.default, GenValue::Choice(_)) {
+            return self.parse_human(generator, text).and_then(|v| self.check(generator, v));
+        }
+        Err(bad())
+    }
+}
+
+/// A generator's declared parameters: keys, kinds, docs, defaults, ranges.
+///
+/// The schema is the contract that makes generated scenarios regenerable:
+/// [`GenSchema::resolve`] turns any assignment list into the *fully
+/// resolved* declaration-order parameter vector, and
+/// [`ResolvedParams::canonical`] renders it losslessly — the rendering that
+/// feeds the scenario identity and therefore every cache key downstream.
+#[derive(Debug, Clone)]
+pub struct GenSchema {
+    generator: &'static str,
+    specs: Vec<GenParamSpec>,
+}
+
+impl GenSchema {
+    /// Builds a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is declared twice or a default violates its own spec
+    /// — generator-author errors that must fail loudly at construction.
+    pub fn new(generator: &'static str, specs: Vec<GenParamSpec>) -> Self {
+        for (i, spec) in specs.iter().enumerate() {
+            assert!(
+                !specs[..i].iter().any(|s| s.key == spec.key),
+                "generator `{generator}` declares parameter `{}` twice",
+                spec.key
+            );
+            assert!(
+                spec.check(generator, spec.default).is_ok(),
+                "generator `{generator}`: default for `{}` violates its own spec",
+                spec.key
+            );
+        }
+        GenSchema { generator, specs }
+    }
+
+    /// The generator this schema belongs to.
+    pub fn generator(&self) -> &'static str {
+        self.generator
+    }
+
+    /// The declared parameters, in declaration order.
+    pub fn params(&self) -> &[GenParamSpec] {
+        &self.specs
+    }
+
+    fn spec_for(&self, key: &str) -> Result<&GenParamSpec, GenError> {
+        self.specs
+            .iter()
+            .find(|s| s.key == key)
+            .ok_or_else(|| GenError::Unknown { generator: self.generator, key: key.to_string() })
+    }
+
+    /// Parses one human-form value (`2.5`, `3`, `on`, a choice word) for
+    /// the named parameter.
+    pub fn parse_value(&self, key: &str, text: &str) -> Result<GenValue, GenError> {
+        let spec = self.spec_for(key)?;
+        spec.parse_human(self.generator, text).and_then(|v| spec.check(self.generator, v))
+    }
+
+    /// Parses one canonical-form value (`f…`, `i…`, `b0`/`b1`, a choice
+    /// word) for the named parameter.
+    pub fn parse_canonical_value(&self, key: &str, text: &str) -> Result<GenValue, GenError> {
+        let spec = self.spec_for(key)?;
+        spec.parse_canonical(self.generator, text)
+    }
+
+    /// Validates `assignments` and resolves them against the defaults into
+    /// the full declaration-order parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, duplicated keys, kind mismatches and out-of-range
+    /// values, each naming the generator and parameter.
+    pub fn resolve(&self, assignments: &[(String, GenValue)]) -> Result<ResolvedParams, GenError> {
+        // Validate every assignment up front so errors name the user's key.
+        for (i, (key, value)) in assignments.iter().enumerate() {
+            let spec = self.spec_for(key)?;
+            if assignments[..i].iter().any(|(k, _)| k == key) {
+                return Err(GenError::Duplicate { generator: self.generator, key: spec.key });
+            }
+            spec.check(self.generator, *value)?;
+        }
+        let resolved = self
+            .specs
+            .iter()
+            .map(|spec| {
+                let value = assignments
+                    .iter()
+                    .find(|(k, _)| k == spec.key)
+                    .map(|(_, v)| spec.check(self.generator, *v).expect("validated above"))
+                    .unwrap_or(spec.default);
+                (spec.key, value)
+            })
+            .collect();
+        Ok(ResolvedParams { assignments: resolved })
+    }
+}
+
+/// A fully resolved generator parameter vector: every declared parameter
+/// present, in declaration order — the canonical-identity form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedParams {
+    assignments: Vec<(&'static str, GenValue)>,
+}
+
+impl ResolvedParams {
+    /// The assignments, in schema declaration order.
+    pub fn assignments(&self) -> &[(&'static str, GenValue)] {
+        &self.assignments
+    }
+
+    /// The lossless `key=canonical;key=canonical` rendering (declaration
+    /// order, every parameter present) that feeds the scenario identity.
+    pub fn canonical(&self) -> String {
+        self.assignments
+            .iter()
+            .map(|(key, value)| format!("{key}={}", value.canonical()))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// The value of the named parameter. Resolution guarantees presence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never declared — a generator-author error.
+    pub fn get(&self, key: &str) -> GenValue {
+        self.assignments
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("generator parameter `{key}` not in resolved set"))
+    }
+
+    /// The named float parameter (integral values widen).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing key or non-numeric kind.
+    pub fn f64(&self, key: &str) -> f64 {
+        self.get(key).as_f64().unwrap_or_else(|| panic!("parameter `{key}` is not numeric"))
+    }
+
+    /// The named integer parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing key or non-integral kind.
+    pub fn u64(&self, key: &str) -> u64 {
+        self.get(key).as_u64().unwrap_or_else(|| panic!("parameter `{key}` is not an integer"))
+    }
+
+    /// The named boolean parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing key or non-boolean kind.
+    pub fn bool(&self, key: &str) -> bool {
+        self.get(key).as_bool().unwrap_or_else(|| panic!("parameter `{key}` is not a boolean"))
+    }
+
+    /// The named choice parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing key or non-choice kind.
+    pub fn choice(&self, key: &str) -> &'static str {
+        self.get(key).as_choice().unwrap_or_else(|| panic!("parameter `{key}` is not a choice"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> GenSchema {
+        GenSchema::new(
+            "test-gen",
+            vec![
+                GenParamSpec::float("length_m", "road length", 600.0, 100.0, 5_000.0),
+                GenParamSpec::int("n_cars", "car count", 2, 1, 8),
+                GenParamSpec::bool("bidirectional", "two-way traffic", true),
+                GenParamSpec::choice("ap_placement", "AP strategy", "center", &["center", "ring"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn canonical_values_are_lossless_and_round_trip() {
+        assert_eq!(GenValue::Float(600.0).canonical(), format!("f{:016x}", 600.0f64.to_bits()));
+        assert_eq!(GenValue::Int(3).canonical(), "i3");
+        assert_eq!(GenValue::Bool(false).canonical(), "b0");
+        assert_eq!(GenValue::Choice("ring").canonical(), "ring");
+        let s = schema();
+        for (key, value) in [
+            ("length_m", GenValue::Float(123.456_789)),
+            ("n_cars", GenValue::Int(7)),
+            ("bidirectional", GenValue::Bool(false)),
+            ("ap_placement", GenValue::Choice("ring")),
+        ] {
+            let parsed = s.parse_canonical_value(key, &value.canonical()).unwrap();
+            assert_eq!(parsed, value, "round-trip of `{key}`");
+        }
+        // Nearby floats stay distinct in canonical form.
+        assert_ne!(GenValue::Float(20.0).canonical(), GenValue::Float(20.000_000_1).canonical());
+    }
+
+    #[test]
+    fn human_parsing_accepts_cli_spellings() {
+        let s = schema();
+        assert_eq!(s.parse_value("length_m", "450.5").unwrap(), GenValue::Float(450.5));
+        assert_eq!(s.parse_value("n_cars", "3").unwrap(), GenValue::Int(3));
+        assert_eq!(s.parse_value("bidirectional", "off").unwrap(), GenValue::Bool(false));
+        assert_eq!(s.parse_value("ap_placement", "ring").unwrap(), GenValue::Choice("ring"));
+        assert!(matches!(s.parse_value("length_m", "wide"), Err(GenError::BadValue { .. })));
+        assert!(matches!(s.parse_value("ap_placement", "moon"), Err(GenError::BadValue { .. })));
+        assert!(matches!(s.parse_value("warp", "1"), Err(GenError::Unknown { .. })));
+    }
+
+    #[test]
+    fn resolve_fills_defaults_in_declaration_order() {
+        let s = schema();
+        let resolved = s.resolve(&[("n_cars".to_string(), GenValue::Int(5))]).unwrap();
+        let keys: Vec<&str> = resolved.assignments().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["length_m", "n_cars", "bidirectional", "ap_placement"]);
+        assert_eq!(resolved.u64("n_cars"), 5);
+        assert_eq!(resolved.f64("length_m"), 600.0);
+        assert!(resolved.bool("bidirectional"));
+        assert_eq!(resolved.choice("ap_placement"), "center");
+        assert_eq!(
+            resolved.canonical(),
+            format!(
+                "length_m=f{:016x};n_cars=i5;bidirectional=b1;ap_placement=center",
+                600.0f64.to_bits()
+            )
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_bad_assignments() {
+        let s = schema();
+        let unknown = s.resolve(&[("warp".to_string(), GenValue::Int(1))]);
+        assert!(matches!(unknown, Err(GenError::Unknown { .. })), "{unknown:?}");
+        let dup = s.resolve(&[
+            ("n_cars".to_string(), GenValue::Int(1)),
+            ("n_cars".to_string(), GenValue::Int(2)),
+        ]);
+        assert!(matches!(dup, Err(GenError::Duplicate { .. })), "{dup:?}");
+        let range = s.resolve(&[("n_cars".to_string(), GenValue::Int(99))]);
+        assert!(matches!(range, Err(GenError::Range { .. })), "{range:?}");
+        let kind = s.resolve(&[("n_cars".to_string(), GenValue::Bool(true))]);
+        assert!(matches!(kind, Err(GenError::Type { .. })), "{kind:?}");
+        // Ints widen into float slots; the reverse does not hold.
+        assert!(s.resolve(&[("length_m".to_string(), GenValue::Int(500))]).is_ok());
+        assert!(s.resolve(&[("n_cars".to_string(), GenValue::Float(2.0))]).is_err());
+    }
+
+    #[test]
+    fn errors_render_with_generator_and_key() {
+        let s = schema();
+        let err = s.resolve(&[("warp".to_string(), GenValue::Int(1))]).unwrap_err();
+        assert!(err.to_string().contains("test-gen"), "{err}");
+        assert!(err.to_string().contains("warp"), "{err}");
+        let err = GenError::UnknownGenerator("mars".into());
+        assert!(err.to_string().contains("gen list"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_spec_keys_rejected() {
+        let _ = GenSchema::new(
+            "dup",
+            vec![GenParamSpec::int("a", "", 1, 0, 2), GenParamSpec::int("a", "", 1, 0, 2)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "violates its own spec")]
+    fn invalid_default_rejected() {
+        let _ = GenSchema::new("bad", vec![GenParamSpec::choice("s", "", "x", &["y", "z"])]);
+    }
+}

@@ -153,16 +153,21 @@ pub fn run_point(
 }
 
 /// Per-flow loss percentages pooled over rounds — the shared aggregation of
-/// the urban and highway scenarios.
+/// the urban and highway scenarios, public so external scenario
+/// implementations (notably `vanet-gen`'s generated scenarios) report the
+/// same loss metrics as the built-ins.
 #[derive(Debug, Default)]
-pub(crate) struct LossSamples {
+pub struct LossSamples {
     window: Vec<f64>,
     before_pct: Vec<f64>,
     after_pct: Vec<f64>,
 }
 
 impl LossSamples {
-    pub(crate) fn absorb(&mut self, round: &vanet_stats::RoundResult) {
+    /// Folds one round's per-flow losses into the pooled samples. Flows
+    /// whose AP window is empty (the car never entered coverage) are
+    /// skipped rather than counted as lossless.
+    pub fn absorb(&mut self, round: &vanet_stats::RoundResult) {
         for car in round.cars() {
             let Some(flow) = round.flow_for(car) else { continue };
             let tx = flow.tx_by_ap_in_window();
@@ -175,7 +180,9 @@ impl LossSamples {
         }
     }
 
-    pub(crate) fn metrics(&self) -> Vec<(&'static str, f64)> {
+    /// The pooled metrics: mean window size, mean loss before/after
+    /// cooperation, and the after-cooperation percentile spread.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
         let after = vanet_stats::Percentiles::of(&self.after_pct);
         vec![
             ("tx_window_mean", vanet_stats::mean(&self.window)),

@@ -32,6 +32,11 @@
 //!   shard plans, self-describing shard files, worker execution against
 //!   per-shard journals, and merge-then-export orchestration
 //!   (`carq-cli fleet run --workers N`).
+//! * [`gen`] — procedural scenario generation: composable deterministic
+//!   world generators (`grid-city`, `highway-flow`, `platoon-merge`) whose
+//!   output is a first-class [`scenarios`] scenario, identified purely by
+//!   `(generator, canonical params, gen seed)`; grid expansion feeds the
+//!   mass campaigns of `carq-cli campaign run` (see `docs/GENERATION.md`).
 //! * [`trace`] — zero-cost structured event tracing and the invariant
 //!   checker behind `carq-cli verify`: typed trace records, pluggable
 //!   sinks that monomorphize away when disabled, a compact binary trace
@@ -64,6 +69,7 @@ pub use sim_core as sim;
 pub use vanet_cache as cache;
 pub use vanet_dtn as dtn;
 pub use vanet_fleet as fleet;
+pub use vanet_gen as gen;
 pub use vanet_geo as geo;
 pub use vanet_mac as mac;
 pub use vanet_radio as radio;
