@@ -156,6 +156,21 @@ pub fn request_values(raw: &str) -> Result<Vec<ParamValue>, String> {
         .collect()
 }
 
+/// Parses a comma-separated list of recovery-strategy names.
+pub fn strategy_values(raw: &str) -> Result<Vec<ParamValue>, String> {
+    split_list(raw)?
+        .into_iter()
+        .map(|item| match carq::RecoveryStrategyKind::from_name(item) {
+            Some(kind) => Ok(ParamValue::Strategy(kind)),
+            None => {
+                let names: Vec<&str> =
+                    carq::RecoveryStrategyKind::ALL.iter().map(|k| k.name()).collect();
+                Err(format!("`{item}` is not a recovery strategy ({})", names.join(", ")))
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

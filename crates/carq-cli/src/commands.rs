@@ -15,7 +15,8 @@ use vanet_stats::{
 use vanet_sweep::{presets, SweepEngine, SweepSpec};
 
 use crate::cli::{
-    bool_values, float_values, int_values, request_values, selection_values, Options,
+    bool_values, float_values, int_values, request_values, selection_values, strategy_values,
+    Options,
 };
 
 const DEFAULT_SEED: u64 = 0x2008_1cdc;
@@ -340,6 +341,7 @@ fn parser_for(kind: ParamKind) -> AxisParser {
         ParamKind::Bool => bool_values,
         ParamKind::Selection => selection_values,
         ParamKind::Request => request_values,
+        ParamKind::Strategy => strategy_values,
     }
 }
 

@@ -13,7 +13,7 @@
 //! shows up as a mismatch. The invariant catalogue is documented in
 //! `docs/OBSERVABILITY.md`.
 
-use vanet_scenarios::{round_seed, ScenarioRegistry, ScenarioRun, SweepPoint};
+use vanet_scenarios::{round_seed, Param, ScenarioRegistry, ScenarioRun, SweepPoint};
 use vanet_stats::RoundReport;
 use vanet_trace::TraceRecord;
 
@@ -58,6 +58,7 @@ fn cross_check(round: u32, report: &RoundReport, records: &[TraceRecord], out: &
         })
         .sum();
     exact("buffer_evictions", evicted);
+    exact("strategy_decisions", count(|r| matches!(r, TraceRecord::StrategyDecision { .. })));
     let mut at_most = |name: &str, traced: u64| {
         if traced > counter(name) {
             out.push(Finding {
@@ -102,9 +103,9 @@ fn verify_rounds(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> (usize, Vec<F
     (records_total, findings)
 }
 
-/// `carq-cli verify --scenario NAME [--rounds N] [--seed S]`.
+/// `carq-cli verify --scenario NAME [--rounds N] [--seed S] [--strategy S]`.
 pub fn verify_cmd(opts: &Options) -> Result<(), String> {
-    let unknown = opts.unknown_flags(&["scenario", "rounds", "seed"]);
+    let unknown = opts.unknown_flags(&["scenario", "rounds", "seed", "strategy"]);
     if !unknown.is_empty() {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
@@ -119,14 +120,28 @@ pub fn verify_cmd(opts: &Options) -> Result<(), String> {
     let source = crate::gen_cmd::resolve_scenario(&registry, reference)?;
     let scenario = source.scenario(&registry);
     let name = scenario.name();
-    let run = scenario.configure(&SweepPoint::empty()).map_err(|e| e.to_string())?;
+    // The recovery strategy is the one point override verify accepts: the
+    // invariant catalogue is strategy-generic, so each rival scheme must
+    // hold up under the same checks as the paper's C-ARQ.
+    let (point, configuration) = match opts.get("strategy") {
+        Some(raw) => {
+            let values =
+                crate::cli::strategy_values(raw).map_err(|e| format!("--strategy: {e}"))?;
+            let [value] = values[..] else {
+                return Err("--strategy takes exactly one recovery strategy".into());
+            };
+            (SweepPoint::new(vec![(Param::Strategy, value)]), format!("strategy {value}"))
+        }
+        None => (SweepPoint::empty(), "base configuration".to_string()),
+    };
+    let run = scenario.configure(&point).map_err(|e| e.to_string())?;
     let rounds: u32 = opts.get_parsed("rounds", run.rounds())?;
     if rounds == 0 {
         return Err("--rounds must be positive".into());
     }
     let rounds = rounds.min(run.rounds());
     let seed = parse_seed(opts)?;
-    eprintln!("verify: {name}: {rounds} round(s), base configuration, seed {seed:#x}");
+    eprintln!("verify: {name}: {rounds} round(s), {configuration}, seed {seed:#x}");
     let (records_total, findings) = verify_rounds(run.as_ref(), seed, rounds);
     for finding in &findings {
         eprintln!(
@@ -168,6 +183,70 @@ mod tests {
     #[test]
     fn urban_round_passes_every_invariant() {
         assert!(verify_cmd(&opts(&["--scenario", "urban", "--rounds", "1"])).is_ok());
+    }
+
+    #[test]
+    fn every_strategy_passes_the_invariant_catalogue() {
+        for kind in carq::RecoveryStrategyKind::ALL {
+            assert!(
+                verify_cmd(&opts(&[
+                    "--scenario",
+                    "urban",
+                    "--rounds",
+                    "1",
+                    "--strategy",
+                    kind.name(),
+                ]))
+                .is_ok(),
+                "strategy {kind} violated an invariant"
+            );
+        }
+        // Bad spellings and multi-value lists are rejected.
+        assert!(verify_cmd(&opts(&["--scenario", "urban", "--strategy", "psychic-arq"])).is_err());
+        let err = verify_cmd(&opts(&["--scenario", "urban", "--strategy", "coop-arq,no-coop"]))
+            .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    /// The decision-before-request invariant is not vacuous: a seeded
+    /// mutation (`debug_skip_decision`, mirroring the PR-6
+    /// `debug_skip_epoch_bump` pattern) suppresses the decision record and
+    /// the checker must flag every downstream request.
+    #[test]
+    fn decision_invariant_fires_under_the_skip_decision_knob() {
+        use vanet_scenarios::urban::{UrbanConfig, UrbanRun};
+        let mut cfg = UrbanConfig::paper_testbed().with_rounds(1);
+        cfg.carq.debug_skip_decision = true;
+        let run = UrbanRun::new(cfg);
+        let (report, records) = run.run_round_traced(0, round_seed(99, 0));
+        assert!(report.counter("requests_sent").unwrap() > 0.0, "round must actually recover");
+        assert_eq!(report.counter("strategy_decisions"), Some(0.0), "knob must suppress counting");
+        let verdict = vanet_trace::verify(&records);
+        assert!(
+            verdict.violations.iter().any(|v| v.invariant == "decision_before_request"),
+            "undecided requests must be flagged: {:?}",
+            verdict.violations
+        );
+    }
+
+    /// The per-strategy retransmission bound is not vacuous either: lifting
+    /// the fruitless-cycle limit (`debug_ignore_fruitless_limit`) lets a
+    /// one-shot strategy keep requesting an unrecoverable packet, and the
+    /// checker must flag the overrun.
+    #[test]
+    fn strategy_bounds_fires_under_the_ignore_fruitless_knob() {
+        use vanet_scenarios::urban::{UrbanConfig, UrbanRun};
+        let mut cfg = UrbanConfig::paper_testbed().with_rounds(1);
+        cfg.carq.strategy = carq::RecoveryStrategyKind::OneHopListen;
+        cfg.carq.debug_ignore_fruitless_limit = true;
+        let run = UrbanRun::new(cfg);
+        let (_, records) = run.run_round_traced(0, round_seed(99, 0));
+        let verdict = vanet_trace::verify(&records);
+        assert!(
+            verdict.violations.iter().any(|v| v.invariant == "strategy_bounds"),
+            "an unbounded one-shot strategy must be flagged: {:?}",
+            verdict.violations
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 
+use crate::strategy::RecoveryStrategyKind;
+
 /// How a node asks its cooperators for missing packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RequestStrategy {
@@ -78,6 +80,23 @@ pub struct CarqConfig {
     /// Payload size (bytes) of the data packets this node expects; used only
     /// for diagnostics.
     pub expected_payload_bytes: u32,
+    /// The recovery scheme the node runs once it decides packets were lost
+    /// (the paper's Cooperative ARQ by default; see [`crate::strategy`]).
+    #[serde(default)]
+    pub strategy: RecoveryStrategyKind,
+    /// Mutation knob for the invariant suite: when set, the node skips the
+    /// loss-decision notification it would normally emit before its first
+    /// REQUEST, so `verify` can prove the decision-before-request invariant
+    /// fires. Never set outside tests.
+    #[doc(hidden)]
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub debug_skip_decision: bool,
+    /// Mutation knob for the invariant suite: when set, recovery sessions
+    /// never give up, violating the per-strategy retransmission bounds so
+    /// `verify` can prove they fire. Never set outside tests.
+    #[doc(hidden)]
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub debug_ignore_fruitless_limit: bool,
 }
 
 impl CarqConfig {
@@ -94,6 +113,25 @@ impl CarqConfig {
             coop_buffer_capacity: 512,
             stop_after_fruitless_cycles: 2,
             expected_payload_bytes: 1_000,
+            strategy: RecoveryStrategyKind::CoopArq,
+            debug_skip_decision: false,
+            debug_ignore_fruitless_limit: false,
+        }
+    }
+
+    /// Overrides the recovery strategy.
+    pub fn with_strategy(mut self, strategy: RecoveryStrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The fruitless-cycle bound a planner should honour, with the
+    /// mutation knob applied.
+    pub fn effective_fruitless_limit(&self) -> u32 {
+        if self.debug_ignore_fruitless_limit {
+            u32::MAX
+        } else {
+            self.stop_after_fruitless_cycles
         }
     }
 
@@ -175,6 +213,9 @@ mod tests {
         assert_eq!(cfg.hello_interval, SimDuration::from_secs(1));
         assert_eq!(cfg.request_strategy, RequestStrategy::PerPacket);
         assert_eq!(cfg.selection, SelectionStrategy::AllNeighbours);
+        assert_eq!(cfg.strategy, RecoveryStrategyKind::CoopArq);
+        assert!(!cfg.debug_skip_decision);
+        assert!(!cfg.debug_ignore_fruitless_limit);
         assert!(cfg.validate().is_ok());
         assert_eq!(CarqConfig::default(), cfg);
     }
@@ -187,7 +228,9 @@ mod tests {
             .with_hello_interval(SimDuration::from_millis(500))
             .with_ap_timeout(SimDuration::from_secs(3))
             .with_response_slot(SimDuration::from_millis(15))
-            .with_request_interval(SimDuration::from_millis(100));
+            .with_request_interval(SimDuration::from_millis(100))
+            .with_strategy(RecoveryStrategyKind::NetCoded);
+        assert_eq!(cfg.strategy, RecoveryStrategyKind::NetCoded);
         assert_eq!(cfg.request_strategy, RequestStrategy::Batched);
         assert_eq!(cfg.selection.limit(), Some(2));
         assert_eq!(cfg.hello_interval, SimDuration::from_millis(500));

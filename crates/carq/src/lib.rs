@@ -35,6 +35,10 @@
 //! * [`cooperators`] — cooperator bookkeeping on both sides of the relation.
 //! * [`recovery`] — the requester-side recovery planner (missing-list
 //!   cycling, pacing, termination).
+//! * [`strategy`] — the pluggable recovery-strategy seam: the paper's
+//!   scheme as the default [`RecoveryStrategyKind::CoopArq`], plus rival
+//!   drop-ins (network-coded cooperation, one-hop listening, and a
+//!   no-cooperation baseline). See `docs/STRATEGIES.md`.
 //!
 //! ## Example
 //!
@@ -58,9 +62,11 @@ pub mod cooperators;
 pub mod messages;
 pub mod node;
 pub mod recovery;
+pub mod strategy;
 
 pub use config::{CarqConfig, RequestStrategy, SelectionStrategy};
 pub use cooperators::{CooperateeTable, CooperatorTable};
-pub use messages::{CarqMessage, CoopDataMessage, HelloMessage, RequestMessage};
+pub use messages::{CarqMessage, CodedDataMessage, CoopDataMessage, HelloMessage, RequestMessage};
 pub use node::{Action, CarqNode, CarqNodeStats, Phase, TimerKind};
 pub use recovery::RecoveryPlanner;
+pub use strategy::{strategy_for, RecoveryStrategy, RecoveryStrategyKind};

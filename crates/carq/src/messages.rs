@@ -12,7 +12,10 @@
 //!   (prototype behaviour) or for the whole missing list (the batched
 //!   optimisation of §3.3);
 //! * `COOP-DATA` — a cooperator's retransmission of a buffered packet to the
-//!   requesting car.
+//!   requesting car;
+//! * `CODED-DATA` — the network-coded strategy's pairing of two pending
+//!   retransmissions for *different* requesters into one XOR-coded frame
+//!   (each requester decodes its component if it holds the other).
 //!
 //! Encoded sizes are modelled so that benches can report protocol overhead in
 //! bytes, matching how the testbed would account for it on the air.
@@ -100,6 +103,44 @@ impl CoopDataMessage {
     }
 }
 
+/// Two cooperative retransmissions for different requesters XOR-ed into one
+/// frame (the network-coded strategy; see [`crate::strategy`]).
+///
+/// The air-time cost of a coded frame is the *larger* of the two payloads
+/// plus a header — that is the whole point of the scheme: two recoveries for
+/// one transmission. A receiver recovers the component addressed to it iff
+/// it already holds the other component (directly, recovered, or buffered
+/// for a peer); otherwise the frame is undecodable for it and the packet
+/// stays missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodedDataMessage {
+    /// The first coded component.
+    pub a: DataPacket,
+    /// The second coded component (a different destination than `a`).
+    pub b: DataPacket,
+    /// The cooperator relaying the pair.
+    pub relay: NodeId,
+}
+
+impl CodedDataMessage {
+    /// Creates a CODED-DATA message.
+    pub fn new(a: DataPacket, b: DataPacket, relay: NodeId) -> Self {
+        CodedDataMessage { a, b, relay }
+    }
+
+    /// Encoded size in bytes: the larger component payload (XOR pads the
+    /// shorter one) plus a 10-byte coding header naming both components.
+    pub fn encoded_bytes(&self) -> u32 {
+        self.a.payload_bytes.max(self.b.payload_bytes) + 10
+    }
+
+    /// The two components, each paired with the one a receiver must already
+    /// hold to decode it.
+    pub fn components(&self) -> [(DataPacket, DataPacket); 2] {
+        [(self.a, self.b), (self.b, self.a)]
+    }
+}
+
 /// Every frame payload exchanged by the protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CarqMessage {
@@ -111,6 +152,8 @@ pub enum CarqMessage {
     Request(RequestMessage),
     /// A cooperative retransmission.
     CoopData(CoopDataMessage),
+    /// A network-coded pair of cooperative retransmissions.
+    CodedData(CodedDataMessage),
 }
 
 impl CarqMessage {
@@ -122,6 +165,7 @@ impl CarqMessage {
             CarqMessage::Hello(h) => h.encoded_bytes(),
             CarqMessage::Request(r) => r.encoded_bytes(),
             CarqMessage::CoopData(c) => c.encoded_bytes(),
+            CarqMessage::CodedData(c) => c.encoded_bytes(),
         }
     }
 
@@ -132,6 +176,7 @@ impl CarqMessage {
             CarqMessage::Hello(_) => "hello",
             CarqMessage::Request(_) => "request",
             CarqMessage::CoopData(_) => "coop-data",
+            CarqMessage::CodedData(_) => "coded-data",
         }
     }
 }
@@ -168,6 +213,22 @@ mod tests {
     }
 
     #[test]
+    fn coded_data_costs_one_payload_for_two_recoveries() {
+        let a = DataPacket::new(NodeId::new(2), SeqNo::new(9), 1_000, SimTime::ZERO);
+        let b = DataPacket::new(NodeId::new(4), SeqNo::new(7), 400, SimTime::ZERO);
+        let msg = CodedDataMessage::new(a, b, NodeId::new(3));
+        assert_eq!(msg.encoded_bytes(), 1_010, "max payload + coding header");
+        let [(first, needs_b), (second, needs_a)] = msg.components();
+        assert_eq!(first, a);
+        assert_eq!(needs_b, b);
+        assert_eq!(second, b);
+        assert_eq!(needs_a, a);
+        let sep = CoopDataMessage::new(a, NodeId::new(3)).encoded_bytes()
+            + CoopDataMessage::new(b, NodeId::new(3)).encoded_bytes();
+        assert!(msg.encoded_bytes() < sep, "coding beats two separate frames");
+    }
+
+    #[test]
     fn message_kinds_and_sizes() {
         let pkt = DataPacket::new(NodeId::new(1), SeqNo::new(0), 1_000, SimTime::ZERO);
         let data = CarqMessage::Data(pkt);
@@ -175,6 +236,10 @@ mod tests {
         let request =
             CarqMessage::Request(RequestMessage::new(NodeId::new(1), vec![SeqNo::new(1)], 1));
         let coop = CarqMessage::CoopData(CoopDataMessage::new(pkt, NodeId::new(2)));
+        let pkt2 = DataPacket::new(NodeId::new(4), SeqNo::new(1), 1_000, SimTime::ZERO);
+        let coded = CarqMessage::CodedData(CodedDataMessage::new(pkt, pkt2, NodeId::new(2)));
+        assert_eq!(coded.kind(), "coded-data");
+        assert_eq!(coded.encoded_bytes(), 1_010);
         assert_eq!(data.kind(), "data");
         assert_eq!(hello.kind(), "hello");
         assert_eq!(request.kind(), "request");

@@ -16,8 +16,11 @@ use vanet_mac::{Destination, Frame, NodeId};
 
 use crate::config::CarqConfig;
 use crate::cooperators::{CooperateeTable, CooperatorTable};
-use crate::messages::{CarqMessage, CoopDataMessage, HelloMessage, RequestMessage};
+use crate::messages::{
+    CarqMessage, CodedDataMessage, CoopDataMessage, HelloMessage, RequestMessage,
+};
 use crate::recovery::RecoveryPlanner;
+use crate::strategy::{strategy_for, RecoveryStrategy};
 
 /// The protocol phase a node is in (§3 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,6 +73,15 @@ pub enum Action {
         /// Delay from now.
         after: SimDuration,
     },
+    /// Notify the environment that the node's recovery strategy has made its
+    /// loss decision: it found `missing` packets outstanding and is about to
+    /// act on them (or, for the no-cooperation baseline, decline to). Purely
+    /// observational — the simulation records it (counter + optional
+    /// `strategy_decision` trace record) and schedules nothing.
+    DecideRecovery {
+        /// How many packets the node found missing when it decided.
+        missing: u32,
+    },
 }
 
 /// Per-node protocol counters.
@@ -100,6 +112,12 @@ pub struct CarqNodeStats {
     /// Buffered packets evicted to respect the cooperation-buffer capacity
     /// (buffer drops).
     pub buffer_evictions: u64,
+    /// Network-coded retransmissions sent (each pairs two recoveries; only
+    /// the net-coded strategy produces these).
+    pub coded_data_sent: u64,
+    /// Coded frames addressed to us that we could not decode (the other
+    /// component was not held).
+    pub coded_decode_failures: u64,
 }
 
 /// The Cooperative-ARQ protocol instance running in one vehicle.
@@ -159,11 +177,20 @@ impl CarqNode {
         }
     }
 
+    /// The strategy singleton driving this node's recovery behaviour.
+    fn strategy(&self) -> &'static dyn RecoveryStrategy {
+        strategy_for(self.config.strategy)
+    }
+
     /// Starts the node: arms the periodic HELLO beacon. The first beacon is
     /// staggered by a node-dependent offset so that platoon members do not
-    /// beacon in lockstep.
+    /// beacon in lockstep. Strategies that never cooperate (the plain-ARQ
+    /// baseline) do not beacon at all.
     pub fn start(&mut self, _now: SimTime) -> Vec<Action> {
         self.started = true;
+        if !self.strategy().beacons() {
+            return Vec::new();
+        }
         let stagger = 0.05 + f64::from(self.id.as_u32() % 10) / 10.0;
         vec![Action::SetTimer {
             kind: TimerKind::Hello,
@@ -257,6 +284,7 @@ impl CarqNode {
             CarqMessage::Hello(hello) => self.handle_hello(hello, snr_db),
             CarqMessage::Request(request) => self.handle_request(request),
             CarqMessage::CoopData(coop) => self.handle_coop_data(*coop),
+            CarqMessage::CodedData(coded) => self.handle_coded_data(*coded),
         }
     }
 
@@ -300,7 +328,9 @@ impl CarqNode {
                     after: self.config.ap_timeout,
                 });
             }
-        } else if self.cooperatees.cooperates_for(packet.destination) {
+        } else if self.strategy().cooperates()
+            && self.cooperatees.cooperates_for(packet.destination)
+        {
             // Promiscuous buffering on behalf of the cars that listed us as a
             // cooperator (§3.2).
             let outcome = self.coop_buffer.store_with_eviction(packet);
@@ -319,6 +349,10 @@ impl CarqNode {
             return Vec::new();
         }
         self.stats.hellos_received += 1;
+        if !self.strategy().cooperates() {
+            // The plain-ARQ baseline takes no part in cooperator recruitment.
+            return Vec::new();
+        }
         // First function of a HELLO: learn about the sender and (possibly)
         // recruit it as one of our cooperators.
         self.cooperators.hear_neighbour(hello.sender, snr_db);
@@ -330,6 +364,9 @@ impl CarqNode {
 
     fn handle_request(&mut self, request: &RequestMessage) -> Vec<Action> {
         self.stats.requests_received += 1;
+        if !self.strategy().cooperates() {
+            return Vec::new();
+        }
         // Only the requester's cooperators answer (§3.3 step ii).
         let Some(order) = self.cooperatees.order_for(request.requester) else {
             return Vec::new();
@@ -346,11 +383,10 @@ impl CarqNode {
             if !self.pending_responses.insert((request.requester, *seq)) {
                 continue; // already scheduled
             }
-            // Collision-free schedule: responses for consecutive requested
-            // packets are interleaved across cooperators; cooperator `order`
-            // answering the `idx`-th requested packet uses slot
-            // `idx * cooperator_count + order`.
-            let slot_index = idx as u64 * u64::from(cooperator_count) + u64::from(order);
+            // The strategy picks the back-off slot: the paper interleaves
+            // responses across cooperators; one-hop listening compresses
+            // them to order-only slots.
+            let slot_index = self.strategy().response_slot_index(idx, cooperator_count, order);
             let delay = self.config.response_slot * slot_index + self.config.response_slot / 4;
             actions.push(Action::SetTimer {
                 kind: TimerKind::CoopResponse { peer: request.requester, seq: *seq },
@@ -389,7 +425,7 @@ impl CarqNode {
         if self.pending_responses.remove(&key) {
             self.stats.responses_suppressed += 1;
         }
-        if self.cooperatees.cooperates_for(packet.destination) {
+        if self.strategy().cooperates() && self.cooperatees.cooperates_for(packet.destination) {
             let outcome = self.coop_buffer.store_with_eviction(packet);
             if outcome.stored {
                 self.stats.packets_buffered_for_peers += 1;
@@ -399,6 +435,55 @@ impl CarqNode {
             }
         }
         Vec::new()
+    }
+
+    fn handle_coded_data(&mut self, coded: CodedDataMessage) -> Vec<Action> {
+        for (component, other) in coded.components() {
+            if component.destination == self.id {
+                self.stats.coop_data_received += 1;
+                if !self.can_decode(&other) {
+                    // Opportunistic coding missed: we never saw the other
+                    // component, so ours stays missing and will be
+                    // re-requested on the next cycle.
+                    self.stats.coded_decode_failures += 1;
+                    continue;
+                }
+                if self.direct.contains(component.seq) || !self.recovered.insert(component.seq) {
+                    self.stats.duplicates_ignored += 1;
+                } else {
+                    self.stats.recovered_via_coop += 1;
+                    if let Some(planner) = self.planner.as_mut() {
+                        planner.mark_recovered(component.seq);
+                    }
+                }
+                if self.planner.as_ref().is_some_and(RecoveryPlanner::is_complete)
+                    && self.phase == Phase::CooperativeArq
+                {
+                    self.phase = Phase::Idle;
+                }
+            } else {
+                // Overheard half of a coded pair being served: suppress any
+                // pending response of our own for it, exactly as for a plain
+                // cooperative retransmission.
+                let key = (component.destination, component.seq);
+                self.served_or_overheard.insert(key);
+                if self.pending_responses.remove(&key) {
+                    self.stats.responses_suppressed += 1;
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// Whether this node can decode a coded component whose pair is `other`:
+    /// it must already hold the pair — directly received, recovered, or
+    /// buffered for the peer it is addressed to.
+    fn can_decode(&self, other: &DataPacket) -> bool {
+        if other.destination == self.id {
+            self.direct.contains(other.seq) || self.recovered.contains(&other.seq)
+        } else {
+            self.coop_buffer.holds(other.destination, other.seq)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -453,8 +538,31 @@ impl CarqNode {
             return Vec::new();
         };
         self.stats.coop_data_sent += 1;
+        if self.strategy().codes_responses() {
+            if let Some(partner) = self.take_coding_partner(peer) {
+                // Two pending recoveries for different requesters ride in one
+                // coded broadcast; each requester decodes its own component.
+                self.stats.coded_data_sent += 1;
+                let message =
+                    CarqMessage::CodedData(CodedDataMessage::new(packet, partner, self.id));
+                return vec![Action::Send { message, dst: Destination::Broadcast }];
+            }
+        }
         let message = CarqMessage::CoopData(CoopDataMessage::new(packet, self.id));
         vec![Action::Send { message, dst: Destination::Unicast(peer) }]
+    }
+
+    /// Picks (and consumes) a second pending response addressed to a
+    /// *different* requester than `exclude`, for the net-coded strategy to
+    /// pair with the one being served now.
+    fn take_coding_partner(&mut self, exclude: NodeId) -> Option<DataPacket> {
+        let key = self.pending_responses.iter().copied().find(|(peer, seq)| {
+            *peer != exclude
+                && !self.served_or_overheard.contains(&(*peer, *seq))
+                && self.coop_buffer.holds(*peer, *seq)
+        })?;
+        self.pending_responses.remove(&key);
+        self.coop_buffer.get(key.0, key.1).copied()
     }
 
     // ------------------------------------------------------------------
@@ -477,13 +585,20 @@ impl CarqNode {
             self.phase = Phase::Idle;
             return Vec::new();
         }
+        let mut actions = Vec::new();
+        if !self.config.debug_skip_decision {
+            actions.push(Action::DecideRecovery { missing: missing.len() as u32 });
+        }
+        // The decide-on-loss hook: the strategy turns the missing list into a
+        // recovery session, or declines (the plain-ARQ baseline).
+        let Some(planner) = self.strategy().plan_recovery(&self.config, missing) else {
+            self.phase = Phase::Idle;
+            return actions;
+        };
         self.phase = Phase::CooperativeArq;
-        self.planner = Some(RecoveryPlanner::new(
-            self.config.request_strategy,
-            self.config.stop_after_fruitless_cycles,
-            missing,
-        ));
-        self.issue_next_request()
+        self.planner = Some(planner);
+        actions.extend(self.issue_next_request());
+        actions
     }
 
     fn issue_next_request(&mut self) -> Vec<Action> {
@@ -924,6 +1039,223 @@ mod tests {
             }
             other => panic!("unexpected message {other:?}"),
         }
+    }
+
+    #[test]
+    fn no_coop_node_neither_beacons_nor_recovers() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::NoCoop);
+        let mut node = CarqNode::new(NodeId::new(1), cfg);
+        assert!(node.start(SimTime::ZERO).is_empty(), "plain ARQ never beacons");
+        // Hellos are heard but recruit nothing.
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(2, &[1]), SNR);
+        assert_eq!(node.cooperators().len(), 0);
+        assert_eq!(node.stats().hellos_received, 1);
+        // Overheard peer data is never buffered.
+        let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 9, 3), SNR);
+        assert_eq!(node.coop_buffer().len(), 0);
+        // Losses produce a decision but no recovery session.
+        let _ = node.handle_frame(SimTime::from_secs(0), &data_frame(0, 1, 0), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 3), SNR);
+        let actions = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
+        assert_eq!(actions, vec![Action::DecideRecovery { missing: 2 }]);
+        assert_eq!(node.phase(), Phase::Idle);
+        assert_eq!(node.stats().requests_sent, 0);
+        // Requests from peers are ignored even if we somehow held the packet.
+        let actions = node.handle_frame(SimTime::from_secs(11), &request_frame(9, &[3], 1), SNR);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn one_hop_listen_fires_one_batched_shot_then_stops() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::OneHopListen);
+        let mut node = CarqNode::new(NodeId::new(1), cfg);
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(2, &[]), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(0), &data_frame(0, 1, 0), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 3), SNR);
+        let actions = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
+        assert_eq!(actions[0], Action::DecideRecovery { missing: 2 });
+        // One batched request carrying the whole missing list...
+        match sends(&actions)[0] {
+            CarqMessage::Request(r) => {
+                assert_eq!(r.seqs, vec![SeqNo::new(1), SeqNo::new(2)]);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        // ...and the first fruitless cycle ends the session.
+        let TimerKind::RequestCycle { epoch } = timers(&actions)
+            .into_iter()
+            .find(|t| matches!(t, TimerKind::RequestCycle { .. }))
+            .expect("pacing timer armed")
+        else {
+            unreachable!()
+        };
+        let actions = node.handle_timer(SimTime::from_secs(11), TimerKind::RequestCycle { epoch });
+        assert!(sends(&actions).is_empty(), "one shot only");
+        assert_eq!(node.phase(), Phase::Idle);
+        assert_eq!(node.stats().requests_sent, 1);
+        assert!(node.recovery().expect("planner exists").gave_up());
+    }
+
+    #[test]
+    fn one_hop_listen_cooperator_uses_order_only_slots() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::OneHopListen);
+        let slot = cfg.response_slot;
+        let mut node = CarqNode::new(NodeId::new(2), cfg);
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(1, &[100, 2]), SNR);
+        for seq in [3u32, 4, 5] {
+            let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 1, seq), SNR);
+        }
+        let actions =
+            node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[3, 4, 5], 2), SNR);
+        let delays: Vec<SimDuration> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { kind: TimerKind::CoopResponse { .. }, after } => Some(*after),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delays.len(), 3);
+        // Order 1, every packet: compressed slot 1 for all three (the paper's
+        // interleaving would use slots 1, 3, 5 — see
+        // batched_responder_schedules_interleaved_slots).
+        for delay in delays {
+            assert!(delay >= slot && delay < slot * 2);
+        }
+    }
+
+    #[test]
+    fn net_coded_cooperator_pairs_pending_responses_for_different_peers() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::NetCoded);
+        let mut node = CarqNode::new(NodeId::new(2), cfg);
+        node.start(SimTime::ZERO);
+        // Cooperate for cars 1 and 4; buffer one packet for each.
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(1, &[2]), SNR);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(4, &[2]), SNR);
+        let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 1, 7), SNR);
+        let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 4, 9), SNR);
+        // Both request their missing packet.
+        let _ = node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[7], 1), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(60), &request_frame(4, &[9], 1), SNR);
+        // The first response slot to fire serves BOTH with one coded frame.
+        let actions = node.handle_timer(
+            SimTime::from_secs(61),
+            TimerKind::CoopResponse { peer: NodeId::new(1), seq: SeqNo::new(7) },
+        );
+        let messages = sends(&actions);
+        assert_eq!(messages.len(), 1);
+        match messages[0] {
+            CarqMessage::CodedData(c) => {
+                let mut served: Vec<(NodeId, SeqNo)> =
+                    vec![(c.a.destination, c.a.seq), (c.b.destination, c.b.seq)];
+                served.sort();
+                assert_eq!(
+                    served,
+                    vec![(NodeId::new(1), SeqNo::new(7)), (NodeId::new(4), SeqNo::new(9)),]
+                );
+                assert_eq!(c.relay, NodeId::new(2));
+            }
+            other => panic!("expected coded data, got {other:?}"),
+        }
+        assert_eq!(node.stats().coded_data_sent, 1);
+        assert_eq!(node.stats().coop_data_sent, 1, "one transmission served two peers");
+        // The partner's own slot finds its response already consumed.
+        let actions = node.handle_timer(
+            SimTime::from_secs(61),
+            TimerKind::CoopResponse { peer: NodeId::new(4), seq: SeqNo::new(9) },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn net_coded_cooperator_with_a_single_response_sends_it_plain() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::NetCoded);
+        let mut node = CarqNode::new(NodeId::new(2), cfg);
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(1, &[2]), SNR);
+        let _ = node.handle_frame(SimTime::ZERO, &data_frame(0, 1, 7), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(60), &request_frame(1, &[7], 1), SNR);
+        let actions = node.handle_timer(
+            SimTime::from_secs(61),
+            TimerKind::CoopResponse { peer: NodeId::new(1), seq: SeqNo::new(7) },
+        );
+        match sends(&actions)[0] {
+            CarqMessage::CoopData(c) => assert_eq!(c.packet.seq, SeqNo::new(7)),
+            other => panic!("expected plain coop data, got {other:?}"),
+        }
+        assert_eq!(node.stats().coded_data_sent, 0);
+    }
+
+    #[test]
+    fn coded_receiver_decodes_only_when_it_holds_the_other_component() {
+        use crate::strategy::RecoveryStrategyKind;
+        let cfg = CarqConfig::paper_prototype().with_strategy(RecoveryStrategyKind::NetCoded);
+        let mut node = CarqNode::new(NodeId::new(1), cfg);
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(2, &[]), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(0), &data_frame(0, 1, 0), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 2), SNR);
+        let _ = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
+        let mine = DataPacket::new(NodeId::new(1), SeqNo::new(1), 1_000, SimTime::ZERO);
+        let unknown = DataPacket::new(NodeId::new(4), SeqNo::new(9), 1_000, SimTime::ZERO);
+        let undecodable = CodedDataMessage::new(mine, unknown, NodeId::new(2));
+        let frame = Frame::new(
+            NodeId::new(2),
+            Destination::Broadcast,
+            undecodable.encoded_bytes(),
+            CarqMessage::CodedData(undecodable),
+        );
+        let _ = node.handle_frame(SimTime::from_secs(11), &frame, SNR);
+        assert_eq!(node.stats().coded_decode_failures, 1);
+        assert_eq!(node.stats().recovered_via_coop, 0, "pair unknown: undecodable");
+        // Paired with a packet we already hold, the same component decodes.
+        let held = DataPacket::new(NodeId::new(1), SeqNo::new(0), 1_000, SimTime::ZERO);
+        let decodable = CodedDataMessage::new(mine, held, NodeId::new(2));
+        let frame = Frame::new(
+            NodeId::new(2),
+            Destination::Broadcast,
+            decodable.encoded_bytes(),
+            CarqMessage::CodedData(decodable),
+        );
+        let _ = node.handle_frame(SimTime::from_secs(12), &frame, SNR);
+        assert_eq!(node.stats().recovered_via_coop, 1);
+        assert_eq!(node.missing_after_coop(), Vec::<SeqNo>::new());
+        assert_eq!(node.phase(), Phase::Idle);
+    }
+
+    #[test]
+    fn debug_skip_decision_knob_suppresses_the_decision_action() {
+        let mut cfg = CarqConfig::paper_prototype();
+        cfg.debug_skip_decision = true;
+        let mut node = CarqNode::new(NodeId::new(1), cfg);
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(2, &[]), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(0), &data_frame(0, 1, 0), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 3), SNR);
+        let actions = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::DecideRecovery { .. })),
+            "the mutation knob must suppress the loss-decision notification"
+        );
+        assert_eq!(node.stats().requests_sent, 1, "recovery itself still runs");
+    }
+
+    #[test]
+    fn recovery_decision_precedes_the_first_request() {
+        let mut node = CarqNode::new(NodeId::new(1), CarqConfig::paper_prototype());
+        node.start(SimTime::ZERO);
+        let _ = node.handle_frame(SimTime::ZERO, &hello_frame(2, &[]), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(0), &data_frame(0, 1, 0), SNR);
+        let _ = node.handle_frame(SimTime::from_secs(1), &data_frame(0, 1, 3), SNR);
+        let actions = node.handle_timer(SimTime::from_secs(10), TimerKind::ApTimeout);
+        assert_eq!(actions[0], Action::DecideRecovery { missing: 2 });
+        assert!(matches!(&actions[1], Action::Send { message: CarqMessage::Request(_), .. }));
     }
 
     #[test]

@@ -31,8 +31,7 @@ use crate::scenario::{instantiate_with, GenIdentity, GeneratedScenario};
 /// changes other cells' positions but not their parameters, so their seeds
 /// — and hence their identities and cache keys — stay put.
 pub fn scenario_seed(master_seed: u64, canonical_params: &str, replica: u32) -> u64 {
-    StreamRng::derive(master_seed, format!("gen.scenario/{canonical_params}#r{replica}"))
-        .next_u64()
+    StreamRng::derive(master_seed, format!("gen.scenario/{canonical_params}#r{replica}")).next_u64()
 }
 
 /// A generator plus value axes: the declarative form of a campaign's

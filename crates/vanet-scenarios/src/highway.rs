@@ -26,7 +26,7 @@ use crate::params::{Param, SweepPoint};
 use crate::scenario::{LossSamples, Scenario, ScenarioRun};
 use crate::schema::{ParamError, ParamSchema, ParamSpec};
 use crate::urban::saturate_u32;
-use carq::CarqConfig;
+use carq::{CarqConfig, RecoveryStrategyKind};
 
 /// Configuration of one highway drive-thru run.
 #[derive(Debug, Clone)]
@@ -49,6 +49,8 @@ pub struct HighwayConfig {
     pub data_rate: DataRate,
     /// Whether the cars run C-ARQ.
     pub cooperation_enabled: bool,
+    /// The recovery strategy the cars run after leaving coverage.
+    pub strategy: RecoveryStrategyKind,
 }
 
 impl HighwayConfig {
@@ -64,6 +66,7 @@ impl HighwayConfig {
             road_length_m: 2_000.0,
             data_rate: DataRate::Mbps1,
             cooperation_enabled: false,
+            strategy: RecoveryStrategyKind::CoopArq,
         }
     }
 
@@ -89,6 +92,12 @@ impl HighwayConfig {
     /// Overrides the number of passes.
     pub fn with_passes(mut self, passes: u32) -> Self {
         self.passes = passes;
+        self
+    }
+
+    /// Overrides the recovery strategy.
+    pub fn with_strategy(mut self, strategy: RecoveryStrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -118,7 +127,9 @@ impl PassInvariants {
         PassInvariants {
             layout,
             medium_template: MediumConfig::highway(),
-            carq: CarqConfig::paper_prototype().with_ap_timeout(SimDuration::from_secs(3)),
+            carq: CarqConfig::paper_prototype()
+                .with_ap_timeout(SimDuration::from_secs(3))
+                .with_strategy(cfg.strategy),
             drivers: vec![DriverProfile::experienced(); cfg.n_cars],
             car_ids: (1..=cfg.n_cars as u32).map(NodeId::new).collect(),
             speed_ms,
@@ -226,6 +237,7 @@ fn simulate_pass_sink<S: TraceSink>(
             model.ap_retransmissions_queued() as f64 + sum(|s| s.coop_data_sent),
         )
         .with_counter("buffer_evictions", sum(|s| s.buffer_evictions))
+        .with_counter("strategy_decisions", model.strategy_decisions() as f64)
 }
 
 /// The highway drive-thru as a registry-discoverable [`Scenario`].
@@ -269,6 +281,17 @@ impl HighwayScenario {
                     1,
                     65_535,
                 ),
+                // Default-transparent: at the default (the paper's C-ARQ)
+                // points keep the canonical configuration this schema had
+                // before the parameter existed, so historical seeds and
+                // cache entries survive; rival strategies get distinct
+                // canonicals (and cache keys) automatically.
+                ParamSpec::strategy(
+                    Param::Strategy,
+                    "recovery strategy run after leaving coverage",
+                    base.strategy,
+                )
+                .default_transparent(),
                 ParamSpec::bool(
                     Param::Cooperation,
                     "whether the platoon runs C-ARQ",
@@ -330,6 +353,9 @@ pub(crate) fn apply_pass_overrides(cfg: &mut HighwayConfig, point: &SweepPoint) 
     }
     if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
         cfg.cooperation_enabled = coop;
+    }
+    if let Some(strategy) = point.get(Param::Strategy).and_then(|v| v.as_strategy()) {
+        cfg.strategy = strategy;
     }
 }
 
@@ -473,6 +499,7 @@ mod tests {
                 (Param::ApRatePps, ParamValue::Float(10.0)),
                 (Param::NCars, ParamValue::Int(3)),
                 (Param::Cooperation, ParamValue::Bool(true)),
+                (Param::Strategy, ParamValue::Strategy(RecoveryStrategyKind::NetCoded)),
                 (Param::Rounds, ParamValue::Int(2)),
             ]))
             .unwrap();
@@ -480,7 +507,14 @@ mod tests {
         assert_eq!(cfg.ap_rate_pps, 10.0);
         assert_eq!(cfg.n_cars, 3);
         assert!(cfg.cooperation_enabled);
+        assert_eq!(cfg.strategy, RecoveryStrategyKind::NetCoded);
         assert_eq!(cfg.passes, 2);
+        // The strategy reaches the per-pass protocol configuration.
+        assert_eq!(
+            PassInvariants::of(&cfg).carq.strategy,
+            RecoveryStrategyKind::NetCoded,
+            "strategy must reach the CarqConfig every pass runs"
+        );
         // Selection is an urban-only parameter: the highway schema rejects it.
         let err = scenario
             .config_for(&SweepPoint::new(vec![(

@@ -152,6 +152,10 @@ pub struct VanetModel<S: TraceSink = NoTrace> {
     /// AP-side retransmissions queued after idealised loss feedback (always
     /// counted; part of the `arq_retransmissions` round counter).
     ap_retransmissions_queued: u64,
+    /// Loss decisions made by the cars' recovery strategies (always counted;
+    /// surfaced as the `strategy_decisions` round counter and cross-checked
+    /// against `strategy_decision` trace records).
+    strategy_decisions: u64,
 }
 
 impl VanetModel<NoTrace> {
@@ -180,6 +184,7 @@ impl<S: TraceSink> VanetModel<S> {
             delivery_scratch: Vec::new(),
             csma_deferrals: 0,
             ap_retransmissions_queued: 0,
+            strategy_decisions: 0,
         }
     }
 
@@ -252,6 +257,11 @@ impl<S: TraceSink> VanetModel<S> {
         self.ap_retransmissions_queued
     }
 
+    /// How many strategy loss decisions the cars made this round.
+    pub fn strategy_decisions(&self) -> u64 {
+        self.strategy_decisions
+    }
+
     /// Builds the per-flow observations of the finished round.
     pub fn round_result(&self) -> RoundResult {
         let flows = self
@@ -293,6 +303,7 @@ impl<S: TraceSink> VanetModel<S> {
 
     fn process_actions(
         &mut self,
+        now: SimTime,
         node: NodeId,
         actions: Vec<Action>,
         scheduler: &mut Scheduler<VanetEvent>,
@@ -304,6 +315,19 @@ impl<S: TraceSink> VanetModel<S> {
                 }
                 Action::SetTimer { kind, after } => {
                     scheduler.schedule_in(after, VanetEvent::CarqTimer { node, kind });
+                }
+                Action::DecideRecovery { missing } => {
+                    // Purely observational: nothing is scheduled, so the
+                    // decision record can never perturb the simulation.
+                    self.strategy_decisions += 1;
+                    if S::ENABLED {
+                        self.sink.record(TraceRecord::StrategyDecision {
+                            at: now,
+                            node: node.as_u32(),
+                            strategy: self.config.carq.strategy.tag(),
+                            missing,
+                        });
+                    }
                 }
             }
         }
@@ -426,6 +450,11 @@ impl<S: TraceSink> VanetModel<S> {
                     node: node.as_u32(),
                     seqs: 1,
                 }),
+                CarqMessage::CodedData(_) => self.sink.record(TraceRecord::CoopRetransmit {
+                    at: now,
+                    node: node.as_u32(),
+                    seqs: 2,
+                }),
                 CarqMessage::Data(_) | CarqMessage::Hello(_) => {}
             }
         }
@@ -492,10 +521,10 @@ impl<S: TraceSink> VanetModel<S> {
                     evicted: u32::try_from(evicted).unwrap_or(u32::MAX),
                 });
             }
-            self.process_actions(to, actions, scheduler);
+            self.process_actions(now, to, actions, scheduler);
         } else {
             let actions = self.cars[idx].protocol.handle_frame(now, frame, snr_db);
-            self.process_actions(to, actions, scheduler);
+            self.process_actions(now, to, actions, scheduler);
         }
     }
 
@@ -530,7 +559,7 @@ impl<S: TraceSink> Model for VanetModel<S> {
                 }
                 if let Some(idx) = self.car_index(node) {
                     let actions = self.cars[idx].protocol.start(now);
-                    self.process_actions(node, actions, scheduler);
+                    self.process_actions(now, node, actions, scheduler);
                 }
             }
             VanetEvent::PositionUpdate => self.handle_position_update(now, scheduler),
@@ -549,7 +578,7 @@ impl<S: TraceSink> Model for VanetModel<S> {
                 }
                 if let Some(idx) = self.car_index(node) {
                     let actions = self.cars[idx].protocol.handle_timer(now, kind);
-                    self.process_actions(node, actions, scheduler);
+                    self.process_actions(now, node, actions, scheduler);
                 }
             }
         }

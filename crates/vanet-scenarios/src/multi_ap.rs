@@ -137,6 +137,16 @@ impl MultiApScenario {
                     1,
                     65_535,
                 ),
+                // Default-transparent: points at the default (the paper's
+                // C-ARQ) keep the canonical configuration this schema had
+                // before the parameter existed; rival strategies get
+                // distinct canonicals (and cache keys) automatically.
+                ParamSpec::strategy(
+                    Param::Strategy,
+                    "recovery strategy run after leaving coverage",
+                    base.pass.strategy,
+                )
+                .default_transparent(),
                 ParamSpec::bool(
                     Param::Cooperation,
                     "whether the platoon runs C-ARQ",
@@ -396,12 +406,14 @@ mod tests {
                 (Param::FileBlocks, ParamValue::Int(600)),
                 (Param::SpeedKmh, ParamValue::Float(60.0)),
                 (Param::Cooperation, ParamValue::Bool(false)),
+                (Param::Strategy, ParamValue::Strategy(carq::RecoveryStrategyKind::OneHopListen)),
                 (Param::Rounds, ParamValue::Int(8)),
             ]))
             .unwrap();
         assert_eq!(cfg.file_blocks, 600);
         assert_eq!(cfg.pass.speed_kmh, 60.0);
         assert!(!cfg.pass.cooperation_enabled);
+        assert_eq!(cfg.pass.strategy, carq::RecoveryStrategyKind::OneHopListen);
         assert_eq!(cfg.max_passes, 8);
         // Urban-only strategy parameters are rejected by the schema.
         let err = scenario

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use carq::{RequestStrategy, SelectionStrategy};
+use carq::{RecoveryStrategyKind, RequestStrategy, SelectionStrategy};
 
 /// A parameter a scenario can consume. Which parameters a scenario actually
 /// understands — with documentation, defaults and ranges — is declared by
@@ -35,11 +35,14 @@ pub enum Param {
     Rounds,
     /// File size in blocks (multi-AP download only).
     FileBlocks,
+    /// The recovery strategy cars run after leaving coverage (which ARQ
+    /// scheme answers "I missed packets — now what?").
+    Strategy,
 }
 
 impl Param {
     /// Every parameter, in the order the CLI and exports present them.
-    pub const ALL: [Param; 9] = [
+    pub const ALL: [Param; 10] = [
         Param::SpeedKmh,
         Param::NCars,
         Param::ApRatePps,
@@ -49,6 +52,7 @@ impl Param {
         Param::Cooperation,
         Param::Rounds,
         Param::FileBlocks,
+        Param::Strategy,
     ];
 
     /// The parameter whose [`key`](Param::key) is `key` — the inverse used
@@ -69,6 +73,7 @@ impl Param {
             Param::Cooperation => "cooperation",
             Param::Rounds => "rounds",
             Param::FileBlocks => "file_blocks",
+            Param::Strategy => "strategy",
         }
     }
 }
@@ -92,6 +97,8 @@ pub enum ParamValue {
     Selection(SelectionStrategy),
     /// A REQUEST strategy.
     Request(RequestStrategy),
+    /// A recovery strategy (which ARQ scheme runs after coverage ends).
+    Strategy(RecoveryStrategyKind),
 }
 
 impl ParamValue {
@@ -120,6 +127,14 @@ impl ParamValue {
         }
     }
 
+    /// The recovery strategy behind this value, if it is one.
+    pub fn as_strategy(&self) -> Option<RecoveryStrategyKind> {
+        match self {
+            ParamValue::Strategy(x) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// A **lossless** rendering used in cache keys and seed derivation.
     ///
     /// Unlike [`fmt::Display`], which rounds floats to three decimals for
@@ -131,8 +146,11 @@ impl ParamValue {
             ParamValue::Float(x) => format!("f{:016x}", x.to_bits()),
             ParamValue::Int(x) => format!("i{x}"),
             ParamValue::Bool(x) => format!("b{}", u8::from(*x)),
-            // Strategy renderings are already lossless (`all`, `first2`, …).
-            ParamValue::Selection(_) | ParamValue::Request(_) => self.to_string(),
+            // Strategy renderings are already lossless (`all`, `first2`,
+            // `coop-arq`, …).
+            ParamValue::Selection(_) | ParamValue::Request(_) | ParamValue::Strategy(_) => {
+                self.to_string()
+            }
         }
     }
 
@@ -147,6 +165,11 @@ impl ParamValue {
             "per-packet" => return Some(ParamValue::Request(RequestStrategy::PerPacket)),
             "batched" => return Some(ParamValue::Request(RequestStrategy::Batched)),
             _ => {}
+        }
+        // Recovery-strategy names (`coop-arq`, `no-coop`, …) share no prefix
+        // with the typed encodings below, so an exact-name lookup is safe.
+        if let Some(kind) = RecoveryStrategyKind::from_name(text) {
+            return Some(ParamValue::Strategy(kind));
         }
         // The strategy spellings start with letters the typed prefixes also
         // use (`first…` vs `f…` floats), so they must be tried first.
@@ -186,6 +209,7 @@ impl fmt::Display for ParamValue {
             }
             ParamValue::Request(RequestStrategy::PerPacket) => f.write_str("per-packet"),
             ParamValue::Request(RequestStrategy::Batched) => f.write_str("batched"),
+            ParamValue::Strategy(kind) => f.write_str(kind.name()),
         }
     }
 }
@@ -268,6 +292,8 @@ mod tests {
         );
         assert_eq!(ParamValue::Request(RequestStrategy::PerPacket).to_string(), "per-packet");
         assert_eq!(ParamValue::Request(RequestStrategy::Batched).to_string(), "batched");
+        assert_eq!(ParamValue::Strategy(RecoveryStrategyKind::CoopArq).to_string(), "coop-arq");
+        assert_eq!(ParamValue::Strategy(RecoveryStrategyKind::NoCoop).to_string(), "no-coop");
         let point = SweepPoint::new(vec![
             (Param::SpeedKmh, ParamValue::Float(20.0)),
             (Param::NCars, ParamValue::Int(3)),
@@ -291,6 +317,7 @@ mod tests {
             "first2"
         );
         assert_eq!(ParamValue::Request(RequestStrategy::Batched).canonical(), "batched");
+        assert_eq!(ParamValue::Strategy(RecoveryStrategyKind::NetCoded).canonical(), "net-coded");
     }
 
     #[test]
@@ -318,6 +345,10 @@ mod tests {
             ParamValue::Selection(SelectionStrategy::StrongestSignal { k: 7 }),
             ParamValue::Request(RequestStrategy::PerPacket),
             ParamValue::Request(RequestStrategy::Batched),
+            ParamValue::Strategy(RecoveryStrategyKind::CoopArq),
+            ParamValue::Strategy(RecoveryStrategyKind::NetCoded),
+            ParamValue::Strategy(RecoveryStrategyKind::OneHopListen),
+            ParamValue::Strategy(RecoveryStrategyKind::NoCoop),
         ];
         for value in values {
             let canonical = value.canonical();

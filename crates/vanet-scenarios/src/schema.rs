@@ -20,6 +20,8 @@ pub enum ParamKind {
     Selection,
     /// A REQUEST strategy ([`ParamValue::Request`]).
     Request,
+    /// A recovery strategy ([`ParamValue::Strategy`]).
+    Strategy,
 }
 
 impl ParamKind {
@@ -31,6 +33,7 @@ impl ParamKind {
             ParamKind::Bool => "bool",
             ParamKind::Selection => "selection",
             ParamKind::Request => "request",
+            ParamKind::Strategy => "strategy",
         }
     }
 
@@ -41,6 +44,7 @@ impl ParamKind {
             ParamValue::Bool(_) => "bool",
             ParamValue::Selection(_) => "selection",
             ParamValue::Request(_) => "request",
+            ParamValue::Strategy(_) => "strategy",
         }
     }
 }
@@ -67,6 +71,10 @@ pub struct ParamSpec {
     /// run, when they settle early, or how they aggregate (see
     /// [`ParamSpec::round_neutral`]).
     pub round_neutral: bool,
+    /// Whether the parameter is **default-transparent**: it is omitted from
+    /// [`ParamSchema::canonical_config`] whenever its resolved value equals
+    /// the spec default (see [`ParamSpec::default_transparent`]).
+    pub default_transparent: bool,
 }
 
 impl ParamSpec {
@@ -80,6 +88,7 @@ impl ParamSpec {
             min: Some(min),
             max: Some(max),
             round_neutral: false,
+            default_transparent: false,
         }
     }
 
@@ -93,6 +102,7 @@ impl ParamSpec {
             min: Some(min as f64),
             max: Some(max as f64),
             round_neutral: false,
+            default_transparent: false,
         }
     }
 
@@ -106,6 +116,7 @@ impl ParamSpec {
             min: None,
             max: None,
             round_neutral: false,
+            default_transparent: false,
         }
     }
 
@@ -119,6 +130,7 @@ impl ParamSpec {
             min: None,
             max: None,
             round_neutral: false,
+            default_transparent: false,
         }
     }
 
@@ -132,6 +144,21 @@ impl ParamSpec {
             min: None,
             max: None,
             round_neutral: false,
+            default_transparent: false,
+        }
+    }
+
+    /// A recovery-strategy parameter.
+    pub fn strategy(param: Param, doc: &'static str, default: carq::RecoveryStrategyKind) -> Self {
+        ParamSpec {
+            param,
+            kind: ParamKind::Strategy,
+            doc,
+            default: ParamValue::Strategy(default),
+            min: None,
+            max: None,
+            round_neutral: false,
+            default_transparent: false,
         }
     }
 
@@ -156,6 +183,26 @@ impl ParamSpec {
     #[must_use]
     pub fn round_neutral(mut self) -> Self {
         self.round_neutral = true;
+        self
+    }
+
+    /// Marks the parameter as **default-transparent** (builder style): when
+    /// a point leaves it unassigned — or assigns exactly the spec default —
+    /// it is omitted from [`ParamSchema::canonical_config`] altogether, as
+    /// if the schema had never declared it.
+    ///
+    /// This is how a schema grows a new parameter without orphaning history:
+    /// points at the default keep the canonical configuration (and therefore
+    /// the derived seeds and golden exports) they had before the parameter
+    /// existed, while any non-default assignment extends the canonical
+    /// string and gets distinct seeds and cache keys automatically.
+    ///
+    /// Only parameters whose default reproduces the pre-parameter behaviour
+    /// exactly may be marked; a default that changes the physics would make
+    /// old canonical strings stand in for different results.
+    #[must_use]
+    pub fn default_transparent(mut self) -> Self {
+        self.default_transparent = true;
         self
     }
 
@@ -188,7 +235,8 @@ impl ParamSpec {
             (ParamKind::Int, ParamValue::Int(x)) => Some(x as f64),
             (ParamKind::Bool, ParamValue::Bool(_))
             | (ParamKind::Selection, ParamValue::Selection(_))
-            | (ParamKind::Request, ParamValue::Request(_)) => None,
+            | (ParamKind::Request, ParamValue::Request(_))
+            | (ParamKind::Strategy, ParamValue::Strategy(_)) => None,
             _ => return Err(kind_error()),
         };
         if let Some(x) = numeric {
@@ -317,6 +365,9 @@ impl ParamSchema {
                 continue;
             }
             let value = point.get(spec.param).unwrap_or(spec.default);
+            if spec.default_transparent && value == spec.default {
+                continue;
+            }
             out.push(';');
             out.push_str(spec.param.key());
             out.push('=');
@@ -358,6 +409,12 @@ impl ParamSchema {
                     text.push_str(&format!("{:016x}..{:016x}", min.to_bits(), max.to_bits()));
                 }
                 _ => text.push('-'),
+            }
+            if spec.default_transparent {
+                // Transparency changes which canonical strings exist, so
+                // adding (or dropping) it must read as a schema change —
+                // cached entries from before the flag are clean misses.
+                text.push_str("|transparent");
             }
         }
         fnv1a64(text.as_bytes())
@@ -556,6 +613,58 @@ mod tests {
     }
 
     #[test]
+    fn default_transparent_params_vanish_from_canonical_at_their_default() {
+        use carq::RecoveryStrategyKind;
+        let with = ParamSchema::new(
+            "canon",
+            vec![
+                ParamSpec::int(Param::NCars, "cars", 3, 1, 32),
+                ParamSpec::strategy(Param::Strategy, "arq", RecoveryStrategyKind::CoopArq)
+                    .default_transparent(),
+            ],
+        );
+        let without =
+            ParamSchema::new("canon", vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32)]);
+        // At the default — unassigned or assigned explicitly — the canonical
+        // configuration is the one the schema had before the parameter
+        // existed, so historical seeds and goldens survive the schema growth.
+        let explicit_default = SweepPoint::new(vec![(
+            Param::Strategy,
+            ParamValue::Strategy(RecoveryStrategyKind::CoopArq),
+        )]);
+        assert_eq!(
+            with.canonical_config(&SweepPoint::empty()),
+            without.canonical_config(&SweepPoint::empty())
+        );
+        assert_eq!(
+            with.canonical_config(&explicit_default),
+            without.canonical_config(&SweepPoint::empty())
+        );
+        // Any non-default value extends the canonical string — distinct
+        // seeds and cache keys with zero cache-layer changes.
+        let rival = SweepPoint::new(vec![(
+            Param::Strategy,
+            ParamValue::Strategy(RecoveryStrategyKind::NoCoop),
+        )]);
+        let canon = with.canonical_config(&rival);
+        assert_ne!(canon, with.canonical_config(&SweepPoint::empty()));
+        assert!(canon.ends_with(";strategy=no-coop"), "{canon}");
+        // Each strategy gets its own canonical string.
+        let mut canons: Vec<String> = RecoveryStrategyKind::ALL
+            .iter()
+            .map(|k| {
+                with.canonical_config(&SweepPoint::new(vec![(
+                    Param::Strategy,
+                    ParamValue::Strategy(*k),
+                )]))
+            })
+            .collect();
+        canons.sort();
+        canons.dedup();
+        assert_eq!(canons.len(), RecoveryStrategyKind::ALL.len(), "one canonical per strategy");
+    }
+
+    #[test]
     fn fingerprint_tracks_semantics_not_docs() {
         let base = ParamSchema::new("fp", vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32)]);
         let reworded =
@@ -585,6 +694,13 @@ mod tests {
             vec![ParamSpec::int(Param::Rounds, "rounds", 60, 1, 100).round_neutral()],
         );
         assert_eq!(budget_30.fingerprint(), budget_60.fingerprint());
+        // Default-transparency changes which canonical strings a schema can
+        // produce, so it must read as a schema change (clean cache misses).
+        let transparent = ParamSchema::new(
+            "fp",
+            vec![ParamSpec::int(Param::NCars, "cars", 3, 1, 32).default_transparent()],
+        );
+        assert_ne!(base.fingerprint(), transparent.fingerprint(), "transparency must matter");
     }
 
     #[test]

@@ -176,6 +176,17 @@ impl UrbanScenario {
                     "REQUEST strategy (per-packet or batched)",
                     base.carq.request_strategy,
                 ),
+                // Default-transparent: at the default (the paper's C-ARQ)
+                // the canonical configuration is the one this schema had
+                // before the parameter existed, so historical seeds, cache
+                // entries and golden exports survive; rival strategies get
+                // distinct canonicals (and cache keys) automatically.
+                ParamSpec::strategy(
+                    Param::Strategy,
+                    "recovery strategy run after leaving coverage",
+                    base.carq.strategy,
+                )
+                .default_transparent(),
                 ParamSpec::bool(
                     Param::Cooperation,
                     "whether the platoon runs C-ARQ",
@@ -230,6 +241,9 @@ impl UrbanScenario {
         }
         if let Some(ParamValue::Request(request)) = point.get(Param::Request) {
             cfg.carq.request_strategy = request;
+        }
+        if let Some(strategy) = point.get(Param::Strategy).and_then(|v| v.as_strategy()) {
+            cfg.carq.strategy = strategy;
         }
         if let Some(coop) = point.get(Param::Cooperation).and_then(|v| v.as_bool()) {
             cfg.cooperation_enabled = coop;
@@ -414,6 +428,7 @@ impl UrbanRun {
                 model.ap_retransmissions_queued() as f64 + sum(|s| s.coop_data_sent),
             )
             .with_counter("buffer_evictions", sum(|s| s.buffer_evictions))
+            .with_counter("strategy_decisions", model.strategy_decisions() as f64)
     }
 }
 
@@ -539,7 +554,7 @@ mod tests {
 
     #[test]
     fn scenario_overrides_reach_the_config() {
-        use carq::{RequestStrategy, SelectionStrategy};
+        use carq::{RecoveryStrategyKind, RequestStrategy, SelectionStrategy};
         let scenario = UrbanScenario::paper_testbed();
         let cfg = scenario
             .config_for(&SweepPoint::new(vec![
@@ -549,6 +564,7 @@ mod tests {
                 (Param::PayloadBytes, ParamValue::Int(500)),
                 (Param::Selection, ParamValue::Selection(SelectionStrategy::FirstHeard { k: 2 })),
                 (Param::Request, ParamValue::Request(RequestStrategy::Batched)),
+                (Param::Strategy, ParamValue::Strategy(RecoveryStrategyKind::OneHopListen)),
                 (Param::Cooperation, ParamValue::Bool(false)),
                 (Param::Rounds, ParamValue::Int(4)),
             ]))
@@ -561,6 +577,7 @@ mod tests {
         assert_eq!(cfg.carq.expected_payload_bytes, 500);
         assert_eq!(cfg.carq.selection, SelectionStrategy::FirstHeard { k: 2 });
         assert_eq!(cfg.carq.request_strategy, RequestStrategy::Batched);
+        assert_eq!(cfg.carq.strategy, RecoveryStrategyKind::OneHopListen);
         assert!(!cfg.cooperation_enabled);
         assert_eq!(cfg.rounds, 4);
     }

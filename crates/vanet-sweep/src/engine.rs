@@ -799,6 +799,34 @@ mod tests {
     }
 
     #[test]
+    fn strategy_compare_preset_warm_run_simulates_nothing() {
+        // Cache-identity regression for the `strategy` parameter, end to
+        // end through the real preset: every strategy point lands in its
+        // own cache entry (same config, different strategy, different key),
+        // and a warm re-run of the whole strategy-compare grid is served
+        // entirely from the cache — zero rounds simulated for any strategy.
+        let (scenario, spec) = crate::presets::find("strategy-compare").unwrap().build(7, 1);
+        let points = spec.len();
+        let (dir, cache) = temp_cache("strategy");
+        let cold =
+            SweepEngine::new(2).with_cache(cache.clone()).run(scenario.as_ref(), &spec).unwrap();
+        assert_eq!(cold.rounds_simulated, points, "cold run simulates every strategy point");
+        assert_eq!(cold.rounds_cached, 0);
+        assert_eq!(
+            cache.len(),
+            points,
+            "each strategy x platoon point must own a distinct cache entry"
+        );
+        let warm =
+            SweepEngine::new(2).with_cache(cache.clone()).run(scenario.as_ref(), &spec).unwrap();
+        assert_eq!(warm.rounds_simulated, 0, "no strategy re-simulates on a warm cache");
+        assert_eq!(warm.rounds_cached, points);
+        assert_eq!(warm.to_csv(), cold.to_csv());
+        assert_eq!(warm.to_json(), cold.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn empty_spec_is_an_error() {
         let err = SweepEngine::new(1).run(&FakeScenario::new(), &SweepSpec::new(1)).unwrap_err();
         assert_eq!(err, SweepError::EmptySweep);

@@ -1,6 +1,6 @@
 //! Named, ready-to-run sweeps — the catalogue behind `carq-cli sweep list`.
 
-use carq::{RequestStrategy, SelectionStrategy};
+use carq::{RecoveryStrategyKind, RequestStrategy, SelectionStrategy};
 use vanet_scenarios::urban::UrbanConfig;
 use vanet_scenarios::{HighwayScenario, MultiApScenario, Scenario, UrbanScenario};
 
@@ -80,6 +80,17 @@ fn urban_strategies(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepS
     (Box::new(UrbanScenario::new(base)), spec)
 }
 
+fn strategy_compare(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
+    let base = UrbanConfig::paper_testbed().with_rounds(rounds);
+    let spec = SweepSpec::new(master_seed)
+        .axis(
+            Param::Strategy,
+            RecoveryStrategyKind::ALL.iter().map(|k| ParamValue::Strategy(*k)).collect(),
+        )
+        .axis(Param::NCars, ints(&[3, 5]));
+    (Box::new(UrbanScenario::new(base)), spec)
+}
+
 fn highway_speed_rate(master_seed: u64, rounds: u32) -> (Box<dyn Scenario>, SweepSpec) {
     let mut base = vanet_scenarios::highway::HighwayConfig::drive_thru_reference();
     base.passes = rounds;
@@ -119,6 +130,11 @@ pub fn all() -> Vec<Preset> {
             name: "urban-strategies",
             description: "urban testbed, cooperator-selection x REQUEST-strategy grid (20 points)",
             build: urban_strategies,
+        },
+        Preset {
+            name: "strategy-compare",
+            description: "urban testbed, recovery-strategy x platoon grid (8 points)",
+            build: strategy_compare,
         },
         Preset {
             name: "highway-speed-rate",
@@ -212,6 +228,34 @@ mod tests {
                 short.schema().canonical_config(&SweepPoint::empty()),
                 long.schema().canonical_config(&SweepPoint::empty()),
             );
+        }
+    }
+
+    #[test]
+    fn strategy_compare_points_have_distinct_cache_identities() {
+        // The cache-identity contract of the strategy parameter: every
+        // strategy x platoon point resolves to its own canonical
+        // configuration (the string seeds and cache keys derive from), and
+        // the default-strategy points keep the exact canonical an
+        // urban schema produced before the parameter existed.
+        let (scenario, spec) = find("strategy-compare").unwrap().build(1, 2);
+        let points = spec.expand();
+        assert_eq!(points.len(), RecoveryStrategyKind::ALL.len() * 2);
+        let mut canons: Vec<String> =
+            points.iter().map(|p| scenario.schema().canonical_config(p)).collect();
+        canons.sort();
+        canons.dedup();
+        assert_eq!(canons.len(), points.len(), "each point needs its own cache identity");
+        // CoopArq points carry no `strategy=` segment: they alias the
+        // pre-strategy canonical (and therefore its seeds and cache).
+        for point in &points {
+            let canon = scenario.schema().canonical_config(point);
+            match point.get(Param::Strategy) {
+                Some(ParamValue::Strategy(RecoveryStrategyKind::CoopArq)) => {
+                    assert!(!canon.contains("strategy="), "{canon}");
+                }
+                _ => assert!(canon.contains("strategy="), "{canon}"),
+            }
         }
     }
 

@@ -136,6 +136,7 @@ fn layout(record: &TraceRecord) -> (u8, u32) {
         TraceRecord::CoopRetransmit { .. } => (6, 16),
         TraceRecord::ApRetransmitQueued { .. } => (7, 20),
         TraceRecord::BufferStore { .. } => (8, 20),
+        TraceRecord::StrategyDecision { .. } => (9, 20),
     }
 }
 
@@ -201,6 +202,12 @@ pub fn encode(records: &[TraceRecord]) -> Vec<u8> {
                 w.u32(stored);
                 w.u32(evicted);
             }
+            TraceRecord::StrategyDecision { at, node, strategy, missing } => {
+                w.time(at);
+                w.u32(node);
+                w.u32(strategy);
+                w.u32(missing);
+            }
         }
     }
     w.out
@@ -264,6 +271,12 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
                 stored: r.u32()?,
                 evicted: r.u32()?,
             },
+            9 => TraceRecord::StrategyDecision {
+                at: r.time()?,
+                node: r.u32()?,
+                strategy: r.u32()?,
+                missing: r.u32()?,
+            },
             other => return Err(TraceCodecError::UnknownTag(other)),
         };
         let (tag_back, expected) = layout(&record);
@@ -324,6 +337,10 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
             TraceRecord::BufferStore { node, stored, evicted, .. } => {
                 let _ = write!(out, ",\"node\":{node},\"stored\":{stored},\"evicted\":{evicted}");
             }
+            TraceRecord::StrategyDecision { node, strategy, missing, .. } => {
+                let _ =
+                    write!(out, ",\"node\":{node},\"strategy\":{strategy},\"missing\":{missing}");
+            }
         }
         out.push_str("}\n");
     }
@@ -361,6 +378,7 @@ mod tests {
             TraceRecord::ArqRequest { at: u, node: 1, seqs: 5, cooperators: 2 },
             TraceRecord::CoopRetransmit { at: u, node: 2, seqs: 1 },
             TraceRecord::ApRetransmitQueued { at: u, ap: 0, destination: 1, seq: 42 },
+            TraceRecord::StrategyDecision { at: u, node: 1, strategy: 3, missing: 5 },
             TraceRecord::BufferStore { at: u, node: 3, stored: 1, evicted: 1 },
         ]
     }
@@ -408,5 +426,6 @@ mod tests {
         assert_eq!(first, "{\"type\":\"event_dispatched\",\"at_ns\":10000,\"queue_depth\":3}");
         assert!(jsonl.contains("\"snr_db\":-2.75"));
         assert!(jsonl.contains("\"type\":\"buffer_store\""));
+        assert!(jsonl.contains("\"type\":\"strategy_decision\",\"at_ns\":18000,\"node\":1,\"strategy\":3,\"missing\":5"));
     }
 }

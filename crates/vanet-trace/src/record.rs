@@ -104,6 +104,21 @@ pub enum TraceRecord {
         /// The sequence number queued again.
         seq: u32,
     },
+    /// A car's recovery strategy made its loss decision: it found packets
+    /// missing and chose how (or whether) to recover them. Every REQUEST and
+    /// cooperative retransmission of a round is downstream of one of these —
+    /// the decision-before-request invariant.
+    StrategyDecision {
+        /// When the decision was made.
+        at: SimTime,
+        /// The deciding car.
+        node: u32,
+        /// The strategy's stable numeric tag
+        /// (`carq::RecoveryStrategyKind::tag`).
+        strategy: u32,
+        /// How many packets the node found missing.
+        missing: u32,
+    },
     /// Cooperation-buffer activity at one node while handling one frame.
     BufferStore {
         /// When the frame was handled.
@@ -129,6 +144,7 @@ impl TraceRecord {
             | TraceRecord::ArqRequest { at, .. }
             | TraceRecord::CoopRetransmit { at, .. }
             | TraceRecord::ApRetransmitQueued { at, .. }
+            | TraceRecord::StrategyDecision { at, .. }
             | TraceRecord::BufferStore { at, .. } => at,
         }
     }
@@ -145,6 +161,7 @@ impl TraceRecord {
             TraceRecord::ArqRequest { .. } => "arq_request",
             TraceRecord::CoopRetransmit { .. } => "coop_retransmit",
             TraceRecord::ApRetransmitQueued { .. } => "ap_retransmit_queued",
+            TraceRecord::StrategyDecision { .. } => "strategy_decision",
             TraceRecord::BufferStore { .. } => "buffer_store",
         }
     }
@@ -174,6 +191,7 @@ mod tests {
             TraceRecord::ArqRequest { at: t, node: 1, seqs: 4, cooperators: 2 },
             TraceRecord::CoopRetransmit { at: t, node: 2, seqs: 1 },
             TraceRecord::ApRetransmitQueued { at: t, ap: 0, destination: 1, seq: 9 },
+            TraceRecord::StrategyDecision { at: t, node: 1, strategy: 0, missing: 2 },
             TraceRecord::BufferStore { at: t, node: 3, stored: 1, evicted: 0 },
         ];
         let mut kinds = std::collections::BTreeSet::new();

@@ -16,6 +16,16 @@
 //!    appears before any request at all.
 //! 5. **Cache consistency** — every sampled `CacheAudit` found the cached
 //!    link state equal to a from-scratch recomputation.
+//! 6. **Decision before request** — recovery traffic is always downstream
+//!    of an explicit loss decision: a node never puts an `ArqRequest` on the
+//!    air without an earlier `StrategyDecision` of its own, and no
+//!    `CoopRetransmit` appears before the first decision of the trace.
+//! 7. **Per-strategy retransmission bounds** — each node's request count
+//!    stays within what its strategy could legitimately issue for the
+//!    missing-packet counts it declared: one-shot strategies
+//!    (one-hop-listen) get `missing + 1` requests per decision, cycling
+//!    strategies (coop-arq, net-coded) get `missing × (missing + slack)`,
+//!    and the no-cooperation baseline gets none at all.
 //!
 //! Violations carry enough detail to localise the bug; the pass itself is
 //! pure and allocation-light so it can run inside proptests.
@@ -25,6 +35,29 @@ use std::collections::{HashMap, HashSet};
 use sim_core::SimTime;
 
 use crate::record::TraceRecord;
+
+/// Fruitless-cycle slack granted by the per-strategy request bound: cycling
+/// strategies may walk their missing list once per recovery plus this many
+/// fruitless passes. Generous against the default configuration (2) so the
+/// bound never false-positives on legitimate configs, yet far below what an
+/// unbounded requester produces within one round.
+const CYCLE_SLACK: u64 = 8;
+
+/// The most requests one loss decision can legitimately trigger under the
+/// deciding strategy (`strategy` is `carq::RecoveryStrategyKind::tag`).
+fn request_allowance(strategy: u32, missing: u64) -> u64 {
+    match strategy {
+        // no-coop: decides, then declines to recover.
+        3 => 0,
+        // one-hop-listen: one batched shot, plus at most one more cycle per
+        // recovered packet.
+        2 => missing + 1,
+        // coop-arq / net-coded (and unknown future tags, conservatively):
+        // per-packet cycling — at most `missing` requests per cycle, at most
+        // `missing + CYCLE_SLACK` cycles.
+        _ => missing * (missing + CYCLE_SLACK),
+    }
+}
 
 /// One invariant violation found in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +105,13 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
     let mut any_request = false;
     let mut coop_seqs: u64 = 0;
     let mut first_unrequested_coop: Option<(u32, SimTime)> = None;
+    // Per-node request budget accumulated from StrategyDecision records, and
+    // the requests actually observed against it.
+    let mut decision_allowance: HashMap<u32, u64> = HashMap::new();
+    let mut requests_by_node: HashMap<u32, u64> = HashMap::new();
+    let mut any_decision = false;
+    let mut first_undecided_request: Option<(u32, SimTime)> = None;
+    let mut first_undecided_coop: Option<(u32, SimTime)> = None;
 
     for (index, record) in records.iter().enumerate() {
         let at = record.at();
@@ -136,15 +176,27 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                     );
                 }
             }
-            TraceRecord::ArqRequest { seqs, cooperators, .. } => {
+            TraceRecord::ArqRequest { at, node, seqs, cooperators } => {
                 any_request = true;
                 requested_capacity += u64::from(seqs) * u64::from(cooperators.max(1));
+                *requests_by_node.entry(node).or_default() += 1;
+                if !decision_allowance.contains_key(&node) && first_undecided_request.is_none() {
+                    first_undecided_request = Some((node, at));
+                }
             }
             TraceRecord::CoopRetransmit { at, node, seqs } => {
                 coop_seqs += u64::from(seqs);
                 if !any_request && first_unrequested_coop.is_none() {
                     first_unrequested_coop = Some((node, at));
                 }
+                if !any_decision && first_undecided_coop.is_none() {
+                    first_undecided_coop = Some((node, at));
+                }
+            }
+            TraceRecord::StrategyDecision { node, strategy, missing, .. } => {
+                any_decision = true;
+                *decision_allowance.entry(node).or_default() +=
+                    request_allowance(strategy, u64::from(missing));
             }
             TraceRecord::EventDispatched { .. }
             | TraceRecord::CsmaDeferred { .. }
@@ -167,6 +219,43 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
             format!(
                 "cooperative retransmissions carried {coop_seqs} packet(s) but the observed \
                  requests could trigger at most {requested_capacity}"
+            ),
+        );
+    }
+    if let Some((node, at)) = first_undecided_request {
+        violation(
+            &mut report,
+            "decision_before_request",
+            format!("node {node} sent a REQUEST at {at:?} without a preceding loss decision"),
+        );
+    }
+    if let Some((node, at)) = first_undecided_coop {
+        violation(
+            &mut report,
+            "decision_before_request",
+            format!(
+                "node {node} sent COOP-DATA at {at:?} before any loss decision was made in the \
+                 trace"
+            ),
+        );
+    }
+    // Per-strategy bounds, only for nodes whose decisions we saw (requests
+    // from undecided nodes are already reported above).
+    let mut bounded: Vec<(u32, u64, u64)> = requests_by_node
+        .iter()
+        .filter_map(|(node, requests)| {
+            let allowance = *decision_allowance.get(node)?;
+            (*requests > allowance).then_some((*node, *requests, allowance))
+        })
+        .collect();
+    bounded.sort_unstable();
+    for (node, requests, allowance) in bounded {
+        violation(
+            &mut report,
+            "strategy_bounds",
+            format!(
+                "node {node} sent {requests} REQUEST(s) but its strategy's loss decisions allow \
+                 at most {allowance}"
             ),
         );
     }
@@ -201,6 +290,7 @@ mod tests {
             tx(0, 10, 0),
             delivery(0, 0, 1),
             TraceRecord::CacheAudit { at: t(0), tx: 0, rx: 1, ok: true },
+            TraceRecord::StrategyDecision { at: t(20), node: 1, strategy: 0, missing: 2 },
             TraceRecord::ArqRequest { at: t(20), node: 1, seqs: 2, cooperators: 2 },
             tx(20, 24, 1),
             TraceRecord::CoopRetransmit { at: t(30), node: 2, seqs: 2 },
@@ -244,17 +334,22 @@ mod tests {
         assert_eq!(invariants(&records), vec!["cache_consistency"]);
     }
 
+    fn decision(at: u64, node: u32, strategy: u32, missing: u32) -> TraceRecord {
+        TraceRecord::StrategyDecision { at: t(at), node, strategy, missing }
+    }
+
     #[test]
     fn retransmissions_must_be_requested_and_bounded() {
-        // COOP-DATA with no request anywhere in the trace.
+        // COOP-DATA with no request (and no decision) anywhere in the trace.
         let unrequested = [TraceRecord::CoopRetransmit { at: t(0), node: 2, seqs: 1 }];
         assert_eq!(
             invariants(&unrequested),
-            vec!["retransmission_bounds", "retransmission_bounds"],
-            "unrequested coop data violates both the ordering and the capacity bound"
+            vec!["retransmission_bounds", "retransmission_bounds", "decision_before_request"],
+            "unrequested coop data violates the ordering, the capacity bound and the decision rule"
         );
         // Requests for 2 packets with 1 announced cooperator cap capacity at 2.
         let over = [
+            decision(0, 1, 0, 2),
             TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 2, cooperators: 1 },
             TraceRecord::CoopRetransmit { at: t(5), node: 2, seqs: 2 },
             TraceRecord::CoopRetransmit { at: t(9), node: 3, seqs: 1 },
@@ -262,9 +357,65 @@ mod tests {
         assert_eq!(invariants(&over), vec!["retransmission_bounds"]);
         // A request announcing zero cooperators still permits one response.
         let zero_coop = [
+            decision(0, 1, 0, 1),
             TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 1, cooperators: 0 },
             TraceRecord::CoopRetransmit { at: t(5), node: 2, seqs: 1 },
         ];
         assert!(verify(&zero_coop).is_ok());
+    }
+
+    #[test]
+    fn requests_without_a_loss_decision_are_flagged() {
+        let records = [TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 1, cooperators: 1 }];
+        assert_eq!(invariants(&records), vec!["decision_before_request"]);
+        // The decision must come first, not merely exist.
+        let late = [
+            TraceRecord::ArqRequest { at: t(0), node: 1, seqs: 1, cooperators: 1 },
+            decision(5, 1, 0, 1),
+        ];
+        assert_eq!(invariants(&late), vec!["decision_before_request"]);
+        // Another node's decision does not cover node 1.
+        let wrong_node = [
+            decision(0, 7, 0, 1),
+            TraceRecord::ArqRequest { at: t(1), node: 1, seqs: 1, cooperators: 1 },
+        ];
+        assert_eq!(invariants(&wrong_node), vec!["decision_before_request"]);
+    }
+
+    #[test]
+    fn per_strategy_request_bounds_fire() {
+        // one-hop-listen (tag 2) with 1 missing packet allows 2 requests...
+        let mut records = vec![decision(0, 1, 2, 1)];
+        for i in 0..2u64 {
+            records.push(TraceRecord::ArqRequest {
+                at: t(1 + i),
+                node: 1,
+                seqs: 1,
+                cooperators: 1,
+            });
+        }
+        assert!(verify(&records).is_ok());
+        // ...and the third violates its bound.
+        records.push(TraceRecord::ArqRequest { at: t(9), node: 1, seqs: 1, cooperators: 1 });
+        assert_eq!(invariants(&records), vec!["strategy_bounds"]);
+        // no-coop (tag 3) allows none at all.
+        let no_coop = [
+            decision(0, 1, 3, 4),
+            TraceRecord::ArqRequest { at: t(1), node: 1, seqs: 1, cooperators: 1 },
+        ];
+        assert_eq!(invariants(&no_coop), vec!["strategy_bounds"]);
+        // cycling strategies (tag 0) get missing × (missing + slack).
+        let mut cycling = vec![decision(0, 1, 0, 2)];
+        for i in 0..2 * (2 + CYCLE_SLACK) {
+            cycling.push(TraceRecord::ArqRequest {
+                at: t(1 + i),
+                node: 1,
+                seqs: 1,
+                cooperators: 1,
+            });
+        }
+        assert!(verify(&cycling).is_ok());
+        cycling.push(TraceRecord::ArqRequest { at: t(99), node: 1, seqs: 1, cooperators: 1 });
+        assert_eq!(invariants(&cycling), vec!["strategy_bounds"]);
     }
 }

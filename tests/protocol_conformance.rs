@@ -20,6 +20,8 @@ struct Harness {
     /// Pending timers: (fire time, node index, kind).
     timers: Vec<(SimTime, usize, TimerKind)>,
     now: SimTime,
+    /// Loss decisions observed: (deciding node, missing count).
+    decisions: Vec<(NodeId, u32)>,
 }
 
 impl Harness {
@@ -36,7 +38,7 @@ impl Harness {
             }
             nodes.push(node);
         }
-        Harness { nodes, timers, now: SimTime::ZERO }
+        Harness { nodes, timers, now: SimTime::ZERO, decisions: Vec::new() }
     }
 
     fn node(&self, id: u32) -> &CarqNode {
@@ -72,6 +74,9 @@ impl Harness {
                 Action::Send { message, dst } => {
                     let src = self.nodes[idx].id();
                     self.broadcast(src, dst, message, &[]);
+                }
+                Action::DecideRecovery { missing } => {
+                    self.decisions.push((self.nodes[idx].id(), missing));
                 }
             }
         }
@@ -187,6 +192,16 @@ fn three_car_platoon_recovers_everything_the_platoon_holds() {
         total_sent <= total_recovered + 2,
         "cooperative transmissions ({total_sent}) should not substantially exceed recoveries ({total_recovered})"
     );
+
+    // Every car that missed packets made exactly one loss decision, with the
+    // missing count it observed at the time.
+    let mut decisions = h.decisions.clone();
+    decisions.sort();
+    assert_eq!(
+        decisions,
+        vec![(NodeId::new(1), 3), (NodeId::new(2), 1), (NodeId::new(3), 2)],
+        "one decision per car, carrying its directly-missed count"
+    );
 }
 
 /// A car that misses nothing never enters the Cooperative-ARQ phase.
@@ -205,6 +220,7 @@ fn lossless_reception_skips_the_recovery_phase() {
         assert_eq!(h.node(car).stats().requests_sent, 0);
         assert!(h.node(car).missing_after_coop().is_empty());
     }
+    assert!(h.decisions.is_empty(), "nothing was lost, so no loss decision was made");
 }
 
 /// Without any HELLO exchange there are no cooperators, so nothing is

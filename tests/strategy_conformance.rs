@@ -1,0 +1,148 @@
+//! Cross-strategy conformance, end to end through the umbrella crate — the
+//! gate in front of the pluggable recovery-strategy layer:
+//!
+//! * the paper's C-ARQ routed through the [`RecoveryStrategy`] trait is the
+//!   *same experiment* as the pre-refactor default path: an explicit
+//!   `strategy=coop-arq` point resolves to the identical canonical
+//!   configuration (hence identical point seed, cache key and golden
+//!   export) and bit-identical round reports, on proptest-sampled urban,
+//!   highway and generated configurations;
+//! * for **every** registered strategy, tracing stays observation-only
+//!   (traced and untraced replays agree bit for bit) and the traced stream
+//!   passes the full `vanet_trace::verify` invariant catalogue — including
+//!   the strategy-generic `decision_before_request` and `strategy_bounds`
+//!   rules this PR added.
+//!
+//! [`RecoveryStrategy`]: carq_repro::protocol::RecoveryStrategy
+
+use carq_repro::gen::{self, GenValue};
+use carq_repro::protocol::RecoveryStrategyKind;
+use carq_repro::scenarios::highway::{HighwayConfig, HighwayScenario};
+use carq_repro::scenarios::urban::UrbanScenario;
+use carq_repro::scenarios::{round_seed, Scenario};
+use carq_repro::sweep::{point_seed, Param, ParamValue, SweepPoint};
+use proptest::prelude::*;
+
+/// One sampled configuration: a scenario family plus a schema-valid point.
+/// Car counts stay minimal so a full simulated round stays cheap under the
+/// proptest case count; speeds map into the range both built-in schemas
+/// accept.
+fn sampled_scenario(
+    which: usize,
+    cars: u64,
+    speed_frac: f64,
+    gen_seed: u64,
+) -> (Box<dyn Scenario>, Vec<(Param, ParamValue)>) {
+    let speed = 10.0 + speed_frac * 50.0;
+    match which {
+        0 => {
+            let overrides = vec![
+                (Param::NCars, ParamValue::Int(cars)),
+                (Param::SpeedKmh, ParamValue::Float(speed)),
+                (Param::Rounds, ParamValue::Int(1)),
+            ];
+            (Box::new(UrbanScenario::paper_testbed()) as Box<dyn Scenario>, overrides)
+        }
+        1 => {
+            let overrides = vec![
+                (Param::NCars, ParamValue::Int(cars)),
+                (Param::SpeedKmh, ParamValue::Float(60.0 + speed_frac * 60.0)),
+            ];
+            let scenario = HighwayScenario::new(HighwayConfig::drive_thru_reference());
+            (Box::new(scenario) as Box<dyn Scenario>, overrides)
+        }
+        _ => {
+            let assignments = vec![
+                ("n_cars".to_string(), GenValue::Int(cars)),
+                ("speed_kmh".to_string(), GenValue::Float(speed)),
+                ("walk_m".to_string(), GenValue::Float(120.0)),
+                ("ap_rate_pps".to_string(), GenValue::Float(1.0)),
+            ];
+            let scenario = gen::instantiate("grid-city", &assignments, gen_seed)
+                .expect("assignments stay inside the generator schema");
+            (Box::new(scenario), Vec::new())
+        }
+    }
+}
+
+proptest! {
+    /// Differential conformance: spelling out `strategy=coop-arq` must be
+    /// indistinguishable from omitting it. Canonical configurations (the
+    /// strings seeds and cache keys derive from) are equal, so the
+    /// refactored trait path reproduces the pre-refactor golden path's
+    /// seeds exactly — and the simulated reports are bit-identical.
+    #[test]
+    fn coop_arq_through_the_trait_is_the_default_path(
+        which in 0usize..3,
+        cars in 1u64..4,
+        speed_frac in 0.0f64..1.0,
+        master_seed in 0u64..u64::MAX,
+    ) {
+        let (scenario, overrides) = sampled_scenario(which, cars, speed_frac, master_seed);
+        let default_point = SweepPoint::new(overrides.clone());
+        let mut explicit = overrides;
+        explicit.push((Param::Strategy, ParamValue::Strategy(RecoveryStrategyKind::CoopArq)));
+        let explicit_point = SweepPoint::new(explicit);
+
+        let schema = scenario.schema();
+        let canon = schema.canonical_config(&default_point);
+        let explicit_canon = schema.canonical_config(&explicit_point);
+        prop_assert!(
+            canon == explicit_canon,
+            "an explicit default strategy moved the cache identity: `{canon}` vs `{explicit_canon}`"
+        );
+        prop_assert_eq!(
+            point_seed(master_seed, &canon),
+            point_seed(master_seed, &explicit_canon),
+        );
+
+        let default_run = scenario.configure(&default_point).expect("schema-valid point");
+        let explicit_run = scenario.configure(&explicit_point).expect("schema-valid point");
+        let seed = round_seed(point_seed(master_seed, &canon), 0);
+        prop_assert!(
+            default_run.run_round(0, seed) == explicit_run.run_round(0, seed),
+            "the trait-routed C-ARQ diverged from the default path (seed {seed:#x})"
+        );
+    }
+
+    /// Every registered strategy, on sampled configurations: tracing is
+    /// observation-only, and the traced stream passes the full invariant
+    /// catalogue (overlap, conservation, monotonicity, retransmission
+    /// bounds, decision-before-request, per-strategy request bounds). The
+    /// strategy is sampled alongside the configuration, so the full case
+    /// budget covers all four schemes across all three scenario families.
+    #[test]
+    fn every_strategy_is_pure_under_tracing_and_passes_verify(
+        which in 0usize..3,
+        kind_idx in 0usize..4,
+        cars in 1u64..4,
+        speed_frac in 0.0f64..1.0,
+        master_seed in 0u64..u64::MAX,
+    ) {
+        let (scenario, overrides) = sampled_scenario(which, cars, speed_frac, master_seed);
+        let kind = RecoveryStrategyKind::ALL[kind_idx];
+        let mut with_strategy = overrides;
+        with_strategy.push((Param::Strategy, ParamValue::Strategy(kind)));
+        let point = SweepPoint::new(with_strategy);
+        let run = scenario.configure(&point).expect("schema-valid point");
+        let seed = round_seed(
+            point_seed(master_seed, &scenario.schema().canonical_config(&point)),
+            0,
+        );
+        let (report, records) = run.run_round_traced(0, seed);
+        prop_assert!(
+            report == run.run_round(0, seed),
+            "strategy {kind} is not observation-only under tracing (seed {seed:#x})"
+        );
+        let verdict = carq_repro::trace::verify(&records);
+        let findings: Vec<String> = verdict
+            .violations
+            .iter()
+            .map(|v| format!("{}: {}", v.invariant, v.detail))
+            .collect();
+        prop_assert!(
+            findings.is_empty(),
+            "strategy {kind} seed {seed:#x}: {findings:?}"
+        );
+    }
+}
