@@ -1,0 +1,584 @@
+//! `carq-cli analyze` — trace-driven analysis of recovery behaviour.
+//!
+//! Four subcommands over the `vanet-analysis` crate:
+//!
+//! * `analyze latency` — request-to-repair recovery-latency distributions,
+//!   per preset point (`--preset`, the paper-vs-rivals table for
+//!   `strategy-compare`) or per round (`--scenario` / `--trace`);
+//! * `analyze occupancy` — medium busy fraction, airtime and collision
+//!   windows from `tx_start` intervals, same sources;
+//! * `analyze timeline` — one node's chronological diary of a round;
+//! * `analyze diff` — where two record streams first diverge.
+//!
+//! A round analysed live (`--scenario`) and the same round replayed from a
+//! `CARQTRC1`/`CARQTRM1` file (`--trace`) produce byte-identical tables:
+//! frames carry `(round, seed)`, and the analysis is a pure function of the
+//! record stream. The metric definitions and the record-matching rules are
+//! documented in `docs/OBSERVABILITY.md`.
+
+use std::sync::{Arc, Mutex};
+
+use vanet_analysis::{diff, AnalysisEngine, AnalysisStore, RoundDigest};
+use vanet_scenarios::{round_seed, Param, ScenarioRegistry, ScenarioRun, SweepPoint};
+use vanet_stats::{CellValue, RecordTable};
+use vanet_sweep::presets;
+use vanet_trace::{decode_any, to_jsonl, TraceFrame, TraceRecord};
+
+use crate::cli::{strategy_values, Options};
+use crate::commands::parse_seed;
+use crate::gen_cmd::resolve_scenario;
+
+/// Default rounds per point for `--preset` analyses (the sweep default).
+const DEFAULT_ANALYZE_ROUNDS: u32 = 5;
+
+/// Routes `analyze SUBCOMMAND` to its implementation.
+pub fn analyze_dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("latency") => table_cmd(Metric::Latency, &Options::parse(&args[1..])?),
+        Some("occupancy") => table_cmd(Metric::Occupancy, &Options::parse(&args[1..])?),
+        Some("timeline") => timeline_cmd(&Options::parse(&args[1..])?),
+        Some("diff") => diff_cmd(&Options::parse(&args[1..])?),
+        other => Err(format!(
+            "unknown analyze subcommand `{}` (expected latency, occupancy, timeline or diff)",
+            other.unwrap_or("")
+        )),
+    }
+}
+
+/// Which table `analyze latency` / `analyze occupancy` renders.
+#[derive(Clone, Copy, PartialEq)]
+enum Metric {
+    Latency,
+    Occupancy,
+}
+
+/// Writes or prints `rendered` according to `--out`.
+fn emit(opts: &Options, rendered: String) -> Result<(), String> {
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
+fn parse_format(opts: &Options) -> Result<&str, String> {
+    let format = opts.get("format").unwrap_or("csv");
+    if !matches!(format, "csv" | "json") {
+        return Err(format!("unknown format `{format}` (csv, json)"));
+    }
+    Ok(format)
+}
+
+/// The one point override the scenario path accepts, mirroring `verify`:
+/// a single recovery strategy.
+fn strategy_point(opts: &Options) -> Result<SweepPoint, String> {
+    match opts.get("strategy") {
+        Some(raw) => {
+            let values = strategy_values(raw).map_err(|e| format!("--strategy: {e}"))?;
+            let [value] = values[..] else {
+                return Err("--strategy takes exactly one recovery strategy".into());
+            };
+            Ok(SweepPoint::new(vec![(Param::Strategy, value)]))
+        }
+        None => Ok(SweepPoint::empty()),
+    }
+}
+
+/// Loads the frames of a trace file (plain `CARQTRC1` or framed
+/// `CARQTRM1`).
+fn read_frames(path: &str) -> Result<Vec<TraceFrame>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    decode_any(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Traces rounds `0..rounds` of a configured scenario run into frames, so
+/// the live path and the `--trace` path feed identical inputs to the
+/// digest step.
+fn trace_frames(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> Vec<TraceFrame> {
+    (0..rounds)
+        .map(|round| {
+            let round_seed = round_seed(seed, round);
+            let (_, records) = run.run_round_traced(round, round_seed);
+            TraceFrame { round, seed: round_seed, records }
+        })
+        .collect()
+}
+
+/// Resolves the `--scenario` reference and configures its run with the
+/// optional `--strategy` override. Returns the run and the capped round
+/// budget.
+fn configure_scenario(
+    opts: &Options,
+    reference: &str,
+) -> Result<(Box<dyn ScenarioRun>, u32), String> {
+    let registry = ScenarioRegistry::builtin();
+    let source = resolve_scenario(&registry, reference)?;
+    let scenario = source.scenario(&registry);
+    let run = scenario.configure(&strategy_point(opts)?).map_err(|e| e.to_string())?;
+    let rounds: u32 = opts.get_parsed("rounds", run.rounds())?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let rounds = rounds.min(run.rounds());
+    Ok((run, rounds))
+}
+
+/// The per-round digest table of a single scenario or trace file. The
+/// columns deliberately exclude anything a trace file cannot know (scenario
+/// name, master seed), so live and replayed analyses are byte-identical.
+fn round_table(metric: Metric, digests: &[RoundDigest]) -> RecordTable {
+    let mut columns: Vec<String> = ["round", "seed", "records"].map(String::from).to_vec();
+    columns.extend(
+        match metric {
+            Metric::Latency => {
+                ["opened", "matched", "unmatched", "p50_ms", "p90_ms", "p99_ms", "max_ms"]
+                    .as_slice()
+            }
+            Metric::Occupancy => {
+                ["tx", "collisions", "airtime_ms", "busy_pct", "top_node", "top_share_pct"]
+                    .as_slice()
+            }
+        }
+        .iter()
+        .map(|s| (*s).to_string()),
+    );
+    let mut table = RecordTable::new(columns);
+    for digest in digests {
+        let mut row: Vec<CellValue> = vec![
+            digest.round.into(),
+            format!("{:#018x}", digest.seed).into(),
+            digest.records.into(),
+        ];
+        match metric {
+            Metric::Latency => {
+                let l = &digest.latency;
+                row.push(l.opened.into());
+                row.push(l.matched().into());
+                row.push(l.unmatched.into());
+                let dist = l.distribution_ms();
+                match dist.percentiles() {
+                    Some(p) => row.extend([p.p50, p.p90, p.p99, p.max].map(CellValue::Float)),
+                    None => row.extend(std::iter::repeat_n(CellValue::from(""), 4)),
+                }
+            }
+            Metric::Occupancy => {
+                let o = &digest.occupancy;
+                row.push(o.tx_count.into());
+                row.push(o.collision_windows.into());
+                row.push(CellValue::Float(o.airtime_ms()));
+                row.push(CellValue::Float(o.busy_fraction() * 100.0));
+                match o.top_talker() {
+                    Some((node, share)) => {
+                        row.push(node.into());
+                        row.push(CellValue::Float(share * 100.0));
+                    }
+                    None => row.extend([CellValue::from(""), CellValue::from("")]),
+                }
+            }
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// `analyze latency|occupancy --preset NAME ...` — the per-point table over
+/// a preset sweep plan, through the parallel [`AnalysisEngine`].
+fn preset_table(metric: Metric, name: &str, opts: &Options) -> Result<RecordTable, String> {
+    if opts.get("scenario").is_some() || opts.get("trace").is_some() {
+        return Err("--preset, --scenario and --trace are mutually exclusive".into());
+    }
+    if opts.get("strategy").is_some() {
+        return Err("--strategy applies to --scenario analyses; presets fix their own grid".into());
+    }
+    let preset = presets::find(name)
+        .ok_or_else(|| format!("unknown preset `{name}` (see `carq-cli sweep list`)"))?;
+    let seed = parse_seed(opts)?;
+    let rounds: u32 = opts.get_parsed("rounds", DEFAULT_ANALYZE_ROUNDS)?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    let (scenario, spec) = preset.build(seed, rounds);
+    let threads: usize = opts.get_parsed("threads", 0)?;
+    let mut engine = AnalysisEngine::new(threads);
+    if let Some(dir) = opts.get("cache") {
+        let store = AnalysisStore::open(dir).map_err(|e| e.to_string())?;
+        if store.recovered_bytes() > 0 {
+            eprintln!(
+                "analyze: dropped a torn {}-byte journal tail (previous run was killed mid-write)",
+                store.recovered_bytes()
+            );
+        }
+        eprintln!("analyze: {} digest(s) on hand in {dir}", store.len());
+        engine = engine.with_store(Arc::new(Mutex::new(store)));
+    }
+    eprintln!(
+        "analyze: {} point(s) of `{}` on {} thread(s), master seed {seed:#x}",
+        spec.len(),
+        scenario.name(),
+        engine.threads(),
+    );
+    let result = engine.run(scenario.as_ref(), &spec).map_err(|e| e.to_string())?;
+    if opts.get("cache").is_some() {
+        eprintln!(
+            "analyze: {} round(s) simulated, {} served from the digest journal",
+            result.rounds_simulated, result.rounds_cached,
+        );
+    }
+    Ok(match metric {
+        Metric::Latency => result.latency_table(),
+        Metric::Occupancy => result.occupancy_table(),
+    })
+}
+
+/// `carq-cli analyze latency|occupancy ...` — see the USAGE text.
+fn table_cmd(metric: Metric, opts: &Options) -> Result<(), String> {
+    let unknown = opts.unknown_flags(&[
+        "preset", "scenario", "trace", "strategy", "rounds", "seed", "threads", "cache", "format",
+        "out",
+    ]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let format = parse_format(opts)?;
+    let table = if let Some(name) = opts.get("preset") {
+        preset_table(metric, name, opts)?
+    } else {
+        let frames =
+            match (opts.get("scenario"), opts.get("trace")) {
+                (Some(_), Some(_)) => {
+                    return Err("--scenario and --trace are mutually exclusive".into())
+                }
+                (Some(reference), None) => {
+                    let (run, rounds) = configure_scenario(opts, reference)?;
+                    trace_frames(run.as_ref(), parse_seed(opts)?, rounds)
+                }
+                (None, Some(path)) => read_frames(path)?,
+                (None, None) => return Err(
+                    "analyze needs an input: --preset NAME, --scenario NAME|FILE or --trace FILE"
+                        .into(),
+                ),
+            };
+        let digests: Vec<RoundDigest> =
+            frames.iter().map(|f| RoundDigest::compute(f.round, f.seed, &f.records)).collect();
+        round_table(metric, &digests)
+    };
+    let rendered = if format == "json" { table.to_json() } else { table.to_csv() };
+    emit(opts, rendered)
+}
+
+/// `carq-cli analyze timeline --scenario NAME|FILE|--trace FILE --node N`.
+fn timeline_cmd(opts: &Options) -> Result<(), String> {
+    let unknown =
+        opts.unknown_flags(&["scenario", "trace", "strategy", "node", "round", "seed", "out"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    let Some(node_raw) = opts.get("node") else {
+        return Err("analyze timeline needs --node N (the node whose diary to render)".into());
+    };
+    let node: u32 = node_raw.parse().map_err(|_| format!("--node: cannot parse `{node_raw}`"))?;
+    let round: u32 = opts.get_parsed("round", 0)?;
+    let records = match (opts.get("scenario"), opts.get("trace")) {
+        (Some(_), Some(_)) => return Err("--scenario and --trace are mutually exclusive".into()),
+        (Some(reference), None) => {
+            let (run, rounds) = configure_scenario(opts, reference)?;
+            if round >= rounds {
+                return Err(format!("--round {round} is out of range ({rounds} round(s))"));
+            }
+            let (_, records) = run.run_round_traced(round, round_seed(parse_seed(opts)?, round));
+            records
+        }
+        (None, Some(path)) => {
+            let frames = read_frames(path)?;
+            frames
+                .into_iter()
+                .find(|f| f.round == round)
+                .map(|f| f.records)
+                .ok_or_else(|| format!("{path}: holds no frame for round {round}"))?
+        }
+        (None, None) => {
+            return Err("analyze timeline needs --scenario NAME|FILE or --trace FILE".into())
+        }
+    };
+    let timeline = vanet_analysis::node_timeline(&records, node);
+    if timeline.is_empty() {
+        return Err(format!(
+            "no record of round {round} involves node {node} ({} record(s) total)",
+            records.len()
+        ));
+    }
+    let header = format!(
+        "timeline: node {node}, round {round}: {} event(s) of {} record(s)\n",
+        timeline.len(),
+        records.len()
+    );
+    emit(opts, format!("{header}{}", vanet_analysis::render_timeline(&timeline)))
+}
+
+/// One side of a diff: its label and its concatenated record stream.
+fn diff_side(
+    opts: &Options,
+    file_flag: &str,
+    strategy_flag: &str,
+) -> Result<Option<(String, Vec<TraceRecord>)>, String> {
+    if let Some(path) = opts.get(file_flag) {
+        let records: Vec<TraceRecord> =
+            read_frames(path)?.into_iter().flat_map(|f| f.records).collect();
+        return Ok(Some((path.to_string(), records)));
+    }
+    let Some(reference) = opts.get("scenario") else { return Ok(None) };
+    let registry = ScenarioRegistry::builtin();
+    let source = resolve_scenario(&registry, reference)?;
+    let scenario = source.scenario(&registry);
+    let (point, label) = match opts.get(strategy_flag) {
+        Some(raw) => {
+            let values = strategy_values(raw).map_err(|e| format!("--{strategy_flag}: {e}"))?;
+            let [value] = values[..] else {
+                return Err(format!("--{strategy_flag} takes exactly one recovery strategy"));
+            };
+            (SweepPoint::new(vec![(Param::Strategy, value)]), format!("strategy {value}"))
+        }
+        None => (SweepPoint::empty(), "base configuration".to_string()),
+    };
+    let run = scenario.configure(&point).map_err(|e| e.to_string())?;
+    let round: u32 = opts.get_parsed("round", 0)?;
+    if round >= run.rounds() {
+        return Err(format!(
+            "--round {round} is out of range (`{}` has {} round(s))",
+            scenario.name(),
+            run.rounds()
+        ));
+    }
+    let (_, records) = run.run_round_traced(round, round_seed(parse_seed(opts)?, round));
+    Ok(Some((format!("{} round {round}, {label}", scenario.name()), records)))
+}
+
+/// `carq-cli analyze diff` — compare two record streams: two trace files
+/// (`--a FILE --b FILE`) or two deterministic re-runs of a scenario round
+/// (`--scenario REF [--strategy X] [--against Y]`; without `--against` the
+/// round is compared against its own re-run, proving determinism).
+fn diff_cmd(opts: &Options) -> Result<(), String> {
+    let unknown =
+        opts.unknown_flags(&["a", "b", "scenario", "strategy", "against", "round", "seed"]);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+    }
+    if opts.get("scenario").is_some() && (opts.get("a").is_some() || opts.get("b").is_some()) {
+        return Err("--scenario and --a/--b are mutually exclusive".into());
+    }
+    if opts.get("a").is_some() != opts.get("b").is_some() {
+        return Err("analyze diff needs both --a FILE and --b FILE".into());
+    }
+    let Some((label_a, records_a)) = diff_side(opts, "a", "strategy")? else {
+        return Err("analyze diff needs --a FILE --b FILE or --scenario NAME|FILE [--strategy X] \
+             [--against Y]"
+            .into());
+    };
+    // Side B: the second file, or the scenario re-run under `--against`
+    // (defaulting to the same configuration — a determinism self-check).
+    let side_b = if opts.get("b").is_some() {
+        diff_side(opts, "b", "against")?
+    } else {
+        let flag = if opts.get("against").is_some() { "against" } else { "strategy" };
+        diff_side(opts, "b", flag)?
+    };
+    let (label_b, records_b) = side_b.expect("side A resolved, so side B must");
+
+    let report = diff(&records_a, &records_b);
+    println!("a: {} record(s)  ({label_a})", report.a_records);
+    println!("b: {} record(s)  ({label_b})", report.b_records);
+    for (kind, count_a, count_b) in &report.kind_counts {
+        let marker = if count_a == count_b { ' ' } else { '!' };
+        println!("{marker} {kind:<22} {count_a:>7} {count_b:>7}");
+    }
+    match &report.first_divergence {
+        None => println!("no divergence: the streams are record-for-record identical"),
+        Some(divergence) => {
+            println!("first divergence at record {}:", divergence.index);
+            for (side, record) in [("a", &divergence.a), ("b", &divergence.b)] {
+                match record {
+                    Some(r) => print!("  {side}: {}", to_jsonl(std::slice::from_ref(r))),
+                    None => println!("  {side}: <stream ended>"),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn opts(items: &[&str]) -> Options {
+        Options::parse(&strs(items)).unwrap()
+    }
+
+    fn temp_path(tag: &str, ext: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "carq-cli-analyze-test-{tag}-{}-{}.{ext}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn analyze_validates_its_flags() {
+        assert!(analyze_dispatch(&strs(&["dance"])).is_err());
+        let err = table_cmd(Metric::Latency, &opts(&[])).unwrap_err();
+        assert!(err.contains("--preset"), "{err}");
+        assert!(table_cmd(Metric::Latency, &opts(&["--bogus", "1"])).is_err());
+        assert!(table_cmd(Metric::Latency, &opts(&["--preset", "no-such"])).is_err());
+        assert!(table_cmd(
+            Metric::Latency,
+            &opts(&["--preset", "strategy-compare", "--scenario", "urban"])
+        )
+        .is_err());
+        assert!(table_cmd(
+            Metric::Latency,
+            &opts(&["--scenario", "urban", "--trace", "/tmp/x.trc"])
+        )
+        .is_err());
+        assert!(
+            table_cmd(Metric::Latency, &opts(&["--scenario", "urban", "--format", "xml"])).is_err()
+        );
+        assert!(
+            table_cmd(Metric::Latency, &opts(&["--scenario", "urban", "--rounds", "0"])).is_err()
+        );
+        // timeline needs a node and an input.
+        assert!(timeline_cmd(&opts(&[])).is_err());
+        assert!(timeline_cmd(&opts(&["--node", "1"])).is_err());
+        assert!(timeline_cmd(&opts(&["--node", "nope", "--scenario", "urban"])).is_err());
+        // diff needs both sides.
+        assert!(diff_cmd(&opts(&[])).is_err());
+        assert!(diff_cmd(&opts(&["--a", "/tmp/x.trc"])).is_err());
+        assert!(diff_cmd(&opts(&["--scenario", "urban", "--a", "/tmp/x.trc"])).is_err());
+    }
+
+    #[test]
+    fn per_round_latency_is_identical_live_and_from_a_trace_file() {
+        // Trace two framed rounds to a file with `trace --rounds`, then
+        // analyze the file and the live scenario: byte-identical tables.
+        let trace_file = temp_path("framed", "trc");
+        let trace_str = trace_file.display().to_string();
+        crate::trace::trace_cmd(&opts(&[
+            "--scenario",
+            "urban",
+            "--rounds",
+            "0..2",
+            "--out",
+            &trace_str,
+        ]))
+        .unwrap();
+
+        let out_live = temp_path("live", "csv");
+        let out_file = temp_path("file", "csv");
+        for metric in [Metric::Latency, Metric::Occupancy] {
+            table_cmd(
+                metric,
+                &opts(&[
+                    "--scenario",
+                    "urban",
+                    "--rounds",
+                    "2",
+                    "--out",
+                    &out_live.display().to_string(),
+                ]),
+            )
+            .unwrap();
+            table_cmd(
+                metric,
+                &opts(&["--trace", &trace_str, "--out", &out_file.display().to_string()]),
+            )
+            .unwrap();
+            let live = std::fs::read_to_string(&out_live).unwrap();
+            let replayed = std::fs::read_to_string(&out_file).unwrap();
+            assert_eq!(live, replayed, "live and replayed analyses must agree");
+            assert!(live.starts_with("round,seed,records,"), "{live}");
+            assert_eq!(live.lines().count(), 3, "header + 2 rounds: {live}");
+        }
+        for path in [trace_file, out_live, out_file] {
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn strategy_compare_preset_is_thread_and_cache_invariant() {
+        // The acceptance check: `analyze latency --preset strategy-compare`
+        // covers all four strategies, byte-identical at 1/2/8 threads, and a
+        // warm-cache re-run simulates zero rounds yet renders the same bytes.
+        let cache = std::env::temp_dir()
+            .join(format!("carq-cli-analyze-test-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let cache_str = cache.display().to_string();
+        let out = temp_path("preset", "csv");
+        let out_str = out.display().to_string();
+        let mut renders = Vec::new();
+        for threads in ["1", "2", "8", "1"] {
+            // The 4th run re-uses the journal the 3rd populated: warm.
+            table_cmd(
+                Metric::Latency,
+                &opts(&[
+                    "--preset",
+                    "strategy-compare",
+                    "--rounds",
+                    "1",
+                    "--threads",
+                    threads,
+                    "--cache",
+                    &cache_str,
+                    "--out",
+                    &out_str,
+                ]),
+            )
+            .unwrap();
+            renders.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert!(renders.windows(2).all(|w| w[0] == w[1]), "thread/cache-count variance");
+        for strategy in ["coop-arq", "no-coop", "net-coded", "one-hop-listen"] {
+            assert!(renders[0].contains(strategy), "{strategy} missing:\n{}", renders[0]);
+        }
+        assert!(renders[0].contains("p99_ms"), "{}", renders[0]);
+        // The warm journal really holds every digest of the grid.
+        let store = AnalysisStore::open(&cache).unwrap();
+        assert_eq!(store.len(), 8, "4 strategies x 2 car counts x 1 round");
+        std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn timeline_renders_a_nodes_diary() {
+        let out = temp_path("timeline", "txt");
+        let out_str = out.display().to_string();
+        timeline_cmd(&opts(&["--scenario", "urban", "--node", "0", "--out", &out_str])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("timeline: node 0, round 0:"), "{text}");
+        assert!(text.contains("tx_start"), "the AP transmits in round 0: {text}");
+        // A node that does not exist yields an error, not an empty diary.
+        assert!(timeline_cmd(&opts(&["--scenario", "urban", "--node", "999"])).is_err());
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn self_diff_reports_no_divergence_and_strategies_diverge() {
+        // Determinism self-check: a round diffed against its own re-run.
+        diff_cmd(&opts(&["--scenario", "urban"])).unwrap();
+        // Cross-strategy: the paper's C-ARQ vs the no-coop ablation must
+        // diverge (no cooperative retransmissions at all).
+        diff_cmd(&opts(&["--scenario", "urban", "--strategy", "coop-arq", "--against", "no-coop"]))
+            .unwrap();
+        // Bad strategy spellings are rejected.
+        assert!(diff_cmd(&opts(&["--scenario", "urban", "--strategy", "psychic"])).is_err());
+    }
+}

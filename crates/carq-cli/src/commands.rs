@@ -141,11 +141,41 @@ USAGE:
       parameters, metrics). Exports are byte-identical at any worker
       count; with --cache DIR a warm re-run simulates nothing.
 
-  carq-cli trace --scenario NAME|FILE [--round R] [--seed S] --out FILE
-      Run one traced round and export the structured event stream:
-      compact binary CARQTRC1 by default, JSONL when FILE ends in
-      .jsonl. The invariant catalogue the records feed is in
-      docs/OBSERVABILITY.md.
+  carq-cli trace --scenario NAME|FILE [--round R | --rounds A..B]
+      [--seed S] --out FILE
+      Run traced rounds and export the structured event stream. One
+      round exports compact binary CARQTRC1; a range (--rounds A..B,
+      end-exclusive, or --rounds N for 0..N) exports framed CARQTRM1,
+      one (round, seed)-stamped frame per round — the input format of
+      `carq-cli analyze`. JSONL when FILE ends in .jsonl. The invariant
+      catalogue the records feed is in docs/OBSERVABILITY.md.
+
+  carq-cli analyze latency|occupancy (--preset NAME | --scenario NAME|FILE
+      [--strategy S] | --trace FILE) [--rounds N] [--seed S] [--threads N]
+      [--cache DIR] [--format csv|json] [--out PATH]
+      Trace-driven analysis of the record stream (metric definitions in
+      docs/OBSERVABILITY.md). `latency` matches each recovered loss from
+      ARQ request to repairing delivery and reports per-point p50/p90/
+      p99/max; `occupancy` reports medium busy fraction, airtime and
+      collision windows from tx_start intervals. --preset runs a sweep
+      grid through the parallel analysis engine (one row per point,
+      byte-identical at any --threads; --cache DIR persists round
+      digests so a warm re-run simulates nothing). --scenario analyses
+      one configuration per round; --trace replays an exported CARQTRM1/
+      CARQTRC1 file instead of simulating — byte-identical output.
+
+  carq-cli analyze timeline (--scenario NAME|FILE [--strategy S] |
+      --trace FILE) --node N [--round R] [--seed S] [--out PATH]
+      Render one node's chronological diary of a round: every record it
+      participates in, with its role in each.
+
+  carq-cli analyze diff (--a FILE --b FILE | --scenario NAME|FILE
+      [--strategy X] [--against Y] [--round R] [--seed S])
+      Compare two record streams and report per-kind record counts and
+      the first diverging record (as JSONL). Two trace files, or two
+      deterministic re-runs of a scenario round — without --against the
+      round is diffed against its own re-run (a determinism self-check
+      that must print `no divergence`).
 
   carq-cli cache stats --cache DIR
       Show what a cache directory holds: entries per scenario, journal
@@ -162,14 +192,16 @@ USAGE:
   carq-cli table1 [--rounds N] [--seed S]
       Regenerate Table 1 of the paper.
 
-  carq-cli verify --scenario NAME|FILE [--rounds N] [--seed S]
+  carq-cli verify --scenario NAME|FILE [--rounds N] [--seed S] [--strategy S]
       Replay a scenario's rounds with event tracing enabled and check the
       recorded stream against the protocol invariants: no overlapping
       transmissions per node, packet conservation, monotone timestamps,
       bounded retransmissions, link-cache consistency, and traced-vs-
       untraced report equality. --rounds caps how many rounds are checked
-      (default: the scenario's full budget). Exits non-zero on any
-      violation. The invariant catalogue is in docs/OBSERVABILITY.md.
+      (default: the scenario's full budget). A clean run prints how many
+      records each invariant actually checked; a \"pass\" over zero trace
+      records is refused as vacuous. Exits non-zero on any violation.
+      The invariant catalogue is in docs/OBSERVABILITY.md.
 
   carq-cli bench [--quick] [--repeat N] [--threads N] [--seed S]
       [--out PATH] [--against PATH]
@@ -264,6 +296,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             )),
         },
         Some("trace") => crate::trace::trace_cmd(&Options::parse(&args[1..])?),
+        Some("analyze") => crate::analyze::analyze_dispatch(&args[1..]),
         Some("cache") => match args.get(1).map(String::as_str) {
             Some("stats") => cache_stats(&Options::parse(&args[2..])?),
             Some("compact") => cache_compact(&Options::parse(&args[2..])?),

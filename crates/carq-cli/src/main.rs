@@ -8,6 +8,11 @@
 //! carq-cli gen emit highway-flow --n_cars 4 --out world.gen
 //! carq-cli campaign run --generator grid-city --n_cars 2,4 --replicas 8 --workers 3
 //! carq-cli trace --scenario urban --round 0 --out round0.jsonl
+//! carq-cli trace --scenario urban --rounds 0..5 --out rounds.trc
+//! carq-cli analyze latency --preset strategy-compare
+//! carq-cli analyze occupancy --trace rounds.trc
+//! carq-cli analyze timeline --scenario urban --node 1
+//! carq-cli analyze diff --scenario urban --strategy coop-arq --against no-coop
 //! carq-cli sweep list
 //! carq-cli sweep run --preset urban-platoon --threads 8 --out sweep.csv
 //! carq-cli sweep run --preset urban-platoon --cache ./sweep-cache   # resumable
@@ -22,6 +27,7 @@
 use std::process::ExitCode;
 
 mod alloc_count;
+mod analyze;
 mod bench;
 mod campaign;
 mod cli;

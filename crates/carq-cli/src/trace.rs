@@ -1,19 +1,39 @@
-//! `carq-cli trace` — run one traced round and export the record stream.
+//! `carq-cli trace` — run traced rounds and export the record stream.
 //!
-//! The export is the compact binary `CARQTRC1` codec by default, or JSONL
-//! for external tooling when `--out` ends in `.jsonl`. The scenario
-//! reference accepts a registered name or a `VANETGEN1` scenario file, like
-//! `verify` and `scenario describe`.
+//! One round (`--round R`) exports the compact binary `CARQTRC1` codec; a
+//! range (`--rounds A..B` or `--rounds N` for `0..N`) exports the framed
+//! `CARQTRM1` codec, one `(round, seed)`-stamped frame per round, which
+//! `carq-cli analyze` consumes directly. Either becomes JSONL for external
+//! tooling when `--out` ends in `.jsonl`. The scenario reference accepts a
+//! registered name or a `VANETGEN1` scenario file, like `verify` and
+//! `scenario describe`.
+
+use std::ops::Range;
 
 use vanet_scenarios::{round_seed, ScenarioRegistry, SweepPoint};
+use vanet_trace::TraceFrame;
 
 use crate::cli::Options;
 use crate::commands::parse_seed;
 use crate::gen_cmd::resolve_scenario;
 
-/// `carq-cli trace --scenario NAME|FILE [--round R] [--seed S] --out FILE`.
+/// Parses `--rounds` as `A..B` (end-exclusive) or `N` (meaning `0..N`).
+fn parse_round_range(raw: &str) -> Result<Range<u32>, String> {
+    let parse = |s: &str| s.parse::<u32>().map_err(|_| format!("--rounds: cannot parse `{raw}`"));
+    let range = match raw.split_once("..") {
+        Some((a, b)) => parse(a)?..parse(b)?,
+        None => 0..parse(raw)?,
+    };
+    if range.is_empty() {
+        return Err(format!("--rounds {raw} selects no rounds"));
+    }
+    Ok(range)
+}
+
+/// `carq-cli trace --scenario NAME|FILE [--round R | --rounds A..B]
+/// [--seed S] --out FILE`.
 pub fn trace_cmd(opts: &Options) -> Result<(), String> {
-    let unknown = opts.unknown_flags(&["scenario", "round", "seed", "out"]);
+    let unknown = opts.unknown_flags(&["scenario", "round", "rounds", "seed", "out"]);
     if !unknown.is_empty() {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
@@ -26,12 +46,66 @@ pub fn trace_cmd(opts: &Options) -> Result<(), String> {
     };
     let Some(out) = opts.get("out") else {
         return Err(
-            "trace needs --out FILE (binary CARQTRC1; a .jsonl extension writes JSONL)".into()
+            "trace needs --out FILE (binary CARQTRC1/CARQTRM1; a .jsonl extension writes JSONL)"
+                .into(),
         );
     };
     let source = resolve_scenario(&registry, reference)?;
     let scenario = source.scenario(&registry);
     let run = scenario.configure(&SweepPoint::empty()).map_err(|e| e.to_string())?;
+    let range = match (opts.get("round"), opts.get("rounds")) {
+        (Some(_), Some(_)) => return Err("--round and --rounds are mutually exclusive".into()),
+        (None, Some(raw)) => Some(parse_round_range(raw)?),
+        _ => None,
+    };
+    let seed = parse_seed(opts)?;
+    if let Some(range) = range {
+        // Multi-round framed export: each frame carries its own round
+        // number and round seed, so a replayed analysis needs nothing else.
+        if range.end > run.rounds() {
+            return Err(format!(
+                "--rounds {}..{} is out of range (`{}` has {} round(s), 0-based)",
+                range.start,
+                range.end,
+                scenario.name(),
+                run.rounds()
+            ));
+        }
+        let frames: Vec<TraceFrame> = range
+            .clone()
+            .map(|round| {
+                let frame_seed = round_seed(seed, round);
+                let (_, records) = run.run_round_traced(round, frame_seed);
+                TraceFrame { round, seed: frame_seed, records }
+            })
+            .collect();
+        let total: usize = frames.iter().map(|f| f.records.len()).sum();
+        if out.ends_with(".jsonl") {
+            let mut text = String::new();
+            for frame in &frames {
+                text.push_str(&format!(
+                    "{{\"frame\":{{\"round\":{},\"seed\":\"{:#018x}\",\"records\":{}}}}}\n",
+                    frame.round,
+                    frame.seed,
+                    frame.records.len()
+                ));
+                text.push_str(&vanet_trace::to_jsonl(&frame.records));
+            }
+            std::fs::write(out, text)
+        } else {
+            std::fs::write(out, vanet_trace::encode_frames(&frames))
+        }
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "{out}: {total} trace record(s) of `{}` rounds {}..{} in {} frame(s), \
+             master seed {seed:#x}",
+            scenario.name(),
+            range.start,
+            range.end,
+            frames.len()
+        );
+        return Ok(());
+    }
     let round: u32 = opts.get_parsed("round", 0)?;
     if round >= run.rounds() {
         return Err(format!(
@@ -40,7 +114,6 @@ pub fn trace_cmd(opts: &Options) -> Result<(), String> {
             run.rounds()
         ));
     }
-    let seed = parse_seed(opts)?;
     let (_, records) = run.run_round_traced(round, round_seed(seed, round));
     if out.ends_with(".jsonl") {
         std::fs::write(out, vanet_trace::to_jsonl(&records))
@@ -88,6 +161,55 @@ mod tests {
             trace_cmd(&opts(&["--scenario", "urban", "--round", "9999", "--out", "/tmp/x.trc"]))
                 .unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+        // The range form shares the validation.
+        let base = ["--scenario", "urban", "--out", "/tmp/x.trc"];
+        for bad in ["0..0", "2..1", "nope", "0..9999"] {
+            let err = trace_cmd(&opts(&[&base[..], &["--rounds", bad]].concat())).unwrap_err();
+            assert!(err.contains("--rounds"), "{bad}: {err}");
+        }
+        let err = trace_cmd(&opts(&[&base[..], &["--round", "0", "--rounds", "2"]].concat()))
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn round_ranges_export_frames() {
+        // `--rounds 2` ≡ `--rounds 0..2`: two CARQTRM1 frames whose blobs
+        // are exactly the per-round CARQTRC1 exports.
+        let framed = temp_file("framed", "trc");
+        let framed_str = framed.display().to_string();
+        trace_cmd(&opts(&["--scenario", "urban", "--rounds", "2", "--out", &framed_str])).unwrap();
+        let frames = vanet_trace::decode_any(&std::fs::read(&framed).unwrap()).unwrap();
+        assert_eq!(frames.iter().map(|f| f.round).collect::<Vec<_>>(), [0, 1]);
+        assert!(frames.iter().all(|f| !f.records.is_empty()));
+
+        let single = temp_file("single", "trc");
+        let single_str = single.display().to_string();
+        for frame in &frames {
+            trace_cmd(&opts(&[
+                "--scenario",
+                "urban",
+                "--round",
+                &frame.round.to_string(),
+                "--out",
+                &single_str,
+            ]))
+            .unwrap();
+            let records = vanet_trace::decode(&std::fs::read(&single).unwrap()).unwrap();
+            assert_eq!(records, frame.records, "round {}", frame.round);
+        }
+
+        // The JSONL form interleaves one frame-header line per round.
+        let jsonl = temp_file("frames", "jsonl");
+        let jsonl_str = jsonl.display().to_string();
+        trace_cmd(&opts(&["--scenario", "urban", "--rounds", "1..3", "--out", &jsonl_str]))
+            .unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("{\"frame\":")).count(), 2);
+
+        for path in [framed, single, jsonl] {
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

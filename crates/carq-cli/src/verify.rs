@@ -76,10 +76,17 @@ fn cross_check(round: u32, report: &RoundReport, records: &[TraceRecord], out: &
 }
 
 /// Verifies the first `rounds` rounds of `run`, returning the total record
-/// count and every finding. Exposed for the CLI tests.
-fn verify_rounds(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> (usize, Vec<Finding>) {
+/// count, the per-invariant checked-record coverage summed across rounds
+/// (stable invariant-catalogue order), and every finding. Exposed for the
+/// CLI tests.
+fn verify_rounds(
+    run: &dyn ScenarioRun,
+    seed: u64,
+    rounds: u32,
+) -> (usize, Vec<(&'static str, usize)>, Vec<Finding>) {
     let mut findings = Vec::new();
     let mut records_total = 0usize;
+    let mut coverage: Vec<(&'static str, usize)> = Vec::new();
     for round in 0..rounds {
         let round_seed = round_seed(seed, round);
         let (report, records) = run.run_round_traced(round, round_seed);
@@ -91,7 +98,14 @@ fn verify_rounds(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> (usize, Vec<F
                 detail: "traced and untraced reports differ — tracing perturbed the run".into(),
             });
         }
-        for violation in vanet_trace::verify(&records).violations {
+        let verdict = vanet_trace::verify(&records);
+        for (name, checked) in verdict.coverage {
+            match coverage.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += checked,
+                None => coverage.push((name, checked)),
+            }
+        }
+        for violation in verdict.violations {
             findings.push(Finding {
                 round,
                 invariant: violation.invariant.to_string(),
@@ -100,7 +114,7 @@ fn verify_rounds(run: &dyn ScenarioRun, seed: u64, rounds: u32) -> (usize, Vec<F
         }
         cross_check(round, &report, &records, &mut findings);
     }
-    (records_total, findings)
+    (records_total, coverage, findings)
 }
 
 /// `carq-cli verify --scenario NAME [--rounds N] [--seed S] [--strategy S]`.
@@ -142,22 +156,47 @@ pub fn verify_cmd(opts: &Options) -> Result<(), String> {
     let rounds = rounds.min(run.rounds());
     let seed = parse_seed(opts)?;
     eprintln!("verify: {name}: {rounds} round(s), {configuration}, seed {seed:#x}");
-    let (records_total, findings) = verify_rounds(run.as_ref(), seed, rounds);
+    let (records_total, coverage, findings) = verify_rounds(run.as_ref(), seed, rounds);
     for finding in &findings {
         eprintln!(
             "verify: round {}: {} violated: {}",
             finding.round, finding.invariant, finding.detail
         );
     }
-    if findings.is_empty() {
-        println!(
-            "verify: {name}: {rounds} round(s), {records_total} trace record(s), \
-             all invariants hold"
-        );
-        Ok(())
-    } else {
-        Err(format!("{name}: {} invariant violation(s) across {rounds} round(s)", findings.len()))
+    render_verdict(name, rounds, records_total, &coverage, &findings)
+}
+
+/// Turns the collected evidence into the command's verdict. A clean run
+/// prints how many records each invariant actually checked — and a "clean"
+/// run over **zero** records is refused outright: a pass over an empty
+/// stream proves nothing.
+fn render_verdict(
+    name: &str,
+    rounds: u32,
+    records_total: usize,
+    coverage: &[(&'static str, usize)],
+    findings: &[Finding],
+) -> Result<(), String> {
+    if !findings.is_empty() {
+        return Err(format!(
+            "{name}: {} invariant violation(s) across {rounds} round(s)",
+            findings.len()
+        ));
     }
+    if records_total == 0 {
+        return Err(format!(
+            "{name}: the {rounds} round(s) emitted no trace records — a pass over an empty \
+             stream is vacuous (is tracing enabled for this scenario?)"
+        ));
+    }
+    for (invariant, checked) in coverage {
+        println!("verify:   {invariant:<24} {checked:>8} record(s) checked");
+    }
+    println!(
+        "verify: {name}: {rounds} round(s), {records_total} trace record(s), \
+         all invariants hold"
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -247,6 +286,44 @@ mod tests {
             "an unbounded one-shot strategy must be flagged: {:?}",
             verdict.violations
         );
+    }
+
+    #[test]
+    fn coverage_sums_across_rounds_in_catalogue_order() {
+        let registry = ScenarioRegistry::builtin();
+        let run = registry.get("urban").unwrap().configure(&SweepPoint::empty()).unwrap();
+        let (records_total, coverage, findings) = verify_rounds(run.as_ref(), 0x2008_1cdc, 2);
+        assert!(findings.is_empty(), "urban rounds are invariant-clean");
+        assert!(records_total > 0);
+        let names: Vec<&str> = coverage.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "monotone_timestamps",
+                "tx_overlap",
+                "packet_conservation",
+                "retransmission_bounds",
+                "cache_consistency",
+                "decision_before_request",
+                "strategy_bounds",
+            ],
+            "stable catalogue order"
+        );
+        assert_eq!(coverage[0].1, records_total, "every record is timestamp-checked");
+        assert!(coverage.iter().all(|(_, checked)| *checked > 0), "{coverage:?}");
+    }
+
+    #[test]
+    fn a_clean_verdict_over_zero_records_is_vacuous_and_refused() {
+        let err = render_verdict("urban", 3, 0, &[], &[]).unwrap_err();
+        assert!(err.contains("vacuous"), "{err}");
+        // Findings still dominate: a violated run is an error, not vacuous.
+        let finding =
+            Finding { round: 0, invariant: "tx_overlap".into(), detail: "overlap".into() };
+        let err = render_verdict("urban", 1, 10, &[("tx_overlap", 4)], &[finding]).unwrap_err();
+        assert!(err.contains("1 invariant violation(s)"), "{err}");
+        // And a real pass with coverage is accepted.
+        assert!(render_verdict("urban", 1, 10, &[("tx_overlap", 4)], &[]).is_ok());
     }
 
     #[test]

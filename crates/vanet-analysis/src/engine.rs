@@ -1,0 +1,556 @@
+//! The parallel analysis executor: traces every round of a sweep plan and
+//! folds each round's record stream into a [`RoundDigest`].
+//!
+//! The engine deliberately reuses the sweep's addressing layer
+//! ([`vanet_sweep::plan`]): the same points, the same content-addressed
+//! seeds, the same cache keys. Analysing `strategy-compare` therefore
+//! walks the *exact* rounds `carq-cli sweep --preset strategy-compare`
+//! would run — and when an [`AnalysisStore`] is attached, a re-run of an
+//! identical spec re-simulates nothing (the digests come back from the
+//! journal), while tables stay byte-identical at any thread count by the
+//! same slot-assembly argument the sweep engine makes.
+//!
+//! One deliberate difference from the sweep executor: analysis runs **all**
+//! of a run's rounds, ignoring `ScenarioRun::is_settled`. Settling is a
+//! statistics shortcut ("the aggregate won't change"); a latency
+//! distribution, by contrast, is defined over every round the scenario
+//! declares, and truncating it would bias the tail percentiles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vanet_scenarios::{round_seed, Scenario};
+use vanet_stats::{CellValue, Percentiles, RecordTable};
+use vanet_sweep::{Param, ParamValue, SweepError, SweepPlan, SweepPoint, SweepSpec};
+
+use crate::digest::RoundDigest;
+use crate::occupancy::OccupancyReport;
+use crate::store::AnalysisStore;
+
+/// Why an analysis could not run.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// Planning the sweep failed (empty spec or schema violation).
+    Sweep(SweepError),
+    /// The attached digest journal failed while the analysis ran.
+    Store(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Sweep(e) => write!(f, "{e}"),
+            AnalysisError::Store(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Sweep(e) => Some(e),
+            AnalysisError::Store(_) => None,
+        }
+    }
+}
+
+impl From<SweepError> for AnalysisError {
+    fn from(e: SweepError) -> Self {
+        AnalysisError::Sweep(e)
+    }
+}
+
+/// The work-sharing parallel analysis executor. Mirrors
+/// [`vanet_sweep::SweepEngine`]'s structure: workers pull `(point, round)`
+/// items from a shared queue, results land in their item's slot, so tables
+/// are byte-identical at any thread count.
+pub struct AnalysisEngine {
+    threads: usize,
+    allow_unknown: bool,
+    store: Option<Arc<Mutex<AnalysisStore>>>,
+}
+
+impl fmt::Debug for AnalysisEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisEngine")
+            .field("threads", &self.threads)
+            .field("allow_unknown", &self.allow_unknown)
+            .field("store", &self.store.as_ref().map(|_| "<attached>"))
+            .finish()
+    }
+}
+
+impl AnalysisEngine {
+    /// Creates an engine running `threads` workers; `0` means one per
+    /// available CPU.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            threads
+        };
+        AnalysisEngine { threads, allow_unknown: false, store: None }
+    }
+
+    /// Silently drops sweep parameters the scenario's schema does not
+    /// declare instead of failing validation (the sweep engine's escape
+    /// hatch, mirrored).
+    #[must_use]
+    pub fn with_allow_unknown(mut self, allow: bool) -> Self {
+        self.allow_unknown = allow;
+        self
+    }
+
+    /// Attaches a persistent digest journal: rounds whose digest is already
+    /// stored are served from it without simulating, fresh digests are
+    /// written back as they are computed.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<Mutex<AnalysisStore>>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The worker count this engine uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Traces and analyses every round of every point of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Sweep`] when the spec is empty or a point fails
+    /// schema validation; [`AnalysisError::Store`] when the attached
+    /// journal fails to persist a digest.
+    pub fn run(
+        &self,
+        scenario: &dyn Scenario,
+        spec: &SweepSpec,
+    ) -> Result<AnalysisResult, AnalysisError> {
+        let plan = vanet_sweep::plan(scenario, spec, self.allow_unknown)?;
+
+        // Flatten to (point, round) items; every round analyses (no settle
+        // shortcut — see the module doc).
+        let items: Vec<(usize, u32)> = plan
+            .runs
+            .iter()
+            .enumerate()
+            .flat_map(|(index, run)| (0..run.rounds()).map(move |round| (index, round)))
+            .collect();
+
+        let next = AtomicUsize::new(0);
+        let simulated_total = AtomicUsize::new(0);
+        let cached_total = AtomicUsize::new(0);
+        let store_failure: Mutex<Option<String>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<RoundDigest>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(items.len()).max(1) {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(index, round)) = items.get(slot) else { break };
+                    let seed = round_seed(plan.seeds[index], round);
+                    let key = plan.cache_key(scenario.name(), index, round, seed);
+                    if let Some(store) = &self.store {
+                        let hit = store.lock().expect("analysis store poisoned").get(&key);
+                        if let Some(digest) = hit {
+                            cached_total.fetch_add(1, Ordering::Relaxed);
+                            *slots[slot].lock().expect("analysis slot poisoned") = Some(digest);
+                            continue;
+                        }
+                    }
+                    let (_report, records) = plan.runs[index].run_round_traced(round, seed);
+                    let digest = RoundDigest::compute(round, seed, &records);
+                    simulated_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(store) = &self.store {
+                        let put = store.lock().expect("analysis store poisoned").put(&key, &digest);
+                        if let Err(e) = put {
+                            let mut failure =
+                                store_failure.lock().expect("store failure slot poisoned");
+                            failure.get_or_insert(e.to_string());
+                            break;
+                        }
+                    }
+                    *slots[slot].lock().expect("analysis slot poisoned") = Some(digest);
+                });
+            }
+        });
+
+        if let Some(message) = store_failure.into_inner().expect("store failure slot poisoned") {
+            return Err(AnalysisError::Store(message));
+        }
+
+        // Group the flat slots back into per-point round vectors, in order.
+        let mut analyses: Vec<Vec<RoundDigest>> = plan.runs.iter().map(|_| Vec::new()).collect();
+        for (&(index, _), slot) in items.iter().zip(slots) {
+            let digest = slot
+                .into_inner()
+                .expect("analysis slot poisoned")
+                .expect("every item was executed");
+            analyses[index].push(digest);
+        }
+
+        let SweepPlan { points, seeds, .. } = plan;
+        Ok(AnalysisResult {
+            scenario: scenario.name().to_string(),
+            master_seed: spec.master_seed,
+            threads: self.threads,
+            rounds_simulated: simulated_total.into_inner(),
+            rounds_cached: cached_total.into_inner(),
+            points,
+            seeds,
+            analyses,
+        })
+    }
+}
+
+impl Default for AnalysisEngine {
+    fn default() -> Self {
+        AnalysisEngine::new(0)
+    }
+}
+
+/// The outcome of an analysis: per point, the digests of all its rounds,
+/// in expansion (point) and round order.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Name of the scenario that was analysed.
+    pub scenario: String,
+    /// The master seed the plan was derived from.
+    pub master_seed: u64,
+    /// Worker count used (provenance, never in tables).
+    pub threads: usize,
+    /// Rounds that were actually traced (i.e. `run_round_traced` calls).
+    /// A re-run against a warm digest journal reports 0 here.
+    pub rounds_simulated: usize,
+    /// Rounds served from the attached digest journal (0 without one).
+    pub rounds_cached: usize,
+    /// The points, in expansion order.
+    pub points: Vec<SweepPoint>,
+    /// The per-point seeds, aligned with `points`.
+    pub seeds: Vec<u64>,
+    /// The per-point round digests, aligned with `points`.
+    pub analyses: Vec<Vec<RoundDigest>>,
+}
+
+/// The union of parameters over all points, in first-seen order (the
+/// column-alignment rule `SweepResult::to_table` uses).
+fn param_union(points: &[SweepPoint]) -> Vec<Param> {
+    let mut params: Vec<Param> = Vec::new();
+    for point in points {
+        for (param, _) in point.assignments() {
+            if !params.contains(param) {
+                params.push(*param);
+            }
+        }
+    }
+    params
+}
+
+impl AnalysisResult {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the analysis had no points (never true once executed).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The shared row prefix: identity and parameter columns.
+    fn prefix_columns(&self, params: &[Param]) -> Vec<String> {
+        let mut columns: Vec<String> = vec!["scenario".into(), "point".into(), "seed".into()];
+        columns.extend(params.iter().map(|p| p.key().to_string()));
+        columns
+    }
+
+    fn prefix_row(&self, index: usize, params: &[Param]) -> Vec<CellValue> {
+        // Seeds render as hex text, exactly as sweep exports do: they can
+        // exceed `i64::MAX`, which the integer cell type saturates at.
+        let mut row: Vec<CellValue> = vec![
+            self.scenario.as_str().into(),
+            index.into(),
+            format!("{:#018x}", self.seeds[index]).into(),
+        ];
+        for param in params {
+            row.push(match self.points[index].get(*param) {
+                Some(ParamValue::Float(x)) => CellValue::Float(x),
+                Some(ParamValue::Int(x)) => x.into(),
+                Some(value) => value.to_string().into(),
+                None => "".into(),
+            });
+        }
+        row
+    }
+
+    /// The recovery-latency table: one row per point with the pooled
+    /// request-to-repair distribution of all its rounds — sample counts,
+    /// the unmatched tail and the percentile spread in milliseconds.
+    /// Percentile cells are empty when a point produced no samples (a
+    /// lossless channel, or a strategy that never repairs): an empty cell
+    /// is honest where a fabricated `0.0` would read as "instant repair".
+    pub fn latency_table(&self) -> RecordTable {
+        let params = param_union(&self.points);
+        let mut columns = self.prefix_columns(&params);
+        columns.extend(
+            ["rounds", "opened", "matched", "unmatched", "p50_ms", "p90_ms", "p99_ms", "max_ms"]
+                .map(String::from),
+        );
+        let mut table = RecordTable::new(columns);
+        for (index, rounds) in self.analyses.iter().enumerate() {
+            let mut row = self.prefix_row(index, &params);
+            let samples_ms: Vec<f64> = rounds
+                .iter()
+                .flat_map(|d| d.latency.samples_ns.iter().map(|&ns| ns as f64 / 1_000_000.0))
+                .collect();
+            let opened: u64 = rounds.iter().map(|d| u64::from(d.latency.opened)).sum();
+            let unmatched: u64 = rounds.iter().map(|d| u64::from(d.latency.unmatched)).sum();
+            row.push(rounds.len().into());
+            row.push(opened.into());
+            row.push(samples_ms.len().into());
+            row.push(unmatched.into());
+            if samples_ms.is_empty() {
+                row.extend(std::iter::repeat_n(CellValue::from(""), 4));
+            } else {
+                let p = Percentiles::of(&samples_ms);
+                row.extend([p.p50, p.p90, p.p99, p.max].map(CellValue::Float));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// The medium-occupancy table: one row per point with the pooled
+    /// airtime profile of all its rounds (rounds are disjoint timelines, so
+    /// spans, airtimes and collision windows add).
+    pub fn occupancy_table(&self) -> RecordTable {
+        let params = param_union(&self.points);
+        let mut columns = self.prefix_columns(&params);
+        columns.extend(
+            ["rounds", "tx", "collisions", "airtime_ms", "busy_pct", "top_node", "top_share_pct"]
+                .map(String::from),
+        );
+        let mut table = RecordTable::new(columns);
+        for (index, rounds) in self.analyses.iter().enumerate() {
+            let mut row = self.prefix_row(index, &params);
+            let mut per_node: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut pooled = OccupancyReport::default();
+            for digest in rounds {
+                let o = &digest.occupancy;
+                pooled.span_ns += o.span_ns;
+                pooled.busy_ns += o.busy_ns;
+                pooled.airtime_ns += o.airtime_ns;
+                pooled.tx_count += o.tx_count;
+                pooled.collision_windows += o.collision_windows;
+                for &(node, ns) in &o.per_node_airtime_ns {
+                    *per_node.entry(node).or_insert(0) += ns;
+                }
+            }
+            pooled.per_node_airtime_ns = per_node.into_iter().collect();
+            row.push(rounds.len().into());
+            row.push(pooled.tx_count.into());
+            row.push(pooled.collision_windows.into());
+            row.push(CellValue::Float(pooled.airtime_ms()));
+            row.push(CellValue::Float(pooled.busy_fraction() * 100.0));
+            match pooled.top_talker() {
+                Some((node, share)) => {
+                    row.push(node.into());
+                    row.push(CellValue::Float(share * 100.0));
+                }
+                None => {
+                    row.extend([CellValue::from(""), CellValue::from("")]);
+                }
+            }
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+    use vanet_scenarios::{ParamError, ParamSchema, ParamSpec, ScenarioRun};
+    use vanet_stats::{PointSummary, RoundReport, RoundResult};
+    use vanet_trace::TraceRecord;
+
+    /// A fake traced scenario: each round emits a deterministic recovery
+    /// signature whose latency is a pure function of `(n_cars, round)`.
+    struct TracedScenario {
+        schema: ParamSchema,
+    }
+
+    impl TracedScenario {
+        fn new() -> Self {
+            TracedScenario {
+                schema: ParamSchema::new(
+                    "traced",
+                    vec![ParamSpec::int(Param::NCars, "cars", 2, 2, 100)],
+                ),
+            }
+        }
+    }
+
+    struct TracedRun {
+        n: u64,
+    }
+
+    impl Scenario for TracedScenario {
+        fn name(&self) -> &'static str {
+            "traced"
+        }
+
+        fn description(&self) -> &'static str {
+            "traced fake"
+        }
+
+        fn schema(&self) -> &ParamSchema {
+            &self.schema
+        }
+
+        fn configure(&self, point: &SweepPoint) -> Result<Box<dyn ScenarioRun>, ParamError> {
+            self.schema.validate(point)?;
+            Ok(Box::new(TracedRun {
+                n: point.get(Param::NCars).and_then(|v| v.as_u64()).unwrap_or(2),
+            }))
+        }
+    }
+
+    impl ScenarioRun for TracedRun {
+        fn rounds(&self) -> u32 {
+            2
+        }
+
+        fn run_round(&self, round: u32, seed: u64) -> RoundReport {
+            RoundReport::new(round, seed, RoundResult::default())
+        }
+
+        fn run_round_traced(&self, round: u32, seed: u64) -> (RoundReport, Vec<TraceRecord>) {
+            let t = |us: u64| SimTime::from_micros(us);
+            // Repair latency = (n + round) * 10us, purely deterministic.
+            let lat = (self.n + u64::from(round)) * 10;
+            let records = vec![
+                TraceRecord::TxStart { at: t(0), until: t(8), node: 0, bits: 800 },
+                TraceRecord::StrategyDecision { at: t(9), node: 1, strategy: 0, missing: 1 },
+                TraceRecord::ArqRequest { at: t(10), node: 1, seqs: 1, cooperators: 1 },
+                TraceRecord::TxStart { at: t(10 + lat), until: t(14 + lat), node: 2, bits: 800 },
+                TraceRecord::CoopRetransmit { at: t(10 + lat), node: 2, seqs: 1 },
+                TraceRecord::Delivery {
+                    at: t(10 + lat),
+                    tx: 2,
+                    rx: 1,
+                    received: true,
+                    cached: false,
+                    snr_db: 6.0,
+                },
+            ];
+            (self.run_round(round, seed), records)
+        }
+
+        fn aggregate(&self, _rounds: &[RoundReport]) -> PointSummary {
+            PointSummary { metrics: vec![] }
+        }
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(0x5EED)
+            .axis(Param::NCars, vec![ParamValue::Int(3), ParamValue::Int(5), ParamValue::Int(8)])
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, Arc<Mutex<AnalysisStore>>) {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-analysis-engine-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(Mutex::new(AnalysisStore::open(&dir).expect("store opens")));
+        (dir, store)
+    }
+
+    #[test]
+    fn tables_are_byte_identical_at_any_thread_count() {
+        let scenario = TracedScenario::new();
+        let spec = spec();
+        let reference = AnalysisEngine::new(1).run(&scenario, &spec).unwrap();
+        assert_eq!(reference.len(), 3);
+        assert_eq!(reference.rounds_simulated, 6, "3 points x 2 rounds");
+        assert_eq!(reference.rounds_cached, 0);
+        for threads in [2, 8] {
+            let run = AnalysisEngine::new(threads).run(&scenario, &spec).unwrap();
+            assert_eq!(run.latency_table().to_csv(), reference.latency_table().to_csv());
+            assert_eq!(run.occupancy_table().to_csv(), reference.occupancy_table().to_csv());
+        }
+        // Latency columns include the point's parameter and percentiles.
+        let csv = reference.latency_table().to_csv();
+        assert!(
+            csv.starts_with(
+                "scenario,point,seed,n_cars,rounds,opened,matched,unmatched,p50_ms,p90_ms,p99_ms,max_ms\n"
+            ),
+            "{csv}"
+        );
+        // n=3: latencies 30us,40us → p50 0.035 ms.
+        assert!(csv.contains("0.035000"), "{csv}");
+        let occ = reference.occupancy_table().to_csv();
+        assert!(
+            occ.starts_with(
+                "scenario,point,seed,n_cars,rounds,tx,collisions,airtime_ms,busy_pct,top_node,top_share_pct\n"
+            ),
+            "{occ}"
+        );
+    }
+
+    #[test]
+    fn warm_store_re_run_simulates_nothing_and_matches() {
+        let scenario = TracedScenario::new();
+        let spec = spec();
+        let reference = AnalysisEngine::new(2).run(&scenario, &spec).unwrap();
+
+        let (dir, store) = temp_store("warm");
+        let cold = AnalysisEngine::new(2).with_store(store.clone()).run(&scenario, &spec).unwrap();
+        assert_eq!(cold.rounds_simulated, 6);
+        assert_eq!(store.lock().unwrap().len(), 6);
+
+        for threads in [1, 2, 8] {
+            let warm = AnalysisEngine::new(threads)
+                .with_store(store.clone())
+                .run(&scenario, &spec)
+                .unwrap();
+            assert_eq!(warm.rounds_simulated, 0, "warm at {threads} threads simulated");
+            assert_eq!(warm.rounds_cached, 6);
+            assert_eq!(warm.latency_table().to_csv(), reference.latency_table().to_csv());
+            assert_eq!(warm.occupancy_table().to_csv(), reference.occupancy_table().to_csv());
+        }
+
+        // A reopened journal (fresh process) serves the same digests.
+        drop(store);
+        let reopened = Arc::new(Mutex::new(AnalysisStore::open(&dir).unwrap()));
+        let resumed = AnalysisEngine::new(4).with_store(reopened).run(&scenario, &spec).unwrap();
+        assert_eq!(resumed.rounds_simulated, 0);
+        assert_eq!(resumed.latency_table().to_csv(), reference.latency_table().to_csv());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_spec_is_a_sweep_error() {
+        let err =
+            AnalysisEngine::new(1).run(&TracedScenario::new(), &SweepSpec::new(1)).unwrap_err();
+        assert!(matches!(err, AnalysisError::Sweep(SweepError::EmptySweep)), "{err}");
+        assert!(err.to_string().contains("empty sweep"));
+    }
+
+    #[test]
+    fn engine_surface_behaves() {
+        assert!(AnalysisEngine::new(0).threads() >= 1);
+        assert_eq!(AnalysisEngine::new(3).threads(), 3);
+        assert!(AnalysisEngine::default().threads() >= 1);
+        let debug = format!("{:?}", AnalysisEngine::new(2).with_allow_unknown(true));
+        assert!(debug.contains("allow_unknown: true"), "{debug}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The persistent analysis journal: an append-only store of per-round
+//! [`RoundDigest`]s keyed by the *same* content-addressed [`CacheKey`]s the
+//! round cache uses.
+//!
+//! The round cache's journal cannot hold digests — its replay decodes every
+//! payload as a `RoundReport` and treats the first undecodable record as a
+//! torn tail — so analysis digests get their own `analysis.journal`
+//! (`CARQANA1` magic) beside it, with the same robustness contract:
+//! append-only writes, checksummed records, and a torn tail (from a killed
+//! process) truncated on the next open instead of poisoning the file.
+//! Single-writer: concurrent writers are not coordinated (the CLI drives
+//! one analysis at a time); concurrent *readers* of a finished journal are
+//! fine.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use sim_core::{fnv1a64, fnv1a64_chain};
+use vanet_cache::CacheKey;
+
+use crate::digest::RoundDigest;
+
+/// The journal file's magic header.
+pub const ANALYSIS_MAGIC: &[u8; 8] = b"CARQANA1";
+
+/// The journal file name inside a store directory.
+const JOURNAL_NAME: &str = "analysis.journal";
+
+/// Why the store failed.
+#[derive(Debug)]
+pub struct StoreError {
+    /// The journal path involved.
+    pub path: PathBuf,
+    /// The rendered cause.
+    pub message: String,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis journal {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The checksum of one journal record: FNV-1a over key bytes then payload.
+fn record_checksum(key: &[u8], payload: &[u8]) -> u64 {
+    fnv1a64_chain(fnv1a64(key), payload)
+}
+
+/// The persistent digest store. Open it on a directory (shared with or
+/// separate from a round cache — the file names never collide), `get` by
+/// cache key, `put` fresh digests; entries survive process restarts.
+pub struct AnalysisStore {
+    path: PathBuf,
+    file: File,
+    index: BTreeMap<String, RoundDigest>,
+    recovered_bytes: u64,
+}
+
+impl fmt::Debug for AnalysisStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisStore")
+            .field("path", &self.path)
+            .field("entries", &self.index.len())
+            .field("recovered_bytes", &self.recovered_bytes)
+            .finish()
+    }
+}
+
+impl AnalysisStore {
+    /// Opens (creating if needed) the analysis journal inside `dir`,
+    /// replaying its records into memory. A torn tail — an incomplete
+    /// record from a killed writer, a checksum mismatch or an undecodable
+    /// digest — is truncated away, keeping every record before it.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let path = dir.join(JOURNAL_NAME);
+        let fail = |message: String| StoreError { path: path.clone(), message };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| fail(format!("cannot create {}: {e}", dir.display())))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| fail(format!("cannot open: {e}")))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| fail(format!("cannot read: {e}")))?;
+
+        if bytes.is_empty() {
+            file.write_all(ANALYSIS_MAGIC).map_err(|e| fail(format!("cannot write: {e}")))?;
+            return Ok(AnalysisStore { path, file, index: BTreeMap::new(), recovered_bytes: 0 });
+        }
+        if bytes.len() < ANALYSIS_MAGIC.len() || &bytes[..ANALYSIS_MAGIC.len()] != ANALYSIS_MAGIC {
+            return Err(fail("bad magic (not an analysis journal)".into()));
+        }
+
+        // Replay: every record that parses and checksums is live (last
+        // write wins); the first one that does not marks the torn tail.
+        let mut index = BTreeMap::new();
+        let mut pos = ANALYSIS_MAGIC.len();
+        let good_end = loop {
+            if pos == bytes.len() {
+                break pos;
+            }
+            let Some((key, digest, next)) = read_record(&bytes, pos) else { break pos };
+            index.insert(key, digest);
+            pos = next;
+        };
+        let recovered_bytes = (bytes.len() - good_end) as u64;
+        if recovered_bytes > 0 {
+            // Append mode ignores seeks on write, so truncate via set_len.
+            file.set_len(good_end as u64).map_err(|e| fail(format!("cannot truncate: {e}")))?;
+            file.seek(SeekFrom::End(0)).map_err(|e| fail(format!("cannot seek: {e}")))?;
+        }
+        Ok(AnalysisStore { path, file, index, recovered_bytes })
+    }
+
+    /// The journal file path.
+    pub fn journal_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes dropped from a torn tail at open time.
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered_bytes
+    }
+
+    /// Number of stored digests.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The stored keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+
+    /// Looks up the digest stored under `key`.
+    pub fn get(&self, key: &CacheKey) -> Option<RoundDigest> {
+        self.index.get(key.as_str()).cloned()
+    }
+
+    /// Stores `digest` under `key`, appending to the journal. Returns
+    /// `false` when an identical digest was already stored (nothing is
+    /// written); a *different* digest under an existing key is appended and
+    /// supersedes (last write wins — the analysis code changed).
+    pub fn put(&mut self, key: &CacheKey, digest: &RoundDigest) -> Result<bool, StoreError> {
+        if self.index.get(key.as_str()) == Some(digest) {
+            return Ok(false);
+        }
+        let key_bytes = key.as_str().as_bytes();
+        let payload = digest.to_bytes();
+        let mut record = Vec::with_capacity(16 + key_bytes.len() + payload.len());
+        record.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&record_checksum(key_bytes, &payload).to_le_bytes());
+        record.extend_from_slice(key_bytes);
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record).map_err(|e| StoreError {
+            path: self.path.clone(),
+            message: format!("cannot append: {e}"),
+        })?;
+        self.index.insert(key.as_str().to_string(), digest.clone());
+        Ok(true)
+    }
+
+    /// Ingests every digest of `source` this store does not already hold
+    /// (identical duplicates are skipped, conflicts resolve to the
+    /// source — last write wins, as in the journal itself). Returns how
+    /// many records were ingested.
+    pub fn merge_from(&mut self, source: &AnalysisStore) -> Result<usize, StoreError> {
+        let mut ingested = 0;
+        for (key_str, digest) in &source.index {
+            let key = CacheKey::parse(key_str).ok_or_else(|| StoreError {
+                path: source.path.clone(),
+                message: format!("unparseable key `{key_str}`"),
+            })?;
+            if self.put(&key, digest)? {
+                ingested += 1;
+            }
+        }
+        Ok(ingested)
+    }
+}
+
+/// Parses one journal record at `pos`; `None` when the bytes there are
+/// truncated or corrupt (the torn-tail marker).
+fn read_record(bytes: &[u8], pos: usize) -> Option<(String, RoundDigest, usize)> {
+    let header = bytes.get(pos..pos + 16)?;
+    let key_len = u32::from_le_bytes(header[0..4].try_into().ok()?) as usize;
+    let payload_len = u32::from_le_bytes(header[4..8].try_into().ok()?) as usize;
+    let checksum = u64::from_le_bytes(header[8..16].try_into().ok()?);
+    let key_start = pos + 16;
+    let key = bytes.get(key_start..key_start + key_len)?;
+    let payload = bytes.get(key_start + key_len..key_start + key_len + payload_len)?;
+    if record_checksum(key, payload) != checksum {
+        return None;
+    }
+    let key = std::str::from_utf8(key).ok()?.to_string();
+    let digest = RoundDigest::from_bytes(payload)?;
+    Some((key, digest, key_start + key_len + payload_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-analysis-store-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn key(round: u32) -> CacheKey {
+        CacheKey::new("urban", 0xFEED, "scenario=urban", round, u64::from(round) ^ 0xABC)
+    }
+
+    fn digest(round: u32) -> RoundDigest {
+        RoundDigest {
+            round,
+            seed: u64::from(round) ^ 0xABC,
+            records: 10 + round,
+            latency: crate::latency::LatencyReport {
+                samples_ns: vec![u64::from(round) * 1000, 5_000],
+                opened: 3,
+                unmatched: 1,
+            },
+            occupancy: crate::occupancy::OccupancyReport {
+                span_ns: 100_000,
+                busy_ns: 40_000,
+                airtime_ns: 45_000,
+                tx_count: 7,
+                collision_windows: 1,
+                per_node_airtime_ns: vec![(0, 30_000), (2, 15_000)],
+            },
+        }
+    }
+
+    #[test]
+    fn put_get_and_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(store.put(&key(0), &digest(0)).unwrap());
+        assert!(store.put(&key(1), &digest(1)).unwrap());
+        assert!(!store.put(&key(0), &digest(0)).unwrap(), "identical duplicate skipped");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&key(0)), Some(digest(0)));
+        assert_eq!(store.get(&key(7)), None);
+
+        // A fresh open replays everything.
+        drop(store);
+        let reopened = AnalysisStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(&key(1)), Some(digest(1)));
+        assert_eq!(reopened.recovered_bytes(), 0);
+        assert_eq!(reopened.keys().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conflicting_put_supersedes() {
+        let dir = temp_dir("supersede");
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        store.put(&key(0), &digest(0)).unwrap();
+        let mut changed = digest(0);
+        changed.records += 1;
+        assert!(store.put(&key(0), &changed).unwrap());
+        assert_eq!(store.get(&key(0)), Some(changed.clone()));
+        drop(store);
+        // Last write wins across reopen too.
+        let reopened = AnalysisStore::open(&dir).unwrap();
+        assert_eq!(reopened.get(&key(0)), Some(changed));
+        assert_eq!(reopened.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        store.put(&key(0), &digest(0)).unwrap();
+        store.put(&key(1), &digest(1)).unwrap();
+        drop(store);
+        let path = dir.join(JOURNAL_NAME);
+        // Kill mid-write: append half a record.
+        let full = std::fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[7, 0, 0, 0, 9]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        assert_eq!(store.recovered_bytes(), 5);
+        assert_eq!(store.len(), 2, "records before the tear survive");
+        // The journal is writable again and the file was actually truncated.
+        assert!(store.put(&key(2), &digest(2)).unwrap());
+        drop(store);
+        let store = AnalysisStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.recovered_bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_marks_the_tail() {
+        let dir = temp_dir("checksum");
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        store.put(&key(0), &digest(0)).unwrap();
+        store.put(&key(1), &digest(1)).unwrap();
+        drop(store);
+        let path = dir.join(JOURNAL_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte in the *second* record's payload region.
+        let len = bytes.len();
+        bytes[len - 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = AnalysisStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "the corrupt record and everything after it drop");
+        assert!(store.recovered_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_NAME), b"NOTANANALYSISJOURNAL").unwrap();
+        let err = AnalysisStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_ingests_only_missing_records() {
+        let (dir_a, dir_b) = (temp_dir("merge-a"), temp_dir("merge-b"));
+        let mut a = AnalysisStore::open(&dir_a).unwrap();
+        let mut b = AnalysisStore::open(&dir_b).unwrap();
+        a.put(&key(0), &digest(0)).unwrap();
+        b.put(&key(0), &digest(0)).unwrap();
+        b.put(&key(1), &digest(1)).unwrap();
+        assert_eq!(a.merge_from(&b).unwrap(), 1, "only the missing digest ingests");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.merge_from(&b).unwrap(), 0, "idempotent");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

@@ -63,6 +63,23 @@ impl CacheKey {
         &self.canonical
     }
 
+    /// Parses a canonical key line read back from a journal; `None` when the
+    /// line is not a plausible key (multi-line, or missing the
+    /// `scenario|fingerprint|config|rN|sHEX` shape).
+    pub fn parse(line: &str) -> Option<Self> {
+        if line.contains('\n') {
+            return None;
+        }
+        let mut tail = line.rsplit('|');
+        let seed = tail.next()?;
+        let round = tail.next()?;
+        // `scenario|fingerprint|config` leaves ≥ 3 more fields.
+        if tail.count() < 3 || !seed.starts_with('s') || !round.starts_with('r') {
+            return None;
+        }
+        Some(CacheKey { canonical: line.to_string() })
+    }
+
     /// The scenario-name component (the first `|`-separated field).
     pub fn scenario(&self) -> &str {
         self.canonical.split('|').next().unwrap_or("")
@@ -90,6 +107,15 @@ mod tests {
         assert_ne!(base, CacheKey::new("urban", 1, "scenario=urban;n_cars=i3", 0, 8));
         assert_eq!(base.scenario(), "urban");
         assert!(base.to_string().contains("|r0|"));
+    }
+
+    #[test]
+    fn parse_round_trips_canonical_lines() {
+        let key = CacheKey::new("urban", 1, "scenario=urban;n_cars=i3", 2, 7);
+        assert_eq!(CacheKey::parse(key.as_str()), Some(key));
+        assert_eq!(CacheKey::parse("not a key"), None);
+        assert_eq!(CacheKey::parse("a|b|c|d|e"), None, "tail fields must be rN/sHEX");
+        assert_eq!(CacheKey::parse("urban|x|cfg|r0\n|s1"), None);
     }
 
     #[test]

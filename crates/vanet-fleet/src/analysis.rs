@@ -1,0 +1,89 @@
+//! Fleet-side plumbing for analysis digests: merging the per-shard
+//! `analysis.journal`s workers leave behind into one store, mirroring the
+//! round-report merge ([`vanet_cache::merge_into`]).
+
+use std::path::Path;
+
+use vanet_analysis::{AnalysisStore, StoreError};
+
+/// Unions the analysis journals under `sources` (shard cache directories)
+/// into the store under `dest`, returning how many digests were ingested.
+/// Source directories without an analysis journal are skipped — a worker
+/// that only ran sweeps has round reports but no digests, and that is not
+/// an error. Identical duplicates are skipped; conflicting digests resolve
+/// to the source (last write wins, the journal's own rule).
+///
+/// # Errors
+///
+/// [`StoreError`] when a journal cannot be opened, replayed or appended to.
+pub fn merge_analysis<P: AsRef<Path>>(
+    dest: impl AsRef<Path>,
+    sources: &[P],
+) -> Result<usize, StoreError> {
+    let mut store = AnalysisStore::open(&dest)?;
+    let dest_journal = store.journal_path().canonicalize().ok();
+    let mut ingested = 0;
+    for source in sources {
+        let journal = source.as_ref().join("analysis.journal");
+        if !journal.exists() || journal.canonicalize().ok() == dest_journal {
+            continue;
+        }
+        let shard = AnalysisStore::open(source.as_ref())?;
+        ingested += store.merge_from(&shard)?;
+    }
+    Ok(ingested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vanet_analysis::RoundDigest;
+    use vanet_cache::CacheKey;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vanet-fleet-analysis-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn digest(round: u32) -> RoundDigest {
+        RoundDigest { round, seed: 7, records: round, ..RoundDigest::default() }
+    }
+
+    fn key(round: u32) -> CacheKey {
+        CacheKey::new("urban", 1, "scenario=urban", round, 7)
+    }
+
+    #[test]
+    fn shard_journals_union_into_one_store() {
+        let (dest, a, b, bare) = (temp_dir("dest"), temp_dir("a"), temp_dir("b"), temp_dir("bare"));
+        std::fs::create_dir_all(&bare).unwrap();
+        let mut shard_a = AnalysisStore::open(&a).unwrap();
+        shard_a.put(&key(0), &digest(0)).unwrap();
+        shard_a.put(&key(1), &digest(1)).unwrap();
+        drop(shard_a);
+        let mut shard_b = AnalysisStore::open(&b).unwrap();
+        shard_b.put(&key(1), &digest(1)).unwrap();
+        shard_b.put(&key(2), &digest(2)).unwrap();
+        drop(shard_b);
+
+        // `bare` has no journal and is skipped; the overlap deduplicates.
+        let ingested = merge_analysis(&dest, &[&a, &b, &bare]).unwrap();
+        assert_eq!(ingested, 3);
+        let merged = AnalysisStore::open(&dest).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.get(&key(2)), Some(digest(2)));
+
+        // Merging the destination into itself is a no-op, not corruption.
+        assert_eq!(merge_analysis(&dest, &[&dest]).unwrap(), 0);
+        for dir in [dest, a, b, bare] {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+}

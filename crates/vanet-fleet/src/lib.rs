@@ -24,7 +24,8 @@
 //!
 //! `carq-cli fleet shard|worker|run|merge` drives this end to end;
 //! `fleet run --workers N` spawns N local worker processes and merges
-//! their journals automatically.
+//! their journals automatically. Shards that also computed analysis
+//! digests (`vanet-analysis`) merge those with [`merge_analysis`].
 //!
 //! ## Example
 //!
@@ -51,9 +52,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod campaign;
 pub mod plan;
 pub mod worker;
+
+pub use analysis::merge_analysis;
 
 pub use campaign::{
     campaign_table, execute_campaign_shard, split_covered_scenarios, CampaignPlan, CampaignResult,

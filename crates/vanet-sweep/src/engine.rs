@@ -80,6 +80,105 @@ impl std::error::Error for SweepError {
     }
 }
 
+/// The validated, seeded expansion of a sweep spec against a scenario:
+/// every point with its canonical configuration, content-addressed seed and
+/// configured run, in expansion order.
+///
+/// This is the addressing layer the executor runs on, split out so other
+/// consumers — the trace-driven analysis engine in `vanet-analysis`, most
+/// importantly — can walk the *same* `(point, canonical, seed, run)` tuples
+/// the sweep would, and therefore share its cache keys and reproduce its
+/// rounds bit for bit.
+pub struct SweepPlan {
+    /// The expanded points, in expansion order.
+    pub points: Vec<SweepPoint>,
+    /// Each point's canonical configuration string (see
+    /// `ParamSchema::canonical_config`), aligned with `points`.
+    pub canonicals: Vec<String>,
+    /// Each point's content-addressed seed (see [`point_seed`]), aligned
+    /// with `points`.
+    pub seeds: Vec<u64>,
+    /// Each point's configured (and thereby validated) run, aligned with
+    /// `points`.
+    pub runs: Vec<Box<dyn ScenarioRun>>,
+    /// The scenario schema fingerprint that cache keys embed.
+    pub fingerprint: u64,
+}
+
+impl fmt::Debug for SweepPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepPlan")
+            .field("points", &self.points)
+            .field("canonicals", &self.canonicals)
+            .field("seeds", &self.seeds)
+            .field("runs", &format_args!("<{} configured run(s)>", self.runs.len()))
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+impl SweepPlan {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no points (never true — planning an empty spec
+    /// errors instead).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cache key addressing round `round` of point `index`, identical
+    /// to the key the sweep executor would use for that round.
+    pub fn cache_key(&self, scenario: &str, index: usize, round: u32, round_seed: u64) -> CacheKey {
+        CacheKey::new(scenario, self.fingerprint, &self.canonicals[index], round, round_seed)
+    }
+}
+
+/// Expands, validates and seeds `spec` against `scenario` without running
+/// anything — the shared front half of [`SweepEngine::run`].
+///
+/// # Errors
+///
+/// [`SweepError::EmptySweep`] when the spec has no points;
+/// [`SweepError::Param`] when a point fails schema validation.
+pub fn plan(
+    scenario: &dyn Scenario,
+    spec: &SweepSpec,
+    allow_unknown: bool,
+) -> Result<SweepPlan, SweepError> {
+    let points = spec.expand();
+    if points.is_empty() {
+        return Err(SweepError::EmptySweep);
+    }
+    // Content-addressed seeds: a point's seed follows its canonical
+    // configuration, not its grid position, so spec edits never invalidate
+    // unchanged points (see `point_seed`).
+    let schema = scenario.schema();
+    let fingerprint = schema.fingerprint();
+    let canonicals: Vec<String> =
+        points.iter().map(|point| schema.canonical_config(point)).collect();
+    let seeds: Vec<u64> =
+        canonicals.iter().map(|canon| point_seed(spec.master_seed, canon)).collect();
+
+    // Configure (and thereby validate) every point up front.
+    let runs: Vec<Box<dyn ScenarioRun>> = points
+        .iter()
+        .enumerate()
+        .map(|(index, point)| {
+            let effective = if allow_unknown { schema.strip_unknown(point) } else { point.clone() };
+            scenario.configure(&effective).map_err(|source| SweepError::Param {
+                point: index,
+                label: point.label(),
+                source,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    Ok(SweepPlan { points, canonicals, seeds, runs, fingerprint })
+}
+
 /// The work-sharing parallel sweep executor.
 ///
 /// The engine parallelises at two levels from one thread budget. Workers
@@ -171,37 +270,8 @@ impl SweepEngine {
         scenario: &dyn Scenario,
         spec: &SweepSpec,
     ) -> Result<SweepResult, SweepError> {
-        let points = spec.expand();
-        if points.is_empty() {
-            return Err(SweepError::EmptySweep);
-        }
-        // Content-addressed seeds: a point's seed follows its canonical
-        // configuration, not its grid position, so spec edits never
-        // invalidate unchanged points (see `point_seed`).
-        let schema = scenario.schema();
-        let fingerprint = schema.fingerprint();
-        let canonicals: Vec<String> =
-            points.iter().map(|point| schema.canonical_config(point)).collect();
-        let seeds: Vec<u64> =
-            canonicals.iter().map(|canon| point_seed(spec.master_seed, canon)).collect();
-
-        // Configure (and thereby validate) every point up front.
-        let runs: Vec<Box<dyn ScenarioRun>> = points
-            .iter()
-            .enumerate()
-            .map(|(index, point)| {
-                let effective = if self.allow_unknown {
-                    scenario.schema().strip_unknown(point)
-                } else {
-                    point.clone()
-                };
-                scenario.configure(&effective).map_err(|source| SweepError::Param {
-                    point: index,
-                    label: point.label(),
-                    source,
-                })
-            })
-            .collect::<Result<_, _>>()?;
+        let SweepPlan { points, canonicals, seeds, runs, fingerprint } =
+            plan(scenario, spec, self.allow_unknown)?;
 
         // Split the thread budget: as many point workers as there are
         // points to keep busy, the rest of the budget parallelising rounds

@@ -104,7 +104,7 @@ pub mod engine;
 pub mod presets;
 pub mod spec;
 
-pub use engine::{point_seed, SweepEngine, SweepError, SweepResult};
+pub use engine::{plan, point_seed, SweepEngine, SweepError, SweepPlan, SweepResult};
 pub use spec::{Axis, Param, ParamValue, SweepPoint, SweepSpec};
 // The persistent round store behind `SweepEngine::with_cache`, re-exported
 // so downstream code can drive cached sweeps from this crate alone.

@@ -1,0 +1,192 @@
+//! The streaming trace-consumer seam: [`Analyzer`], [`AnalyzerSink`] and
+//! [`RecordCursor`].
+//!
+//! An [`Analyzer`] folds a [`TraceRecord`] stream into some derived result
+//! (a latency distribution, an occupancy profile, a per-node timeline — the
+//! concrete analyzers live in `vanet-analysis`). Two ways to feed one:
+//!
+//! * **Live**, through the existing [`TraceSink`] seam: [`AnalyzerSink`]
+//!   wraps any analyzer as an `ENABLED = true` sink, so a round can stream
+//!   its records straight into the analyzer while it runs, with no
+//!   intermediate buffer.
+//! * **Replayed**, from a buffered or decoded trace: [`feed`] walks a
+//!   record slice through the analyzer in emission order.
+//!
+//! Both paths observe the identical record sequence (tracing is
+//! observation-only and its order is deterministic), so live and replayed
+//! analysis of one `(scenario, round, seed)` agree byte for byte — the
+//! contract the `analyze` determinism tests pin down.
+//!
+//! [`RecordCursor`] is the complementary pull-style view for analyses that
+//! need lookahead (e.g. pairing a `CoopRetransmit` with the `Delivery`
+//! verdicts that share its transmission instant) rather than a push fold.
+
+use crate::record::TraceRecord;
+use crate::sink::TraceSink;
+
+/// A streaming consumer of trace records.
+///
+/// Implementors accumulate whatever state their analysis needs; `observe`
+/// is called once per record, in emission order. Analyzers must be
+/// deterministic: the same record sequence must produce the same state,
+/// regardless of how the records were delivered (live sink or replay).
+pub trait Analyzer {
+    /// Observes one record. Called in emission order.
+    fn observe(&mut self, record: &TraceRecord);
+}
+
+/// Replays a buffered record stream through `analyzer` in emission order —
+/// the replay twin of feeding it live through an [`AnalyzerSink`].
+pub fn feed<A: Analyzer>(analyzer: &mut A, records: &[TraceRecord]) {
+    for record in records {
+        analyzer.observe(record);
+    }
+}
+
+/// Adapts any [`Analyzer`] into an `ENABLED = true` [`TraceSink`], so a
+/// simulation can stream records into the analysis as it runs instead of
+/// buffering a full trace first.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AnalyzerSink<A: Analyzer> {
+    /// The wrapped analyzer; take it back out when the run completes.
+    pub analyzer: A,
+}
+
+impl<A: Analyzer> AnalyzerSink<A> {
+    /// Wraps `analyzer` as a live trace sink.
+    pub fn new(analyzer: A) -> Self {
+        AnalyzerSink { analyzer }
+    }
+
+    /// Unwraps the analyzer with whatever state it accumulated.
+    pub fn into_inner(self) -> A {
+        self.analyzer
+    }
+}
+
+impl<A: Analyzer> TraceSink for AnalyzerSink<A> {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, record: TraceRecord) {
+        self.analyzer.observe(&record);
+    }
+}
+
+/// A pull-style cursor over a buffered record stream, for analyses that
+/// need lookahead or selective scanning rather than a push fold.
+#[derive(Debug, Clone)]
+pub struct RecordCursor<'a> {
+    records: &'a [TraceRecord],
+    pos: usize,
+}
+
+impl<'a> RecordCursor<'a> {
+    /// A cursor at the start of `records`.
+    pub fn new(records: &'a [TraceRecord]) -> Self {
+        RecordCursor { records, pos: 0 }
+    }
+
+    /// The current position (records consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The records not yet consumed.
+    pub fn remaining(&self) -> &'a [TraceRecord] {
+        &self.records[self.pos..]
+    }
+
+    /// The next record without consuming it.
+    pub fn peek(&self) -> Option<&'a TraceRecord> {
+        self.records.get(self.pos)
+    }
+
+    /// Consumes and returns the next record.
+    pub fn next_record(&mut self) -> Option<&'a TraceRecord> {
+        let record = self.records.get(self.pos)?;
+        self.pos += 1;
+        Some(record)
+    }
+
+    /// Consumes records until one matches `pred` (inclusive), returning the
+    /// match; leaves the cursor exhausted when nothing matches.
+    pub fn next_where(
+        &mut self,
+        mut pred: impl FnMut(&TraceRecord) -> bool,
+    ) -> Option<&'a TraceRecord> {
+        while let Some(record) = self.next_record() {
+            if pred(record) {
+                return Some(record);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    /// Counts transmissions — the smallest possible analyzer.
+    #[derive(Default, Debug, Clone, PartialEq, Eq)]
+    struct TxCounter {
+        tx: usize,
+        total: usize,
+    }
+
+    impl Analyzer for TxCounter {
+        fn observe(&mut self, record: &TraceRecord) {
+            self.total += 1;
+            if matches!(record, TraceRecord::TxStart { .. }) {
+                self.tx += 1;
+            }
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        let t = SimTime::from_micros(5);
+        vec![
+            TraceRecord::EventDispatched { at: t, queue_depth: 1 },
+            TraceRecord::TxStart { at: t, until: SimTime::from_micros(9), node: 0, bits: 800 },
+            TraceRecord::Delivery {
+                at: t,
+                tx: 0,
+                rx: 1,
+                received: true,
+                cached: false,
+                snr_db: 3.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn live_sink_and_replay_agree() {
+        let records = sample();
+        let mut sink = AnalyzerSink::new(TxCounter::default());
+        for record in &records {
+            sink.record(*record);
+        }
+        let mut replayed = TxCounter::default();
+        feed(&mut replayed, &records);
+        assert_eq!(sink.into_inner(), replayed);
+        assert_eq!(replayed, TxCounter { tx: 1, total: 3 });
+        const { assert!(<AnalyzerSink<TxCounter> as TraceSink>::ENABLED) };
+    }
+
+    #[test]
+    fn cursor_walks_peeks_and_scans() {
+        let records = sample();
+        let mut cursor = RecordCursor::new(&records);
+        assert_eq!(cursor.position(), 0);
+        assert_eq!(cursor.remaining().len(), 3);
+        assert!(matches!(cursor.peek(), Some(TraceRecord::EventDispatched { .. })));
+        assert!(matches!(cursor.next_record(), Some(TraceRecord::EventDispatched { .. })));
+        let tx = cursor.next_where(|r| matches!(r, TraceRecord::TxStart { .. }));
+        assert!(tx.is_some());
+        assert_eq!(cursor.position(), 2);
+        assert!(cursor.next_where(|r| matches!(r, TraceRecord::TxStart { .. })).is_none());
+        assert!(cursor.next_record().is_none(), "cursor is exhausted after a failed scan");
+    }
+}

@@ -25,6 +25,9 @@ use crate::record::TraceRecord;
 /// The 8-byte magic prefix of a binary trace.
 pub const TRACE_MAGIC: &[u8; 8] = b"CARQTRC1";
 
+/// The 8-byte magic prefix of a multi-round framed trace.
+pub const TRACE_FRAMED_MAGIC: &[u8; 8] = b"CARQTRM1";
+
 /// Why a binary trace failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceCodecError {
@@ -292,6 +295,80 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
     Ok(records)
 }
 
+/// One round's record stream inside a multi-round framed trace, tagged with
+/// the round index and the round seed that produced it — everything a
+/// downstream analyzer needs to label (and re-derive) the round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFrame {
+    /// The 0-based round index.
+    pub round: u32,
+    /// The round seed `run_round_traced` was called with.
+    pub seed: u64,
+    /// The round's records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Encodes multiple rounds into the framed `CARQTRM1` format: the magic, a
+/// u32 frame count, then per frame a `(round u32, seed u64, length u32)`
+/// header followed by that round's complete [`encode`]d `CARQTRC1` blob —
+/// the single-round codec, reused verbatim, so any frame can be sliced out
+/// and decoded (or skipped) on its own.
+pub fn encode_frames(frames: &[TraceFrame]) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.out.extend_from_slice(TRACE_FRAMED_MAGIC);
+    w.u32(u32::try_from(frames.len()).expect("frame count fits u32"));
+    for frame in frames {
+        let blob = encode(&frame.records);
+        w.u32(frame.round);
+        w.u64(frame.seed);
+        w.u32(u32::try_from(blob.len()).expect("frame length fits u32"));
+        w.out.extend_from_slice(&blob);
+    }
+    w.out
+}
+
+/// Decodes a framed `CARQTRM1` trace back into per-round frames.
+///
+/// # Errors
+///
+/// Any structural problem in the framing or in an embedded `CARQTRC1` blob.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<TraceFrame>, TraceCodecError> {
+    let mut r = Reader { bytes };
+    if r.take(TRACE_FRAMED_MAGIC.len()).map_err(|_| TraceCodecError::BadMagic)?
+        != TRACE_FRAMED_MAGIC
+    {
+        return Err(TraceCodecError::BadMagic);
+    }
+    let count = r.u32()?;
+    let mut frames = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let round = r.u32()?;
+        let seed = r.u64()?;
+        let len = r.u32()? as usize;
+        let blob = r.take(len)?;
+        frames.push(TraceFrame { round, seed, records: decode(blob)? });
+    }
+    if !r.bytes.is_empty() {
+        return Err(TraceCodecError::TrailingBytes);
+    }
+    Ok(frames)
+}
+
+/// Decodes either trace format: a framed `CARQTRM1` file yields its frames,
+/// a plain single-round `CARQTRC1` file yields one frame labelled
+/// `round 0, seed 0` (the single-round format does not record them).
+///
+/// # Errors
+///
+/// Any structural problem in whichever format the magic selects.
+pub fn decode_any(bytes: &[u8]) -> Result<Vec<TraceFrame>, TraceCodecError> {
+    if bytes.starts_with(TRACE_FRAMED_MAGIC) {
+        decode_frames(bytes)
+    } else {
+        Ok(vec![TraceFrame { round: 0, seed: 0, records: decode(bytes)? }])
+    }
+}
+
 /// Renders records as JSON Lines: one object per record, fixed key order,
 /// timestamps in nanoseconds — a stable shape for external tooling.
 pub fn to_jsonl(records: &[TraceRecord]) -> String {
@@ -414,6 +491,49 @@ mod tests {
         assert!(matches!(decode(&bad_len), Err(TraceCodecError::BadLength { tag: 0, .. })));
         // Errors render.
         assert!(TraceCodecError::UnknownTag(9).to_string().contains("tag 9"));
+    }
+
+    #[test]
+    fn framed_traces_round_trip_and_reject_corruption() {
+        let frames = vec![
+            TraceFrame { round: 0, seed: 0xBEEF, records: sample() },
+            TraceFrame { round: 1, seed: 0xCAFE, records: Vec::new() },
+            TraceFrame { round: 7, seed: u64::MAX, records: sample()[..3].to_vec() },
+        ];
+        let bytes = encode_frames(&frames);
+        assert_eq!(&bytes[..8], TRACE_FRAMED_MAGIC);
+        assert_eq!(decode_frames(&bytes).unwrap(), frames);
+        assert_eq!(bytes, encode_frames(&frames), "framing is deterministic");
+        assert_eq!(decode_frames(&encode_frames(&[])).unwrap(), Vec::new());
+
+        assert_eq!(decode_frames(b"NOTAMAGI"), Err(TraceCodecError::BadMagic));
+        assert_eq!(decode_frames(&bytes[..bytes.len() - 2]), Err(TraceCodecError::Truncated));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(decode_frames(&trailing), Err(TraceCodecError::TrailingBytes));
+        // Corrupting an embedded blob surfaces the single-round codec's
+        // error (frame 0's blob starts after 8 magic + 4 count + 16 header).
+        let mut bad_blob = bytes;
+        bad_blob[28] = b'X';
+        assert_eq!(decode_frames(&bad_blob), Err(TraceCodecError::BadMagic));
+    }
+
+    #[test]
+    fn decode_any_accepts_both_formats() {
+        let records = sample();
+        let framed = encode_frames(&[TraceFrame { round: 3, seed: 9, records: records.clone() }]);
+        let decoded = decode_any(&framed).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!((decoded[0].round, decoded[0].seed), (3, 9));
+        assert_eq!(decoded[0].records, records);
+
+        // A plain single-round trace becomes one anonymous frame.
+        let plain = decode_any(&encode(&records)).unwrap();
+        assert_eq!(plain.len(), 1);
+        assert_eq!((plain[0].round, plain[0].seed), (0, 0));
+        assert_eq!(plain[0].records, records);
+
+        assert_eq!(decode_any(b"JUNKJUNK"), Err(TraceCodecError::BadMagic));
     }
 
     #[test]

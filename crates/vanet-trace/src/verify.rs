@@ -74,6 +74,11 @@ pub struct Violation {
 pub struct InvariantReport {
     /// Number of trace records examined.
     pub checked: usize,
+    /// Per-invariant coverage: how many records each invariant actually
+    /// examined, in catalogue order. A pass where an invariant checked zero
+    /// records is vacuous for that invariant — `carq-cli verify` surfaces
+    /// these counts so "all invariants hold" is never silently hollow.
+    pub coverage: Vec<(&'static str, usize)>,
     /// Every violation found, in trace order.
     pub violations: Vec<Violation>,
 }
@@ -92,7 +97,8 @@ fn violation(report: &mut InvariantReport, invariant: &'static str, detail: Stri
 /// Runs every invariant over `records` (a full trace in emission order) and
 /// reports all violations found.
 pub fn verify(records: &[TraceRecord]) -> InvariantReport {
-    let mut report = InvariantReport { checked: records.len(), violations: Vec::new() };
+    let mut report =
+        InvariantReport { checked: records.len(), coverage: Vec::new(), violations: Vec::new() };
 
     let mut last_at = SimTime::ZERO;
     // Per-node end of the latest airtime, for overlap checks. Transmissions
@@ -112,6 +118,9 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
     let mut any_decision = false;
     let mut first_undecided_request: Option<(u32, SimTime)> = None;
     let mut first_undecided_coop: Option<(u32, SimTime)> = None;
+    // Per-kind record tallies, for the coverage report.
+    let (mut n_tx, mut n_delivery, mut n_audit, mut n_request, mut n_coop, mut n_decision) =
+        (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
 
     for (index, record) in records.iter().enumerate() {
         let at = record.at();
@@ -129,6 +138,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
 
         match *record {
             TraceRecord::TxStart { at, until, node, .. } => {
+                n_tx += 1;
                 if until < at {
                     violation(
                         &mut report,
@@ -153,6 +163,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                 started.insert((node, at.as_nanos()));
             }
             TraceRecord::Delivery { at, tx, rx, .. } => {
+                n_delivery += 1;
                 if !started.contains(&(tx, at.as_nanos())) {
                     violation(
                         &mut report,
@@ -165,6 +176,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                 }
             }
             TraceRecord::CacheAudit { at, tx, rx, ok } => {
+                n_audit += 1;
                 if !ok {
                     violation(
                         &mut report,
@@ -177,6 +189,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                 }
             }
             TraceRecord::ArqRequest { at, node, seqs, cooperators } => {
+                n_request += 1;
                 any_request = true;
                 requested_capacity += u64::from(seqs) * u64::from(cooperators.max(1));
                 *requests_by_node.entry(node).or_default() += 1;
@@ -185,6 +198,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                 }
             }
             TraceRecord::CoopRetransmit { at, node, seqs } => {
+                n_coop += 1;
                 coop_seqs += u64::from(seqs);
                 if !any_request && first_unrequested_coop.is_none() {
                     first_unrequested_coop = Some((node, at));
@@ -194,6 +208,7 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
                 }
             }
             TraceRecord::StrategyDecision { node, strategy, missing, .. } => {
+                n_decision += 1;
                 any_decision = true;
                 *decision_allowance.entry(node).or_default() +=
                     request_allowance(strategy, u64::from(missing));
@@ -260,6 +275,15 @@ pub fn verify(records: &[TraceRecord]) -> InvariantReport {
         );
     }
 
+    report.coverage = vec![
+        ("monotone_timestamps", records.len()),
+        ("tx_overlap", n_tx),
+        ("packet_conservation", n_delivery),
+        ("retransmission_bounds", n_coop + n_request),
+        ("cache_consistency", n_audit),
+        ("decision_before_request", n_request + n_coop),
+        ("strategy_bounds", n_decision + n_request),
+    ];
     report
 }
 
@@ -300,8 +324,22 @@ mod tests {
         let report = verify(&records);
         assert!(report.is_ok(), "unexpected violations: {:?}", report.violations);
         assert_eq!(report.checked, records.len());
-        // An empty trace is trivially consistent.
-        assert!(verify(&[]).is_ok());
+        assert_eq!(
+            report.coverage,
+            vec![
+                ("monotone_timestamps", records.len()),
+                ("tx_overlap", 3),
+                ("packet_conservation", 1),
+                ("retransmission_bounds", 2),
+                ("cache_consistency", 1),
+                ("decision_before_request", 2),
+                ("strategy_bounds", 2),
+            ]
+        );
+        // An empty trace is trivially consistent, and its coverage says so.
+        let empty = verify(&[]);
+        assert!(empty.is_ok());
+        assert!(empty.coverage.iter().all(|(_, n)| *n == 0));
     }
 
     #[test]

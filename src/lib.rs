@@ -42,6 +42,11 @@
 //!   sinks that monomorphize away when disabled, a compact binary trace
 //!   codec with JSONL export, and the protocol-invariant verification
 //!   pass (see `docs/OBSERVABILITY.md`).
+//! * [`analysis`] — trace-driven analysis behind `carq-cli analyze`:
+//!   recovery-latency distributions matched from the record stream, medium
+//!   occupancy and airtime shares, per-node timelines, trace diffing, and
+//!   the digest journal that makes re-analysis free (warm runs simulate
+//!   zero rounds).
 //!
 //! `docs/ARCHITECTURE.md` maps how these crates fit together;
 //! `docs/REPRODUCING.md` maps each paper figure and table to the command
@@ -66,6 +71,7 @@
 
 pub use carq as protocol;
 pub use sim_core as sim;
+pub use vanet_analysis as analysis;
 pub use vanet_cache as cache;
 pub use vanet_dtn as dtn;
 pub use vanet_fleet as fleet;
