@@ -26,22 +26,26 @@ use vanet_trace::{decode_any, to_jsonl, TraceFrame, TraceRecord};
 
 use crate::cli::{strategy_values, Options};
 use crate::commands::parse_seed;
+use crate::failure::CliFailure;
 use crate::gen_cmd::resolve_scenario;
 
 /// Default rounds per point for `--preset` analyses (the sweep default).
 const DEFAULT_ANALYZE_ROUNDS: u32 = 5;
 
-/// Routes `analyze SUBCOMMAND` to its implementation.
-pub fn analyze_dispatch(args: &[String]) -> Result<(), String> {
+/// Routes `analyze SUBCOMMAND` to its implementation. `diff` reports
+/// stream divergence as a failed check (exit 1, see `failure.rs`); every
+/// other failure here is a usage error.
+pub fn analyze_dispatch(args: &[String]) -> Result<(), CliFailure> {
     match args.first().map(String::as_str) {
-        Some("latency") => table_cmd(Metric::Latency, &Options::parse(&args[1..])?),
-        Some("occupancy") => table_cmd(Metric::Occupancy, &Options::parse(&args[1..])?),
-        Some("timeline") => timeline_cmd(&Options::parse(&args[1..])?),
+        Some("latency") => Ok(table_cmd(Metric::Latency, &Options::parse(&args[1..])?)?),
+        Some("occupancy") => Ok(table_cmd(Metric::Occupancy, &Options::parse(&args[1..])?)?),
+        Some("timeline") => Ok(timeline_cmd(&Options::parse(&args[1..])?)?),
         Some("diff") => diff_cmd(&Options::parse(&args[1..])?),
         other => Err(format!(
             "unknown analyze subcommand `{}` (expected latency, occupancy, timeline or diff)",
             other.unwrap_or("")
-        )),
+        )
+        .into()),
     }
 }
 
@@ -361,11 +365,11 @@ fn diff_side(
 /// (`--a FILE --b FILE`) or two deterministic re-runs of a scenario round
 /// (`--scenario REF [--strategy X] [--against Y]`; without `--against` the
 /// round is compared against its own re-run, proving determinism).
-fn diff_cmd(opts: &Options) -> Result<(), String> {
+fn diff_cmd(opts: &Options) -> Result<(), CliFailure> {
     let unknown =
         opts.unknown_flags(&["a", "b", "scenario", "strategy", "against", "round", "seed"]);
     if !unknown.is_empty() {
-        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+        return Err(format!("unknown flags: --{}", unknown.join(", --")).into());
     }
     if opts.get("scenario").is_some() && (opts.get("a").is_some() || opts.get("b").is_some()) {
         return Err("--scenario and --a/--b are mutually exclusive".into());
@@ -396,7 +400,10 @@ fn diff_cmd(opts: &Options) -> Result<(), String> {
         println!("{marker} {kind:<22} {count_a:>7} {count_b:>7}");
     }
     match &report.first_divergence {
-        None => println!("no divergence: the streams are record-for-record identical"),
+        None => {
+            println!("no divergence: the streams are record-for-record identical");
+            Ok(())
+        }
         Some(divergence) => {
             println!("first divergence at record {}:", divergence.index);
             for (side, record) in [("a", &divergence.a), ("b", &divergence.b)] {
@@ -405,9 +412,11 @@ fn diff_cmd(opts: &Options) -> Result<(), String> {
                     None => println!("  {side}: <stream ended>"),
                 }
             }
+            // Divergence is the finding this command exists to detect: a
+            // failed check (exit 1), not a usage error.
+            Err(CliFailure::check(format!("streams diverge at record {}", divergence.index)))
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -575,9 +584,19 @@ mod tests {
         // Determinism self-check: a round diffed against its own re-run.
         diff_cmd(&opts(&["--scenario", "urban"])).unwrap();
         // Cross-strategy: the paper's C-ARQ vs the no-coop ablation must
-        // diverge (no cooperative retransmissions at all).
-        diff_cmd(&opts(&["--scenario", "urban", "--strategy", "coop-arq", "--against", "no-coop"]))
-            .unwrap();
+        // diverge (no cooperative retransmissions at all) — and divergence
+        // is a failed check, exit 1.
+        let err = diff_cmd(&opts(&[
+            "--scenario",
+            "urban",
+            "--strategy",
+            "coop-arq",
+            "--against",
+            "no-coop",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("diverge"), "{err}");
+        assert_eq!(err.exit, crate::failure::EXIT_CHECK_FAILED);
         // Bad strategy spellings are rejected.
         assert!(diff_cmd(&opts(&["--scenario", "urban", "--strategy", "psychic"])).is_err());
     }

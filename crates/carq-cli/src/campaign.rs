@@ -9,19 +9,18 @@
 //! cache — warm re-runs simulate nothing.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
-use vanet_cache::SweepCache;
-use vanet_fleet::{campaign_table, execute_campaign_shard, CampaignPlan, CampaignShard};
+use vanet_fleet::{execute_campaign_shard, CampaignPlan, CampaignShard};
 use vanet_gen::GenGrid;
 
 use crate::cli::Options;
 use crate::commands::parse_seed;
+use crate::failure::CliFailure;
 
 /// Builds the generator grid of `campaign plan` / `campaign run`: every
 /// generator schema parameter given as a `--PARAM v1,v2,...` flag becomes
 /// an axis, `--replicas R` multiplies each cell into R seed replicas.
-fn campaign_grid(opts: &Options) -> Result<GenGrid, String> {
+pub(crate) fn campaign_grid(opts: &Options) -> Result<GenGrid, String> {
     let Some(name) = opts.get("generator") else {
         return Err("campaign needs --generator NAME (see `carq-cli gen list`)".into());
     };
@@ -41,7 +40,7 @@ fn campaign_grid(opts: &Options) -> Result<GenGrid, String> {
 }
 
 /// Rejects flags outside `common` plus the grid's generator parameters.
-fn check_flags(grid: &GenGrid, opts: &Options, common: &[&str]) -> Result<(), String> {
+pub(crate) fn check_flags(grid: &GenGrid, opts: &Options, common: &[&str]) -> Result<(), String> {
     let mut known: Vec<&str> = common.to_vec();
     known.extend(grid.generator().schema().params().iter().map(|s| s.key()));
     let unknown = opts.unknown_flags(&known);
@@ -58,7 +57,7 @@ fn check_flags(grid: &GenGrid, opts: &Options, common: &[&str]) -> Result<(), St
 
 /// The optional `--rounds N` override; absent runs each scenario's
 /// generator-default budget.
-fn campaign_rounds(opts: &Options) -> Result<Option<u32>, String> {
+pub(crate) fn campaign_rounds(opts: &Options) -> Result<Option<u32>, String> {
     match opts.get("rounds") {
         None => Ok(None),
         Some(raw) => {
@@ -72,7 +71,7 @@ fn campaign_rounds(opts: &Options) -> Result<Option<u32>, String> {
 }
 
 /// The shard file name for shard `index` inside an out-dir.
-fn campaign_file_name(index: u32) -> String {
+pub(crate) fn campaign_file_name(index: u32) -> String {
     format!("shard-{index:03}.camp")
 }
 
@@ -109,7 +108,15 @@ pub fn campaign_plan(opts: &Options) -> Result<(), String> {
 
 /// `carq-cli campaign worker`.
 pub fn campaign_worker(opts: &Options) -> Result<(), String> {
-    let unknown = opts.unknown_flags(&["shard", "cache", "threads"]);
+    let unknown = opts.unknown_flags(&[
+        "shard",
+        "cache",
+        "threads",
+        "heartbeat",
+        "faults",
+        "fault-worker",
+        "fault-attempt",
+    ]);
     if !unknown.is_empty() {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
@@ -123,6 +130,8 @@ pub fn campaign_worker(opts: &Options) -> Result<(), String> {
     let text = std::fs::read_to_string(shard_path)
         .map_err(|e| format!("cannot read {shard_path}: {e}"))?;
     let shard = CampaignShard::decode(&text).map_err(|e| format!("{shard_path}: {e}"))?;
+    crate::pipeline::arm_worker_faults(opts, shard.index)?;
+    let _heartbeat = crate::pipeline::start_heartbeat(opts)?;
     let outcome = execute_campaign_shard(&shard, cache_dir, threads).map_err(|e| e.to_string())?;
     eprintln!(
         "campaign worker {}/{}: {} scenario(s), {} round(s) simulated, \
@@ -133,9 +142,9 @@ pub fn campaign_worker(opts: &Options) -> Result<(), String> {
 }
 
 /// `carq-cli campaign run` — the whole pipeline, locally: expand the grid,
-/// spawn worker processes, merge their journals, render the campaign table
-/// from the merged cache.
-pub fn campaign_run(opts: &Options) -> Result<(), String> {
+/// spawn worker processes under the supervisor, merge their journals,
+/// render the campaign table from the merged cache.
+pub fn campaign_run(opts: &Options) -> Result<(), CliFailure> {
     let grid = campaign_grid(opts)?;
     check_flags(
         &grid,
@@ -150,11 +159,14 @@ pub fn campaign_run(opts: &Options) -> Result<(), String> {
             "format",
             "out",
             "cache",
+            "worker-timeout",
+            "max-retries",
+            "faults",
         ],
     )?;
     let format = opts.get("format").unwrap_or("csv");
     if !matches!(format, "csv" | "json") {
-        return Err(format!("unknown format `{format}` (csv, json)"));
+        return Err(format!("unknown format `{format}` (csv, json)").into());
     }
     let Some(workers_raw) = opts.get("workers") else {
         return Err("campaign run needs --workers N".into());
@@ -166,10 +178,7 @@ pub fn campaign_run(opts: &Options) -> Result<(), String> {
     }
     let seed = parse_seed(opts)?;
     let rounds = campaign_rounds(opts)?;
-    let mut plan = CampaignPlan::new(&grid, seed, rounds, workers).map_err(|e| e.to_string())?;
-    // The render pass covers the full population even after the warm-cache
-    // pre-filter empties shards below.
-    let identities = plan.identities();
+    let plan = CampaignPlan::new(&grid, seed, rounds, workers).map_err(|e| e.to_string())?;
 
     // The working directory: the user's --cache DIR (merged journal kept,
     // re-runs resume) or a throwaway temp directory.
@@ -177,136 +186,33 @@ pub fn campaign_run(opts: &Options) -> Result<(), String> {
         Some(dir) => (PathBuf::from(dir), false),
         None => (std::env::temp_dir().join(format!("carq-campaign-{}", std::process::id())), true),
     };
-
-    // Warm re-run pre-filter: scenarios the merged journal already fully
-    // covers spawn no worker, so an identical `campaign run --cache DIR`
-    // simulates nothing.
-    if !ephemeral {
-        if let Ok(cache) = SweepCache::open_read_only(&base) {
-            if !cache.is_empty() {
-                let mut covered_total = 0usize;
-                for shard in &mut plan.shards {
-                    let (remaining, covered) = vanet_fleet::split_covered_scenarios(shard, &cache)
-                        .map_err(|e| e.to_string())?;
-                    shard.scenarios = remaining;
-                    covered_total += covered;
-                }
-                if covered_total > 0 {
-                    eprintln!(
-                        "campaign: {covered_total} scenario(s) already covered by the merged \
-                         cache, {} left to run",
-                        plan.total_scenarios(),
-                    );
-                }
-            }
-        }
-    }
-    let shards_dir = base.join("shards");
-    std::fs::create_dir_all(&shards_dir)
-        .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
-
-    // Split the thread budget across the worker processes that will
-    // actually spawn.
-    let to_spawn = plan.shards.iter().filter(|s| !s.scenarios.is_empty()).count();
-    let threads: usize = opts.get_parsed("threads", 0)?;
-    let budget = if threads == 0 {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    } else {
-        threads
+    let (supervisor, faults) = crate::pipeline::parse_resilience(opts, seed, None, 2)?;
+    let common = crate::pipeline::PipelineCommon {
+        threads: opts.get_parsed("threads", 0)?,
+        format: format.to_string(),
+        base,
+        ephemeral,
+        supervisor,
+        faults,
     };
-    let per_worker = budget.div_ceil(to_spawn.max(1)).max(1);
-
-    let exe = std::env::current_exe().map_err(|e| format!("cannot locate carq-cli: {e}"))?;
-    eprintln!(
-        "campaign: {} worker process(es) x {} thread(s) over {} generated `{}` scenario(s)",
-        to_spawn,
-        per_worker,
-        plan.total_scenarios(),
-        grid.generator().name,
-    );
-    let mut children = Vec::new();
-    let mut shard_caches = Vec::new();
-    for shard in &plan.shards {
-        if shard.scenarios.is_empty() {
-            continue; // more workers than scenarios, or fully warm
-        }
-        let file = shards_dir.join(campaign_file_name(shard.index));
-        std::fs::write(&file, shard.encode())
-            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-        let cache_dir = shards_dir.join(format!("cache-{:03}", shard.index));
-        let child = std::process::Command::new(&exe)
-            .arg("campaign")
-            .arg("worker")
-            .arg("--shard")
-            .arg(&file)
-            .arg("--cache")
-            .arg(&cache_dir)
-            .arg("--threads")
-            .arg(per_worker.to_string())
-            .spawn()
-            .map_err(|e| format!("cannot spawn worker {}: {e}", shard.index))?;
-        children.push((shard.index, child));
-        shard_caches.push(cache_dir);
-    }
-    let mut failures = Vec::new();
-    for (index, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("worker {index} exited with {status}")),
-            Err(e) => failures.push(format!("worker {index} could not be waited on: {e}")),
-        }
-    }
-    if !failures.is_empty() {
-        if ephemeral {
-            std::fs::remove_dir_all(&base).ok();
-            return Err(failures.join("; "));
-        }
-        return Err(format!(
-            "{} (shard journals are kept in {}; re-running `campaign run` with the same \
-             --cache resumes the finished work)",
-            failures.join("; "),
-            shards_dir.display(),
-        ));
-    }
-
-    // Merge the shard journals into the main cache, then render from it.
-    let cache = Arc::new(SweepCache::open(&base).map_err(|e| e.to_string())?);
-    let report = vanet_cache::merge_into(&cache, &shard_caches).map_err(|e| e.to_string())?;
-    eprintln!(
-        "campaign: merged {} shard journal(s): {} record(s) ingested, {} duplicate(s), \
-         {} superseded, {} torn byte(s) dropped",
-        report.sources,
-        report.records_ingested,
-        report.records_duplicate,
-        report.records_superseded,
-        report.torn_bytes_dropped,
-    );
-
-    let result =
-        campaign_table(&identities, seed, rounds, &cache, threads).map_err(|e| e.to_string())?;
-    eprintln!(
-        "campaign: final pass over {} scenario(s): {} round(s) simulated, \
-         {} served from the merged cache",
-        identities.len(),
-        result.rounds_simulated,
-        result.rounds_cached,
-    );
-
-    let rendered = if format == "json" { result.table.to_json() } else { result.table.to_csv() };
+    let outcome =
+        crate::pipeline::run_campaign_pipeline(plan, seed, rounds, grid.generator().name, &common)?;
     match opts.get("out") {
-        Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
-        }
-        None => print!("{rendered}"),
+        Some(path) => std::fs::write(path, &outcome.rendered)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => print!("{}", outcome.rendered),
     }
-
-    drop(cache);
-    if ephemeral {
-        std::fs::remove_dir_all(&base).ok();
-    } else {
-        // The merged journal holds everything; the per-shard copies are
-        // now redundant.
-        std::fs::remove_dir_all(&shards_dir).ok();
+    if !outcome.quarantined.is_empty() {
+        let gap = outcome
+            .gap_report
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<missing>".into());
+        return Err(CliFailure::degraded(format!(
+            "campaign run degraded: {} shard(s) quarantined after retries; partial export \
+             delivered, coverage gap report at {gap}",
+            outcome.quarantined.len(),
+        )));
     }
     Ok(())
 }
@@ -316,6 +222,7 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use vanet_cache::SweepCache;
 
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -381,7 +288,8 @@ mod tests {
     #[test]
     fn run_and_worker_validate_their_flags() {
         let err = campaign_run(&opts(&["--generator", "highway-flow"])).unwrap_err();
-        assert!(err.contains("--workers"), "{err}");
+        assert!(err.message.contains("--workers"), "{err}");
+        assert_eq!(err.exit, crate::failure::EXIT_USAGE);
         assert!(campaign_run(&opts(&["--generator", "highway-flow", "--workers", "0",])).is_err());
         assert!(campaign_run(&opts(&[
             "--generator",

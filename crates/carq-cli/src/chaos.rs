@@ -1,0 +1,280 @@
+//! `carq-cli chaos` — the deterministic fault-injection convergence check.
+//!
+//! One command, three runs, one verdict:
+//!
+//! 1. **Faulted run** — the fleet (`--preset`) or campaign (`--generator`)
+//!    pipeline executes under a seeded `VANETFLT1` fault schedule: worker
+//!    kills, stalls, torn journal appends, checksum-corrupted records,
+//!    transient I/O errors and slow disks, all placed deterministically by
+//!    `--fault-seed`. The supervisor heals what it can (restarts with
+//!    seeded backoff, hang detection via heartbeats).
+//! 2. **Warm re-run** — the same pipeline over the healed journal must
+//!    simulate **zero** rounds: everything the faults destroyed was
+//!    recovered (torn tails truncated, corrupt records dropped and
+//!    re-simulated by the final pass, killed workers resumed).
+//! 3. **Clean reference run** — no faults, fresh directory. The faulted
+//!    and clean exports must be byte-identical, and every round record the
+//!    clean journal holds must exist in the faulted journal (the "zero
+//!    lost rounds" audit).
+//!
+//! `--poison I` wildcards shard `I` to die on every attempt, forcing the
+//! graceful-degradation path instead: quarantine, partial coverage, a
+//! `coverage-gaps.json` report and exit 3. The full fault catalogue and
+//! recovery semantics are documented in `docs/RESILIENCE.md`.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::time::Duration;
+
+use vanet_cache::{CacheKey, SweepCache};
+use vanet_faults::FaultPlan;
+use vanet_fleet::{CampaignPlan, ShardPlan};
+
+use crate::campaign::{campaign_grid, campaign_rounds, check_flags};
+use crate::cli::Options;
+use crate::commands::{parse_round_chunk, parse_seed, DEFAULT_SWEEP_ROUNDS};
+use crate::failure::CliFailure;
+use crate::pipeline::{
+    parse_resilience, run_campaign_pipeline, run_fleet_pipeline, PipelineCommon, PipelineOutcome,
+};
+
+/// Default schedule seed when neither `--fault-seed` nor `--faults` is
+/// given — arbitrary but fixed, so bare `carq-cli chaos --preset X` is
+/// reproducible.
+const DEFAULT_FAULT_SEED: u64 = 0xFA01_75EE;
+
+/// Flags shared by both chaos modes (the generator mode additionally
+/// accepts the generator's own grid parameters and `--replicas`).
+const CHAOS_FLAGS: &[&str] = &[
+    "preset",
+    "generator",
+    "replicas",
+    "rounds",
+    "seed",
+    "workers",
+    "threads",
+    "fault-seed",
+    "faults",
+    "poison",
+    "worker-timeout",
+    "max-retries",
+    "round-chunk",
+];
+
+/// `--fault-seed S`, decimal or `0x` hex, defaulting to the fixed seed.
+fn parse_fault_seed(opts: &Options) -> Result<u64, String> {
+    match opts.get("fault-seed") {
+        None => Ok(DEFAULT_FAULT_SEED),
+        Some(raw) => {
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            parsed.map_err(|_| format!("--fault-seed: cannot parse `{raw}`"))
+        }
+    }
+}
+
+/// The sorted key set of a journal directory — the unit of the lost-round
+/// audit.
+fn journal_keys(dir: &Path) -> Result<HashSet<CacheKey>, String> {
+    Ok(SweepCache::open_read_only(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .keys()
+        .into_iter()
+        .collect())
+}
+
+/// `carq-cli chaos` — see the module docs for the three-run protocol.
+pub fn chaos_cmd(opts: &Options) -> Result<(), CliFailure> {
+    let preset_mode = opts.get("preset").is_some();
+    if preset_mode == opts.get("generator").is_some() {
+        return Err("chaos needs exactly one of --preset NAME or --generator NAME".into());
+    }
+    let grid = if preset_mode { None } else { Some(campaign_grid(opts)?) };
+    match &grid {
+        Some(grid) => check_flags(grid, opts, CHAOS_FLAGS)?,
+        None => {
+            let unknown = opts.unknown_flags(CHAOS_FLAGS);
+            if !unknown.is_empty() {
+                return Err(format!("unknown flags: --{}", unknown.join(", --")).into());
+            }
+        }
+    }
+    let seed = parse_seed(opts)?;
+    let workers: u32 = opts.get_parsed("workers", 3)?;
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let threads: usize = opts.get_parsed("threads", 0)?;
+    // Chaos hardens the supervisor defaults: hang detection on (stall
+    // faults are invisible to exit codes) and one extra retry, because the
+    // generated schedule can hit the same worker on attempts 0 and 1.
+    let (supervisor, decoded) = parse_resilience(opts, seed, Some(Duration::from_secs(10)), 3)?;
+
+    // Build the pipeline runner for whichever mode was picked; the plan is
+    // rebuilt per run so all three runs execute the identical workload.
+    let fleet_rounds: u32 = opts.get_parsed("rounds", DEFAULT_SWEEP_ROUNDS)?;
+    if fleet_rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+    type Runner = Box<dyn Fn(&PipelineCommon) -> Result<PipelineOutcome, String>>;
+    let (runner, rounds_hint): (Runner, u64) = match grid {
+        Some(grid) => {
+            let rounds = campaign_rounds(opts)?;
+            // Validate the plan once up front so usage errors surface
+            // before any run starts.
+            CampaignPlan::new(&grid, seed, rounds, workers).map_err(|e| e.to_string())?;
+            let hint = u64::from(rounds.unwrap_or(DEFAULT_SWEEP_ROUNDS));
+            let runner: Runner = Box::new(move |common| {
+                let plan =
+                    CampaignPlan::new(&grid, seed, rounds, workers).map_err(|e| e.to_string())?;
+                run_campaign_pipeline(plan, seed, rounds, grid.generator().name, common)
+            });
+            (runner, hint)
+        }
+        None => {
+            let preset = opts.get("preset").expect("preset mode").to_string();
+            let chunk = parse_round_chunk(opts)?;
+            let count = workers as usize;
+            ShardPlan::for_preset(&preset, seed, fleet_rounds, count, chunk)
+                .map_err(|e| e.to_string())?;
+            let runner: Runner = Box::new(move |common| {
+                let plan = ShardPlan::for_preset(&preset, seed, fleet_rounds, count, chunk)
+                    .map_err(|e| e.to_string())?;
+                run_fleet_pipeline(plan, common)
+            });
+            (runner, u64::from(fleet_rounds))
+        }
+    };
+
+    let mut fault_plan = match decoded {
+        Some(plan) => plan,
+        None => FaultPlan::generate(parse_fault_seed(opts)?, workers, rounds_hint),
+    };
+    if let Some(raw) = opts.get("poison") {
+        let worker: u32 = raw.parse().map_err(|_| format!("--poison: cannot parse `{raw}`"))?;
+        if worker >= workers {
+            return Err(format!("--poison: worker {worker} out of range (0..{workers})").into());
+        }
+        fault_plan = fault_plan.with_poisoned_worker(worker);
+    }
+    eprintln!(
+        "chaos: fault plan: {} fault(s), fault seed {:#018x}, {} worker(s)",
+        fault_plan.faults.len(),
+        fault_plan.fault_seed,
+        workers,
+    );
+    for line in fault_plan.encode().lines() {
+        eprintln!("chaos:   {line}");
+    }
+
+    let base = std::env::temp_dir().join(format!("carq-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let faulted_dir = base.join("faulted");
+    let clean_dir = base.join("clean");
+    let common = |dir: &Path, faults: Option<FaultPlan>| PipelineCommon {
+        threads,
+        format: "csv".to_string(),
+        base: dir.to_path_buf(),
+        ephemeral: false,
+        supervisor: supervisor.clone(),
+        faults,
+    };
+
+    eprintln!("chaos: run 1/3: faulted run under the seeded schedule");
+    let faulted = runner(&common(&faulted_dir, Some(fault_plan)))?;
+    if !faulted.quarantined.is_empty() {
+        let gap = faulted
+            .gap_report
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<missing>".into());
+        return Err(CliFailure::degraded(format!(
+            "chaos: {} shard(s) quarantined under the fault schedule; partial coverage \
+             delivered, gap report at {gap}",
+            faulted.quarantined.len(),
+        )));
+    }
+
+    eprintln!("chaos: run 2/3: warm re-run over the healed journal");
+    let warm = runner(&common(&faulted_dir, None))?;
+    if warm.final_simulated != 0 {
+        return Err(CliFailure::check(format!(
+            "chaos: warm re-run simulated {} round(s) — the healed journal lost work \
+             (evidence kept in {})",
+            warm.final_simulated,
+            base.display(),
+        )));
+    }
+
+    eprintln!(
+        "chaos: warm re-run served all {} round(s) from the healed journal",
+        warm.final_cached,
+    );
+
+    eprintln!("chaos: run 3/3: clean reference run (no faults)");
+    let clean = runner(&common(&clean_dir, None))?;
+    if faulted.rendered != clean.rendered || warm.rendered != clean.rendered {
+        return Err(CliFailure::check(format!(
+            "chaos: exports diverge between the faulted and clean runs (evidence kept in {})",
+            base.display(),
+        )));
+    }
+    let faulted_keys = journal_keys(&faulted_dir)?;
+    let clean_keys = journal_keys(&clean_dir)?;
+    let lost = clean_keys.difference(&faulted_keys).count();
+    if lost != 0 {
+        return Err(CliFailure::check(format!(
+            "chaos: {lost} of {} round record(s) missing from the faulted journal \
+             (evidence kept in {})",
+            clean_keys.len(),
+            base.display(),
+        )));
+    }
+
+    println!(
+        "chaos: PASS — exports byte-identical after {} worker restart(s), \
+         0 of {} round record(s) lost",
+        faulted.restarts,
+        clean_keys.len(),
+    );
+    std::fs::remove_dir_all(&base).ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(items: &[&str]) -> Options {
+        let strings: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        Options::parse(&strings).unwrap()
+    }
+
+    #[test]
+    fn chaos_validates_its_flags() {
+        let err = chaos_cmd(&opts(&[])).unwrap_err();
+        assert!(err.message.contains("--preset"), "{err}");
+        assert_eq!(err.exit, crate::failure::EXIT_USAGE);
+        // Both modes at once is ambiguous.
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--generator", "highway-flow"]))
+            .is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "no-such-preset"])).is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--workers", "0"])).is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--rounds", "0"])).is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--fault-seed", "zzz"])).is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--poison", "9"])).is_err());
+        assert!(chaos_cmd(&opts(&["--preset", "urban-platoon", "--bogus", "1"])).is_err());
+        assert!(chaos_cmd(&opts(&["--generator", "mars"])).is_err());
+    }
+
+    #[test]
+    fn fault_seed_parses_decimal_and_hex_and_defaults() {
+        assert_eq!(parse_fault_seed(&opts(&[])).unwrap(), DEFAULT_FAULT_SEED);
+        assert_eq!(parse_fault_seed(&opts(&["--fault-seed", "0xAB"])).unwrap(), 0xAB);
+        assert_eq!(parse_fault_seed(&opts(&["--fault-seed", "12"])).unwrap(), 12);
+        assert!(parse_fault_seed(&opts(&["--fault-seed", "later"])).is_err());
+    }
+}

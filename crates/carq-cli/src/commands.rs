@@ -18,9 +18,10 @@ use crate::cli::{
     bool_values, float_values, int_values, request_values, selection_values, strategy_values,
     Options,
 };
+use crate::failure::CliFailure;
 
 const DEFAULT_SEED: u64 = 0x2008_1cdc;
-const DEFAULT_SWEEP_ROUNDS: u32 = 5;
+pub(crate) const DEFAULT_SWEEP_ROUNDS: u32 = 5;
 
 /// Valueless flags accepted by `scenario run` / `sweep run`.
 const SWITCHES: [&str; 1] = ["allow-unknown"];
@@ -84,25 +85,45 @@ USAGE:
       ranges so even few-point sweeps spread across the fleet.
 
   carq-cli fleet worker --shard FILE --cache DIR [--threads N]
+      [--heartbeat FILE] [--faults FILE --fault-worker I --fault-attempt A]
       Execute one shard file against its own shard journal in DIR.
       Seeds are content-addressed, so the rounds a worker simulates are
       byte-identical to the same rounds of a monolithic run; a killed
-      worker re-run resumes from its journal.
+      worker re-run resumes from its journal. --heartbeat keeps a
+      progress file alive for the supervisor; the --fault* flags arm
+      the deterministic fault injector (docs/RESILIENCE.md).
 
-  carq-cli fleet merge --cache DIR --from DIR1,DIR2,...
+  carq-cli fleet merge --cache DIR --from DIR1,DIR2,... [--all]
       Union shard journals (cache directories or bare journal files,
       e.g. shipped from other machines) into DIR. Records are
       checksum-validated on ingest, duplicates are skipped, conflicting
       keys resolve last-write-wins, and torn shard tails are dropped. A
-      warm sweep over the merged cache simulates nothing.
+      warm sweep over the merged cache simulates nothing. --all also
+      merges the sources' analysis journals (digests from
+      `analyze --cache`), with its own per-journal report.
 
   carq-cli fleet run --preset NAME --workers N [--rounds N] [COMMON]
-      [--round-chunk K]
+      [--round-chunk K] [RESILIENCE]
       The whole pipeline, locally: shard the preset, spawn N worker
-      processes, merge their journals, and export from the merged
-      cache. Exports are byte-identical to the single-process run.
-      With --cache DIR the merged journal persists there (and a re-run
-      resumes); without it a temporary directory is used and removed.
+      processes under the self-healing supervisor, merge their
+      journals, and export from the merged cache. Exports are
+      byte-identical to the single-process run. With --cache DIR the
+      merged journal persists there (and a re-run resumes); without it
+      a temporary directory is used and removed.
+
+  RESILIENCE (fleet run, campaign run and chaos):
+    --worker-timeout SECS    restart a worker whose heartbeat progress
+                             has stalled this long (default: off for
+                             fleet/campaign, 10 for chaos)
+    --max-retries N          restarts per shard before quarantine, with
+                             seeded exponential backoff (default 2;
+                             chaos default 3)
+    --faults FILE            arm a VANETFLT1 deterministic fault plan
+      A crashed or hung worker restarts from its journal; a shard
+      failing max-retries+1 times is quarantined: the run still merges
+      everything else, exports the covered points, writes
+      coverage-gaps.json next to the merged journal and exits 3
+      (degraded). See docs/RESILIENCE.md.
 
   carq-cli gen list
       Show the scenario generator catalogue.
@@ -129,17 +150,35 @@ USAGE:
       VANETCAMP1 shard files any set of machines can execute.
 
   carq-cli campaign worker --shard FILE --cache DIR [--threads N]
+      [--heartbeat FILE] [--faults FILE --fault-worker I --fault-attempt A]
       Execute one campaign shard against its own journal in DIR,
       regenerating every scenario from its identity; a killed worker
-      re-run resumes from the journal.
+      re-run resumes from the journal. The extra flags are the fleet
+      worker's supervision/fault hooks.
 
   carq-cli campaign run --generator NAME [--PARAM V1,V2,...]...
-      [--replicas R] --workers N [--rounds N] [COMMON]
+      [--replicas R] --workers N [--rounds N] [COMMON] [RESILIENCE]
       The whole campaign pipeline, locally: expand the grid, spawn N
-      worker processes, merge their journals, and render the campaign
-      table (one row per generated scenario: name, gen seed, world
-      parameters, metrics). Exports are byte-identical at any worker
-      count; with --cache DIR a warm re-run simulates nothing.
+      worker processes under the self-healing supervisor, merge their
+      journals, and render the campaign table (one row per generated
+      scenario: name, gen seed, world parameters, metrics). Exports are
+      byte-identical at any worker count; with --cache DIR a warm
+      re-run simulates nothing.
+
+  carq-cli chaos (--preset NAME [--round-chunk K] | --generator NAME
+      [--PARAM V1,V2,...]... [--replicas R]) [--workers N] [--rounds N]
+      [--seed S] [--threads N] [--fault-seed S | --faults FILE]
+      [--poison I] [RESILIENCE]
+      Deterministic chaos check: run the fleet/campaign pipeline under
+      a seeded fault schedule (worker kills, stalls, torn journal
+      appends, checksum corruption, transient I/O errors, slow disks),
+      let the supervisor heal it, then prove convergence — a warm
+      re-run simulates 0 rounds and the export is byte-identical to a
+      clean no-fault run with zero lost round records. --fault-seed
+      derives the schedule (default workers 3); --faults replays an
+      explicit VANETFLT1 plan; --poison I makes shard I fail every
+      attempt, forcing the quarantine + gap-report + exit-3 path.
+      Exits 0 on PASS, 1 on any divergence, 3 when quarantined.
 
   carq-cli trace --scenario NAME|FILE [--round R | --rounds A..B]
       [--seed S] --out FILE
@@ -219,24 +258,35 @@ USAGE:
       Figures 6-8 (recovery vs joint reception) as CSV.
 
   carq-cli help
-      Show this text.";
+      Show this text.
 
-/// Routes a full argument vector to its subcommand.
-pub fn dispatch(args: &[String]) -> Result<(), String> {
+EXIT CODES:
+  0  success
+  1  a check failed on valid input: verify invariant violation, analyze
+     diff divergence, chaos convergence mismatch
+  2  usage or operational error
+  3  degraded: a fleet/campaign run quarantined a shard and delivered
+     partial coverage plus a coverage-gaps.json report";
+
+/// Routes a full argument vector to its subcommand. Failures carry the
+/// exit code they map to (0 ok / 1 check failed / 2 usage / 3 degraded —
+/// see `failure.rs`); untyped `String` errors convert to usage failures
+/// (exit 2), the CLI's historical behaviour.
+pub fn dispatch(args: &[String]) -> Result<(), CliFailure> {
     match args.first().map(String::as_str) {
         None | Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             Ok(())
         }
         Some("scenario") => match args.get(1).map(String::as_str) {
-            Some("list") => scenario_list(),
+            Some("list") => Ok(scenario_list()?),
             Some("describe") => match args.get(2) {
-                Some(name) => scenario_describe(name),
+                Some(name) => Ok(scenario_describe(name)?),
                 None => Err("scenario describe needs a scenario name".into()),
             },
             Some("run") => match args.get(2) {
                 Some(name) if !name.starts_with("--") => {
-                    scenario_run(name, &Options::parse_with_switches(&args[3..], &SWITCHES)?)
+                    Ok(scenario_run(name, &Options::parse_with_switches(&args[3..], &SWITCHES)?)?)
                 }
                 _ => {
                     Err("scenario run needs a scenario name (see `carq-cli scenario list`)".into())
@@ -245,80 +295,90 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
             other => Err(format!(
                 "unknown scenario subcommand `{}` (expected list, describe or run)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
         Some("sweep") => match args.get(1).map(String::as_str) {
-            Some("list") => sweep_list(),
-            Some("run") => sweep_run(&Options::parse_with_switches(&args[2..], &SWITCHES)?),
+            Some("list") => Ok(sweep_list()?),
+            Some("run") => Ok(sweep_run(&Options::parse_with_switches(&args[2..], &SWITCHES)?)?),
             other => Err(format!(
                 "unknown sweep subcommand `{}` (expected list or run)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
         Some("fleet") => match args.get(1).map(String::as_str) {
-            Some("shard") => fleet_shard(&Options::parse(&args[2..])?),
-            Some("worker") => fleet_worker(&Options::parse(&args[2..])?),
-            Some("merge") => fleet_merge(&Options::parse(&args[2..])?),
+            Some("shard") => Ok(fleet_shard(&Options::parse(&args[2..])?)?),
+            Some("worker") => Ok(fleet_worker(&Options::parse(&args[2..])?)?),
+            Some("merge") => Ok(fleet_merge(&Options::parse_with_switches(&args[2..], &["all"])?)?),
             Some("run") => fleet_run(&Options::parse(&args[2..])?),
             other => Err(format!(
                 "unknown fleet subcommand `{}` (expected shard, worker, merge or run)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
         Some("gen") => match args.get(1).map(String::as_str) {
-            Some("list") => crate::gen_cmd::gen_list(),
+            Some("list") => Ok(crate::gen_cmd::gen_list()?),
             Some("describe") => match args.get(2) {
-                Some(name) => crate::gen_cmd::gen_describe(name),
+                Some(name) => Ok(crate::gen_cmd::gen_describe(name)?),
                 None => Err("gen describe needs a generator name (see `carq-cli gen list`)".into()),
             },
             Some("emit") => match args.get(2) {
                 Some(name) if !name.starts_with("--") => {
-                    crate::gen_cmd::gen_emit(name, &Options::parse(&args[3..])?)
+                    Ok(crate::gen_cmd::gen_emit(name, &Options::parse(&args[3..])?)?)
                 }
                 _ => Err("gen emit needs a generator name (see `carq-cli gen list`)".into()),
             },
             Some("inspect") => match args.get(2) {
-                Some(path) => crate::gen_cmd::gen_inspect(path),
+                Some(path) => Ok(crate::gen_cmd::gen_inspect(path)?),
                 None => Err("gen inspect needs a scenario file".into()),
             },
             other => Err(format!(
                 "unknown gen subcommand `{}` (expected list, describe, emit or inspect)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
         Some("campaign") => match args.get(1).map(String::as_str) {
-            Some("plan") => crate::campaign::campaign_plan(&Options::parse(&args[2..])?),
-            Some("worker") => crate::campaign::campaign_worker(&Options::parse(&args[2..])?),
+            Some("plan") => Ok(crate::campaign::campaign_plan(&Options::parse(&args[2..])?)?),
+            Some("worker") => Ok(crate::campaign::campaign_worker(&Options::parse(&args[2..])?)?),
             Some("run") => crate::campaign::campaign_run(&Options::parse(&args[2..])?),
             other => Err(format!(
                 "unknown campaign subcommand `{}` (expected plan, worker or run)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
-        Some("trace") => crate::trace::trace_cmd(&Options::parse(&args[1..])?),
+        Some("trace") => Ok(crate::trace::trace_cmd(&Options::parse(&args[1..])?)?),
         Some("analyze") => crate::analyze::analyze_dispatch(&args[1..]),
+        Some("chaos") => crate::chaos::chaos_cmd(&Options::parse(&args[1..])?),
         Some("cache") => match args.get(1).map(String::as_str) {
-            Some("stats") => cache_stats(&Options::parse(&args[2..])?),
-            Some("compact") => cache_compact(&Options::parse(&args[2..])?),
-            Some("clear") => cache_clear(&Options::parse(&args[2..])?),
+            Some("stats") => Ok(cache_stats(&Options::parse(&args[2..])?)?),
+            Some("compact") => Ok(cache_compact(&Options::parse(&args[2..])?)?),
+            Some("clear") => Ok(cache_clear(&Options::parse(&args[2..])?)?),
             other => Err(format!(
                 "unknown cache subcommand `{}` (expected stats, compact or clear)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
-        Some("table1") => table1_cmd(&Options::parse(&args[1..])?),
+        Some("table1") => Ok(table1_cmd(&Options::parse(&args[1..])?)?),
         Some("verify") => crate::verify::verify_cmd(&Options::parse(&args[1..])?),
         Some("bench") => {
-            crate::bench::bench_cmd(&Options::parse_with_switches(&args[1..], &["quick"])?)
+            Ok(crate::bench::bench_cmd(&Options::parse_with_switches(&args[1..], &["quick"])?)?)
         }
         Some("fig") => match args.get(1).map(String::as_str) {
-            Some(kind @ ("reception" | "recovery")) => fig_cmd(kind, &Options::parse(&args[2..])?),
+            Some(kind @ ("reception" | "recovery")) => {
+                Ok(fig_cmd(kind, &Options::parse(&args[2..])?)?)
+            }
             other => Err(format!(
                 "unknown figure `{}` (expected reception or recovery)",
                 other.unwrap_or("")
-            )),
+            )
+            .into()),
         },
-        Some(other) => Err(format!("unknown command `{other}`")),
+        Some(other) => Err(format!("unknown command `{other}`").into()),
     }
 }
 
@@ -525,7 +585,7 @@ fn execute_sweep(scenario: &dyn Scenario, spec: &SweepSpec, opts: &Options) -> R
 
 /// Parses the optional `--round-chunk K` flag shared by `fleet shard` and
 /// `fleet run`.
-fn parse_round_chunk(opts: &Options) -> Result<Option<u32>, String> {
+pub(crate) fn parse_round_chunk(opts: &Options) -> Result<Option<u32>, String> {
     match opts.get("round-chunk") {
         None => Ok(None),
         Some(raw) => {
@@ -564,7 +624,7 @@ fn fleet_plan(opts: &Options, count_flag: &str) -> Result<ShardPlan, String> {
 }
 
 /// The shard file name for shard `index` inside an out-dir.
-fn shard_file_name(index: usize) -> String {
+pub(crate) fn shard_file_name(index: usize) -> String {
     format!("shard-{index:03}.fleet")
 }
 
@@ -601,7 +661,15 @@ fn fleet_shard(opts: &Options) -> Result<(), String> {
 }
 
 fn fleet_worker(opts: &Options) -> Result<(), String> {
-    let unknown = opts.unknown_flags(&["shard", "cache", "threads"]);
+    let unknown = opts.unknown_flags(&[
+        "shard",
+        "cache",
+        "threads",
+        "heartbeat",
+        "faults",
+        "fault-worker",
+        "fault-attempt",
+    ]);
     if !unknown.is_empty() {
         return Err(format!("unknown flags: --{}", unknown.join(", --")));
     }
@@ -615,6 +683,8 @@ fn fleet_worker(opts: &Options) -> Result<(), String> {
     let text = std::fs::read_to_string(shard_path)
         .map_err(|e| format!("cannot read {shard_path}: {e}"))?;
     let shard = Shard::decode(&text).map_err(|e| format!("{shard_path}: {e}"))?;
+    crate::pipeline::arm_worker_faults(opts, shard.index as u32)?;
+    let _heartbeat = crate::pipeline::start_heartbeat(opts)?;
     let outcome =
         vanet_fleet::execute_shard(&shard, cache_dir, threads).map_err(|e| e.to_string())?;
     eprintln!(
@@ -645,6 +715,20 @@ fn fleet_merge(opts: &Options) -> Result<(), String> {
         "merged cache: {} round report(s), {} byte(s) in {dest}",
         stats.entries, stats.file_bytes
     );
+    if opts.has_switch("all") {
+        // Also union the analysis journals the sources carry (shards that
+        // ran `analyze --cache` leave digests next to their round
+        // reports); sources without one are skipped, not errors.
+        let report = vanet_fleet::merge_analysis(dest, &sources).map_err(|e| e.to_string())?;
+        println!(
+            "merge: analysis: {} journal(s): {} digest(s) ingested, {} duplicate(s) skipped, \
+             {} superseded",
+            report.sources,
+            report.records_ingested,
+            report.records_duplicate,
+            report.records_superseded,
+        );
+    }
     Ok(())
 }
 
@@ -668,7 +752,7 @@ fn print_merge_report(report: &vanet_cache::MergeReport) {
     }
 }
 
-fn fleet_run(opts: &Options) -> Result<(), String> {
+fn fleet_run(opts: &Options) -> Result<(), CliFailure> {
     let unknown = opts.unknown_flags(&[
         "preset",
         "workers",
@@ -679,15 +763,18 @@ fn fleet_run(opts: &Options) -> Result<(), String> {
         "out",
         "cache",
         "round-chunk",
+        "worker-timeout",
+        "max-retries",
+        "faults",
     ]);
     if !unknown.is_empty() {
-        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+        return Err(format!("unknown flags: --{}", unknown.join(", --")).into());
     }
     let format = opts.get("format").unwrap_or("csv");
     if !matches!(format, "csv" | "json") {
-        return Err(format!("unknown format `{format}` (csv, json)"));
+        return Err(format!("unknown format `{format}` (csv, json)").into());
     }
-    let mut plan = fleet_plan(opts, "workers")?;
+    let plan = fleet_plan(opts, "workers")?;
 
     // The working directory: the user's --cache DIR (merged journal kept,
     // re-runs resume) or a throwaway temp directory.
@@ -695,148 +782,34 @@ fn fleet_run(opts: &Options) -> Result<(), String> {
         Some(dir) => (PathBuf::from(dir), false),
         None => (std::env::temp_dir().join(format!("carq-fleet-{}", std::process::id())), true),
     };
-
-    // Warm re-run pre-filter: drop every unit the merged journal already
-    // covers, so an identical `fleet run --cache DIR` spawns zero redundant
-    // workers (and zero redundant simulations). Read-only open: the journal
-    // may not exist yet, and workers must stay free to lock their own.
-    if !ephemeral {
-        if let Ok(cache) = SweepCache::open_read_only(&base) {
-            if !cache.is_empty() {
-                let preset = presets::find(&plan.preset).expect("plan came from the catalogue");
-                let (scenario, _) = preset.build(plan.master_seed, plan.rounds);
-                let mut covered_total = 0usize;
-                for shard in &mut plan.shards {
-                    let units = std::mem::take(&mut shard.units);
-                    let (remaining, covered) = vanet_fleet::split_covered_units(
-                        scenario.as_ref(),
-                        plan.master_seed,
-                        units,
-                        &cache,
-                    )
-                    .map_err(|e| e.to_string())?;
-                    shard.units = remaining;
-                    covered_total += covered;
-                }
-                if covered_total > 0 {
-                    eprintln!(
-                        "fleet: {covered_total} unit(s) already covered by the merged cache, \
-                         {} left to run",
-                        plan.total_units(),
-                    );
-                }
-            }
-        }
-    }
-    let shards_dir = base.join("shards");
-    std::fs::create_dir_all(&shards_dir)
-        .map_err(|e| format!("cannot create {}: {e}", shards_dir.display()))?;
-
-    // Split the thread budget across the worker processes that will
-    // actually spawn (the warm-cache pre-filter may have emptied some
-    // shards — the survivors get the whole budget).
-    let to_spawn = plan.shards.iter().filter(|s| !s.units.is_empty()).count();
-    let threads: usize = opts.get_parsed("threads", 0)?;
-    let budget = if threads == 0 {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    } else {
-        threads
+    let (supervisor, faults) = crate::pipeline::parse_resilience(opts, plan.master_seed, None, 2)?;
+    let common = crate::pipeline::PipelineCommon {
+        threads: opts.get_parsed("threads", 0)?,
+        format: format.to_string(),
+        base,
+        ephemeral,
+        supervisor,
+        faults,
     };
-    let per_worker = budget.div_ceil(to_spawn.max(1)).max(1);
-
-    let exe = std::env::current_exe().map_err(|e| format!("cannot locate carq-cli: {e}"))?;
-    eprintln!(
-        "fleet: {} worker process(es) x {} thread(s) over {} unit(s) of `{}`",
-        to_spawn,
-        per_worker,
-        plan.total_units(),
-        plan.preset,
-    );
-    let mut children = Vec::new();
-    let mut shard_caches = Vec::new();
-    for shard in &plan.shards {
-        if shard.units.is_empty() {
-            continue; // more workers than units: nothing to spawn
-        }
-        let file = shards_dir.join(shard_file_name(shard.index));
-        std::fs::write(&file, shard.encode())
-            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-        let cache_dir = shards_dir.join(format!("cache-{:03}", shard.index));
-        let child = std::process::Command::new(&exe)
-            .arg("fleet")
-            .arg("worker")
-            .arg("--shard")
-            .arg(&file)
-            .arg("--cache")
-            .arg(&cache_dir)
-            .arg("--threads")
-            .arg(per_worker.to_string())
-            .spawn()
-            .map_err(|e| format!("cannot spawn worker {}: {e}", shard.index))?;
-        children.push((shard.index, child));
-        shard_caches.push(cache_dir);
-    }
-    let mut failures = Vec::new();
-    for (index, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("worker {index} exited with {status}")),
-            Err(e) => failures.push(format!("worker {index} could not be waited on: {e}")),
-        }
-    }
-    if !failures.is_empty() {
-        if ephemeral {
-            // A throwaway directory cannot be resumed (the next run gets a
-            // fresh one), so don't leak it — or promise a resume.
-            std::fs::remove_dir_all(&base).ok();
-            return Err(failures.join("; "));
-        }
-        return Err(format!(
-            "{} (shard journals are kept in {}; re-running `fleet run` with the same \
-             --cache resumes the finished work)",
-            failures.join("; "),
-            shards_dir.display(),
-        ));
-    }
-
-    // Merge the shard journals into the main cache, then export from it.
-    let cache = Arc::new(SweepCache::open(&base).map_err(|e| e.to_string())?);
-    let report = vanet_cache::merge_into(&cache, &shard_caches).map_err(|e| e.to_string())?;
-    eprintln!(
-        "fleet: merged {} shard journal(s): {} record(s) ingested, {} duplicate(s), \
-         {} superseded, {} torn byte(s) dropped",
-        report.sources,
-        report.records_ingested,
-        report.records_duplicate,
-        report.records_superseded,
-        report.torn_bytes_dropped,
-    );
-
-    let preset = presets::find(&plan.preset).expect("plan came from the catalogue");
-    let (scenario, spec) = preset.build(plan.master_seed, plan.rounds);
-    let engine = SweepEngine::new(threads).with_cache(Arc::clone(&cache));
-    let result = engine.run(scenario.as_ref(), &spec).map_err(|e| e.to_string())?;
-    eprintln!(
-        "fleet: final pass: {} round(s) simulated, {} served from the merged cache",
-        result.rounds_simulated, result.rounds_cached,
-    );
-
-    let rendered = if format == "json" { result.to_json() } else { result.to_csv() };
+    let outcome = crate::pipeline::run_fleet_pipeline(plan, &common)?;
     match opts.get("out") {
-        Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?
-        }
-        None => print!("{rendered}"),
+        Some(path) => std::fs::write(path, &outcome.rendered)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => print!("{}", outcome.rendered),
     }
-
-    drop(engine);
-    drop(cache);
-    if ephemeral {
-        std::fs::remove_dir_all(&base).ok();
-    } else {
-        // The merged journal holds everything; the per-shard copies are
-        // now redundant.
-        std::fs::remove_dir_all(&shards_dir).ok();
+    if !outcome.quarantined.is_empty() {
+        // The partial export above is still delivered; the exit code and
+        // the gap report say the coverage is incomplete.
+        let gap = outcome
+            .gap_report
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<missing>".into());
+        return Err(CliFailure::degraded(format!(
+            "fleet run degraded: {} shard(s) quarantined after retries; partial export \
+             delivered, coverage gap report at {gap}",
+            outcome.quarantined.len(),
+        )));
     }
     Ok(())
 }

@@ -30,9 +30,12 @@ mod alloc_count;
 mod analyze;
 mod bench;
 mod campaign;
+mod chaos;
 mod cli;
 mod commands;
+mod failure;
 mod gen_cmd;
+mod pipeline;
 mod trace;
 mod verify;
 
@@ -46,10 +49,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("carq-cli: {message}");
-            eprintln!("run `carq-cli help` for usage");
-            ExitCode::from(2)
+        Err(failure) => {
+            // The exit-code contract (0 ok / 1 check failed / 2 usage /
+            // 3 degraded) lives in `failure.rs` and docs/RESILIENCE.md.
+            eprintln!("carq-cli: {failure}");
+            if failure.exit == failure::EXIT_USAGE {
+                eprintln!("run `carq-cli help` for usage");
+            }
+            ExitCode::from(failure.exit)
         }
     }
 }

@@ -19,6 +19,7 @@ use vanet_trace::TraceRecord;
 
 use crate::cli::Options;
 use crate::commands::parse_seed;
+use crate::failure::CliFailure;
 
 /// One failed check, tagged with the round it happened in.
 struct Finding {
@@ -118,17 +119,22 @@ fn verify_rounds(
 }
 
 /// `carq-cli verify --scenario NAME [--rounds N] [--seed S] [--strategy S]`.
-pub fn verify_cmd(opts: &Options) -> Result<(), String> {
+///
+/// Exit-code contract: invariant violations (and vacuous passes) are
+/// failed *checks* — exit 1 — while flag and setup problems stay usage
+/// errors (exit 2).
+pub fn verify_cmd(opts: &Options) -> Result<(), CliFailure> {
     let unknown = opts.unknown_flags(&["scenario", "rounds", "seed", "strategy"]);
     if !unknown.is_empty() {
-        return Err(format!("unknown flags: --{}", unknown.join(", --")));
+        return Err(format!("unknown flags: --{}", unknown.join(", --")).into());
     }
     let registry = ScenarioRegistry::builtin();
     let Some(reference) = opts.get("scenario") else {
         return Err(format!(
             "verify needs --scenario NAME (known: {}) or a generated scenario file",
             registry.names().join(", ")
-        ));
+        )
+        .into());
     };
     // Registered names and `carq-cli gen emit` scenario files both resolve.
     let source = crate::gen_cmd::resolve_scenario(&registry, reference)?;
@@ -176,18 +182,18 @@ fn render_verdict(
     records_total: usize,
     coverage: &[(&'static str, usize)],
     findings: &[Finding],
-) -> Result<(), String> {
+) -> Result<(), CliFailure> {
     if !findings.is_empty() {
-        return Err(format!(
+        return Err(CliFailure::check(format!(
             "{name}: {} invariant violation(s) across {rounds} round(s)",
             findings.len()
-        ));
+        )));
     }
     if records_total == 0 {
-        return Err(format!(
+        return Err(CliFailure::check(format!(
             "{name}: the {rounds} round(s) emitted no trace records — a pass over an empty \
              stream is vacuous (is tracing enabled for this scenario?)"
-        ));
+        )));
     }
     for (invariant, checked) in coverage {
         println!("verify:   {invariant:<24} {checked:>8} record(s) checked");
@@ -211,8 +217,9 @@ mod tests {
     #[test]
     fn verify_validates_its_flags() {
         let err = verify_cmd(&opts(&[])).unwrap_err();
-        assert!(err.contains("--scenario"), "{err}");
-        assert!(err.contains("urban"), "the error lists the known names: {err}");
+        assert!(err.message.contains("--scenario"), "{err}");
+        assert!(err.message.contains("urban"), "the error lists the known names: {err}");
+        assert_eq!(err.exit, crate::failure::EXIT_USAGE, "flag problems are usage errors");
         assert!(verify_cmd(&opts(&["--scenario", "mars"])).is_err());
         assert!(verify_cmd(&opts(&["--bogus", "1"])).is_err());
         assert!(verify_cmd(&opts(&["--scenario", "urban", "--rounds", "0"])).is_err());
@@ -244,7 +251,7 @@ mod tests {
         assert!(verify_cmd(&opts(&["--scenario", "urban", "--strategy", "psychic-arq"])).is_err());
         let err = verify_cmd(&opts(&["--scenario", "urban", "--strategy", "coop-arq,no-coop"]))
             .unwrap_err();
-        assert!(err.contains("exactly one"), "{err}");
+        assert!(err.message.contains("exactly one"), "{err}");
     }
 
     /// The decision-before-request invariant is not vacuous: a seeded
@@ -316,12 +323,14 @@ mod tests {
     #[test]
     fn a_clean_verdict_over_zero_records_is_vacuous_and_refused() {
         let err = render_verdict("urban", 3, 0, &[], &[]).unwrap_err();
-        assert!(err.contains("vacuous"), "{err}");
+        assert!(err.message.contains("vacuous"), "{err}");
+        assert_eq!(err.exit, crate::failure::EXIT_CHECK_FAILED, "vacuous passes are failed checks");
         // Findings still dominate: a violated run is an error, not vacuous.
         let finding =
             Finding { round: 0, invariant: "tx_overlap".into(), detail: "overlap".into() };
         let err = render_verdict("urban", 1, 10, &[("tx_overlap", 4)], &[finding]).unwrap_err();
-        assert!(err.contains("1 invariant violation(s)"), "{err}");
+        assert!(err.message.contains("1 invariant violation(s)"), "{err}");
+        assert_eq!(err.exit, crate::failure::EXIT_CHECK_FAILED);
         // And a real pass with coverage is accepted.
         assert!(render_verdict("urban", 1, 10, &[("tx_overlap", 4)], &[]).is_ok());
     }

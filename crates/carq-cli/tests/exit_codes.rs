@@ -1,0 +1,141 @@
+//! Locks the CLI's exit-code contract so chaos scripts and CI can branch
+//! on *why* a command failed:
+//!
+//! | exit | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | a check failed (invariant violation, stream divergence, chaos mismatch) |
+//! | 2    | usage or operational error |
+//! | 3    | degraded: quarantined shard(s), partial export + gap report |
+//!
+//! The contract is documented in `docs/RESILIENCE.md`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn carq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_carq-cli")).args(args).output().unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("carq-exit-codes-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn success_exits_zero() {
+    let out = carq(&["scenario", "list"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = carq(&["verify", "--scenario", "urban", "--rounds", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn check_failures_exit_one() {
+    // Two strategies on one scenario genuinely diverge: exit 1, not 2.
+    let out = carq(&[
+        "analyze",
+        "diff",
+        "--scenario",
+        "urban",
+        "--strategy",
+        "coop-arq",
+        "--against",
+        "no-coop",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverge"));
+}
+
+#[test]
+fn usage_errors_exit_two_with_help_hint() {
+    for args in [
+        &["no-such-command"][..],
+        &["verify"][..],
+        &["sweep", "run", "--preset", "urban-platoon", "--bogus", "1"][..],
+        &["chaos", "--preset", "urban-platoon", "--generator", "highway-flow"][..],
+    ] {
+        let out = carq(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {stderr}");
+        assert!(stderr.contains("run `carq-cli help` for usage"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn quarantined_shard_degrades_to_exit_three_with_gap_report() {
+    let dir = temp_dir("degraded");
+    // A poison plan: worker 1 dies at round 0 on *every* attempt
+    // (`attempt=*`), so retries are exhausted and the shard quarantines.
+    let plan = "VANETFLT1\n\
+                fault_seed=0x0000000000000007\n\
+                workers=2\n\
+                fault=worker=1;attempt=*;kind=kill-at-round;round=0\n";
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan_path = dir.join("poison.flt");
+    std::fs::write(&plan_path, plan).unwrap();
+
+    let cache = dir.join("cache");
+    let out = carq(&[
+        "fleet",
+        "run",
+        "--preset",
+        "strategy-compare",
+        "--rounds",
+        "2",
+        "--workers",
+        "2",
+        "--cache",
+        cache.to_str().unwrap(),
+        "--faults",
+        plan_path.to_str().unwrap(),
+        "--max-retries",
+        "1",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    let gaps = cache.join("coverage-gaps.json");
+    assert!(gaps.exists(), "gap report missing: {stderr}");
+    let report = std::fs::read_to_string(&gaps).unwrap();
+    assert!(report.contains("\"missing_points\""), "{report}");
+    assert!(report.contains("\"worker\": 1"), "{report}");
+    // The healthy shard's coverage was still exported.
+    assert!(!out.stdout.is_empty(), "partial export missing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_converges_and_exits_zero() {
+    // Kill + torn-append schedule (no stall, to keep the test fast): the
+    // supervised run must heal and converge to the clean run's bytes.
+    let dir = temp_dir("chaos-pass");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = "VANETFLT1\n\
+                fault_seed=0x00000000000000aa\n\
+                workers=2\n\
+                fault=worker=0;attempt=0;kind=kill-at-round;round=1\n\
+                fault=worker=1;attempt=0;kind=torn-append;append=1;keep=9\n";
+    let plan_path = dir.join("kill-torn.flt");
+    std::fs::write(&plan_path, plan).unwrap();
+
+    let out = carq(&[
+        "chaos",
+        "--preset",
+        "strategy-compare",
+        "--rounds",
+        "2",
+        "--workers",
+        "2",
+        "--faults",
+        plan_path.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stdout.contains("chaos: PASS"), "{stdout}\n{stderr}");
+    assert!(stderr.contains("retrying"), "no visible retry: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -54,7 +54,7 @@ pub use digest::RoundDigest;
 pub use engine::{AnalysisEngine, AnalysisError, AnalysisResult};
 pub use latency::{recovery_latency, LatencyAnalyzer, LatencyReport};
 pub use occupancy::{medium_occupancy, OccupancyAnalyzer, OccupancyReport};
-pub use store::{AnalysisStore, StoreError, ANALYSIS_MAGIC};
+pub use store::{AnalysisMergeReport, AnalysisStore, StoreError, ANALYSIS_MAGIC};
 pub use timeline::{node_timeline, render_timeline, TimelineEntry};
 
 use vanet_trace::{RingSink, TraceRecord};

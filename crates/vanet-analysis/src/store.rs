@@ -46,6 +46,37 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// What a digest merge did, per record disposition — the `CARQANA1`
+/// counterpart of `vanet_cache::MergeReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisMergeReport {
+    /// Source journals that contributed.
+    pub sources: usize,
+    /// Digests appended under keys the destination did not hold.
+    pub records_ingested: usize,
+    /// Digests skipped because the destination already held an identical
+    /// one.
+    pub records_duplicate: usize,
+    /// Digests that replaced a differing one under the same key (last
+    /// write wins — non-zero means the sources disagree).
+    pub records_superseded: usize,
+}
+
+impl AnalysisMergeReport {
+    /// Total records accepted into the destination (ingested + superseding).
+    pub fn records_written(&self) -> usize {
+        self.records_ingested + self.records_superseded
+    }
+
+    /// Folds another report (e.g. one more source journal) into this one.
+    pub fn absorb(&mut self, other: &AnalysisMergeReport) {
+        self.sources += other.sources;
+        self.records_ingested += other.records_ingested;
+        self.records_duplicate += other.records_duplicate;
+        self.records_superseded += other.records_superseded;
+    }
+}
+
 /// The checksum of one journal record: FNV-1a over key bytes then payload.
 fn record_checksum(key: &[u8], payload: &[u8]) -> u64 {
     fnv1a64_chain(fnv1a64(key), payload)
@@ -166,6 +197,24 @@ impl AnalysisStore {
         record.extend_from_slice(&record_checksum(key_bytes, &payload).to_le_bytes());
         record.extend_from_slice(key_bytes);
         record.extend_from_slice(&payload);
+        // The injectable write seam (see `vanet-faults`): an armed chaos
+        // schedule may corrupt, delay, fail or tear this append; disarmed
+        // it is a single atomic load.
+        match vanet_faults::before_append(vanet_faults::StoreKind::Analysis, &mut record) {
+            Ok(vanet_faults::AppendAction::Write) => {}
+            Ok(vanet_faults::AppendAction::TornWriteThenDie { keep }) => {
+                let _ = self.file.write_all(&record[..keep]);
+                let _ = self.file.sync_all();
+                eprintln!("fault: torn analysis append — exiting mid-record");
+                std::process::exit(vanet_faults::CHAOS_EXIT);
+            }
+            Err(e) => {
+                return Err(StoreError {
+                    path: self.path.clone(),
+                    message: format!("cannot append: {e}"),
+                })
+            }
+        }
         self.file.write_all(&record).map_err(|e| StoreError {
             path: self.path.clone(),
             message: format!("cannot append: {e}"),
@@ -176,20 +225,26 @@ impl AnalysisStore {
 
     /// Ingests every digest of `source` this store does not already hold
     /// (identical duplicates are skipped, conflicts resolve to the
-    /// source — last write wins, as in the journal itself). Returns how
-    /// many records were ingested.
-    pub fn merge_from(&mut self, source: &AnalysisStore) -> Result<usize, StoreError> {
-        let mut ingested = 0;
+    /// source — last write wins, as in the journal itself). Returns a
+    /// per-disposition report with `sources == 1`.
+    pub fn merge_from(
+        &mut self,
+        source: &AnalysisStore,
+    ) -> Result<AnalysisMergeReport, StoreError> {
+        let mut report = AnalysisMergeReport { sources: 1, ..Default::default() };
         for (key_str, digest) in &source.index {
             let key = CacheKey::parse(key_str).ok_or_else(|| StoreError {
                 path: source.path.clone(),
                 message: format!("unparseable key `{key_str}`"),
             })?;
-            if self.put(&key, digest)? {
-                ingested += 1;
+            match self.index.get(key_str) {
+                None => report.records_ingested += 1,
+                Some(held) if held == digest => report.records_duplicate += 1,
+                Some(_) => report.records_superseded += 1,
             }
+            self.put(&key, digest)?;
         }
-        Ok(ingested)
+        Ok(report)
     }
 }
 
@@ -354,10 +409,71 @@ mod tests {
         a.put(&key(0), &digest(0)).unwrap();
         b.put(&key(0), &digest(0)).unwrap();
         b.put(&key(1), &digest(1)).unwrap();
-        assert_eq!(a.merge_from(&b).unwrap(), 1, "only the missing digest ingests");
+        let merged = a.merge_from(&b).unwrap();
+        assert_eq!(merged.records_ingested, 1, "only the missing digest ingests");
+        assert_eq!(merged.records_duplicate, 1);
+        assert_eq!(merged.records_superseded, 0);
         assert_eq!(a.len(), 2);
-        assert_eq!(a.merge_from(&b).unwrap(), 0, "idempotent");
+        let again = a.merge_from(&b).unwrap();
+        assert_eq!(again.records_ingested, 0, "idempotent");
+        assert_eq!(again.records_duplicate, 2);
+        assert_eq!(again.records_written(), 0);
         std::fs::remove_dir_all(&dir_a).ok();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// Property test: kill the writer at ANY byte offset (simulated by
+    /// truncating the journal there) and the next open must keep exactly
+    /// the records whose bytes are fully on disk, report the torn tail's
+    /// length, truncate it, and leave the journal appendable — the
+    /// `CARQANA1` mirror of the sweep-journal torn-tail test.
+    #[test]
+    fn kill_at_random_byte_offset_truncates_exactly_the_torn_tail() {
+        let dir = temp_dir("kill-offset");
+        // Record the journal length after the header and after every put:
+        // each is a valid record boundary a crash could land between.
+        let mut boundaries = Vec::new();
+        let mut store = AnalysisStore::open(&dir).unwrap();
+        let path = dir.join(JOURNAL_NAME);
+        boundaries.push(std::fs::metadata(&path).unwrap().len());
+        for i in 0..6 {
+            store.put(&key(i), &digest(i)).unwrap();
+            boundaries.push(std::fs::metadata(&path).unwrap().len());
+        }
+        drop(store);
+        let pristine = std::fs::read(&path).unwrap();
+        let header_len = boundaries[0];
+        let full_len = *boundaries.last().unwrap();
+        assert_eq!(full_len, pristine.len() as u64);
+
+        let mut rng = 0x1CDC_2008_u64;
+        for case in 0..64 {
+            // A seeded "random" offset anywhere past the header, plus the
+            // exact-boundary edge cases on the first iterations.
+            let offset = if (case as usize) < boundaries.len() {
+                boundaries[case as usize]
+            } else {
+                header_len + vanet_faults::splitmix64(&mut rng) % (full_len - header_len + 1)
+            };
+            std::fs::write(&path, &pristine[..offset as usize]).unwrap();
+
+            let survivors = boundaries.iter().filter(|b| **b <= offset).count() - 1;
+            let tail = offset - boundaries[survivors];
+            let mut store = AnalysisStore::open(&dir)
+                .unwrap_or_else(|e| panic!("offset {offset}: open failed: {e}"));
+            assert_eq!(store.len(), survivors, "offset {offset}");
+            assert_eq!(store.recovered_bytes(), tail, "offset {offset}");
+            for i in 0..survivors as u32 {
+                assert_eq!(store.get(&key(i)), Some(digest(i)), "offset {offset}");
+            }
+            // The tail was really truncated and the journal is writable.
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), boundaries[survivors]);
+            assert!(store.put(&key(99), &digest(99)).unwrap());
+            drop(store);
+            let reopened = AnalysisStore::open(&dir).unwrap();
+            assert_eq!(reopened.len(), survivors + 1, "offset {offset}");
+            assert_eq!(reopened.recovered_bytes(), 0, "offset {offset}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

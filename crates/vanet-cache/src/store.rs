@@ -154,50 +154,104 @@ fn process_alive(pid: u32) -> bool {
     }
 }
 
+/// Whether two paths name the same inode (the post-claim ownership check).
+/// On platforms without inode identity the answer is a conservative "yes" —
+/// the lock is advisory there anyway, like [`process_alive`].
+fn same_file(a: &Path, b: &Path) -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt as _;
+        match (std::fs::metadata(a), std::fs::metadata(b)) {
+            (Ok(ma), Ok(mb)) => ma.dev() == mb.dev() && ma.ino() == mb.ino(),
+            _ => false,
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (a, b);
+        true
+    }
+}
+
 /// Takes the directory's advisory writer lock, reclaiming a lockfile whose
 /// recorded pid is no longer alive (a crashed writer).
+///
+/// Acquisition is atomic. This process's pid is written once to a private
+/// claim file, and the lock is taken by `hard_link`ing the claim to
+/// `cache.lock`: the link fails if the path exists, and the lockfile's
+/// content is complete the instant the path appears — there is no
+/// create-then-write window in which a concurrent opener reads an empty
+/// lockfile. A stale lock is stolen by atomically renaming it into a
+/// private tomb and then **re-verifying the tomb's content**: exactly one
+/// racer wins the rename, and if what it yanked is not the stale pid it
+/// observed (a faster reclaimer already stole the stale lock *and*
+/// re-locked), the yanked fresh lock is linked back into place and the
+/// contention error is returned — two processes reclaiming the same stale
+/// pid can no longer both proceed. After a successful link the claim and
+/// the lockfile are compared by inode as a final ownership check.
 fn acquire_lock(dir: &Path, journal: &Path) -> Result<LockGuard, CacheError> {
     let lock_path = dir.join(LOCK_FILE);
-    for attempt in 0..2 {
-        match OpenOptions::new().write(true).create_new(true).open(&lock_path) {
-            Ok(mut file) => {
-                let _ = writeln!(file, "{}", std::process::id());
+    let pid = std::process::id();
+    let claim_path = dir.join(format!("{LOCK_FILE}.claim.{pid}"));
+    std::fs::write(&claim_path, format!("{pid}\n"))
+        .map_err(|e| CacheError::io(&claim_path, "write the lock claim file", &e))?;
+    // Dropping this on every exit path removes the claim; on success the
+    // lockfile is a second link to the same inode and survives it.
+    let claim_guard = LockGuard { path: claim_path.clone() };
+    let contention = |holder: Option<u32>| -> CacheError {
+        let who = holder.map(|p| format!(" (pid {p})")).unwrap_or_default();
+        CacheError::new(
+            journal,
+            format!(
+                "another writer{who} holds this cache (lockfile `{}`); run one \
+                 sweep per cache directory at a time, or delete the lockfile if \
+                 that process is gone",
+                lock_path.display()
+            ),
+        )
+    };
+    // Two reclaim rounds cover every benign interleaving; a loop that is
+    // still losing races after that reports contention instead of spinning.
+    for _attempt in 0..3 {
+        match std::fs::hard_link(&claim_path, &lock_path) {
+            Ok(()) => {
+                if !same_file(&claim_path, &lock_path) {
+                    // The claim linked but the path is someone else's inode:
+                    // only possible if an outside agent swapped the lockfile
+                    // under us. Do not touch it; report contention.
+                    return Err(contention(None));
+                }
+                drop(claim_guard);
                 return Ok(LockGuard { path: lock_path });
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 let holder = std::fs::read_to_string(&lock_path)
                     .ok()
                     .and_then(|s| s.trim().parse::<u32>().ok());
-                let stale =
-                    holder.is_some_and(|pid| pid != std::process::id() && !process_alive(pid));
-                if stale && attempt == 0 {
-                    // A crashed writer's leftover. Reclaim by *renaming* it
-                    // away — rename is atomic, so when several openers race
-                    // for the same stale lock exactly one wins the reclaim;
-                    // the losers retry `create_new` and lose to whichever
-                    // writer locked in the meantime, instead of deleting
-                    // that writer's fresh lock out from under it.
-                    let tomb = dir.join(format!("{LOCK_FILE}.stale.{}", std::process::id()));
-                    if std::fs::rename(&lock_path, &tomb).is_ok() {
-                        let _ = std::fs::remove_file(&tomb);
-                    }
-                    continue;
+                let stale = holder.is_some_and(|p| p != pid && !process_alive(p));
+                if !stale {
+                    return Err(contention(holder));
                 }
-                let who = holder.map(|pid| format!(" (pid {pid})")).unwrap_or_default();
-                return Err(CacheError::new(
-                    journal,
-                    format!(
-                        "another writer{who} holds this cache (lockfile `{}`); run one \
-                         sweep per cache directory at a time, or delete the lockfile if \
-                         that process is gone",
-                        lock_path.display()
-                    ),
-                ));
+                let tomb = dir.join(format!("{LOCK_FILE}.stale.{pid}"));
+                if std::fs::rename(&lock_path, &tomb).is_ok() {
+                    let yanked = std::fs::read_to_string(&tomb)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    if yanked != holder {
+                        // We yanked a *fresh* lock a faster reclaimer just
+                        // created. Restore it and concede.
+                        let _ = std::fs::hard_link(&tomb, &lock_path);
+                        let _ = std::fs::remove_file(&tomb);
+                        return Err(contention(yanked));
+                    }
+                    let _ = std::fs::remove_file(&tomb);
+                }
+                // Retry the link; whoever claims first wins.
             }
             Err(e) => return Err(CacheError::io(&lock_path, "create the writer lockfile", &e)),
         }
     }
-    unreachable!("the second lock attempt either succeeds or returns the contention error")
+    Err(contention(None))
 }
 
 struct Inner {
@@ -495,11 +549,24 @@ impl SweepCache {
         key: &str,
         report: RoundReport,
     ) -> Result<(), CacheError> {
-        let record = encode_record(key, &report);
+        let mut record = encode_record(key, &report);
         let good = inner.file_bytes;
         let Some(file) = inner.file.as_mut() else {
             return Err(CacheError::new(&self.path, "opened read-only; cannot append"));
         };
+        // The injectable write seam: an armed chaos schedule may corrupt
+        // the record, delay it, fail it, or demand a torn write-then-die
+        // here. Disarmed (every production run) this is one atomic load.
+        match vanet_faults::before_append(vanet_faults::StoreKind::Sweep, &mut record) {
+            Ok(vanet_faults::AppendAction::Write) => {}
+            Ok(vanet_faults::AppendAction::TornWriteThenDie { keep }) => {
+                let _ = file.write_all(&record[..keep]);
+                let _ = file.sync_all();
+                eprintln!("fault: torn append — exiting mid-record");
+                std::process::exit(vanet_faults::CHAOS_EXIT);
+            }
+            Err(e) => return Err(CacheError::io(&self.path, "append a record", &e)),
+        }
         if let Err(e) = file.write_all(&record) {
             // A partial append would become a *mid-file* tear if later puts
             // landed after it — and everything after a tear is dropped on

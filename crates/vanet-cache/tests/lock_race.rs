@@ -1,0 +1,109 @@
+//! Two-process regression test for the `cache.lock` stale-lock race.
+//!
+//! The original acquisition had a TOCTOU hole: two workers could both read
+//! a stale pid from `cache.lock`, both delete it, and both create their own
+//! lockfile — two live writers on one journal. The fixed acquisition claims
+//! via a private file + `hard_link` (atomic on every platform we build for)
+//! and re-verifies ownership after stealing a stale lock, so exactly one
+//! reclaimer may win.
+//!
+//! The test re-executes this test binary: the parent plants a stale lock
+//! (a dead process's pid), spawns two children that block on a shared "go"
+//! file and then race to open the cache writably at the same instant, and
+//! asserts exactly one child claimed the lock while the other got the
+//! contention error.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use vanet_cache::SweepCache;
+
+const CHILD_ENV: &str = "VANET_LOCK_RACE_CHILD";
+
+/// Child mode: wait for the go-file, race for the writer lock once, report
+/// the outcome on stdout, and (if we won) hold the lock long enough for the
+/// loser to observe it.
+fn run_child(dir: &str) {
+    let dir = Path::new(dir);
+    let go = dir.join("go");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !go.exists() {
+        assert!(Instant::now() < deadline, "parent never released the children");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    match SweepCache::open(dir) {
+        Ok(cache) => {
+            println!("LOCK_RACE=claimed");
+            // Keep the lock alive while the sibling attempts its claim.
+            std::thread::sleep(Duration::from_millis(1500));
+            drop(cache);
+        }
+        Err(err) => {
+            let rendered = err.to_string();
+            assert!(rendered.contains("another writer"), "unexpected error: {rendered}");
+            println!("LOCK_RACE=contended");
+        }
+    }
+}
+
+/// A pid that is certainly not alive: a just-reaped child of ours.
+fn dead_pid() -> u32 {
+    let mut child = Command::new("sh").arg("-c").arg("exit 0").spawn().unwrap();
+    let pid = child.id();
+    child.wait().unwrap();
+    pid
+}
+
+#[test]
+fn two_processes_cannot_both_reclaim_a_stale_lock() {
+    if let Ok(dir) = std::env::var(CHILD_ENV) {
+        run_child(&dir);
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("vanet-cache-lock-race-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A valid cache directory with a *stale* lock: the pid belongs to a
+    // process that has already exited.
+    drop(SweepCache::open(&dir).unwrap());
+    std::fs::write(dir.join("cache.lock"), format!("{}\n", dead_pid())).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let spawn = || {
+        Command::new(&exe)
+            .arg("two_processes_cannot_both_reclaim_a_stale_lock")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(CHILD_ENV, dir.display().to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap()
+    };
+    let first = spawn();
+    let second = spawn();
+    // Both children are polling for this file; creating it starts the race.
+    std::fs::write(dir.join("go"), b"go").unwrap();
+
+    let first = first.wait_with_output().unwrap();
+    let second = second.wait_with_output().unwrap();
+    let stdout = format!(
+        "{}{}",
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+    );
+    assert!(first.status.success() && second.status.success(), "child failed:\n{stdout}");
+    let claimed = stdout.matches("LOCK_RACE=claimed").count();
+    let contended = stdout.matches("LOCK_RACE=contended").count();
+    assert_eq!(
+        (claimed, contended),
+        (1, 1),
+        "exactly one reclaimer may win the stale lock:\n{stdout}"
+    );
+
+    // The winner's drop released the lock: the cache is writable again.
+    assert!(!dir.join("cache.lock").exists(), "lockfile leaked");
+    drop(SweepCache::open(&dir).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}

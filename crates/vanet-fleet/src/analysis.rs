@@ -4,14 +4,16 @@
 
 use std::path::Path;
 
-use vanet_analysis::{AnalysisStore, StoreError};
+use vanet_analysis::{AnalysisMergeReport, AnalysisStore, StoreError};
 
 /// Unions the analysis journals under `sources` (shard cache directories)
-/// into the store under `dest`, returning how many digests were ingested.
-/// Source directories without an analysis journal are skipped — a worker
-/// that only ran sweeps has round reports but no digests, and that is not
-/// an error. Identical duplicates are skipped; conflicting digests resolve
-/// to the source (last write wins, the journal's own rule).
+/// into the store under `dest`, returning a per-disposition
+/// [`AnalysisMergeReport`] whose `sources` counts the journals that
+/// actually contributed. Source directories without an analysis journal
+/// are skipped — a worker that only ran sweeps has round reports but no
+/// digests, and that is not an error. Identical duplicates are skipped;
+/// conflicting digests resolve to the source (last write wins, the
+/// journal's own rule).
 ///
 /// # Errors
 ///
@@ -19,19 +21,19 @@ use vanet_analysis::{AnalysisStore, StoreError};
 pub fn merge_analysis<P: AsRef<Path>>(
     dest: impl AsRef<Path>,
     sources: &[P],
-) -> Result<usize, StoreError> {
+) -> Result<AnalysisMergeReport, StoreError> {
     let mut store = AnalysisStore::open(&dest)?;
     let dest_journal = store.journal_path().canonicalize().ok();
-    let mut ingested = 0;
+    let mut report = AnalysisMergeReport::default();
     for source in sources {
         let journal = source.as_ref().join("analysis.journal");
         if !journal.exists() || journal.canonicalize().ok() == dest_journal {
             continue;
         }
         let shard = AnalysisStore::open(source.as_ref())?;
-        ingested += store.merge_from(&shard)?;
+        report.absorb(&store.merge_from(&shard)?);
     }
-    Ok(ingested)
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -74,14 +76,17 @@ mod tests {
         drop(shard_b);
 
         // `bare` has no journal and is skipped; the overlap deduplicates.
-        let ingested = merge_analysis(&dest, &[&a, &b, &bare]).unwrap();
-        assert_eq!(ingested, 3);
+        let report = merge_analysis(&dest, &[&a, &b, &bare]).unwrap();
+        assert_eq!(report.sources, 2, "the journal-less source does not count");
+        assert_eq!(report.records_ingested, 3);
+        assert_eq!(report.records_duplicate, 1);
+        assert_eq!(report.records_superseded, 0);
         let merged = AnalysisStore::open(&dest).unwrap();
         assert_eq!(merged.len(), 3);
         assert_eq!(merged.get(&key(2)), Some(digest(2)));
 
         // Merging the destination into itself is a no-op, not corruption.
-        assert_eq!(merge_analysis(&dest, &[&dest]).unwrap(), 0);
+        assert_eq!(merge_analysis(&dest, &[&dest]).unwrap().records_written(), 0);
         for dir in [dest, a, b, bare] {
             std::fs::remove_dir_all(dir).ok();
         }

@@ -1,0 +1,136 @@
+//! Worker-side heartbeat files: the liveness channel between a fleet
+//! worker process and the supervisor that spawned it.
+//!
+//! A heartbeat file is deliberately dumb — two lines, rewritten in place a
+//! few times a second:
+//!
+//! ```text
+//! pid=12345
+//! progress=817
+//! ```
+//!
+//! `progress` is the worker's monotonic completed-round counter (from
+//! [`vanet_faults::progress`]): it advances for fresh and cached rounds
+//! alike, so a worker grinding through a warm journal still looks alive.
+//! The supervisor never trusts timestamps in the file — clocks on the two
+//! sides need not agree. It watches the *value*: a worker whose progress
+//! has not changed for `--worker-timeout` is hung (stalled, deadlocked,
+//! wedged on I/O) and gets restarted. Parsing is defensive on the
+//! supervisor side because a heartbeat write can race a read; a torn or
+//! missing file simply reads as "no progress yet".
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the background flusher rewrites the heartbeat file.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Writes one snapshot of the heartbeat file. Rewrite-in-place is fine:
+/// the file is tiny, and the supervisor tolerates torn reads.
+fn write_snapshot(path: &Path, progress: u64) -> io::Result<()> {
+    fs::write(path, format!("pid={}\nprogress={progress}\n", std::process::id()))
+}
+
+/// A background thread that flushes the process-wide completed-round
+/// counter to `path` every [`HEARTBEAT_INTERVAL`] until dropped. Dropping
+/// the guard stops the thread and writes one final snapshot, so the last
+/// rounds of a fast worker are never lost to flush granularity.
+#[derive(Debug)]
+pub struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl HeartbeatGuard {
+    /// Starts heartbeating into `path`, creating parent directories and
+    /// writing an initial `progress=0` snapshot immediately so the
+    /// supervisor sees the file as soon as the worker is up.
+    ///
+    /// # Errors
+    ///
+    /// The initial snapshot's I/O error; the background thread itself
+    /// swallows later write errors (a supervisor that cannot read the file
+    /// treats the worker as making no progress, which is the safe side).
+    pub fn start(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        write_snapshot(&path, vanet_faults::progress())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_path = path.clone();
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(HEARTBEAT_INTERVAL);
+                let _ = write_snapshot(&thread_path, vanet_faults::progress());
+            }
+        });
+        Ok(Self { stop, handle: Some(handle), path })
+    }
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let _ = write_snapshot(&self.path, vanet_faults::progress());
+    }
+}
+
+/// Reads the progress counter out of a heartbeat file. `None` when the
+/// file is missing, unreadable or torn — the caller treats all three as
+/// "no observable progress", which only ever makes the supervisor *more*
+/// suspicious, never less.
+pub fn read_progress(path: &Path) -> Option<u64> {
+    let text = fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| line.strip_prefix("progress=")).and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "vanet-fleet-heartbeat-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn guard_writes_immediately_and_flushes_on_drop() {
+        let path = temp_path("guard");
+        let guard = HeartbeatGuard::start(&path).unwrap();
+        let initial = read_progress(&path).expect("initial snapshot present");
+        drop(guard);
+        let last = read_progress(&path).expect("final snapshot present");
+        assert!(last >= initial);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&format!("pid={}\n", std::process::id())));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_or_missing_heartbeats_read_as_none() {
+        let path = temp_path("torn");
+        assert_eq!(read_progress(&path), None, "missing file");
+        fs::write(&path, "pid=1\nprogre").unwrap();
+        assert_eq!(read_progress(&path), None, "torn mid-key");
+        fs::write(&path, "pid=1\nprogress=4").unwrap();
+        assert_eq!(read_progress(&path), Some(4), "no trailing newline is fine");
+        fs::write(&path, "garbage\nprogress=abc\n").unwrap();
+        assert_eq!(read_progress(&path), None, "unparseable value");
+        fs::remove_file(&path).ok();
+    }
+}

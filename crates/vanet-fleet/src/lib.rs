@@ -54,10 +54,16 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod heartbeat;
 pub mod plan;
+pub mod supervisor;
 pub mod worker;
 
 pub use analysis::merge_analysis;
+pub use heartbeat::{read_progress, HeartbeatGuard, HEARTBEAT_INTERVAL};
+pub use supervisor::{
+    supervise, SupervisionReport, SupervisorConfig, WorkerOutcome, WorkerReport, WorkerTask,
+};
 
 pub use campaign::{
     campaign_table, execute_campaign_shard, split_covered_scenarios, CampaignPlan, CampaignResult,

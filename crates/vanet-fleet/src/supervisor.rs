@@ -1,0 +1,465 @@
+//! The self-healing worker supervisor behind `carq-cli fleet run` and
+//! `campaign run`.
+//!
+//! A fleet's failure modes are mundane — a worker OOM-killed, wedged on a
+//! slow disk, or dying mid-append — and none of them should cost the run.
+//! The supervisor owns every worker process and runs a small state machine
+//! per worker:
+//!
+//! ```text
+//!            spawn                exit 0
+//! [Pending] ───────► [Running] ─────────────► [Done: completed]
+//!                      │   ▲
+//!      exit != 0 /     │   │ backoff elapsed
+//!      hang detected   ▼   │
+//!                   [Backoff] ── retries exhausted ──► [Done: quarantined]
+//! ```
+//!
+//! * **Crash detection** is `try_wait` on the child: any non-zero exit —
+//!   including the fault injector's deliberate `exit(86)` — counts as a
+//!   failure.
+//! * **Hang detection** watches the worker's heartbeat file
+//!   ([`crate::heartbeat`]): the supervisor remembers the last *observed
+//!   change* of the progress counter on its own clock, so no cross-process
+//!   timestamp comparison is ever needed. A worker whose progress has not
+//!   moved for `worker_timeout` is killed and treated like a crash.
+//! * **Backoff** between restarts is exponential
+//!   (`base * 2^(retry-1)`, capped) plus a deterministic jitter drawn from
+//!   `splitmix64(run_seed ^ worker ^ retry)` — restarts of a crashing
+//!   fleet de-synchronise without making the run timing-nondeterministic
+//!   in any way that matters to results (results are content-addressed;
+//!   timing never reaches them).
+//! * **Quarantine**: a worker that fails `max_retries + 1` times total is
+//!   poisoned — the supervisor gives up on *that shard only* and the run
+//!   degrades gracefully instead of aborting (partial merge, coverage gap
+//!   report, degraded exit code — see `docs/RESILIENCE.md`).
+
+use std::io;
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+use vanet_faults::splitmix64;
+
+use crate::heartbeat::read_progress;
+
+/// How often the supervisor polls children and heartbeats.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One worker-shaped unit of supervised work.
+#[derive(Debug, Clone)]
+pub struct WorkerTask {
+    /// Stable worker index (shard index); also salts the backoff jitter.
+    pub index: usize,
+    /// Human-readable label for supervisor messages (e.g. `shard-002`).
+    pub label: String,
+    /// Heartbeat file this worker's process writes its progress into.
+    pub heartbeat: PathBuf,
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Kill-and-restart a worker whose heartbeat progress has not changed
+    /// for this long. `None` disables hang detection (crashes are still
+    /// caught — `try_wait` needs no timeout).
+    pub worker_timeout: Option<Duration>,
+    /// Restarts allowed per worker before quarantine; a worker is
+    /// quarantined after `max_retries + 1` total failed attempts.
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter (the run's master seed).
+    pub run_seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            worker_timeout: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+            run_seed: 0,
+        }
+    }
+}
+
+/// Terminal state of one supervised worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The worker (eventually) exited cleanly.
+    Completed,
+    /// The worker failed `max_retries + 1` times and was given up on.
+    Quarantined {
+        /// Human-readable description of the final failure.
+        last_error: String,
+    },
+}
+
+/// What happened to one worker across all its attempts.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The task's stable index.
+    pub index: usize,
+    /// The task's label.
+    pub label: String,
+    /// Total attempts made (1 = no retries were needed).
+    pub attempts: u32,
+    /// How the worker ended.
+    pub outcome: WorkerOutcome,
+}
+
+impl WorkerReport {
+    /// True when the worker completed (possibly after retries).
+    pub fn completed(&self) -> bool {
+        self.outcome == WorkerOutcome::Completed
+    }
+}
+
+/// The supervisor's verdict over the whole fleet.
+#[derive(Debug, Clone)]
+pub struct SupervisionReport {
+    /// Per-worker reports, in task order.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl SupervisionReport {
+    /// Total restarts across the fleet (attempts beyond each first).
+    pub fn restarts(&self) -> u32 {
+        self.workers.iter().map(|w| w.attempts.saturating_sub(1)).sum()
+    }
+
+    /// The quarantined workers, if any — empty means a fully healthy run.
+    pub fn quarantined(&self) -> Vec<&WorkerReport> {
+        self.workers.iter().filter(|w| !w.completed()).collect()
+    }
+}
+
+/// Deterministic backoff before retry number `retry` (1-based) of worker
+/// `index`: exponential with cap, plus a jitter in `[0, base]` drawn from
+/// the run seed so identical runs back off identically.
+fn backoff_delay(config: &SupervisorConfig, index: usize, retry: u32) -> Duration {
+    let base_ms = config.backoff_base.as_millis() as u64;
+    let cap_ms = config.backoff_cap.as_millis() as u64;
+    let exp = retry.saturating_sub(1).min(16);
+    let delay = base_ms.saturating_mul(1u64 << exp).min(cap_ms);
+    let mut state = config.run_seed ^ ((index as u64) << 32) ^ u64::from(retry);
+    let jitter = if base_ms == 0 { 0 } else { splitmix64(&mut state) % (base_ms + 1) };
+    Duration::from_millis(delay + jitter)
+}
+
+enum WorkerState {
+    Running { child: Child, attempt: u32, last_progress: Option<u64>, last_change: Instant },
+    Backoff { next_attempt: u32, resume_at: Instant },
+    Done(WorkerOutcome),
+}
+
+/// Runs every task to a terminal state. `spawn` is called with the task
+/// and a 0-based attempt number and must start the worker process;
+/// `notify` receives one human-readable line per supervision event
+/// (restart, quarantine) for the CLI to surface.
+///
+/// The supervisor never aborts the whole run: a worker that cannot be kept
+/// alive is quarantined and the rest of the fleet finishes. Interpreting a
+/// quarantine (degraded merge, gap report, exit code) is the caller's job.
+pub fn supervise(
+    tasks: &[WorkerTask],
+    config: &SupervisorConfig,
+    spawn: impl Fn(&WorkerTask, u32) -> io::Result<Child>,
+    notify: &mut dyn FnMut(String),
+) -> SupervisionReport {
+    let mut attempts: Vec<u32> = vec![0; tasks.len()];
+    let mut states: Vec<WorkerState> = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        states.push(start_attempt(task, 0, config, &spawn, &mut attempts, notify));
+    }
+
+    loop {
+        let mut all_done = true;
+        for (slot, task) in states.iter_mut().zip(tasks) {
+            match slot {
+                WorkerState::Done(_) => {}
+                WorkerState::Backoff { next_attempt, resume_at } => {
+                    all_done = false;
+                    if Instant::now() >= *resume_at {
+                        let attempt = *next_attempt;
+                        *slot = start_attempt(task, attempt, config, &spawn, &mut attempts, notify);
+                    }
+                }
+                WorkerState::Running { child, attempt, last_progress, last_change } => {
+                    all_done = false;
+                    match child.try_wait() {
+                        Ok(Some(status)) if status.success() => {
+                            *slot = WorkerState::Done(WorkerOutcome::Completed);
+                        }
+                        Ok(Some(status)) => {
+                            let error = match status.code() {
+                                Some(code) => format!("exited with code {code}"),
+                                None => "killed by a signal".to_string(),
+                            };
+                            *slot = after_failure(task, *attempt, error, config, notify);
+                        }
+                        Err(e) => {
+                            let error = format!("could not be waited on: {e}");
+                            *slot = after_failure(task, *attempt, error, config, notify);
+                        }
+                        Ok(None) => {
+                            // Alive. Watch the heartbeat for progress; any
+                            // observed change resets the hang clock.
+                            let progress = read_progress(&task.heartbeat);
+                            if progress.is_some() && progress != *last_progress {
+                                *last_progress = progress;
+                                *last_change = Instant::now();
+                            }
+                            if let Some(timeout) = config.worker_timeout {
+                                if last_change.elapsed() > timeout {
+                                    let _ = child.kill();
+                                    let _ = child.wait();
+                                    let error = format!(
+                                        "hung: no progress for {:.1}s",
+                                        timeout.as_secs_f64()
+                                    );
+                                    *slot = after_failure(task, *attempt, error, config, notify);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(POLL_INTERVAL);
+    }
+
+    SupervisionReport {
+        workers: states
+            .into_iter()
+            .zip(tasks)
+            .zip(&attempts)
+            .map(|((state, task), &attempts)| {
+                let WorkerState::Done(outcome) = state else { unreachable!("loop ran to done") };
+                WorkerReport { index: task.index, label: task.label.clone(), attempts, outcome }
+            })
+            .collect(),
+    }
+}
+
+/// Spawns attempt `attempt` of `task`, treating a spawn error itself as a
+/// failure of that attempt (so an unspawnable worker quarantines instead
+/// of looping forever).
+fn start_attempt(
+    task: &WorkerTask,
+    attempt: u32,
+    config: &SupervisorConfig,
+    spawn: &impl Fn(&WorkerTask, u32) -> io::Result<Child>,
+    attempts: &mut [u32],
+    notify: &mut dyn FnMut(String),
+) -> WorkerState {
+    attempts[task_position(task, attempts.len())] = attempt + 1;
+    match spawn(task, attempt) {
+        Ok(child) => WorkerState::Running {
+            child,
+            attempt,
+            last_progress: None,
+            last_change: Instant::now(),
+        },
+        Err(e) => after_failure(task, attempt, format!("failed to spawn: {e}"), config, notify),
+    }
+}
+
+/// `task.index` is the stable identity, but the attempts table is in task
+/// order; tasks are handed to [`supervise`] with `index == position` by
+/// every caller in this crate, so the position *is* the index (asserted in
+/// debug builds).
+fn task_position(task: &WorkerTask, len: usize) -> usize {
+    debug_assert!(task.index < len);
+    task.index.min(len - 1)
+}
+
+/// Decides retry-vs-quarantine after a failed attempt.
+fn after_failure(
+    task: &WorkerTask,
+    attempt: u32,
+    error: String,
+    config: &SupervisorConfig,
+    notify: &mut dyn FnMut(String),
+) -> WorkerState {
+    if attempt >= config.max_retries {
+        notify(format!(
+            "worker {} ({}) {error} — quarantined after {} attempt(s)",
+            task.index,
+            task.label,
+            attempt + 1
+        ));
+        return WorkerState::Done(WorkerOutcome::Quarantined { last_error: error });
+    }
+    let retry = attempt + 1;
+    let delay = backoff_delay(config, task.index, retry);
+    notify(format!(
+        "worker {} ({}) {error} — retrying in {}ms (attempt {}/{})",
+        task.index,
+        task.label,
+        delay.as_millis(),
+        retry + 1,
+        config.max_retries + 1
+    ));
+    WorkerState::Backoff { next_attempt: retry, resume_at: Instant::now() + delay }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::Command;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sh(script: &str) -> io::Result<Child> {
+        Command::new("sh").arg("-c").arg(script).spawn()
+    }
+
+    fn tasks(n: usize) -> Vec<WorkerTask> {
+        (0..n)
+            .map(|index| WorkerTask {
+                index,
+                label: format!("shard-{index:03}"),
+                heartbeat: std::env::temp_dir().join(format!(
+                    "vanet-fleet-supervisor-test-{}-{}-{index}.hb",
+                    std::process::id(),
+                    {
+                        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+                        COUNTER.fetch_add(1, Ordering::Relaxed)
+                    }
+                )),
+            })
+            .collect()
+    }
+
+    fn fast_config() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_completes_first_try() {
+        let tasks = tasks(3);
+        let mut lines = Vec::new();
+        let report = supervise(&tasks, &fast_config(), |_, _| sh("true"), &mut |l| lines.push(l));
+        assert!(report.workers.iter().all(WorkerReport::completed));
+        assert_eq!(report.restarts(), 0);
+        assert!(report.quarantined().is_empty());
+        assert!(lines.is_empty(), "no events on a healthy run: {lines:?}");
+    }
+
+    #[test]
+    fn crashing_worker_is_retried_with_backoff_until_it_succeeds() {
+        let tasks = tasks(2);
+        let mut lines = Vec::new();
+        let report = supervise(
+            &tasks,
+            &SupervisorConfig { max_retries: 3, ..fast_config() },
+            // Worker 1 crashes twice (exit 7), then recovers; worker 0 is
+            // healthy throughout.
+            |task, attempt| {
+                if task.index == 1 && attempt < 2 {
+                    sh("exit 7")
+                } else {
+                    sh("true")
+                }
+            },
+            &mut |l| lines.push(l),
+        );
+        assert!(report.workers.iter().all(WorkerReport::completed));
+        assert_eq!(report.workers[0].attempts, 1);
+        assert_eq!(report.workers[1].attempts, 3);
+        assert_eq!(report.restarts(), 2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("exited with code 7"), "{lines:?}");
+        assert!(lines[0].contains("retrying in"), "{lines:?}");
+    }
+
+    #[test]
+    fn persistent_failure_quarantines_after_max_retries() {
+        let tasks = tasks(1);
+        let mut lines = Vec::new();
+        let report = supervise(
+            &tasks,
+            &SupervisorConfig { max_retries: 2, ..fast_config() },
+            |_, _| sh("exit 7"),
+            &mut |l| lines.push(l),
+        );
+        assert_eq!(report.workers[0].attempts, 3, "max_retries + 1 total attempts");
+        let quarantined = report.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        let WorkerOutcome::Quarantined { last_error } = &quarantined[0].outcome else {
+            panic!("expected quarantine");
+        };
+        assert!(last_error.contains("exited with code 7"));
+        assert!(lines.last().unwrap().contains("quarantined after 3 attempt(s)"), "{lines:?}");
+    }
+
+    #[test]
+    fn hung_worker_is_killed_on_heartbeat_timeout() {
+        let tasks = tasks(1);
+        let started = Instant::now();
+        let mut lines = Vec::new();
+        let report = supervise(
+            &tasks,
+            &SupervisorConfig {
+                worker_timeout: Some(Duration::from_millis(150)),
+                max_retries: 0,
+                ..fast_config()
+            },
+            // The sleep never writes a heartbeat, so it reads as hung.
+            |_, _| sh("sleep 30"),
+            &mut |l| lines.push(l),
+        );
+        assert!(started.elapsed() < Duration::from_secs(10), "did not wait for the sleep");
+        let WorkerOutcome::Quarantined { last_error } = &report.workers[0].outcome else {
+            panic!("expected quarantine, got {:?}", report.workers[0].outcome);
+        };
+        assert!(last_error.contains("no progress"), "{last_error}");
+    }
+
+    #[test]
+    fn unspawnable_worker_quarantines_instead_of_spinning() {
+        let tasks = tasks(1);
+        let mut lines = Vec::new();
+        let report = supervise(
+            &tasks,
+            &SupervisorConfig { max_retries: 1, ..fast_config() },
+            |_, _| Command::new("/nonexistent/definitely-not-a-binary").spawn(),
+            &mut |l| lines.push(l),
+        );
+        assert_eq!(report.workers[0].attempts, 2);
+        assert!(!report.workers[0].completed());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let config = SupervisorConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+            run_seed: 0xBEEF,
+            ..SupervisorConfig::default()
+        };
+        let d1 = backoff_delay(&config, 0, 1);
+        let d2 = backoff_delay(&config, 0, 2);
+        let d9 = backoff_delay(&config, 0, 9);
+        assert_eq!(d1, backoff_delay(&config, 0, 1), "same seed, same delay");
+        assert!(d1 >= Duration::from_millis(100) && d1 <= Duration::from_millis(200));
+        assert!(d2 >= Duration::from_millis(200) && d2 <= Duration::from_millis(300));
+        assert!(d9 <= Duration::from_millis(500), "capped plus jitter");
+        assert_ne!(
+            backoff_delay(&config, 1, 1),
+            backoff_delay(&config, 2, 1),
+            "jitter de-synchronises workers (for this seed)"
+        );
+    }
+}

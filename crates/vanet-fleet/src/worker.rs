@@ -101,10 +101,13 @@ pub fn execute_units(
             let key = CacheKey::new(scenario.name(), fingerprint, &canonical, round, seed);
             if cache.contains(&key) {
                 outcome.rounds_cached += 1;
+                vanet_faults::round_done();
                 continue;
             }
+            vanet_faults::round_start();
             let report = run.run_round(round, seed);
             cache.put(&key, &report).map_err(|e| FleetError::Cache(e.to_string()))?;
+            vanet_faults::round_done();
             outcome.rounds_simulated += 1;
         }
     }

@@ -438,6 +438,7 @@ fn run_rounds_cached(
             Some(report) => {
                 reports.push(report);
                 next += 1;
+                vanet_faults::round_done();
             }
             None => break,
         }
@@ -453,15 +454,20 @@ fn run_rounds_cached(
             (next..end).filter(|round| wave[(round - next) as usize].is_none()).collect();
         if missing.len() == 1 {
             let round = missing[0];
+            vanet_faults::round_start();
             wave[(round - next) as usize] =
                 Some(run.run_round(round, round_seed(base_seed, round)));
+            vanet_faults::round_done();
         } else if !missing.is_empty() {
             let simulated: Vec<(u32, RoundReport)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = missing
                     .iter()
                     .map(|&round| {
                         scope.spawn(move || {
-                            (round, run.run_round(round, round_seed(base_seed, round)))
+                            vanet_faults::round_start();
+                            let report = run.run_round(round, round_seed(base_seed, round));
+                            vanet_faults::round_done();
+                            (round, report)
                         })
                     })
                     .collect();

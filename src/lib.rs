@@ -47,6 +47,10 @@
 //!   occupancy and airtime shares, per-node timelines, trace diffing, and
 //!   the digest journal that makes re-analysis free (warm runs simulate
 //!   zero rounds).
+//! * [`faults`] — deterministic, seeded fault injection (`VANETFLT1`
+//!   plans: kills, stalls, torn appends, bit rot, transient I/O, slow
+//!   disk) behind `carq-cli chaos` and the self-healing fleet supervisor
+//!   (see `docs/RESILIENCE.md`); zero-cost when disarmed.
 //!
 //! `docs/ARCHITECTURE.md` maps how these crates fit together;
 //! `docs/REPRODUCING.md` maps each paper figure and table to the command
@@ -74,6 +78,7 @@ pub use sim_core as sim;
 pub use vanet_analysis as analysis;
 pub use vanet_cache as cache;
 pub use vanet_dtn as dtn;
+pub use vanet_faults as faults;
 pub use vanet_fleet as fleet;
 pub use vanet_gen as gen;
 pub use vanet_geo as geo;
